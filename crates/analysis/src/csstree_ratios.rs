@@ -1,0 +1,101 @@
+//! Fig. 5: level-vs-full CSS-tree ratios as a function of `m`.
+//!
+//! §4.2 derives the comparison-count ratio of a level CSS-tree to a full
+//! CSS-tree as
+//!
+//! ```text
+//! (m + 1) · log_m(m + 1) / (m + 3)
+//! ```
+//!
+//! (always < 1: level trees do fewer comparisons), while the cache-access
+//! (and node-traversal) ratio is `log_{m}`-vs-`log_{m+1}` levels:
+//!
+//! ```text
+//! log(m + 1) / log(m)
+//! ```
+//!
+//! (always > 1: level trees are deeper). Fig. 5 plots both for
+//! `m ∈ [10, 60]`; whether level trees win overall depends on the relative
+//! cost of a comparison versus a cache access (§4.2, confirmed ±8 % in
+//! §6.3).
+
+/// One point of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioPoint {
+    /// Node slots `m`.
+    pub m: usize,
+    /// Level/full total-comparison ratio (< 1).
+    pub comparison_ratio: f64,
+    /// Level/full cache-access ratio (> 1).
+    pub cache_access_ratio: f64,
+}
+
+/// `(m+1)·log_m(m+1) / (m+3)` — level-to-full comparison ratio.
+pub fn comparison_ratio(m: usize) -> f64 {
+    assert!(m >= 2, "ratio defined for m >= 2");
+    let mf = m as f64;
+    (mf + 1.0) * ((mf + 1.0).ln() / mf.ln()) / (mf + 3.0)
+}
+
+/// `log(m+1)/log(m)` — level-to-full cache-access (levels) ratio.
+pub fn cache_access_ratio(m: usize) -> f64 {
+    assert!(m >= 2, "ratio defined for m >= 2");
+    let mf = m as f64;
+    (mf + 1.0).ln() / mf.ln()
+}
+
+/// The Fig. 5 series for `m` in `[lo, hi]`.
+pub fn figure5_series(lo: usize, hi: usize) -> Vec<RatioPoint> {
+    (lo..=hi)
+        .map(|m| RatioPoint {
+            m,
+            comparison_ratio: comparison_ratio(m),
+            cache_access_ratio: cache_access_ratio(m),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_ratio_is_below_one() {
+        // §4.2: "a level CSS-tree always uses fewer comparisons than a
+        // full CSS-tree".
+        for m in 2..=200 {
+            assert!(comparison_ratio(m) < 1.0, "m={m}: {}", comparison_ratio(m));
+        }
+    }
+
+    #[test]
+    fn cache_access_ratio_is_above_one_and_shrinks() {
+        for m in 2..=200 {
+            assert!(cache_access_ratio(m) > 1.0, "m={m}");
+        }
+        // Both ratios approach 1 as m grows (Fig. 5's converging curves).
+        assert!(cache_access_ratio(10) > cache_access_ratio(60));
+        assert!(cache_access_ratio(200) < 1.01);
+        assert!(comparison_ratio(200) > 0.98);
+    }
+
+    #[test]
+    fn figure5_range_values() {
+        // Spot values in the plotted range: at m = 16,
+        // comparisons: 17·log16(17)/19 ≈ 0.914; accesses: ln17/ln16 ≈ 1.022.
+        let r = figure5_series(10, 60);
+        assert_eq!(r.len(), 51);
+        let at16 = r.iter().find(|p| p.m == 16).unwrap();
+        assert!((at16.comparison_ratio - 0.9136).abs() < 0.01, "{}", at16.comparison_ratio);
+        assert!((at16.cache_access_ratio - 1.0219).abs() < 0.005, "{}", at16.cache_access_ratio);
+    }
+
+    #[test]
+    fn ratios_within_figure5_axis_bounds() {
+        // Fig. 5's y-axis spans 0.8..1.2 over m in 10..60.
+        for p in figure5_series(10, 60) {
+            assert!((0.8..=1.2).contains(&p.comparison_ratio), "m={}", p.m);
+            assert!((0.8..=1.2).contains(&p.cache_access_ratio), "m={}", p.m);
+        }
+    }
+}

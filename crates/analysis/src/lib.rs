@@ -1,0 +1,24 @@
+//! Analytical time and space models from §5 of the paper.
+//!
+//! These are the closed-form models behind Figs. 5–8 and the basis for the
+//! model-vs-measurement validation tests: the cache simulator's per-lookup
+//! miss counts must agree with [`time_model`]'s predictions, and each index
+//! structure's measured `space_bytes` must agree with [`space_model`].
+//!
+//! * [`params`] — Table 1's parameters and typical values,
+//! * [`time_model`] — Fig. 6: branching factor, number of levels,
+//!   comparisons, moving cost and cache misses per method,
+//! * [`space_model`] — Fig. 7's formulas (indirect & direct) and Fig. 8's
+//!   space-vs-n sweeps,
+//! * [`csstree_ratios`] — Fig. 5: comparison and cache-access ratios of
+//!   level vs full CSS-trees as a function of `m`.
+
+pub mod csstree_ratios;
+pub mod params;
+pub mod space_model;
+pub mod time_model;
+
+pub use csstree_ratios::{cache_access_ratio, comparison_ratio, RatioPoint};
+pub use params::Params;
+pub use space_model::{space_direct, space_indirect, Method};
+pub use time_model::{CostBreakdown, TimeEstimate};

@@ -1,0 +1,31 @@
+//! Criterion version of Fig. 9: CSS-tree construction cost.
+//!
+//! The paper's observables: build time is linear in the array size, level
+//! CSS-trees build faster than full CSS-trees (the auxiliary slot avoids
+//! subtree descents), and even 25 M keys build in well under a second on
+//! a modern machine (their 1998 machine managed < 1 s too).
+
+use ccindex_common::SortedArray;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use css_tree::{FullCssTree, LevelCssTree};
+use workload::KeySetBuilder;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for &n in &[1_000_000usize, 4_000_000] {
+        let keys: Vec<u32> = KeySetBuilder::new(n).build();
+        let arr = SortedArray::from_slice(&keys);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("full-css-16", n), &arr, |b, arr| {
+            b.iter(|| FullCssTree::<u32, 16>::from_shared(arr.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("level-css-16", n), &arr, |b, arr| {
+            b.iter(|| LevelCssTree::<u32, 16>::from_shared(arr.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

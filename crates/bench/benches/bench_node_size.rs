@@ -1,0 +1,61 @@
+//! Criterion version of Figs. 12–13: lookup latency vs node size at a
+//! fixed row count, for T-trees, B+-trees and both CSS variants.
+//!
+//! The paper's observable: CSS-trees bottom out when the node size equals
+//! the cache line (16 ints on 64-byte lines), B+-trees at about twice
+//! that, and full CSS-trees show a bump at m = 24 (nodes misaligned with
+//! lines + non-shift child arithmetic — reproduced here by the generic
+//! fallback implementation used for non-power sizes).
+
+use bench::methods::{build_bplus, build_ttree};
+use ccindex_common::{SearchIndex, SortedArray};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use css_tree::{CssVariant, DynCssTree};
+use workload::{KeySetBuilder, LookupStream};
+
+fn bench_node_sizes(c: &mut Criterion) {
+    let n = 4_000_000usize;
+    let keys: Vec<u32> = KeySetBuilder::new(n).build();
+    let arr = SortedArray::from_slice(&keys);
+    let stream = LookupStream::successful(&keys, 4_096, 7);
+    let probes = stream.probes();
+
+    let run = |b: &mut criterion::Bencher, idx: &dyn SearchIndex<u32>| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &p in probes {
+                if idx.search(p).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    };
+
+    let mut group = c.benchmark_group("node_size");
+    group.sample_size(10);
+    for &m in &[8usize, 16, 24, 32, 64, 128] {
+        let full = DynCssTree::build(CssVariant::Full, m, arr.clone());
+        group.bench_with_input(BenchmarkId::new("full-css", m), &m, |b, _| {
+            run(b, &full)
+        });
+        if m.is_power_of_two() {
+            let level = DynCssTree::build(CssVariant::Level, m, arr.clone());
+            group.bench_with_input(BenchmarkId::new("level-css", m), &m, |b, _| {
+                run(b, &level)
+            });
+        }
+        let bp = build_bplus(&arr, m);
+        group.bench_with_input(BenchmarkId::new("bplus", m), &m, |b, _| {
+            run(b, bp.as_ref())
+        });
+        let tt = build_ttree(&arr, m);
+        group.bench_with_input(BenchmarkId::new("ttree", m), &m, |b, _| {
+            run(b, tt.as_ref())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_sizes);
+criterion_main!(benches);

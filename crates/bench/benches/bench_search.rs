@@ -1,0 +1,48 @@
+//! Criterion version of Figs. 10–11: lookup latency of all eight methods
+//! at cache-resident and cache-exceeding array sizes (host hardware).
+//!
+//! The paper's observable: with the array far larger than the last-level
+//! cache, CSS-trees beat binary search / BST / T-tree by > 2× and edge out
+//! B+-trees; hash wins on raw speed. With the array cache-resident, the
+//! methods converge.
+
+use bench::methods::all_methods;
+use ccindex_common::SortedArray;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workload::{KeySetBuilder, LookupStream};
+
+fn bench_methods(c: &mut Criterion) {
+    // 64 k keys (256 kB: L2-resident) and 8 M keys (32 MB: beyond L2/L3
+    // on most hosts) — the two regimes of Figs. 10–11.
+    for &n in &[65_536usize, 8_000_000] {
+        let keys: Vec<u32> = KeySetBuilder::new(n).build();
+        let arr = SortedArray::from_slice(&keys);
+        let stream = LookupStream::successful(&keys, 4_096, 42);
+        let probes = stream.probes();
+
+        let mut group = c.benchmark_group(format!("search/n={n}"));
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.sample_size(10);
+        for m in all_methods(&arr, 16) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&m.label),
+                &m,
+                |b, m| {
+                    b.iter(|| {
+                        let mut found = 0usize;
+                        for &p in probes {
+                            if m.index.search(p).is_some() {
+                                found += 1;
+                            }
+                        }
+                        found
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared benchmark-harness code for regenerating the paper's tables and
+//! figures.
+//!
+//! The `figures` binary (in `src/bin`) prints each table/figure's rows or
+//! series; the Criterion benches under `benches/` provide statistically
+//! robust wall-clock versions of the timing experiments. Both share the
+//! setup code here: building every index method over a common key set,
+//! running the paper's 100 k-lookup protocol, measuring wall-clock and
+//! simulated time, and formatting the output.
+
+pub mod methods;
+pub mod protocol;
+pub mod report;
+
+pub use methods::{all_methods, MethodInstance};
+pub use protocol::{run_lookup_protocol, simulate_lookup_protocol, Measurement};
+pub use report::{print_series, Series};

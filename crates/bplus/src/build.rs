@@ -1,0 +1,115 @@
+//! Bottom-up bulk load of the B+-tree directory.
+//!
+//! §3.4/§6.2: in the OLAP setting every slot is used ("we can use all the
+//! slots in a B+-tree node and rebuild the tree when batch updates
+//! arrive"), so the build packs nodes 100% full left-to-right, level by
+//! level. Separator `keys[i]` is the largest key in child `i`'s subtree —
+//! for the lowest level that is the last key of the child leaf segment,
+//! and each higher level propagates its children's maxima.
+
+use crate::node::{BPlusLayout, BPlusNode};
+use ccindex_common::{AlignedBuf, Key};
+
+/// One built directory level.
+#[derive(Debug)]
+pub(crate) struct Level<K, const BR: usize> {
+    /// The nodes of this level.
+    pub nodes: AlignedBuf<BPlusNode<K, BR>>,
+}
+
+/// Build all directory levels, bottom (leaf-pointing) first.
+pub(crate) fn build_directory<K: Key, const BR: usize>(
+    keys: &[K],
+    layout: &BPlusLayout,
+) -> Vec<Level<K, BR>> {
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let mut levels: Vec<Level<K, BR>> = Vec::with_capacity(layout.directory_levels());
+    if layout.leaves <= 1 {
+        return levels;
+    }
+    // max key under each child of the level currently being grouped.
+    let mut child_max: Vec<K> = (0..layout.leaves)
+        .map(|leaf| {
+            let (_, end) = layout.leaf_range(leaf);
+            keys[end - 1]
+        })
+        .collect();
+    let mut width = layout.leaves;
+    for &n_nodes in &layout.level_nodes {
+        let mut nodes: AlignedBuf<BPlusNode<K, BR>> = AlignedBuf::new_zeroed(n_nodes);
+        let mut next_max: Vec<K> = Vec::with_capacity(n_nodes);
+        for node_idx in 0..n_nodes {
+            let first_child = node_idx * BR;
+            let n_children = BR.min(width - first_child);
+            debug_assert!(n_children >= 1);
+            let node = &mut nodes[node_idx];
+            // Pad everything first: MAX separators, last-real-child clamp.
+            let last_real = (first_child + n_children - 1) as u32;
+            node.keys = [K::MAX_KEY; BR];
+            node.children = [last_real; BR];
+            for c in 0..n_children {
+                node.children[c] = (first_child + c) as u32;
+                if c + 1 < n_children {
+                    // Separator i = max of child i (only needed between
+                    // real children; padded slots keep MAX_KEY).
+                    node.keys[c] = child_max[first_child + c];
+                }
+            }
+            next_max.push(child_max[first_child + n_children - 1]);
+        }
+        levels.push(Level { nodes });
+        child_max = next_max;
+        width = n_nodes;
+    }
+    debug_assert_eq!(width, 1, "top level must be the root");
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separators_are_child_maxima() {
+        let keys: Vec<u32> = (0..200).map(|i| i * 5).collect();
+        let layout = BPlusLayout::new(keys.len(), 4); // leaf_slots 8, 25 leaves
+        let levels = build_directory::<u32, 4>(&keys, &layout);
+        assert_eq!(levels.len(), 3); // 25 -> 7 -> 2 -> 1
+        let bottom = &levels[0].nodes;
+        // Node 0 groups leaves 0..4; separator 0 = last key of leaf 0 =
+        // keys[7] = 35.
+        assert_eq!(bottom[0].keys[0], 35);
+        assert_eq!(bottom[0].keys[1], 75);
+        assert_eq!(bottom[0].keys[2], 115);
+        assert_eq!(bottom[0].children, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_nodes_are_padded() {
+        let keys: Vec<u32> = (0..200).map(|i| i * 5).collect();
+        let layout = BPlusLayout::new(keys.len(), 4);
+        let levels = build_directory::<u32, 4>(&keys, &layout);
+        // 25 leaves / 4 = 7 bottom nodes; the last has a single child (24).
+        let last = &levels[0].nodes[6];
+        assert_eq!(last.children, [24, 24, 24, 24]);
+        assert_eq!(last.keys, [u32::MAX; 4]);
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let keys: Vec<u32> = (0..1000).collect();
+        let layout = BPlusLayout::new(keys.len(), 8); // 63 leaves -> 8 -> 1
+        let levels = build_directory::<u32, 8>(&keys, &layout);
+        let root = &levels.last().unwrap().nodes[0];
+        // Root's separators must be increasing over real children.
+        let real: Vec<u32> = root.keys.iter().copied().filter(|&k| k != u32::MAX).collect();
+        assert!(real.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn no_directory_for_single_leaf() {
+        let keys: Vec<u32> = (0..10).collect();
+        let layout = BPlusLayout::new(keys.len(), 8);
+        assert!(build_directory::<u32, 8>(&keys, &layout).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Bulk-loaded in-memory B+-tree with cache-line-sized nodes.
+//!
+//! §3.4: B+-trees "have a much better cache behavior than T-trees. In each
+//! internal node we store keys and child pointers ... Multiple keys are
+//! used to search within a node. ... But B+-trees still need to store child
+//! pointers within each node. So for any given node size, only half of the
+//! space can be used to store keys."
+//!
+//! Layout decisions mirroring the paper (§6.2):
+//! * the tree is a **directory over the sorted array**: leaf "nodes" are
+//!   `m`-key segments of the array itself, so the directory's bottom level
+//!   points at array offsets (this is what makes the paper's B+ space
+//!   `nK(P+K)/(sc−P−K)` ≈ 2× a CSS-tree rather than a full key copy);
+//! * internal nodes interleave keys and 4-byte child pointers ("we forced
+//!   each key and child pointer to be adjacent to each other physically");
+//!   with an even number of slots one slot stays empty ("Since there is
+//!   always one more pointer than keys, for nodes with an even number of
+//!   slots, we leave one slot empty");
+//! * all nodes live in one cache-line-aligned arena, built in one pass;
+//!   in the OLAP setting the tree is rebuilt on batch updates, so nodes are
+//!   packed 100% full ("In an OLAP environment, we can use all the slots in
+//!   a B+-tree node and rebuild the tree when batch updates arrive").
+
+pub mod build;
+pub mod node;
+pub mod search;
+
+pub use node::BPlusLayout;
+pub use search::BPlusTree;

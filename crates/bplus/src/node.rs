@@ -1,0 +1,168 @@
+//! B+-tree node layout and directory geometry.
+//!
+//! A directory node with branching factor `BR` holds `BR − 1` separator
+//! keys and `BR` 4-byte child pointers. With 4-byte keys that is `2·BR`
+//! slots — the paper's `m`-slot node of which "only half of the space can
+//! be used to store keys" (§3.4), including the one empty slot for even
+//! slot counts (§6.2). Leaf "nodes" are `2·BR`-key segments of the shared
+//! sorted array itself, which is what produces the paper's B+ space formula
+//! `nK(P+K)/(sc−P−K)` (directory only) rather than a full key copy.
+
+use ccindex_common::{ceil_div, Key};
+
+/// One internal (directory) node.
+///
+/// `keys[0..BR-1]` are separators (`keys[i]` = largest key under child
+/// `i`); `keys[BR-1]` is the deliberately unused slot. Unused separator
+/// slots in partially filled nodes are padded with `K::MAX_KEY` and their
+/// children clamped to the last real child, so the search needs no per-node
+/// fanout field.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct BPlusNode<K, const BR: usize> {
+    /// Separator keys (last slot unused, per §6.2).
+    pub keys: [K; BR],
+    /// Child pointers: arena indices one level down, or leaf-segment
+    /// numbers at the lowest directory level.
+    pub children: [u32; BR],
+}
+
+impl<K: Key, const BR: usize> Default for BPlusNode<K, BR> {
+    fn default() -> Self {
+        Self {
+            keys: [K::MAX_KEY; BR],
+            children: [0; BR],
+        }
+    }
+}
+
+/// Geometry of a B+-tree directory over `n` keys with branching `BR`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BPlusLayout {
+    /// Indexed key count.
+    pub n: usize,
+    /// Keys per leaf segment (`2·BR`).
+    pub leaf_slots: usize,
+    /// Number of leaf segments.
+    pub leaves: usize,
+    /// Directory level sizes, bottom (level 0, pointing at leaves) first;
+    /// the last entry is always 1 (the root) when non-empty.
+    pub level_nodes: Vec<usize>,
+}
+
+impl BPlusLayout {
+    /// Compute the directory geometry.
+    pub fn new(n: usize, branching: usize) -> Self {
+        assert!(branching >= 2, "branching factor must be >= 2");
+        let leaf_slots = 2 * branching;
+        let leaves = ceil_div(n, leaf_slots);
+        let mut level_nodes = Vec::new();
+        let mut width = leaves;
+        while width > 1 {
+            width = ceil_div(width, branching);
+            level_nodes.push(width);
+        }
+        Self {
+            n,
+            leaf_slots,
+            leaves,
+            level_nodes,
+        }
+    }
+
+    /// Directory levels (0 when a single leaf suffices).
+    pub fn directory_levels(&self) -> usize {
+        self.level_nodes.len()
+    }
+
+    /// Total directory nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.level_nodes.iter().sum()
+    }
+
+    /// Directory bytes for `node_bytes`-sized nodes.
+    pub fn space_bytes(&self, node_bytes: usize) -> usize {
+        self.total_nodes() * node_bytes
+    }
+
+    /// Key range `[start, end)` of leaf segment `leaf`.
+    pub fn leaf_range(&self, leaf: usize) -> (usize, usize) {
+        let start = leaf * self.leaf_slots;
+        (start, (start + self.leaf_slots).min(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_exactly_two_br_slots_for_u32() {
+        assert_eq!(core::mem::size_of::<BPlusNode<u32, 8>>(), 8 * 8); // 64 B
+        assert_eq!(core::mem::size_of::<BPlusNode<u32, 4>>(), 32);
+        assert_eq!(core::mem::size_of::<BPlusNode<u32, 16>>(), 128);
+    }
+
+    #[test]
+    fn layout_small_cases() {
+        // 100 keys, BR=4 -> leaf_slots 8, 13 leaves, levels: ceil(13/4)=4, 1.
+        let l = BPlusLayout::new(100, 4);
+        assert_eq!(l.leaf_slots, 8);
+        assert_eq!(l.leaves, 13);
+        assert_eq!(l.level_nodes, vec![4, 1]);
+        assert_eq!(l.directory_levels(), 2);
+        assert_eq!(l.total_nodes(), 5);
+    }
+
+    #[test]
+    fn single_leaf_has_no_directory() {
+        let l = BPlusLayout::new(10, 8);
+        assert_eq!(l.leaves, 1);
+        assert!(l.level_nodes.is_empty());
+        assert_eq!(l.space_bytes(64), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let l = BPlusLayout::new(0, 8);
+        assert_eq!(l.leaves, 0);
+        assert!(l.level_nodes.is_empty());
+    }
+
+    #[test]
+    fn leaf_ranges_partition_the_array() {
+        let l = BPlusLayout::new(103, 4);
+        let mut covered = 0;
+        for leaf in 0..l.leaves {
+            let (s, e) = l.leaf_range(leaf);
+            assert_eq!(s, covered);
+            covered = e;
+        }
+        assert_eq!(covered, 103);
+    }
+
+    #[test]
+    fn directory_space_tracks_paper_formula_at_scale() {
+        // Paper (Fig. 7): B+ space = nK(P+K)/(sc−P−K); with K=P=4 and
+        // 64-byte nodes (BR=8): 10^7·4·8/56 ≈ 5.71 MB. The exact node
+        // count should land within a few percent of the formula.
+        let n = 10_000_000usize;
+        let l = BPlusLayout::new(n, 8);
+        let measured = l.space_bytes(64) as f64;
+        let formula = n as f64 * 4.0 * 8.0 / (64.0 - 8.0);
+        let ratio = measured / formula;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn root_level_is_singleton() {
+        for n in [1usize, 17, 64, 65, 4096, 1_000_000] {
+            for br in [2usize, 4, 8, 16] {
+                let l = BPlusLayout::new(n, br);
+                if let Some(&root) = l.level_nodes.last() {
+                    assert_eq!(root, 1, "n={n} br={br}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! B+-tree search: directory descent plus leaf-segment binary search.
+//!
+//! Within a node "multiple keys are used to search" (§3.4): the descent
+//! picks the leftmost separator ≥ the probe (guaranteeing leftmost-match
+//! semantics for duplicates, §3.6) and follows its pointer. The separator
+//! scan is over a const-size array, so each instantiation compiles to the
+//! specialised, unrolled code §6.2 calls for.
+
+use crate::build::{build_directory, Level};
+use crate::node::{BPlusLayout, BPlusNode};
+use ccindex_common::{
+    AccessTracer, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray, SpaceReport,
+};
+
+/// A bulk-loaded B+-tree directory over a shared sorted array, with
+/// branching factor `BR` (node size `2·BR` 4-byte slots; leaf segments of
+/// `2·BR` keys).
+#[derive(Debug)]
+pub struct BPlusTree<K: Key, const BR: usize> {
+    array: SortedArray<K>,
+    /// Directory levels, bottom first; the root is the single node of the
+    /// last level.
+    levels: Vec<Level<K, BR>>,
+    layout: BPlusLayout,
+}
+
+impl<K: Key, const BR: usize> BPlusTree<K, BR> {
+    /// Build over a sorted slice.
+    pub fn build(keys: &[K]) -> Self {
+        Self::from_shared(SortedArray::from_slice(keys))
+    }
+
+    /// Build over an existing shared array without copying it.
+    pub fn from_shared(array: SortedArray<K>) -> Self {
+        let layout = BPlusLayout::new(array.len(), BR);
+        let levels = build_directory::<K, BR>(array.as_slice(), &layout);
+        Self {
+            array,
+            levels,
+            layout,
+        }
+    }
+
+    /// The directory geometry.
+    pub fn layout(&self) -> &BPlusLayout {
+        &self.layout
+    }
+
+    /// The underlying shared array.
+    pub fn array(&self) -> &SortedArray<K> {
+        &self.array
+    }
+
+    #[inline]
+    fn node_addr(&self, level: usize, idx: u32) -> usize {
+        self.levels[level].nodes.base_addr()
+            + idx as usize * core::mem::size_of::<BPlusNode<K, BR>>()
+    }
+
+    /// Pick the child slot: leftmost separator `>= key`, else last child.
+    /// The loop bound is the const `BR`, so each instantiation unrolls.
+    #[inline]
+    fn choose_child<T: AccessTracer>(node: &BPlusNode<K, BR>, key: K, tracer: &mut T) -> usize {
+        // Binary search over the BR-1 separators.
+        let mut lo = 0usize;
+        let mut hi = BR - 1;
+        while lo < hi {
+            let mid = (lo + hi) >> 1;
+            tracer.compare();
+            if node.keys[mid] < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Descend the directory to the leaf segment that must contain the
+    /// lower bound for `key`.
+    #[inline]
+    fn descend_to_leaf<T: AccessTracer>(&self, key: K, tracer: &mut T) -> usize {
+        let mut idx = 0u32; // root is node 0 of the top level
+        for level in (0..self.levels.len()).rev() {
+            let node = &self.levels[level].nodes[idx as usize];
+            // One node = one (or s) cache line(s): the whole node is the
+            // fetch unit.
+            tracer.read(self.node_addr(level, idx), core::mem::size_of::<BPlusNode<K, BR>>());
+            let slot = Self::choose_child(node, key, tracer);
+            idx = node.children[slot];
+            tracer.descend();
+        }
+        idx as usize
+    }
+
+    /// Leftmost position with key `>= key`, traced.
+    pub fn lower_bound_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> usize {
+        if self.array.is_empty() {
+            return 0;
+        }
+        let leaf = self.descend_to_leaf(key, tracer);
+        let (start, end) = self.layout.leaf_range(leaf);
+        let a = self.array.as_slice();
+        // Hard-coded binary search of the leaf segment.
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + ((hi - lo) >> 1);
+            tracer.compare();
+            tracer.read(self.array.addr_of(mid), K::WIDTH);
+            if a[mid] < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Leftmost matching position, traced.
+    pub fn search_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> Option<usize> {
+        let pos = self.lower_bound_with(key, tracer);
+        if pos < self.array.len() {
+            tracer.compare();
+            if self.array.get_traced(pos, tracer) == key {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+impl<K: Key, const BR: usize> SearchIndex<K> for BPlusTree<K, BR> {
+    fn name(&self) -> &'static str {
+        "B+-tree"
+    }
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+    fn search(&self, key: K) -> Option<usize> {
+        self.search_with(key, &mut NoopTracer)
+    }
+    fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
+        self.search_with(key, &mut { tracer })
+    }
+    fn space(&self) -> SpaceReport {
+        // Fig. 7: identical in both columns (the directory stores no RIDs).
+        SpaceReport::same(self.layout.space_bytes(core::mem::size_of::<BPlusNode<K, BR>>()))
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            levels: self.layout.directory_levels() as u32 + 1,
+            internal_nodes: self.layout.total_nodes(),
+            branching: BR,
+            node_bytes: core::mem::size_of::<BPlusNode<K, BR>>(),
+        }
+    }
+}
+
+impl<K: Key, const BR: usize> OrderedIndex<K> for BPlusTree<K, BR> {
+    fn lower_bound(&self, key: K) -> usize {
+        self.lower_bound_with(key, &mut NoopTracer)
+    }
+    fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
+        self.lower_bound_with(key, &mut { tracer })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccindex_common::CountingTracer;
+
+    #[test]
+    fn finds_every_key() {
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 7 + 3).collect();
+        let t = BPlusTree::<u32, 8>::build(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(t.search(k), Some(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn misses_are_none() {
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 7 + 3).collect();
+        let t = BPlusTree::<u32, 8>::build(&keys);
+        assert_eq!(t.search(0), None);
+        for i in (0..9999).step_by(97) {
+            assert_eq!(t.search(i * 7 + 4), None);
+        }
+        assert_eq!(t.search(u32::MAX), None);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point_many_branchings() {
+        let keys: Vec<u32> = (0..1023).map(|i| (i / 3) * 9).collect(); // duplicates
+        macro_rules! check {
+            ($br:literal) => {{
+                let t = BPlusTree::<u32, $br>::build(&keys);
+                for probe in (0..3100u32).step_by(1) {
+                    assert_eq!(
+                        t.lower_bound(probe),
+                        keys.partition_point(|&k| k < probe),
+                        "br {} probe {probe}",
+                        $br
+                    );
+                }
+            }};
+        }
+        check!(2);
+        check!(4);
+        check!(8);
+        check!(16);
+        check!(64);
+    }
+
+    #[test]
+    fn duplicates_return_leftmost_across_leaves() {
+        // 50 equal keys span several 8-key leaves (BR=4).
+        let mut keys = vec![1u32];
+        keys.extend(std::iter::repeat_n(5u32, 50));
+        keys.push(9);
+        let t = BPlusTree::<u32, 4>::build(&keys);
+        assert_eq!(t.search(5), Some(1));
+        assert_eq!(t.lower_bound(5), 1);
+        assert_eq!(t.lower_bound(6), 51);
+    }
+
+    #[test]
+    fn descent_depth_matches_layout() {
+        let keys: Vec<u32> = (0..100_000).collect();
+        let t = BPlusTree::<u32, 8>::build(&keys);
+        let mut tracer = CountingTracer::new();
+        t.search_with(54_321, &mut tracer);
+        assert_eq!(tracer.descends as usize, t.layout().directory_levels());
+    }
+
+    #[test]
+    fn single_leaf_degenerates_to_binary_search() {
+        let keys: Vec<u32> = (0..10).collect();
+        let t = BPlusTree::<u32, 8>::build(&keys);
+        assert_eq!(t.layout().directory_levels(), 0);
+        assert_eq!(t.search(7), Some(7));
+        assert_eq!(t.space().indirect_bytes, 0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::<u32, 8>::build(&[]);
+        assert_eq!(t.search(1), None);
+        assert_eq!(t.lower_bound(1), 0);
+    }
+
+    #[test]
+    fn space_is_directory_only() {
+        let keys: Vec<u32> = (0..1_000_000).collect();
+        let t = BPlusTree::<u32, 8>::build(&keys);
+        let s = t.space();
+        assert_eq!(s.indirect_bytes, s.direct_bytes);
+        // ~ n*K*(P+K)/(sc-P-K) = 10^6*32/56 ≈ 571 kB; allow ±15%.
+        let formula = 1_000_000.0 * 32.0 / 56.0;
+        let ratio = s.indirect_bytes as f64 / formula;
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn u64_keys_work() {
+        let keys: Vec<u64> = (0..5000u64).map(|i| i << 20).collect();
+        let t = BPlusTree::<u64, 8>::build(&keys);
+        for (i, &k) in keys.iter().enumerate().step_by(17) {
+            assert_eq!(t.search(k), Some(i));
+            assert_eq!(t.search(k + 1), None);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Pointer-based balanced binary search tree ("tree binary search").
+//!
+//! The explicit-pointer counterpart of array binary search from Figs. 10–11.
+//! The paper's point (§3.3, §6.3) is that a pointer-based binary tree has
+//! the *same* poor cache behaviour as binary search on an array — roughly
+//! one cache miss per comparison once the data outgrows the cache — while
+//! paying extra space for two child pointers per key; array-based binary
+//! search is sometimes even faster because it needs no pointer loads.
+//!
+//! Nodes are allocated contiguously in one arena (§6.2 discipline) in
+//! *preorder* of the recursive median construction, which reproduces the
+//! locality of a typical pointer-based build: parent and left spine share
+//! lines near the root of each subtree, but the accesses of a random probe
+//! still spread across Θ(log n) distinct lines.
+
+pub mod tree;
+
+pub use tree::BinaryTreeIndex;

@@ -1,0 +1,253 @@
+//! Balanced pointer-based binary search tree over a sorted array.
+//!
+//! One node per array element, holding the key, the element's position in
+//! the sorted array, and two 4-byte child links (arena indices standing in
+//! for the paper's 4-byte pointers). A probe touches Θ(log₂ n) nodes spread
+//! across distinct cache lines — the "essentially one cache miss per
+//! comparison" behaviour of §6.3 that CSS-trees eliminate.
+
+use ccindex_common::{
+    AccessTracer, AlignedBuf, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SpaceReport,
+};
+
+/// Sentinel child link meaning "no child".
+const NO_NODE: u32 = u32::MAX;
+
+/// One tree node. `#[repr(C)]` keeps the layout exactly key + position +
+/// two links, matching the space model (K + R + 2P bytes per element).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+struct Node<K> {
+    key: K,
+    pos: u32,
+    left: u32,
+    right: u32,
+}
+
+/// A balanced, bulk-built binary search tree ("tree binary search" in
+/// Figs. 10–11).
+#[derive(Debug, Clone)]
+pub struct BinaryTreeIndex<K: Key> {
+    nodes: AlignedBuf<Node<K>>,
+    root: u32,
+    len: usize,
+    height: u32,
+}
+
+impl<K: Key> BinaryTreeIndex<K> {
+    /// Build from a sorted slice (duplicates allowed). Nodes are allocated
+    /// in one aligned arena in preorder of the recursive median split.
+    pub fn build(keys: &[K]) -> Self {
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
+        assert!(keys.len() < NO_NODE as usize, "too many keys for u32 links");
+        let mut nodes: AlignedBuf<Node<K>> = AlignedBuf::new_zeroed(keys.len());
+        let mut next = 0u32;
+        let root = Self::build_range(keys, 0, keys.len(), &mut nodes, &mut next);
+        let height = if keys.is_empty() {
+            0
+        } else {
+            usize::BITS - keys.len().leading_zeros()
+        };
+        Self {
+            nodes,
+            root,
+            len: keys.len(),
+            height,
+        }
+    }
+
+    /// Recursively place the median of `[lo, hi)`; returns the node id.
+    fn build_range(
+        keys: &[K],
+        lo: usize,
+        hi: usize,
+        nodes: &mut AlignedBuf<Node<K>>,
+        next: &mut u32,
+    ) -> u32 {
+        if lo >= hi {
+            return NO_NODE;
+        }
+        let mid = lo + ((hi - lo) >> 1);
+        let id = *next;
+        *next += 1;
+        nodes[id as usize] = Node {
+            key: keys[mid],
+            pos: mid as u32,
+            left: NO_NODE,
+            right: NO_NODE,
+        };
+        let left = Self::build_range(keys, lo, mid, nodes, next);
+        let right = Self::build_range(keys, mid + 1, hi, nodes, next);
+        nodes[id as usize].left = left;
+        nodes[id as usize].right = right;
+        id
+    }
+
+    #[inline]
+    fn node_addr(&self, id: u32) -> usize {
+        self.nodes.base_addr() + id as usize * core::mem::size_of::<Node<K>>()
+    }
+
+    /// Descend to the leftmost node whose key is `>= key`; returns its
+    /// `(position, key)`, or `(len, None)` when every key is smaller.
+    #[inline]
+    fn lower_bound_entry<T: AccessTracer>(&self, key: K, tracer: &mut T) -> (usize, Option<K>) {
+        let mut cur = self.root;
+        let mut best = self.len;
+        let mut best_key = None;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            tracer.read(self.node_addr(cur), core::mem::size_of::<Node<K>>());
+            tracer.compare();
+            if node.key >= key {
+                best = node.pos as usize;
+                best_key = Some(node.key);
+                cur = node.left;
+            } else {
+                cur = node.right;
+            }
+            tracer.descend();
+        }
+        (best, best_key)
+    }
+
+    /// Leftmost position with key `>= key`, traced.
+    pub fn lower_bound_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> usize {
+        self.lower_bound_entry(key, tracer).0
+    }
+
+    /// Leftmost matching position, traced.
+    pub fn search_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> Option<usize> {
+        let (pos, found) = self.lower_bound_entry(key, tracer);
+        tracer.compare();
+        (found == Some(key)).then_some(pos)
+    }
+
+    /// Height of the tree (levels a worst-case probe visits).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+impl<K: Key> SearchIndex<K> for BinaryTreeIndex<K> {
+    fn name(&self) -> &'static str {
+        "tree binary search"
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn search(&self, key: K) -> Option<usize> {
+        self.search_with(key, &mut NoopTracer)
+    }
+    fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
+        self.search_with(key, &mut { tracer })
+    }
+    fn space(&self) -> SpaceReport {
+        // Each element carries key + position + two links in the arena.
+        SpaceReport::same(self.nodes.size_bytes())
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            levels: self.height,
+            internal_nodes: self.len,
+            branching: 2,
+            node_bytes: core::mem::size_of::<Node<K>>(),
+        }
+    }
+}
+
+impl<K: Key> OrderedIndex<K> for BinaryTreeIndex<K> {
+    fn lower_bound(&self, key: K) -> usize {
+        self.lower_bound_with(key, &mut NoopTracer)
+    }
+    fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
+        self.lower_bound_with(key, &mut { tracer })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccindex_common::CountingTracer;
+
+    #[test]
+    fn finds_every_key() {
+        let keys: Vec<u32> = (0..5000).map(|i| i * 3).collect();
+        let t = BinaryTreeIndex::build(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(t.search(k), Some(i), "key {k}");
+        }
+        assert_eq!(t.search(1), None);
+        assert_eq!(t.search(3 * 5000), None);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        let keys: Vec<u32> = vec![5, 5, 7, 7, 7, 9, 100, 100];
+        let t = BinaryTreeIndex::build(&keys);
+        for probe in 0..=110u32 {
+            assert_eq!(
+                t.lower_bound(probe),
+                keys.partition_point(|&k| k < probe),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_return_leftmost() {
+        let keys = vec![1u32, 4, 4, 4, 9];
+        let t = BinaryTreeIndex::build(&keys);
+        assert_eq!(t.search(4), Some(1));
+    }
+
+    #[test]
+    fn tree_is_balanced() {
+        let keys: Vec<u32> = (0..1_000_000).collect();
+        let t = BinaryTreeIndex::build(&keys);
+        let mut tracer = CountingTracer::new();
+        t.lower_bound_with(999_999, &mut tracer);
+        // Height of a balanced tree over 10^6 keys is 20; the probe may
+        // not take the longest path but must stay within the bound.
+        assert!(tracer.descends <= 20, "descends = {}", tracer.descends);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = BinaryTreeIndex::<u32>::build(&[]);
+        assert_eq!(t.search(5), None);
+        assert_eq!(t.lower_bound(5), 0);
+        let t = BinaryTreeIndex::build(&[9u32]);
+        assert_eq!(t.search(9), Some(0));
+        assert_eq!(t.lower_bound(10), 1);
+    }
+
+    #[test]
+    fn space_counts_nodes() {
+        let keys: Vec<u32> = (0..100).collect();
+        let t = BinaryTreeIndex::build(&keys);
+        assert_eq!(t.space().indirect_bytes, 100 * 16);
+    }
+
+    #[test]
+    fn probe_touches_about_log_n_nodes() {
+        let keys: Vec<u32> = (0..1 << 16).collect();
+        let t = BinaryTreeIndex::build(&keys);
+        let mut tracer = CountingTracer::new();
+        t.search_with(12345, &mut tracer);
+        assert!(
+            (14..=18).contains(&(tracer.reads as usize)),
+            "reads = {}",
+            tracer.reads
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn rejects_unsorted() {
+        let _ = BinaryTreeIndex::build(&[3u32, 1]);
+    }
+}

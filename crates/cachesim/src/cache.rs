@@ -1,0 +1,269 @@
+//! A single set-associative cache level with LRU replacement.
+//!
+//! §3.1 of the paper: "A cache can be parameterized by capacity, block size
+//! and associativity." This module implements exactly that parameterisation.
+//! Associativity 1 gives a direct-mapped cache (both caches of the paper's
+//! UltraSparc II are direct-mapped); associativity equal to the number of
+//! blocks gives a fully associative cache.
+
+use crate::stats::CacheStats;
+
+/// One cache level.
+///
+/// Replacement is true LRU within each set, maintained as a small
+/// recency-ordered list (associativities in practice are ≤ 16, so linear
+/// set operations are faster than any clever structure).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    capacity: usize,
+    block_bytes: usize,
+    associativity: usize,
+    sets: usize,
+    /// `tags[set]` holds the resident block numbers of that set, most
+    /// recently used first. `u64::MAX` never occurs as a real tag because
+    /// block numbers are `addr >> log2(block)` of usize addresses.
+    tags: Vec<Vec<u64>>,
+    stats: CacheStats,
+    block_shift: u32,
+}
+
+impl Cache {
+    /// Build a cache of `capacity` bytes with `block_bytes` lines and the
+    /// given associativity.
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// an integral number of sets, non-power-of-two block size, zero
+    /// associativity).
+    pub fn new(capacity: usize, block_bytes: usize, associativity: usize) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(associativity >= 1, "associativity must be >= 1");
+        assert!(capacity >= block_bytes * associativity, "cache too small for one set");
+        let blocks = capacity / block_bytes;
+        assert_eq!(blocks * block_bytes, capacity, "capacity must be a multiple of block size");
+        assert_eq!(blocks % associativity, 0, "blocks must divide evenly into sets");
+        let sets = blocks / associativity;
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        Self {
+            capacity,
+            block_bytes,
+            associativity,
+            sets,
+            tags: vec![Vec::with_capacity(associativity); sets],
+            stats: CacheStats::default(),
+            block_shift: block_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Line (block) size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Block number containing `addr`.
+    #[inline]
+    pub fn block_of(&self, addr: usize) -> u64 {
+        (addr >> self.block_shift) as u64
+    }
+
+    /// Touch the single block `block`; returns `true` on hit, `false` on
+    /// miss (after which the block is resident and most recently used).
+    pub fn access_block(&mut self, block: u64) -> bool {
+        let set = (block as usize) & (self.sets - 1);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == block) {
+            // Hit: move to MRU position.
+            ways[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            true
+        } else {
+            // Miss: install at MRU, evicting LRU if the set is full.
+            if ways.len() == self.associativity {
+                ways.pop();
+            }
+            ways.insert(0, block);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Touch every block overlapped by `len` bytes at `addr`; returns the
+    /// number of misses incurred.
+    pub fn access(&mut self, addr: usize, len: usize) -> u32 {
+        if len == 0 {
+            return 0;
+        }
+        let first = self.block_of(addr);
+        let last = self.block_of(addr + len - 1);
+        let mut misses = 0;
+        for block in first..=last {
+            if !self.access_block(block) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Is the block holding `addr` currently resident? (Read-only probe for
+    /// tests; does not update LRU state or counters.)
+    pub fn contains(&self, addr: usize) -> bool {
+        let block = self.block_of(addr);
+        let set = (block as usize) & (self.sets - 1);
+        self.tags[set].contains(&block)
+    }
+
+    /// Flush all contents (cold cache) and optionally the statistics.
+    pub fn flush(&mut self, reset_stats: bool) {
+        for ways in &mut self.tags {
+            ways.clear();
+        }
+        if reset_stats {
+            self.stats = CacheStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 blocks of 64 B, direct-mapped: sets = 4.
+        Cache::new(256, 64, 1)
+    }
+
+    #[test]
+    fn geometry_is_derived_correctly() {
+        let c = Cache::new(16 * 1024, 32, 4);
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.block_bytes(), 32);
+        assert_eq!(c.associativity(), 4);
+        assert_eq!(c.capacity(), 16 * 1024);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, 4), 1);
+        assert_eq!(c.access(0, 4), 0);
+        assert_eq!(c.access(60, 8), 1); // straddles blocks 0 and 1: block 0 hits
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn straddling_access_touches_every_line() {
+        let mut c = tiny();
+        // 130 bytes from addr 0 covers blocks 0,1,2.
+        assert_eq!(c.access(0, 130), 3);
+        assert_eq!(c.access(0, 130), 0);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_eviction() {
+        let mut c = tiny(); // 4 sets, direct mapped
+        assert_eq!(c.access(0, 1), 1); // block 0 -> set 0
+        assert_eq!(c.access(256, 1), 1); // block 4 -> set 0, evicts block 0
+        assert_eq!(c.access(0, 1), 1); // conflict miss again
+        assert!(!c.contains(256));
+    }
+
+    #[test]
+    fn two_way_set_avoids_that_conflict() {
+        let mut c = Cache::new(512, 64, 2); // 8 blocks, 2-way, 4 sets
+        assert_eq!(c.access(0, 1), 1); // block 0 -> set 0
+        assert_eq!(c.access(256, 1), 1); // block 4 -> set 0, second way
+        assert_eq!(c.access(0, 1), 0); // both resident now
+        assert_eq!(c.access(256, 1), 0);
+    }
+
+    #[test]
+    fn lru_order_within_set() {
+        let mut c = Cache::new(512, 64, 2); // 4 sets, 2-way
+        // Three blocks mapping to set 0: 0, 4, 8.
+        c.access(0, 1); // miss: {0}
+        c.access(4 * 64, 1); // miss: {4,0}
+        c.access(0, 1); // hit: {0,4}
+        c.access(8 * 64, 1); // miss, evicts LRU=4: {8,0}
+        assert!(c.contains(0));
+        assert!(!c.contains(4 * 64));
+        assert!(c.contains(8 * 64));
+    }
+
+    #[test]
+    fn fully_associative_cache() {
+        let mut c = Cache::new(256, 64, 4); // one set of 4 ways
+        assert_eq!(c.sets(), 1);
+        for b in 0..4 {
+            assert_eq!(c.access(b * 64, 1), 1);
+        }
+        for b in 0..4 {
+            assert_eq!(c.access(b * 64, 1), 0);
+        }
+        c.access(4 * 64, 1); // evicts the LRU block 0
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(0, 64);
+        c.flush(false);
+        assert!(!c.contains(0));
+        assert_eq!(c.stats().misses, 1);
+        c.flush(true);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn zero_length_access_is_free() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, 0), 0);
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_block_size() {
+        let _ = Cache::new(256, 48, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of block size")]
+    fn rejects_ragged_capacity() {
+        let _ = Cache::new(200, 64, 1);
+    }
+
+    #[test]
+    fn paper_machine_geometries_construct() {
+        // UltraSparc II: <16k, 32B, 1> on-chip and <1M, 64B, 1> L2.
+        let l1 = Cache::new(16 * 1024, 32, 1);
+        let l2 = Cache::new(1024 * 1024, 64, 1);
+        assert_eq!(l1.sets(), 512);
+        assert_eq!(l2.sets(), 16384);
+        // Pentium II: <16k, 32B, 4> and <512k, 32B, 4>.
+        let p1 = Cache::new(16 * 1024, 32, 4);
+        let p2 = Cache::new(512 * 1024, 32, 4);
+        assert_eq!(p1.sets(), 128);
+        assert_eq!(p2.sets(), 4096);
+    }
+}

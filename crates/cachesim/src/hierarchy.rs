@@ -1,0 +1,246 @@
+//! A multi-level cache hierarchy and the [`SimTracer`] adapter that lets it
+//! consume the access streams produced by instrumented index traversals.
+
+use crate::cache::Cache;
+use crate::stats::{CacheStats, LevelStats};
+use ccindex_common::AccessTracer;
+
+/// An inclusive multi-level cache hierarchy (L1 closest to the processor).
+///
+/// An access probes L1; on a miss it probes L2, and so on. This models the
+/// paper's two-level machines; the simulated time model charges each level's
+/// misses its own penalty, exactly as §6.3 discusses ("the miss penalty for
+/// the second level of cache is larger than that of the on-chip cache").
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<Cache>,
+    compares: u64,
+    descends: u64,
+    accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy from the given levels (index 0 = L1). At least one
+    /// level is required.
+    pub fn new(levels: Vec<Cache>) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        Self {
+            levels,
+            compares: 0,
+            descends: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Immutable view of one level.
+    pub fn level(&self, i: usize) -> &Cache {
+        &self.levels[i]
+    }
+
+    /// Issue a read/write of `len` bytes at `addr`. Lower levels are probed
+    /// only for the lines that missed above them.
+    pub fn access(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.accesses += 1;
+        // Iterate at the granularity of the *smallest* line so that every
+        // level sees each distinct line exactly once per access.
+        let min_block = self
+            .levels
+            .iter()
+            .map(Cache::block_bytes)
+            .min()
+            .expect("non-empty");
+        let mut a = addr;
+        let end = addr + len;
+        loop {
+            let line_end = (a / min_block + 1) * min_block;
+            for cache in &mut self.levels {
+                let hit = cache.access_block(cache.block_of(a));
+                if hit {
+                    break; // satisfied at this level
+                }
+            }
+            if line_end >= end {
+                break;
+            }
+            a = line_end;
+        }
+    }
+
+    /// Record a key comparison (cost model input).
+    pub fn compare(&mut self) {
+        self.compares += 1;
+    }
+
+    /// Record a node descent (cost model input).
+    pub fn descend(&mut self) {
+        self.descends += 1;
+    }
+
+    /// Snapshot of per-level statistics.
+    pub fn stats(&self) -> LevelStats {
+        LevelStats {
+            levels: self.levels.iter().map(Cache::stats).collect(),
+            compares: self.compares,
+            descends: self.descends,
+            accesses: self.accesses,
+        }
+    }
+
+    /// Statistics of one level.
+    pub fn level_stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// Cold-start the hierarchy (§5.1 assumes a cold start; §6 performs
+    /// many successive lookups, so upper levels warm up across probes).
+    pub fn flush(&mut self, reset_stats: bool) {
+        for cache in &mut self.levels {
+            cache.flush(reset_stats);
+        }
+        if reset_stats {
+            self.compares = 0;
+            self.descends = 0;
+            self.accesses = 0;
+        }
+    }
+}
+
+/// Adapter implementing [`AccessTracer`] on top of a [`CacheHierarchy`], so
+/// any `search_traced`/`search_with` call can be replayed through the
+/// simulator.
+#[derive(Debug)]
+pub struct SimTracer<'a> {
+    hierarchy: &'a mut CacheHierarchy,
+}
+
+impl<'a> SimTracer<'a> {
+    /// Wrap a hierarchy.
+    pub fn new(hierarchy: &'a mut CacheHierarchy) -> Self {
+        Self { hierarchy }
+    }
+}
+
+impl AccessTracer for SimTracer<'_> {
+    #[inline]
+    fn read(&mut self, addr: usize, len: usize) {
+        self.hierarchy.access(addr, len);
+    }
+    #[inline]
+    fn write(&mut self, addr: usize, len: usize) {
+        self.hierarchy.access(addr, len);
+    }
+    #[inline]
+    fn compare(&mut self) {
+        self.hierarchy.compare();
+    }
+    #[inline]
+    fn descend(&mut self) {
+        self.hierarchy.descend();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> CacheHierarchy {
+        CacheHierarchy::new(vec![
+            Cache::new(256, 32, 1),  // tiny L1: 8 lines of 32 B
+            Cache::new(1024, 64, 1), // L2: 16 lines of 64 B
+        ])
+    }
+
+    #[test]
+    fn miss_propagates_to_l2() {
+        let mut h = two_level();
+        h.access(0, 4);
+        let s = h.stats();
+        assert_eq!(s.levels[0].misses, 1);
+        assert_eq!(s.levels[1].misses, 1);
+        // Second touch hits L1; L2 sees nothing.
+        h.access(0, 4);
+        let s = h.stats();
+        assert_eq!(s.levels[0].hits, 1);
+        assert_eq!(s.levels[1].accesses(), 1);
+    }
+
+    #[test]
+    fn l1_conflict_can_still_hit_l2() {
+        let mut h = two_level();
+        h.access(0, 1); // L1 set 0 (block 0), L2 miss
+        h.access(256, 1); // L1 block 8 -> set 0 conflict; L2 block 4 miss
+        h.access(0, 1); // L1 conflict miss again, but L2 block 0 still resident -> L2 hit
+        let s = h.stats();
+        assert_eq!(s.levels[0].misses, 3);
+        assert_eq!(s.levels[1].misses, 2);
+        assert_eq!(s.levels[1].hits, 1);
+    }
+
+    #[test]
+    fn wide_access_counts_each_small_line_once() {
+        let mut h = two_level();
+        // 64 bytes = two 32-B L1 lines = one 64-B L2 line.
+        h.access(0, 64);
+        let s = h.stats();
+        assert_eq!(s.levels[0].misses, 2);
+        // L2 is probed for both L1 misses; the first misses, the second
+        // hits the (just-installed) 64-B line.
+        assert_eq!(s.levels[1].misses, 1);
+        assert_eq!(s.levels[1].hits, 1);
+    }
+
+    #[test]
+    fn flush_makes_cache_cold_again() {
+        let mut h = two_level();
+        h.access(0, 4);
+        h.access(0, 4);
+        h.flush(false);
+        h.access(0, 4);
+        let s = h.stats();
+        assert_eq!(s.levels[0].misses, 2);
+    }
+
+    #[test]
+    fn tracer_feeds_hierarchy() {
+        let mut h = two_level();
+        {
+            let mut t = SimTracer::new(&mut h);
+            t.read(0, 4);
+            t.write(64, 4);
+            t.compare();
+            t.descend();
+        }
+        let s = h.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.compares, 1);
+        assert_eq!(s.descends, 1);
+        assert_eq!(s.levels[0].misses, 2);
+    }
+
+    #[test]
+    fn sequential_scan_exploits_spatial_locality() {
+        // Scanning 32 4-byte ints = 128 B touches 4 L1 lines -> 4 misses,
+        // 28 hits when accessed one int at a time.
+        let mut h = two_level();
+        for i in 0..32 {
+            h.access(i * 4, 4);
+        }
+        let s = h.stats();
+        assert_eq!(s.levels[0].misses, 4);
+        assert_eq!(s.levels[0].hits, 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_rejected() {
+        let _ = CacheHierarchy::new(vec![]);
+    }
+}

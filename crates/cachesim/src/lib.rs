@@ -1,0 +1,26 @@
+//! Trace-driven cache simulator.
+//!
+//! The paper's experimental machines are a 296 MHz UltraSparc II and a
+//! 333 MHz Pentium II (§6.1). We cannot rerun 1998 hardware, so this crate
+//! provides the closest synthetic equivalent: a multi-level, set-associative
+//! LRU cache simulator driven by the *exact* address traces the index
+//! structures emit through [`ccindex_common::AccessTracer`]. The simulator
+//! reproduces the quantity the paper's argument rests on — cache misses per
+//! lookup for a given cache geometry — and a simple cycle model
+//! ([`TimeModel`]) converts (comparisons, node traversals, per-level misses)
+//! into simulated seconds, mirroring the cost decomposition of Fig. 6.
+//!
+//! Machine presets for the paper's two platforms (and a modern reference
+//! machine) live in [`machine`].
+
+pub mod cache;
+pub mod hierarchy;
+pub mod machine;
+pub mod stats;
+pub mod timemodel;
+
+pub use cache::Cache;
+pub use hierarchy::{CacheHierarchy, SimTracer};
+pub use machine::{Machine, MachineSpec};
+pub use stats::{CacheStats, LevelStats};
+pub use timemodel::{SimOutcome, TimeModel};

@@ -1,0 +1,118 @@
+//! Hit/miss accounting for the simulator.
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses satisfied by this level.
+    pub hits: u64,
+    /// Accesses that had to go to the next level (or memory).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses seen by this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Component-wise difference, used to attribute counters to a phase
+    /// (e.g. misses incurred during the probe phase only).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// Per-level statistics for a whole hierarchy, index 0 being the cache
+/// closest to the processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// One entry per cache level.
+    pub levels: Vec<CacheStats>,
+    /// Comparisons reported by the traced code.
+    pub compares: u64,
+    /// Node descents reported by the traced code.
+    pub descends: u64,
+    /// Total read/write accesses issued to the hierarchy.
+    pub accesses: u64,
+}
+
+impl LevelStats {
+    /// Misses at the given level (0 = L1).
+    pub fn misses(&self, level: usize) -> u64 {
+        self.levels.get(level).map_or(0, |s| s.misses)
+    }
+
+    /// Component-wise difference (see [`CacheStats::since`]).
+    pub fn since(&self, earlier: &LevelStats) -> LevelStats {
+        assert_eq!(self.levels.len(), earlier.levels.len());
+        LevelStats {
+            levels: self
+                .levels
+                .iter()
+                .zip(&earlier.levels)
+                .map(|(a, &b)| a.since(b))
+                .collect(),
+            compares: self.compares - earlier.compares,
+            descends: self.descends - earlier.descends,
+            accesses: self.accesses - earlier.accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = CacheStats { hits: 10, misses: 2 };
+        let late = CacheStats { hits: 15, misses: 5 };
+        assert_eq!(late.since(early), CacheStats { hits: 5, misses: 3 });
+    }
+
+    #[test]
+    fn level_stats_since() {
+        let early = LevelStats {
+            levels: vec![CacheStats { hits: 1, misses: 1 }, CacheStats::default()],
+            compares: 10,
+            descends: 2,
+            accesses: 2,
+        };
+        let late = LevelStats {
+            levels: vec![
+                CacheStats { hits: 4, misses: 2 },
+                CacheStats { hits: 0, misses: 1 },
+            ],
+            compares: 25,
+            descends: 6,
+            accesses: 6,
+        };
+        let d = late.since(&early);
+        assert_eq!(d.levels[0], CacheStats { hits: 3, misses: 1 });
+        assert_eq!(d.levels[1], CacheStats { hits: 0, misses: 1 });
+        assert_eq!(d.compares, 15);
+        assert_eq!(d.descends, 4);
+        assert_eq!(d.accesses, 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Converts simulator counters into simulated time.
+//!
+//! Fig. 6 decomposes a lookup's cost into three parts: total comparisons,
+//! the cost of moving across levels, and cache misses. [`TimeModel`]
+//! evaluates exactly that sum with per-machine coefficients:
+//!
+//! ```text
+//! cycles = compares·C_cmp + descends·C_move + accesses·C_acc
+//!        + Σ_level misses(level)·penalty(level)
+//! ```
+
+use crate::stats::LevelStats;
+
+/// Cycle-cost coefficients for one machine.
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    /// Clock rate in Hz.
+    pub clock_hz: f64,
+    /// Miss penalty per cache level (L1 first; last = memory).
+    pub miss_penalty_cycles: Vec<f64>,
+    /// Cycles per key comparison.
+    pub compare_cycles: f64,
+    /// Cycles per node descent.
+    pub descend_cycles: f64,
+    /// Cycles per issued access (L1-hit latency).
+    pub access_cycles: f64,
+}
+
+/// Result of evaluating a [`TimeModel`] over a set of counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Total simulated cycles.
+    pub cycles: f64,
+    /// `cycles / clock_hz`.
+    pub seconds: f64,
+    /// The portion of `cycles` attributable to cache misses (the paper's
+    /// dominant term on large data, §5.1).
+    pub miss_cycles: f64,
+}
+
+impl TimeModel {
+    /// Evaluate the model over accumulated counters.
+    pub fn evaluate(&self, stats: &LevelStats) -> SimOutcome {
+        let mut miss_cycles = 0.0;
+        for (i, level) in stats.levels.iter().enumerate() {
+            let penalty = self
+                .miss_penalty_cycles
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| *self.miss_penalty_cycles.last().expect("penalties"));
+            miss_cycles += level.misses as f64 * penalty;
+        }
+        let compute = stats.compares as f64 * self.compare_cycles
+            + stats.descends as f64 * self.descend_cycles
+            + stats.accesses as f64 * self.access_cycles;
+        let cycles = compute + miss_cycles;
+        SimOutcome {
+            cycles,
+            seconds: cycles / self.clock_hz,
+            miss_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CacheStats;
+
+    fn model() -> TimeModel {
+        TimeModel {
+            clock_hz: 100e6,
+            miss_penalty_cycles: vec![10.0, 100.0],
+            compare_cycles: 2.0,
+            descend_cycles: 3.0,
+            access_cycles: 1.0,
+        }
+    }
+
+    #[test]
+    fn cost_decomposition() {
+        let stats = LevelStats {
+            levels: vec![
+                CacheStats { hits: 5, misses: 4 },
+                CacheStats { hits: 1, misses: 3 },
+            ],
+            compares: 10,
+            descends: 2,
+            accesses: 9,
+        };
+        let out = model().evaluate(&stats);
+        // misses: 4*10 + 3*100 = 340; compute: 10*2 + 2*3 + 9*1 = 35.
+        assert!((out.miss_cycles - 340.0).abs() < 1e-9);
+        assert!((out.cycles - 375.0).abs() < 1e-9);
+        assert!((out.seconds - 375.0 / 100e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_counters_cost_nothing() {
+        let out = model().evaluate(&LevelStats {
+            levels: vec![CacheStats::default(), CacheStats::default()],
+            ..Default::default()
+        });
+        assert_eq!(out.cycles, 0.0);
+        assert_eq!(out.seconds, 0.0);
+    }
+
+    #[test]
+    fn extra_levels_reuse_last_penalty() {
+        // A three-level stats vector against a two-penalty model charges
+        // the memory penalty for the extra level instead of panicking.
+        let stats = LevelStats {
+            levels: vec![
+                CacheStats { hits: 0, misses: 1 },
+                CacheStats { hits: 0, misses: 1 },
+                CacheStats { hits: 0, misses: 1 },
+            ],
+            ..Default::default()
+        };
+        let out = model().evaluate(&stats);
+        assert!((out.miss_cycles - 210.0).abs() < 1e-9);
+    }
+}

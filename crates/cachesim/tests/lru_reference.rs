@@ -1,0 +1,136 @@
+//! Property tests: the production cache against an independent,
+//! deliberately naive reference model of a set-associative LRU cache.
+
+use cachesim::{Cache, CacheHierarchy};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Reference model: per-set `Vec` of blocks ordered oldest-first, written
+/// with no attention to efficiency and structured differently from the
+/// production code (recency appended at the back, eviction from the
+/// front).
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    block: usize,
+}
+
+impl RefCache {
+    fn new(capacity: usize, block: usize, assoc: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); capacity / block / assoc],
+            assoc,
+            block,
+        }
+    }
+
+    /// Returns true on hit.
+    fn access_byte(&mut self, addr: usize) -> bool {
+        let block = (addr / self.block) as u64;
+        let set = (block as usize) % self.sets.len();
+        let ways = &mut self.sets[set];
+        if let Some(i) = ways.iter().position(|&b| b == block) {
+            ways.remove(i);
+            ways.push(block);
+            true
+        } else {
+            if ways.len() == self.assoc {
+                ways.remove(0);
+            }
+            ways.push(block);
+            false
+        }
+    }
+
+    /// Access a byte range; count misses (each block at most once).
+    fn access(&mut self, addr: usize, len: usize) -> u32 {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr / self.block;
+        let last = (addr + len - 1) / self.block;
+        let mut misses = 0;
+        for b in first..=last {
+            if !self.access_byte(b * self.block) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        geometry in prop_oneof![
+            Just((512usize, 32usize, 1usize)),
+            Just((512, 32, 2)),
+            Just((1024, 64, 4)),
+            Just((2048, 64, 8)),
+            Just((256, 64, 4)), // fully associative (one set)
+        ],
+        trace in vec((0usize..4096, 1usize..96), 1..400),
+    ) {
+        let (cap, block, assoc) = geometry;
+        let mut cache = Cache::new(cap, block, assoc);
+        let mut reference = RefCache::new(cap, block, assoc);
+        for (addr, len) in trace {
+            let got = cache.access(addr, len);
+            let want = reference.access(addr, len);
+            prop_assert_eq!(got, want, "addr={} len={} geom={:?}", addr, len, geometry);
+        }
+    }
+
+    #[test]
+    fn hierarchy_l1_equals_standalone_cache(
+        trace in vec((0usize..8192, 1usize..64), 1..300),
+    ) {
+        // The L1 of a hierarchy must behave exactly like the same cache
+        // standalone (lower levels never affect upper-level state).
+        let mut solo = Cache::new(1024, 32, 2);
+        let mut hier = CacheHierarchy::new(vec![
+            Cache::new(1024, 32, 2),
+            Cache::new(16 * 1024, 64, 4),
+        ]);
+        for (addr, len) in trace {
+            solo.access(addr, len);
+            hier.access(addr, len);
+        }
+        prop_assert_eq!(solo.stats(), hier.level_stats(0));
+    }
+
+    #[test]
+    fn miss_count_is_trace_prefix_monotone(
+        trace in vec((0usize..2048, 1usize..32), 1..200),
+    ) {
+        // Replaying a longer prefix can only add misses.
+        let mut cache = Cache::new(512, 64, 2);
+        let mut last = 0u64;
+        for (addr, len) in trace {
+            cache.access(addr, len);
+            let misses = cache.stats().misses;
+            prop_assert!(misses >= last);
+            last = misses;
+        }
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour(
+        trace in vec((0usize..2048, 1usize..32), 1..100),
+    ) {
+        // Cold run == run after flush, miss-for-miss.
+        let mut a = Cache::new(512, 32, 4);
+        let mut b = Cache::new(512, 32, 4);
+        // Warm b with arbitrary junk, then flush.
+        for i in 0..64 {
+            b.access(i * 31, 8);
+        }
+        b.flush(true);
+        for &(addr, len) in &trace {
+            prop_assert_eq!(a.access(addr, len), b.access(addr, len));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

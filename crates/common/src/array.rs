@@ -1,0 +1,143 @@
+//! The shared sorted array all ordered methods index.
+//!
+//! §4: "Suppose that we have a sorted array a[1..n] of n elements. The
+//! array a could contain the record-identifiers of records in some database
+//! table in the order of some attribute k", or the keys themselves with a
+//! companion RID array, or clustered records. Crucially, "the array is
+//! given to us without assumptions that it can be restructured" — so
+//! [`SortedArray`] is immutable, cache-line aligned, and *shared* (via
+//! `Arc`) between the RID list and however many directory structures sit on
+//! top of it. Its own bytes are never charged to an index's space budget
+//! (Fig. 7 counts space beyond the sequential-access structures).
+
+use crate::align::AlignedBuf;
+use crate::key::Key;
+use crate::tracer::AccessTracer;
+use std::sync::Arc;
+
+/// An immutable, cache-line-aligned, sorted array of keys, cheaply
+/// shareable between index structures.
+#[derive(Debug, Clone)]
+pub struct SortedArray<K> {
+    buf: Arc<AlignedBuf<K>>,
+}
+
+impl<K: Key> SortedArray<K> {
+    /// Copy a sorted slice into aligned storage. Panics if unsorted
+    /// (equal neighbours are allowed: duplicates are legal, §3.6).
+    pub fn from_slice(keys: &[K]) -> Self {
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "SortedArray requires non-decreasing input"
+        );
+        Self {
+            buf: Arc::new(AlignedBuf::from_slice(keys)),
+        }
+    }
+
+    /// Take ownership of a vector (still validated).
+    pub fn from_vec(keys: Vec<K>) -> Self {
+        Self::from_slice(&keys)
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The keys.
+    #[inline]
+    pub fn as_slice(&self) -> &[K] {
+        self.buf.as_slice()
+    }
+
+    /// Address of element `i`, for access tracing.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len());
+        self.buf.base_addr() + i * core::mem::size_of::<K>()
+    }
+
+    /// Read element `i`, reporting the access to `tracer`.
+    #[inline]
+    pub fn get_traced<T: AccessTracer>(&self, i: usize, tracer: &mut T) -> K {
+        tracer.read(self.addr_of(i), K::WIDTH);
+        self.as_slice()[i]
+    }
+
+    /// Bytes of the underlying allocation (shared; *not* index overhead).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.buf.size_bytes()
+    }
+
+    /// Number of `Arc` holders (for tests asserting sharing, not copying).
+    pub fn holders(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+}
+
+impl<K: Key> From<&[K]> for SortedArray<K> {
+    fn from(keys: &[K]) -> Self {
+        Self::from_slice(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::CountingTracer;
+
+    #[test]
+    fn construction_validates_order() {
+        let a = SortedArray::from_slice(&[1u32, 2, 2, 3]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.as_slice(), &[1, 2, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_unsorted() {
+        let _ = SortedArray::from_slice(&[3u32, 1]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = SortedArray::from_slice(&[1u32, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.addr_of(0), b.addr_of(0));
+        assert_eq!(a.holders(), 2);
+    }
+
+    #[test]
+    fn addresses_are_contiguous() {
+        let a = SortedArray::from_slice(&(0..10u32).collect::<Vec<_>>());
+        for i in 0..9 {
+            assert_eq!(a.addr_of(i + 1) - a.addr_of(i), 4);
+        }
+        assert_eq!(a.addr_of(0) % crate::align::CACHE_LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn traced_reads_report() {
+        let a = SortedArray::from_slice(&[10u32, 20, 30]);
+        let mut t = CountingTracer::new();
+        assert_eq!(a.get_traced(1, &mut t), 20);
+        assert_eq!(t.reads, 1);
+        assert_eq!(t.bytes_read, 4);
+    }
+
+    #[test]
+    fn empty_array_ok() {
+        let a = SortedArray::<u32>::from_slice(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.size_bytes(), 0);
+    }
+}

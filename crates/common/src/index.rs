@@ -1,0 +1,216 @@
+//! The common interface implemented by all seven competing index methods.
+//!
+//! The paper compares methods on two axes: lookup time and space (§2.3).
+//! [`SearchIndex`] exposes both — `search` for timing and [`SpaceReport`]
+//! for the "indirect" and "direct" space columns of Fig. 7 — plus a traced
+//! variant of every probe so the cache simulator can replay the exact access
+//! pattern of the timed code.
+//!
+//! Ordered methods (everything except the hash index) additionally implement
+//! [`OrderedIndex`], which provides the leftmost-match `lower_bound` used
+//! for duplicate handling (§3.6) and range queries (§2.2).
+
+use crate::key::Key;
+use crate::tracer::AccessTracer;
+
+/// Space occupied by an index structure, following Fig. 7's two columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceReport {
+    /// "Space (indirect)": the structure indexes a rearrangeable list of
+    /// record identifiers; RIDs themselves are not charged because every
+    /// method shares that cost.
+    pub indirect_bytes: usize,
+    /// "Space (direct)": the indexed records cannot be rearranged, so
+    /// methods that must keep RIDs inside their own structure (T-trees,
+    /// hash tables) are charged `n * R` extra.
+    pub direct_bytes: usize,
+}
+
+impl SpaceReport {
+    /// A report where both accounting modes coincide (true for binary
+    /// search, interpolation search, CSS-trees and B+-trees in Fig. 7).
+    pub fn same(bytes: usize) -> Self {
+        Self {
+            indirect_bytes: bytes,
+            direct_bytes: bytes,
+        }
+    }
+}
+
+/// Structural statistics describing a built index, used by tests that check
+/// the analytical model of §5 against real structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Number of levels traversed by a worst-case probe, counting the leaf
+    /// level (binary search over an array of n keys reports `ceil(log2 n)`).
+    pub levels: u32,
+    /// Number of internal (directory) nodes, 0 for array methods.
+    pub internal_nodes: usize,
+    /// Branching factor of the directory (2 for binary methods).
+    pub branching: usize,
+    /// Bytes per directory node (0 for array methods).
+    pub node_bytes: usize,
+}
+
+/// A read-only search structure over `n` keyed entries.
+///
+/// `search` returns the position of the probed key in the underlying sorted
+/// RID order — the *leftmost* position when duplicates exist (§3.6) — or
+/// `None` if the key is absent. For the hash index, which does not preserve
+/// order, the returned position is the entry's position in the original
+/// sorted array (hash entries carry it as their RID), so all methods can be
+/// cross-checked against each other.
+pub trait SearchIndex<K: Key>: Send + Sync {
+    /// Short stable name used in benchmark output ("full CSS-tree", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index contains no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `key`; returns the leftmost matching position, if any.
+    fn search(&self, key: K) -> Option<usize>;
+
+    /// As [`SearchIndex::search`], reporting every memory access to
+    /// `tracer` (used by the cache simulator).
+    fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize>;
+
+    /// Space accounting per Fig. 7.
+    fn space(&self) -> SpaceReport;
+
+    /// Structural statistics (levels, node counts) for model validation.
+    fn stats(&self) -> IndexStats;
+}
+
+/// An index that preserves key order, supporting range scans and ordered
+/// (RID-order) access — the "RID-Ordered Access" column of Fig. 7, which is
+/// "Y" for every method except the hash table.
+pub trait OrderedIndex<K: Key>: SearchIndex<K> {
+    /// Position of the first entry whose key is `>= key` (equals `len()` if
+    /// every key is smaller). This is the primitive from which point lookup
+    /// (`lower_bound` + equality check) and range queries are derived.
+    fn lower_bound(&self, key: K) -> usize;
+
+    /// As [`OrderedIndex::lower_bound`], with access tracing.
+    fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize;
+
+    /// Half-open positional range `[start, end)` of entries with keys in
+    /// the inclusive key range `[lo, hi]`. Used for range selections (§2.2).
+    fn key_range(&self, lo: K, hi: K) -> (usize, usize) {
+        assert!(lo <= hi, "inverted key range");
+        let start = self.lower_bound(lo);
+        let end = match hi.to_rank().checked_add(1) {
+            Some(next) if K::from_rank(next) > hi => self.lower_bound(K::from_rank(next)),
+            _ => self.len(),
+        };
+        (start, end.max(start))
+    }
+
+    /// Positional range `[start, end)` of entries equal to `key` — the
+    /// §3.6 duplicate primitive ("find the leftmost element of all the
+    /// duplicates and sequentially scan towards right"), expressed without
+    /// needing access to the key array. Empty (`start == end`) when the
+    /// key is absent.
+    fn equal_range(&self, key: K) -> (usize, usize) {
+        self.key_range(key, key)
+    }
+
+    /// Number of entries equal to `key`.
+    fn count_key(&self, key: K) -> usize {
+        let (s, e) = self.equal_range(key);
+        e - s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::NoopTracer;
+
+    /// Minimal reference implementation used to exercise trait defaults.
+    struct VecIndex(Vec<u32>);
+
+    impl SearchIndex<u32> for VecIndex {
+        fn name(&self) -> &'static str {
+            "vec"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn search(&self, key: u32) -> Option<usize> {
+            let pos = self.lower_bound(key);
+            (pos < self.0.len() && self.0[pos] == key).then_some(pos)
+        }
+        fn search_traced(&self, key: u32, _t: &mut dyn AccessTracer) -> Option<usize> {
+            self.search(key)
+        }
+        fn space(&self) -> SpaceReport {
+            SpaceReport::same(0)
+        }
+        fn stats(&self) -> IndexStats {
+            IndexStats::default()
+        }
+    }
+
+    impl OrderedIndex<u32> for VecIndex {
+        fn lower_bound(&self, key: u32) -> usize {
+            self.0.partition_point(|&k| k < key)
+        }
+        fn lower_bound_traced(&self, key: u32, _t: &mut dyn AccessTracer) -> usize {
+            self.lower_bound(key)
+        }
+    }
+
+    #[test]
+    fn key_range_default_is_inclusive() {
+        let idx = VecIndex(vec![1, 3, 3, 5, 7, 9]);
+        assert_eq!(idx.key_range(3, 7), (1, 5));
+        assert_eq!(idx.key_range(0, 0), (0, 0));
+        assert_eq!(idx.key_range(8, 100), (5, 6));
+        // hi == u32::MAX exercises the saturating upper bound.
+        assert_eq!(idx.key_range(0, u32::MAX), (0, 6));
+    }
+
+    #[test]
+    fn key_range_empty_band() {
+        let idx = VecIndex(vec![1, 3, 5]);
+        assert_eq!(idx.key_range(4, 4), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted key range")]
+    fn key_range_rejects_inverted() {
+        let idx = VecIndex(vec![1, 2]);
+        let _ = idx.key_range(5, 2);
+    }
+
+    #[test]
+    fn equal_range_covers_duplicate_runs() {
+        let idx = VecIndex(vec![1, 3, 3, 3, 5, 5, 9]);
+        assert_eq!(idx.equal_range(3), (1, 4));
+        assert_eq!(idx.count_key(3), 3);
+        assert_eq!(idx.equal_range(5), (4, 6));
+        assert_eq!(idx.equal_range(4), (4, 4), "absent key is empty");
+        assert_eq!(idx.count_key(4), 0);
+        assert_eq!(idx.equal_range(u32::MAX), (7, 7));
+    }
+
+    #[test]
+    fn space_report_same() {
+        let r = SpaceReport::same(128);
+        assert_eq!(r.indirect_bytes, 128);
+        assert_eq!(r.direct_bytes, 128);
+    }
+
+    #[test]
+    fn is_empty_default() {
+        assert!(VecIndex(vec![]).is_empty());
+        assert!(!VecIndex(vec![1]).is_empty());
+        let mut t = NoopTracer;
+        assert_eq!(VecIndex(vec![1]).search_traced(1, &mut t), Some(0));
+    }
+}

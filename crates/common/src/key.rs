@@ -1,0 +1,139 @@
+//! Fixed-width key abstraction.
+//!
+//! The paper's experiments use distinct 4-byte integer keys (`K = 4` in
+//! Table 1). All index structures here are generic over [`Key`] so the same
+//! code also serves 8-byte keys; the space model scales accordingly.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A fixed-width, totally ordered key.
+///
+/// Requirements beyond `Ord`:
+/// * a compile-time byte width ([`Key::WIDTH`]) used by the space model,
+/// * conversion to `u64`/`f64` rank space for interpolation search and for
+///   the low-order-bit hash function of the chained-bucket hash index,
+/// * `MIN_KEY`/`MAX_KEY` sentinels used when padding partially filled nodes.
+pub trait Key: Copy + Ord + Eq + Hash + Debug + Default + Send + Sync + 'static {
+    /// Size of the key in bytes (`K` in the paper's space model).
+    const WIDTH: usize;
+    /// Smallest representable key.
+    const MIN_KEY: Self;
+    /// Largest representable key.
+    const MAX_KEY: Self;
+
+    /// Map the key to an unsigned 64-bit rank that preserves ordering.
+    fn to_rank(self) -> u64;
+    /// Inverse of [`Key::to_rank`] (saturating on overflow).
+    fn from_rank(rank: u64) -> Self;
+    /// Rank as `f64`, used by interpolation search's position estimate.
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.to_rank() as f64
+    }
+    /// Cheap integer hash input (the paper's hash "simply uses the low
+    /// order bits of the key", §6.2).
+    #[inline]
+    fn hash_bits(self) -> u64 {
+        self.to_rank()
+    }
+}
+
+macro_rules! impl_key_unsigned {
+    ($($t:ty),*) => {$(
+        impl Key for $t {
+            const WIDTH: usize = core::mem::size_of::<$t>();
+            const MIN_KEY: Self = <$t>::MIN;
+            const MAX_KEY: Self = <$t>::MAX;
+            #[inline]
+            fn to_rank(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_rank(rank: u64) -> Self {
+                if rank > <$t>::MAX as u64 { <$t>::MAX } else { rank as $t }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_key_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Key for $t {
+            const WIDTH: usize = core::mem::size_of::<$t>();
+            const MIN_KEY: Self = <$t>::MIN;
+            const MAX_KEY: Self = <$t>::MAX;
+            // Flip the sign bit so unsigned comparison of ranks matches
+            // signed comparison of keys.
+            #[inline]
+            fn to_rank(self) -> u64 {
+                ((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64
+            }
+            #[inline]
+            fn from_rank(rank: u64) -> Self {
+                let max_rank = (<$t>::MAX as $u ^ (1 << (<$t>::BITS - 1))) as u64;
+                let r = rank.min(max_rank) as $u;
+                (r ^ (1 << (<$t>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_key_unsigned!(u16, u32, u64);
+impl_key_signed!(i32 => u32, i64 => u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_paper_parameters() {
+        // Table 1: K = 4 bytes for the canonical experiments.
+        assert_eq!(<u32 as Key>::WIDTH, 4);
+        assert_eq!(<u64 as Key>::WIDTH, 8);
+        assert_eq!(<i32 as Key>::WIDTH, 4);
+        assert_eq!(<u16 as Key>::WIDTH, 2);
+    }
+
+    #[test]
+    fn rank_is_order_preserving_u32() {
+        let samples = [0u32, 1, 2, 7, 100, u32::MAX - 1, u32::MAX];
+        for w in samples.windows(2) {
+            assert!(w[0].to_rank() < w[1].to_rank());
+        }
+    }
+
+    #[test]
+    fn rank_is_order_preserving_i32() {
+        let samples = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for w in samples.windows(2) {
+            assert!(w[0].to_rank() < w[1].to_rank(), "{:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_roundtrips() {
+        for v in [0u32, 5, 1000, u32::MAX] {
+            assert_eq!(u32::from_rank(v.to_rank()), v);
+        }
+        for v in [i32::MIN, -7, 0, 7, i32::MAX] {
+            assert_eq!(i32::from_rank(v.to_rank()), v);
+        }
+        for v in [0u64, 1 << 40, u64::MAX] {
+            assert_eq!(u64::from_rank(v.to_rank()), v);
+        }
+    }
+
+    #[test]
+    fn from_rank_saturates() {
+        assert_eq!(u16::from_rank(u64::MAX), u16::MAX);
+        assert_eq!(u32::from_rank(u64::MAX), u32::MAX);
+        assert_eq!(i32::from_rank(u64::MAX), i32::MAX);
+    }
+
+    #[test]
+    fn min_max_sentinels() {
+        let (lo, hi) = (7u32.to_rank(), u32::MAX.to_rank());
+        assert!(<u32 as Key>::MIN_KEY.to_rank() < lo);
+        assert!(<u32 as Key>::MAX_KEY.to_rank() >= hi);
+        const { assert!(<i32 as Key>::MIN_KEY < 0 && <i32 as Key>::MAX_KEY > 0) };
+    }
+}

@@ -1,0 +1,123 @@
+//! Integer arithmetic helpers shared by the tree-layout computations.
+//!
+//! Lemma 4.1 of the paper and its level-CSS analogue are expressed in terms
+//! of ceilinged logarithms and powers of the branching factor; these helpers
+//! keep that arithmetic exact (no floating point) so node counts are correct
+//! at every boundary (`B` exactly a power of the branching factor, `B = 1`,
+//! etc.).
+
+/// `ceil(a / b)`, panicking on `b == 0`.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b != 0, "division by zero");
+    if a == 0 {
+        0
+    } else {
+        (a - 1) / b + 1
+    }
+}
+
+/// Smallest `k` with `base^k >= value` (exact integer computation).
+///
+/// `ceil_log(base, 1) == 0`; `base` must be at least 2.
+#[inline]
+pub fn ceil_log(base: usize, value: usize) -> u32 {
+    assert!(base >= 2, "logarithm base must be >= 2");
+    assert!(value >= 1, "logarithm of zero");
+    let mut k = 0u32;
+    let mut acc: usize = 1;
+    while acc < value {
+        acc = acc.saturating_mul(base);
+        k += 1;
+    }
+    k
+}
+
+/// Largest `k` with `base^k <= value`; `value` must be >= 1.
+#[inline]
+pub fn ilog_floor(base: usize, value: usize) -> u32 {
+    assert!(base >= 2, "logarithm base must be >= 2");
+    assert!(value >= 1, "logarithm of zero");
+    let mut k = 0u32;
+    let mut acc: usize = 1;
+    loop {
+        match acc.checked_mul(base) {
+            Some(next) if next <= value => {
+                acc = next;
+                k += 1;
+            }
+            _ => return k,
+        }
+    }
+}
+
+/// `base^exp` saturating at `usize::MAX`.
+#[inline]
+pub fn pow_saturating(base: usize, exp: u32) -> usize {
+    let mut acc: usize = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+        assert_eq!(ceil_div(usize::MAX, 1), usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn ceil_div_zero_divisor() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn ceil_log_exact_powers() {
+        assert_eq!(ceil_log(5, 1), 0);
+        assert_eq!(ceil_log(5, 5), 1);
+        assert_eq!(ceil_log(5, 25), 2);
+        assert_eq!(ceil_log(5, 26), 3);
+        assert_eq!(ceil_log(2, 1024), 10);
+        assert_eq!(ceil_log(2, 1025), 11);
+    }
+
+    #[test]
+    fn ceil_log_matches_float_for_many_values() {
+        for base in 2usize..=17 {
+            for value in 1usize..=10_000 {
+                let k = ceil_log(base, value);
+                assert!(pow_saturating(base, k) >= value);
+                if k > 0 {
+                    assert!(pow_saturating(base, k - 1) < value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ilog_floor_matches_definition() {
+        for base in 2usize..=9 {
+            for value in 1usize..=5_000 {
+                let k = ilog_floor(base, value);
+                assert!(pow_saturating(base, k) <= value);
+                assert!(pow_saturating(base, k + 1) > value);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_saturating_saturates() {
+        assert_eq!(pow_saturating(2, 200), usize::MAX);
+        assert_eq!(pow_saturating(10, 0), 1);
+        assert_eq!(pow_saturating(17, 3), 4913);
+    }
+}

@@ -1,0 +1,201 @@
+//! Batched lookups and structural self-validation.
+//!
+//! The OLAP consumers of §2.2 rarely issue one probe at a time: an indexed
+//! nested-loop join performs "a lot of searching through indexes on the
+//! inner relations". [`FullCssTree::lower_bound_batch_interleaved`]
+//! exploits that: it advances `S` independent probes one directory level
+//! per round, so the `S` node fetches of a round are all in flight
+//! together instead of serialised behind one another — the
+//! software-pipelining counterpart of the paper's cache-line sizing (a
+//! beyond-paper extension; the paper's own protocol is reproduced by the
+//! sequential path, which the batch is tested against).
+
+use crate::full::FullCssTree;
+use crate::layout::LeafSegment;
+use ccindex_common::{Key, NoopTracer};
+
+impl<K: Key, const M: usize> FullCssTree<K, M> {
+    /// Sequential batch: `lower_bound` per probe.
+    pub fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+        probes
+            .iter()
+            .map(|&p| self.lower_bound_with(p, &mut NoopTracer))
+            .collect()
+    }
+
+    /// Level-synchronous batch with `S` interleaved lanes.
+    ///
+    /// Produces exactly the same positions as
+    /// [`FullCssTree::lower_bound_batch`].
+    pub fn lower_bound_batch_interleaved<const S: usize>(&self, probes: &[K]) -> Vec<usize> {
+        assert!(S >= 1, "at least one lane");
+        let layout = self.layout();
+        let mut out = vec![0usize; probes.len()];
+        for (chunk_idx, chunk) in probes.chunks(S).enumerate() {
+            let base = chunk_idx * S;
+            let mut nodes = [0usize; S];
+            let mut live = [false; S];
+            for (lane, _) in chunk.iter().enumerate() {
+                live[lane] = true;
+            }
+            // Advance every live lane one directory level per round.
+            let mut any_internal = layout.internal_nodes > 0;
+            while any_internal {
+                any_internal = false;
+                for lane in 0..chunk.len() {
+                    if live[lane] && layout.is_internal(nodes[lane]) {
+                        let l = self.branch_of(nodes[lane], chunk[lane]);
+                        nodes[lane] = layout.child(nodes[lane], l);
+                        if layout.is_internal(nodes[lane]) {
+                            any_internal = true;
+                        }
+                    }
+                }
+            }
+            // Resolve leaves.
+            for (lane, &probe) in chunk.iter().enumerate() {
+                out[base + lane] = self.resolve_leaf(nodes[lane], probe);
+            }
+        }
+        out
+    }
+
+    /// Branch selection for one node (shared with the batch path).
+    #[inline]
+    pub(crate) fn branch_of(&self, d: usize, probe: K) -> usize {
+        let dir = self.directory_slice();
+        let base = d * M;
+        let node = &dir[base..base + M];
+        let mut lo = 0usize;
+        let mut hi = M;
+        while lo < hi {
+            let mid = (lo + hi) >> 1;
+            if node[mid] < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Leaf binary search for one resolved virtual leaf node.
+    #[inline]
+    pub(crate) fn resolve_leaf(&self, leaf: usize, probe: K) -> usize {
+        let n = self.array().len();
+        if n == 0 {
+            return 0;
+        }
+        let (start, end) = match self.layout().leaf_segment(leaf) {
+            LeafSegment::Range { start, end } => (start, end),
+            LeafSegment::BeyondEnd => return n,
+        };
+        let a = self.array().as_slice();
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + ((hi - lo) >> 1);
+            if a[mid] < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Structural self-check: every internal entry must be non-decreasing
+    /// within its node and equal the largest key of its child subtree
+    /// (Algorithm 4.1's invariant, recomputed independently), and every
+    /// leaf segment must map inside the array. Returns a description of
+    /// the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let layout = self.layout();
+        let dir = self.directory_slice();
+        let keys = self.array().as_slice();
+        if layout.internal_nodes == 0 {
+            return Ok(());
+        }
+        let l1 = layout.first_part_len;
+        if l1 == 0 {
+            return Err("directory present but first part empty".into());
+        }
+        for d in 0..layout.internal_nodes {
+            let node = &dir[d * M..d * M + M];
+            if !node.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("node {d}: entries not sorted"));
+            }
+            for (e, &stored) in node.iter().enumerate() {
+                // Recompute the subtree max by rightmost descent.
+                let mut c = layout.child(d, e);
+                while layout.is_internal(c) {
+                    c = layout.child(c, M);
+                }
+                let expect = match layout.leaf_segment(c) {
+                    LeafSegment::Range { end, .. } => keys[end - 1],
+                    LeafSegment::BeyondEnd => keys[l1 - 1],
+                };
+                if stored != expect {
+                    return Err(format!(
+                        "node {d} entry {e}: stored {stored:?}, expected {expect:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(n: u32) -> FullCssTree<u32, 8> {
+        let keys: Vec<u32> = (0..n).map(|i| i * 3 + 1).collect();
+        FullCssTree::build(&keys)
+    }
+
+    #[test]
+    fn interleaved_agrees_with_sequential() {
+        let t = tree(10_000);
+        let probes: Vec<u32> = (0..4_000u32).map(|i| i * 7 % 31_000).collect();
+        let seq = t.lower_bound_batch(&probes);
+        assert_eq!(t.lower_bound_batch_interleaved::<4>(&probes), seq);
+        assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq);
+        assert_eq!(t.lower_bound_batch_interleaved::<16>(&probes), seq);
+        assert_eq!(t.lower_bound_batch_interleaved::<1>(&probes), seq);
+    }
+
+    #[test]
+    fn interleaved_handles_ragged_tail_and_empty() {
+        let t = tree(1_000);
+        let probes: Vec<u32> = (0..13u32).collect(); // not a multiple of S
+        assert_eq!(
+            t.lower_bound_batch_interleaved::<8>(&probes),
+            t.lower_bound_batch(&probes)
+        );
+        assert!(t.lower_bound_batch_interleaved::<8>(&[]).is_empty());
+        let empty = FullCssTree::<u32, 8>::build(&[]);
+        assert_eq!(empty.lower_bound_batch_interleaved::<4>(&[5]), vec![0]);
+    }
+
+    #[test]
+    fn validate_accepts_correct_trees() {
+        for n in [0u32, 1, 7, 64, 65, 260, 1000, 4097] {
+            let keys: Vec<u32> = (0..n).map(|i| i * 2).collect();
+            let t = FullCssTree::<u32, 4>::build(&keys);
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+        tree(100_000).validate().expect("large tree valid");
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let t = tree(10_000);
+        // Corrupt one directory entry through a cloned, mutated copy.
+        let mut corrupt = t.clone();
+        corrupt.corrupt_entry_for_test(3);
+        let err = corrupt.validate().expect_err("must detect corruption");
+        assert!(err.contains("node 0"), "{err}");
+    }
+}

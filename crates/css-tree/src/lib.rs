@@ -1,0 +1,45 @@
+//! Cache-Sensitive Search Trees (CSS-trees) — the paper's contribution.
+//!
+//! A CSS-tree is a directory structure stored on top of a sorted array
+//! (§4). The directory is a balanced search tree stored itself as an array;
+//! nodes are sized to the cache line, and children are found by arithmetic
+//! on array offsets instead of stored pointers, so **every byte fetched is
+//! a key**. A lookup costs at most `log_{m+1} n` cache misses instead of
+//! binary search's `log_2 n`.
+//!
+//! Two variants, per the paper:
+//!
+//! * [`FullCssTree`] (§4.1) — nodes hold exactly `m` keys; the tree is a
+//!   complete `(m+1)`-ary tree except for a partially filled bottom leaf
+//!   level. Because the sorted array is kept contiguous in key order while
+//!   the natural tree order would split it, leaf offsets are remapped
+//!   around the `MARK` point (the "switching of regions I and II" of
+//!   Fig. 3, Lemma 4.1, Algorithms 4.1 and 4.2).
+//! * [`LevelCssTree`] (§4.2) — for `m = 2^t`, nodes sacrifice one slot and
+//!   hold `m − 1` keys with branching factor `m`, turning the per-node
+//!   search into a perfect binary tree: `log_2 n` total comparisons (fewer
+//!   than full CSS-trees) at the price of `log_m n ≥ log_{m+1} n` levels.
+//!   The spare slot caches the subtree maximum during construction, which
+//!   is why level trees also *build* faster (Fig. 9).
+//!
+//! Node size is a const generic `M` (keys per node), giving each size its
+//! own fully unrolled monomorphised search — the Rust equivalent of the
+//! paper's hand-specialised code which §6.2 measured to be worth 20–45 %.
+//! [`dynamic`] provides enum-dispatched wrappers over the standard sizes
+//! for parameter sweeps, and [`generic_search`] keeps the deliberately
+//! *unspecialised* variant as an ablation target.
+
+pub mod batch;
+pub mod dynamic;
+pub mod full;
+pub mod generic_search;
+pub mod layout;
+pub mod level;
+pub mod records;
+
+pub use dynamic::{CssVariant, DynCssTree, STANDARD_NODE_SIZES};
+pub use full::FullCssTree;
+pub use generic_search::GenericFullCss;
+pub use layout::{CssLayout, LevelLayout};
+pub use level::LevelCssTree;
+pub use records::{KeyedRecord, RecordCssTree};

@@ -1,0 +1,91 @@
+//! Hash functions for the bucket directory.
+//!
+//! §3.5: "Skewed data can seriously affect the performance of hash indices
+//! unless we have a relatively sophisticated hash function, which will
+//! increase the computation time." §6.2 uses the cheap one: "Our hash
+//! function simply uses the low order bits of the key."
+//!
+//! Both choices are provided so the skew trade-off can be measured: the
+//! paper's [`HashFn::LowBits`], and [`HashFn::Fibonacci`] (multiplicative
+//! hashing by the 64-bit golden-ratio constant — Knuth §6.4, the
+//! "sophisticated" option), which spreads strided key sets at the price of
+//! one multiplication per probe.
+
+/// Directory hash function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashFn {
+    /// The paper's: low-order key bits. Fastest; collapses on keys that
+    /// share low bits (strides, padded IDs).
+    #[default]
+    LowBits,
+    /// Fibonacci (multiplicative) hashing: `(key · 2^64/φ) >> shift`.
+    /// One multiply slower, robust to strided keys.
+    Fibonacci,
+}
+
+/// 2^64 / golden ratio, the classic multiplicative-hash constant.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl HashFn {
+    /// Map `bits` (the key's rank) to a bucket in `[0, dir_size)`;
+    /// `dir_size` must be a power of two.
+    #[inline]
+    pub fn bucket(self, bits: u64, dir_size: usize) -> usize {
+        debug_assert!(dir_size.is_power_of_two() && dir_size >= 1);
+        let mask = (dir_size - 1) as u64;
+        match self {
+            HashFn::LowBits => (bits & mask) as usize,
+            HashFn::Fibonacci => {
+                let shift = 64 - dir_size.trailing_zeros().max(1);
+                ((bits.wrapping_mul(FIB) >> shift) & mask) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_is_the_identity_mask() {
+        assert_eq!(HashFn::LowBits.bucket(0x1234_5678, 256), 0x78);
+        assert_eq!(HashFn::LowBits.bucket(255, 256), 255);
+        assert_eq!(HashFn::LowBits.bucket(256, 256), 0);
+    }
+
+    #[test]
+    fn both_stay_in_range() {
+        for f in [HashFn::LowBits, HashFn::Fibonacci] {
+            for dir in [1usize, 2, 64, 4096] {
+                for k in [0u64, 1, 255, 1 << 40, u64::MAX] {
+                    assert!(f.bucket(k, dir) < dir, "{f:?} dir={dir} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_spreads_strided_keys() {
+        // Keys all ≡ 0 mod 256: low-bits uses one bucket of 256; the
+        // multiplicative hash spreads them near-uniformly.
+        let dir = 256usize;
+        let mut low = vec![0usize; dir];
+        let mut fib = vec![0usize; dir];
+        for i in 0..4096u64 {
+            low[HashFn::LowBits.bucket(i * 256, dir)] += 1;
+            fib[HashFn::Fibonacci.bucket(i * 256, dir)] += 1;
+        }
+        assert_eq!(*low.iter().max().unwrap(), 4096, "all collide");
+        let fib_max = *fib.iter().max().unwrap();
+        assert!(fib_max < 64, "fibonacci max bucket load = {fib_max}");
+    }
+
+    #[test]
+    fn fibonacci_is_deterministic() {
+        assert_eq!(
+            HashFn::Fibonacci.bucket(42, 1024),
+            HashFn::Fibonacci.bucket(42, 1024)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Grouped aggregation over sorted RID lists.
+//!
+//! OLAP queries (§1, §2.2) aggregate after selecting and joining. A RID
+//! list sorted on the group-by column already clusters each group into a
+//! contiguous run of equal domain IDs, so grouping is a single linear pass
+//! — no hash table, and the per-group ranges are exactly the
+//! `equal_range`s an ordered index reports.
+
+use crate::column::Column;
+use crate::domain::Value;
+use crate::rid::RidList;
+
+/// Supported aggregate functions over an `Int` measure column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count per group.
+    Count,
+    /// Sum of the measure.
+    Sum,
+    /// Minimum of the measure.
+    Min,
+    /// Maximum of the measure.
+    Max,
+}
+
+/// One output group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// The group's (decoded) key value.
+    pub group: Value,
+    /// The aggregate result (`Count` is reported as `Int`).
+    pub value: i64,
+}
+
+/// `SELECT group, agg(measure) FROM t GROUP BY group` where `rids` is the
+/// RID list sorted on the group column. `measure` may be `None` for
+/// `Count`. Results come out in group-value order (the "interesting
+/// order" §2.2 mentions comes for free from the sorted RID list).
+pub fn group_aggregate(
+    group_col: &Column,
+    rids: &RidList,
+    measure: Option<&Column>,
+    agg: AggFn,
+) -> Vec<GroupRow> {
+    if agg != AggFn::Count {
+        let m = measure.expect("aggregate other than Count needs a measure column");
+        assert_eq!(m.len(), group_col.len(), "measure length mismatch");
+    }
+    let keys = rids.keys().as_slice();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < keys.len() {
+        let id = keys[start];
+        let mut end = start + 1;
+        while end < keys.len() && keys[end] == id {
+            end += 1;
+        }
+        let value = match agg {
+            AggFn::Count => (end - start) as i64,
+            AggFn::Sum | AggFn::Min | AggFn::Max => {
+                let m = measure.expect("checked above");
+                let mut acc: Option<i64> = None;
+                for pos in start..end {
+                    let v = match m.value(rids.rid(pos)) {
+                        Value::Int(v) => *v,
+                        other => panic!("non-integer measure value {other}"),
+                    };
+                    acc = Some(match (acc, agg) {
+                        (None, _) => v,
+                        (Some(a), AggFn::Sum) => a + v,
+                        (Some(a), AggFn::Min) => a.min(v),
+                        (Some(a), AggFn::Max) => a.max(v),
+                        (Some(_), AggFn::Count) => unreachable!(),
+                    });
+                }
+                acc.expect("non-empty group")
+            }
+        };
+        out.push(GroupRow {
+            group: group_col.domain().decode(id).clone(),
+            value,
+        });
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn setup() -> (crate::table::Table, RidList) {
+        let t = TableBuilder::new("sales")
+            .str_column("region", ["e", "w", "e", "n", "w", "e"])
+            .int_column("amount", [10, 20, 30, 40, 50, 60])
+            .build();
+        let rl = RidList::for_column(t.column("region").unwrap());
+        (t, rl)
+    }
+
+    #[test]
+    fn count_per_group() {
+        let (t, rl) = setup();
+        let rows = group_aggregate(t.column("region").unwrap(), &rl, None, AggFn::Count);
+        assert_eq!(
+            rows,
+            vec![
+                GroupRow { group: "e".into(), value: 3 },
+                GroupRow { group: "n".into(), value: 1 },
+                GroupRow { group: "w".into(), value: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_min_max_per_group() {
+        let (t, rl) = setup();
+        let region = t.column("region").unwrap();
+        let amount = t.column("amount").unwrap();
+        let sums = group_aggregate(region, &rl, Some(amount), AggFn::Sum);
+        assert_eq!(sums[0], GroupRow { group: "e".into(), value: 100 }); // 10+30+60
+        assert_eq!(sums[2], GroupRow { group: "w".into(), value: 70 }); // 20+50
+        let mins = group_aggregate(region, &rl, Some(amount), AggFn::Min);
+        assert_eq!(mins[0].value, 10);
+        let maxs = group_aggregate(region, &rl, Some(amount), AggFn::Max);
+        assert_eq!(maxs[0].value, 60);
+    }
+
+    #[test]
+    fn groups_come_out_in_value_order() {
+        let (t, rl) = setup();
+        let rows = group_aggregate(t.column("region").unwrap(), &rl, None, AggFn::Count);
+        let order: Vec<String> = rows.iter().map(|r| r.group.to_string()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn empty_table_yields_no_groups() {
+        let t = TableBuilder::new("empty").int_column("g", []).build();
+        let rl = RidList::for_column(t.column("g").unwrap());
+        assert!(group_aggregate(t.column("g").unwrap(), &rl, None, AggFn::Count).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a measure column")]
+    fn sum_requires_measure() {
+        let (t, rl) = setup();
+        let _ = group_aggregate(t.column("region").unwrap(), &rl, None, AggFn::Sum);
+    }
+}

@@ -1,0 +1,161 @@
+//! One constructor per paper method, behind the shared traits.
+//!
+//! The database layer treats the index choice as a tuning knob: every
+//! method implements `SearchIndex<u32>` (point lookups on domain IDs) and
+//! all but the hash index implement `OrderedIndex<u32>` (range queries).
+//! Node sizes default to one 64-byte cache line (16 four-byte slots), the
+//! §5.1/§6.3 optimum.
+
+use bplus::BPlusTree;
+use bst_index::BinaryTreeIndex;
+use ccindex_common::{OrderedIndex, SearchIndex, SortedArray};
+use css_tree::{FullCssTree, LevelCssTree};
+use hashindex::HashIndex;
+use sorted_search::{BinarySearch, InterpolationSearch};
+use ttree::TTree;
+
+/// The index methods available to the database layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Binary search on the sorted RID list — zero extra space.
+    BinarySearch,
+    /// Interpolation search — for near-linear key distributions only.
+    InterpolationSearch,
+    /// Pointer-based balanced BST.
+    BinaryTree,
+    /// T-tree (8 entries/node: 76-byte nodes, closest to one line).
+    TTree,
+    /// B+-tree (64-byte nodes: branching 8).
+    BPlusTree,
+    /// Full CSS-tree (64-byte nodes: m = 16) — the paper's recommendation.
+    FullCss,
+    /// Level CSS-tree (64-byte nodes: m = 16).
+    LevelCss,
+    /// Chained bucket hash — fastest point lookups, no ordered access.
+    Hash,
+}
+
+impl IndexKind {
+    /// Every kind.
+    pub const ALL: [IndexKind; 8] = [
+        IndexKind::BinarySearch,
+        IndexKind::InterpolationSearch,
+        IndexKind::BinaryTree,
+        IndexKind::TTree,
+        IndexKind::BPlusTree,
+        IndexKind::FullCss,
+        IndexKind::LevelCss,
+        IndexKind::Hash,
+    ];
+
+    /// Kinds supporting ordered access (Fig. 7's RID-ordered column).
+    pub const ORDERED: [IndexKind; 7] = [
+        IndexKind::BinarySearch,
+        IndexKind::InterpolationSearch,
+        IndexKind::BinaryTree,
+        IndexKind::TTree,
+        IndexKind::BPlusTree,
+        IndexKind::FullCss,
+        IndexKind::LevelCss,
+    ];
+
+    /// Does this kind support `lower_bound`/range queries?
+    pub fn is_ordered(&self) -> bool {
+        !matches!(self, IndexKind::Hash)
+    }
+}
+
+/// Build a point-lookup index of the chosen kind over a shared sorted
+/// key array.
+pub fn build_index(kind: IndexKind, keys: &SortedArray<u32>) -> Box<dyn SearchIndex<u32>> {
+    match kind {
+        IndexKind::BinarySearch => Box::new(BinarySearch::from_shared(keys.clone())),
+        IndexKind::InterpolationSearch => Box::new(InterpolationSearch::from_shared(keys.clone())),
+        IndexKind::BinaryTree => Box::new(BinaryTreeIndex::build(keys.as_slice())),
+        IndexKind::TTree => Box::new(TTree::<u32, 8>::build(keys.as_slice())),
+        IndexKind::BPlusTree => Box::new(BPlusTree::<u32, 8>::from_shared(keys.clone())),
+        IndexKind::FullCss => Box::new(FullCssTree::<u32, 16>::from_shared(keys.clone())),
+        IndexKind::LevelCss => Box::new(LevelCssTree::<u32, 16>::from_shared(keys.clone())),
+        IndexKind::Hash => Box::new(HashIndex::<u32, 7>::build(keys.as_slice())),
+    }
+}
+
+/// Build an ordered index (panics for [`IndexKind::Hash`], which cannot
+/// provide ordered access — §3.5).
+pub fn build_ordered_index(kind: IndexKind, keys: &SortedArray<u32>) -> Box<dyn OrderedIndex<u32>> {
+    match kind {
+        IndexKind::BinarySearch => Box::new(BinarySearch::from_shared(keys.clone())),
+        IndexKind::InterpolationSearch => Box::new(InterpolationSearch::from_shared(keys.clone())),
+        IndexKind::BinaryTree => Box::new(BinaryTreeIndex::build(keys.as_slice())),
+        IndexKind::TTree => Box::new(TTree::<u32, 8>::build(keys.as_slice())),
+        IndexKind::BPlusTree => Box::new(BPlusTree::<u32, 8>::from_shared(keys.clone())),
+        IndexKind::FullCss => Box::new(FullCssTree::<u32, 16>::from_shared(keys.clone())),
+        IndexKind::LevelCss => Box::new(LevelCssTree::<u32, 16>::from_shared(keys.clone())),
+        IndexKind::Hash => panic!("hash indexes do not preserve order (§3.5)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> SortedArray<u32> {
+        SortedArray::from_slice(&(0..5000u32).map(|i| i / 3).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn every_kind_agrees_on_search() {
+        let ks = keys();
+        let reference = ks.as_slice().to_vec();
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, &ks);
+            for probe in (0..1700u32).step_by(7) {
+                let expected = reference
+                    .binary_search(&probe)
+                    .ok()
+                    .map(|_| reference.partition_point(|&k| k < probe));
+                assert_eq!(idx.search(probe), expected, "{kind:?} probe {probe}");
+            }
+            assert_eq!(idx.search(u32::MAX), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ordered_kinds_agree_on_lower_bound() {
+        let ks = keys();
+        let reference = ks.as_slice().to_vec();
+        for kind in IndexKind::ORDERED {
+            let idx = build_ordered_index(kind, &ks);
+            for probe in (0..1700u32).step_by(3) {
+                assert_eq!(
+                    idx.lower_bound(probe),
+                    reference.partition_point(|&k| k < probe),
+                    "{kind:?} probe {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_ordered_matches_build_support() {
+        for kind in IndexKind::ALL {
+            assert_eq!(kind.is_ordered(), kind != IndexKind::Hash);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not preserve order")]
+    fn hash_cannot_be_ordered() {
+        let _ = build_ordered_index(IndexKind::Hash, &keys());
+    }
+
+    #[test]
+    fn css_space_is_smallest_directory(/* §1's headline, at the DB layer */) {
+        let ks = SortedArray::from_slice(&(0..200_000u32).collect::<Vec<_>>());
+        let css = build_index(IndexKind::FullCss, &ks).space().indirect_bytes;
+        let bplus = build_index(IndexKind::BPlusTree, &ks).space().indirect_bytes;
+        let ttree = build_index(IndexKind::TTree, &ks).space().indirect_bytes;
+        let hash = build_index(IndexKind::Hash, &ks).space().indirect_bytes;
+        assert!(css > 0 && css < bplus && bplus < ttree && css < hash);
+    }
+}

@@ -1,0 +1,41 @@
+//! Main-memory OLAP database substrate.
+//!
+//! §2 of the paper situates CSS-trees inside a main-memory decision-support
+//! system: columns store 4-byte **domain IDs** that point into a sorted
+//! per-column **domain** of distinct values (§2.1, after \[AHK85\] and
+//! Tandem's InfoCharger), RID lists sorted by an attribute provide ordered
+//! access (§2.2), and the three index consumers are (1) single-value and
+//! range selections, (2) indexed nested-loop joins ("the only join method
+//! used in \[WK90\]"), and (3) mapping query constants to domain IDs by
+//! searching the domain itself.
+//!
+//! This crate builds that system:
+//! * [`domain`] — sorted domain dictionaries with domain-ID encoding;
+//!   equality *and* inequality predicates evaluate on IDs directly because
+//!   the domain is kept in value order,
+//! * [`mod@column`]/[`table`] — columnar tables of domain-encoded attributes,
+//! * [`rid`] — sorted RID lists (the arrays the indexes sit on),
+//! * [`index_choice`] — one constructor per paper method, all behind
+//!   `ccindex_common::OrderedIndex`/`SearchIndex`,
+//! * [`query`] — point select, range select, and indexed nested-loop join,
+//! * [`update`] — the OLAP batch-update cycle: apply inserts/deletes, then
+//!   rebuild affected indexes from scratch (§2.3: "it may be relatively
+//!   cheap to rebuild an index from scratch after a batch of updates").
+
+pub mod aggregate;
+pub mod column;
+pub mod domain;
+pub mod index_choice;
+pub mod query;
+pub mod rid;
+pub mod table;
+pub mod update;
+
+pub use aggregate::{group_aggregate, AggFn, GroupRow};
+pub use column::Column;
+pub use domain::Domain;
+pub use index_choice::{build_index, build_ordered_index, IndexKind};
+pub use query::{indexed_nested_loop_join, point_select, range_select, JoinRow};
+pub use rid::RidList;
+pub use table::{Table, TableBuilder};
+pub use update::{apply_batch, BatchResult};

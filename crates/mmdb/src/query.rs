@@ -1,0 +1,201 @@
+//! Query operators: the paper's three index consumers (§2.2).
+//!
+//! 1. "searching an index is still useful for answering single value
+//!    selection queries and range queries" — [`point_select`] and
+//!    [`range_select`];
+//! 2. "cheaper random access makes indexed nested loop joins more
+//!    affordable ... This approach requires a lot of searching through
+//!    indexes on the inner relations" — [`indexed_nested_loop_join`];
+//! 3. "transforming domain values to domain IDs requires searching on the
+//!    domain" — every operator below starts with a domain `encode`.
+
+use crate::column::Column;
+use crate::rid::RidList;
+use crate::domain::Value;
+use ccindex_common::{OrderedIndex, SearchIndex};
+
+/// One output row of an indexed nested-loop join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinRow {
+    /// RID in the outer relation.
+    pub outer_rid: u32,
+    /// RID in the inner relation.
+    pub inner_rid: u32,
+}
+
+/// All RIDs whose column value equals `value`, via one index search plus a
+/// rightward duplicate scan (§3.6).
+pub fn point_select(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn SearchIndex<u32>,
+    value: &Value,
+) -> Vec<u32> {
+    let Some(id) = column.domain().encode(value) else {
+        return Vec::new(); // value not in the domain: no rows
+    };
+    let Some(first) = index.search(id) else {
+        return Vec::new();
+    };
+    let keys = rid_list.keys().as_slice();
+    let mut end = first;
+    while end < keys.len() && keys[end] == id {
+        end += 1;
+    }
+    rid_list.rids_in(first, end).to_vec()
+}
+
+/// All RIDs whose column value lies in the inclusive range `[lo, hi]`.
+/// Requires an ordered index (hash indexes cannot serve range queries).
+pub fn range_select(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    lo: &Value,
+    hi: &Value,
+) -> Vec<u32> {
+    let Some((lo_id, hi_id)) = column.domain().id_range(lo, hi) else {
+        return Vec::new();
+    };
+    let (start, end) = index.key_range(lo_id, hi_id);
+    rid_list.rids_in(start, end).to_vec()
+}
+
+/// Indexed nested-loop join: for each outer row, decode its value, map it
+/// into the inner domain, and search the inner index — "pipelinable,
+/// requiring minimal storage for intermediate results" (§2.2). Equal inner
+/// duplicates all match.
+pub fn indexed_nested_loop_join(
+    outer: &Column,
+    inner: &Column,
+    inner_rids: &RidList,
+    inner_index: &dyn SearchIndex<u32>,
+) -> Vec<JoinRow> {
+    let mut out = Vec::new();
+    let inner_keys = inner_rids.keys().as_slice();
+    for outer_rid in 0..outer.len() as u32 {
+        let value = outer.value(outer_rid);
+        // Domain-to-domain mapping (consumer #3): skip outer values the
+        // inner domain does not contain.
+        let Some(inner_id) = inner.domain().encode(value) else {
+            continue;
+        };
+        let Some(first) = inner_index.search(inner_id) else {
+            continue;
+        };
+        let mut pos = first;
+        while pos < inner_keys.len() && inner_keys[pos] == inner_id {
+            out.push(JoinRow {
+                outer_rid,
+                inner_rid: inner_rids.rid(pos),
+            });
+            pos += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_choice::{build_index, build_ordered_index, IndexKind};
+    use crate::table::TableBuilder;
+
+    fn setup() -> (crate::table::Table, RidList) {
+        let t = TableBuilder::new("sales")
+            .int_column("amount", [30, 10, 20, 10, 30, 10, 40])
+            .build();
+        let rl = RidList::for_column(t.column("amount").unwrap());
+        (t, rl)
+    }
+
+    #[test]
+    fn point_select_returns_all_duplicates() {
+        let (t, rl) = setup();
+        let col = t.column("amount").unwrap();
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, rl.keys());
+            let mut rids = point_select(col, &rl, idx.as_ref(), &Value::Int(10));
+            rids.sort_unstable();
+            assert_eq!(rids, vec![1, 3, 5], "{kind:?}");
+            assert!(point_select(col, &rl, idx.as_ref(), &Value::Int(99)).is_empty());
+        }
+    }
+
+    #[test]
+    fn range_select_inclusive_bounds() {
+        let (t, rl) = setup();
+        let col = t.column("amount").unwrap();
+        for kind in IndexKind::ORDERED {
+            let idx = build_ordered_index(kind, rl.keys());
+            let mut rids = range_select(col, &rl, idx.as_ref(), &Value::Int(15), &Value::Int(30));
+            rids.sort_unstable();
+            assert_eq!(rids, vec![0, 2, 4], "{kind:?}");
+            // Band with no domain values.
+            assert!(range_select(col, &rl, idx.as_ref(), &Value::Int(31), &Value::Int(39)).is_empty());
+            // Full range.
+            assert_eq!(
+                range_select(col, &rl, idx.as_ref(), &Value::Int(0), &Value::Int(100)).len(),
+                7
+            );
+        }
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let orders = TableBuilder::new("orders")
+            .int_column("cust", [5, 1, 2, 5, 9])
+            .build();
+        let customers = TableBuilder::new("customers")
+            .int_column("id", [1, 2, 3, 5, 5])
+            .build();
+        let ccol = customers.column("id").unwrap();
+        let crids = RidList::for_column(ccol);
+        let ocol = orders.column("cust").unwrap();
+
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, crids.keys());
+            let mut joined = indexed_nested_loop_join(ocol, ccol, &crids, idx.as_ref());
+            joined.sort_by_key(|j| (j.outer_rid, j.inner_rid));
+
+            // Brute force reference.
+            let mut expected = Vec::new();
+            for o in 0..ocol.len() as u32 {
+                for i in 0..ccol.len() as u32 {
+                    if ocol.value(o) == ccol.value(i) {
+                        expected.push(JoinRow {
+                            outer_rid: o,
+                            inner_rid: i,
+                        });
+                    }
+                }
+            }
+            expected.sort_by_key(|j| (j.outer_rid, j.inner_rid));
+            assert_eq!(joined, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_string_keys_via_domains() {
+        let left = TableBuilder::new("l")
+            .str_column("k", ["b", "a", "z"])
+            .build();
+        let right = TableBuilder::new("r")
+            .str_column("k", ["a", "b", "b"])
+            .build();
+        let rcol = right.column("k").unwrap();
+        let rrids = RidList::for_column(rcol);
+        let idx = build_index(IndexKind::FullCss, rrids.keys());
+        let joined = indexed_nested_loop_join(
+            left.column("k").unwrap(),
+            rcol,
+            &rrids,
+            idx.as_ref(),
+        );
+        // "b" matches rids 1,2; "a" matches rid 0; "z" matches nothing.
+        assert_eq!(joined.len(), 3);
+        assert!(joined.contains(&JoinRow { outer_rid: 1, inner_rid: 0 }));
+        assert!(joined.contains(&JoinRow { outer_rid: 0, inner_rid: 1 }));
+        assert!(joined.contains(&JoinRow { outer_rid: 0, inner_rid: 2 }));
+    }
+}

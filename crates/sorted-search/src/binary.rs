@@ -1,0 +1,236 @@
+//! Array binary search (§3.2) with the paper's specialisations (§6.2).
+//!
+//! * Shifts instead of division for the midpoint ("We use logical shifts in
+//!   place of multiplication and division whenever possible", after
+//!   \[WK90\]'s observation).
+//! * Sequential equality scan once the range is small ("once the searching
+//!   range is small enough, we simply perform the equality test
+//!   sequentially on each key. This gives us better performance when there
+//!   are less than 5 keys in the range").
+//! * Leftmost-match (`lower_bound`) semantics for duplicate handling
+//!   (§3.6: "we can find the leftmost element of all the duplicates and
+//!   sequentially scan towards right").
+
+use ccindex_common::{
+    AccessTracer, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray, SpaceReport,
+};
+
+/// Range width below which the search switches to a sequential scan (§6.2:
+/// sequential wins "when there are less than 5 keys in the range").
+pub const SEQ_THRESHOLD: usize = 5;
+
+/// Binary search over a shared sorted array. Zero space overhead: the
+/// index *is* the array.
+#[derive(Debug, Clone)]
+pub struct BinarySearch<K> {
+    array: SortedArray<K>,
+}
+
+impl<K: Key> BinarySearch<K> {
+    /// Index a sorted slice (copies into aligned storage).
+    pub fn build(keys: &[K]) -> Self {
+        Self::from_shared(SortedArray::from_slice(keys))
+    }
+
+    /// Index an existing shared array without copying.
+    pub fn from_shared(array: SortedArray<K>) -> Self {
+        Self { array }
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &SortedArray<K> {
+        &self.array
+    }
+
+    /// Leftmost position with key `>= key`, reporting every touched key and
+    /// comparison to `tracer`.
+    #[inline]
+    pub fn lower_bound_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> usize {
+        let a = self.array.as_slice();
+        let mut lo = 0usize;
+        let mut len = a.len();
+        while len >= SEQ_THRESHOLD {
+            // Midpoint by shift, not division (§6.2).
+            let half = len >> 1;
+            let mid = lo + half;
+            tracer.compare();
+            tracer.read(self.array.addr_of(mid), K::WIDTH);
+            if a[mid] < key {
+                lo = mid + 1;
+                len -= half + 1;
+            } else {
+                len = half;
+            }
+            tracer.descend();
+        }
+        // Hard-coded sequential tail over < SEQ_THRESHOLD keys.
+        let end = lo + len;
+        let mut i = lo;
+        while i < end {
+            tracer.compare();
+            tracer.read(self.array.addr_of(i), K::WIDTH);
+            if a[i] >= key {
+                break;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Leftmost matching position, traced.
+    #[inline]
+    pub fn search_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> Option<usize> {
+        let pos = self.lower_bound_with(key, tracer);
+        if pos < self.array.len() {
+            tracer.compare();
+            tracer.read(self.array.addr_of(pos), K::WIDTH);
+            if self.array.as_slice()[pos] == key {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+impl<K: Key> SearchIndex<K> for BinarySearch<K> {
+    fn name(&self) -> &'static str {
+        "array binary search"
+    }
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+    #[inline]
+    fn search(&self, key: K) -> Option<usize> {
+        self.search_with(key, &mut NoopTracer)
+    }
+    fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
+        self.search_with(key, &mut { tracer })
+    }
+    fn space(&self) -> SpaceReport {
+        SpaceReport::same(0) // Fig. 7: binary search costs nothing extra.
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            levels: if self.array.is_empty() {
+                0
+            } else {
+                usize::BITS - (self.array.len()).leading_zeros()
+            },
+            internal_nodes: 0,
+            branching: 2,
+            node_bytes: 0,
+        }
+    }
+}
+
+impl<K: Key> OrderedIndex<K> for BinarySearch<K> {
+    #[inline]
+    fn lower_bound(&self, key: K) -> usize {
+        self.lower_bound_with(key, &mut NoopTracer)
+    }
+    fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
+        self.lower_bound_with(key, &mut { tracer })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccindex_common::CountingTracer;
+
+    fn idx(keys: &[u32]) -> BinarySearch<u32> {
+        BinarySearch::build(keys)
+    }
+
+    #[test]
+    fn finds_every_key() {
+        let keys: Vec<u32> = (0..1000).map(|i| i * 2).collect();
+        let b = idx(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(b.search(k), Some(i));
+        }
+    }
+
+    #[test]
+    fn misses_between_keys() {
+        let keys: Vec<u32> = (0..1000).map(|i| i * 2).collect();
+        let b = idx(&keys);
+        for i in 0..999 {
+            assert_eq!(b.search(i * 2 + 1), None);
+        }
+        assert_eq!(b.search(5000), None);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        let keys: Vec<u32> = vec![2, 4, 4, 4, 9, 9, 100];
+        let b = idx(&keys);
+        for probe in 0..=110u32 {
+            let expected = keys.partition_point(|&k| k < probe);
+            assert_eq!(b.lower_bound(probe), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn duplicates_return_leftmost() {
+        let keys = vec![1u32, 5, 5, 5, 5, 7];
+        let b = idx(&keys);
+        assert_eq!(b.search(5), Some(1));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let b = idx(&[]);
+        assert_eq!(b.search(1), None);
+        assert_eq!(b.lower_bound(1), 0);
+        let b = idx(&[42]);
+        assert_eq!(b.search(42), Some(0));
+        assert_eq!(b.search(41), None);
+        assert_eq!(b.lower_bound(43), 1);
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic() {
+        let keys: Vec<u32> = (0..1_048_576u32).collect(); // 2^20
+        let b = BinarySearch::build(&keys);
+        let mut t = CountingTracer::new();
+        b.search_with(524_287, &mut t);
+        // log2(2^20) = 20 halvings, minus the sequential tail trade-off,
+        // plus the final equality check; allow small slack.
+        assert!(
+            (18..=26).contains(&(t.compares as usize)),
+            "compares = {}",
+            t.compares
+        );
+    }
+
+    #[test]
+    fn access_trace_touches_distinct_cache_lines() {
+        // §3.2: for an array much larger than the cache, the number of
+        // *distinct* lines touched per probe is ~ comparisons.
+        let keys: Vec<u32> = (0..1 << 20).collect();
+        let b = BinarySearch::build(&keys);
+        let mut t = ccindex_common::RecordingTracer::new();
+        b.search_with(777_777, &mut t);
+        let mut lines: Vec<usize> = t.accesses.iter().map(|a| a.1 / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert!(lines.len() >= 14, "distinct lines = {}", lines.len());
+    }
+
+    #[test]
+    fn space_is_zero() {
+        let b = idx(&[1, 2, 3]);
+        assert_eq!(b.space().indirect_bytes, 0);
+        assert_eq!(b.space().direct_bytes, 0);
+    }
+
+    #[test]
+    fn works_with_signed_keys() {
+        let keys = vec![-100i32, -5, 0, 3, 900];
+        let b = BinarySearch::build(&keys);
+        assert_eq!(b.search(-5), Some(1));
+        assert_eq!(b.search(1), None);
+        assert_eq!(b.lower_bound(-1000), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Interpolation search (§1, §3, Figs. 10–11).
+//!
+//! Estimates the probe's position from the key's value assuming a linear
+//! distribution, then recurses on the narrowed range. The paper's verdict
+//! (§6.3): "The performance of interpolation search depends on how well the
+//! data fits a linear distribution. ... we also did some tests on
+//! non-uniform data and interpolation search performs even worse than
+//! binary search. So in practice, we would not recommend using
+//! interpolation search." — reproduced by the `fig10`/`fig11` harness with
+//! the `Polynomial` key distribution.
+//!
+//! The implementation guards against the classic failure modes: zero-width
+//! value ranges (duplicates), estimates that do not shrink the range
+//! (skewed data), and overflow, by clamping the estimate strictly inside
+//! the open interval and falling back to a binary step whenever a round
+//! fails to cut the range by at least one.
+
+use ccindex_common::{
+    AccessTracer, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray, SpaceReport,
+};
+
+/// Interpolation search over a shared sorted array (zero space overhead).
+#[derive(Debug, Clone)]
+pub struct InterpolationSearch<K> {
+    array: SortedArray<K>,
+}
+
+impl<K: Key> InterpolationSearch<K> {
+    /// Index a sorted slice.
+    pub fn build(keys: &[K]) -> Self {
+        Self::from_shared(SortedArray::from_slice(keys))
+    }
+
+    /// Index an existing shared array without copying.
+    pub fn from_shared(array: SortedArray<K>) -> Self {
+        Self { array }
+    }
+
+    /// Leftmost position with key `>= key`, traced.
+    pub fn lower_bound_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> usize {
+        let a = self.array.as_slice();
+        if a.is_empty() {
+            return 0;
+        }
+        let mut lo = 0usize;
+        let mut hi = a.len() - 1; // inclusive
+        // Check the endpoints once; they also seed the interpolation.
+        tracer.compare();
+        let klo = self.array.get_traced(lo, tracer);
+        if key <= klo {
+            return 0;
+        }
+        tracer.compare();
+        let khi = self.array.get_traced(hi, tracer);
+        if key > khi {
+            return a.len();
+        }
+        let mut vlo = klo.to_f64();
+        let mut vhi = khi.to_f64();
+        let kv = key.to_f64();
+        // Invariant: a[lo] < key <= a[hi].
+        while hi - lo > 1 {
+            let width = (hi - lo) as f64;
+            let frac = if vhi > vlo { (kv - vlo) / (vhi - vlo) } else { 0.5 };
+            let mut mid = lo + (frac * width) as usize;
+            // Keep the probe strictly inside (lo, hi) so the range always
+            // shrinks; degenerate estimates become a binary step.
+            mid = mid.clamp(lo + 1, hi - 1);
+            tracer.compare();
+            let km = self.array.get_traced(mid, tracer);
+            if km < key {
+                lo = mid;
+                vlo = km.to_f64();
+            } else {
+                hi = mid;
+                vhi = km.to_f64();
+            }
+            tracer.descend();
+        }
+        hi
+    }
+
+    /// Leftmost matching position, traced.
+    pub fn search_with<T: AccessTracer>(&self, key: K, tracer: &mut T) -> Option<usize> {
+        let pos = self.lower_bound_with(key, tracer);
+        if pos < self.array.len() {
+            tracer.compare();
+            if self.array.get_traced(pos, tracer) == key {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+impl<K: Key> SearchIndex<K> for InterpolationSearch<K> {
+    fn name(&self) -> &'static str {
+        "interpolation search"
+    }
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+    fn search(&self, key: K) -> Option<usize> {
+        self.search_with(key, &mut NoopTracer)
+    }
+    fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
+        self.search_with(key, &mut { tracer })
+    }
+    fn space(&self) -> SpaceReport {
+        SpaceReport::same(0)
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            levels: 0, // data dependent
+            internal_nodes: 0,
+            branching: 2,
+            node_bytes: 0,
+        }
+    }
+}
+
+impl<K: Key> OrderedIndex<K> for InterpolationSearch<K> {
+    fn lower_bound(&self, key: K) -> usize {
+        self.lower_bound_with(key, &mut NoopTracer)
+    }
+    fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
+        self.lower_bound_with(key, &mut { tracer })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccindex_common::CountingTracer;
+
+    #[test]
+    fn finds_all_on_linear_data() {
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 10).collect();
+        let s = InterpolationSearch::build(&keys);
+        for (i, &k) in keys.iter().enumerate().step_by(37) {
+            assert_eq!(s.search(k), Some(i));
+        }
+        assert_eq!(s.search(5), None);
+        assert_eq!(s.search(1_000_000), None);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point_on_skewed_data() {
+        // Quadratic value growth — the non-uniform case.
+        let keys: Vec<u32> = (0..2000u32).map(|i| i * i).collect();
+        let s = InterpolationSearch::build(&keys);
+        for probe in (0..4_000_000u32).step_by(7919) {
+            let expected = keys.partition_point(|&k| k < probe);
+            assert_eq!(s.lower_bound(probe), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn duplicates_return_leftmost() {
+        let keys = vec![1u32, 5, 5, 5, 5, 7, 7, 9];
+        let s = InterpolationSearch::build(&keys);
+        assert_eq!(s.search(5), Some(1));
+        assert_eq!(s.search(7), Some(5));
+        assert_eq!(s.lower_bound(6), 5);
+    }
+
+    #[test]
+    fn all_equal_keys_terminate() {
+        let keys = vec![3u32; 1000];
+        let s = InterpolationSearch::build(&keys);
+        assert_eq!(s.search(3), Some(0));
+        assert_eq!(s.search(2), None);
+        assert_eq!(s.search(4), None);
+    }
+
+    #[test]
+    fn linear_data_needs_fewer_probes_than_binary_log() {
+        let keys: Vec<u32> = (0..1 << 20).collect();
+        let s = InterpolationSearch::build(&keys);
+        let mut total = 0u64;
+        for probe in (0..1 << 20).step_by(10007) {
+            let mut t = CountingTracer::new();
+            s.search_with(probe, &mut t);
+            total += t.compares;
+        }
+        let avg = total as f64 / ((1usize << 20) as f64 / 10007.0);
+        assert!(avg < 8.0, "expected ~O(log log n) probes, got avg {avg}");
+    }
+
+    #[test]
+    fn skewed_data_degrades_gracefully_but_terminates() {
+        // Exponential-ish growth is interpolation's bad case; correctness
+        // and termination must still hold.
+        let keys: Vec<u64> = (0..60).map(|i| 1u64 << i).collect();
+        let s = InterpolationSearch::build(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(s.search(k), Some(i));
+            assert_eq!(s.search(k + 1), if k + 1 == keys[(i + 1).min(59)] { Some(i + 1) } else { None });
+        }
+    }
+
+    #[test]
+    fn empty_and_boundaries() {
+        let s = InterpolationSearch::<u32>::build(&[]);
+        assert_eq!(s.search(0), None);
+        assert_eq!(s.lower_bound(0), 0);
+        let s = InterpolationSearch::build(&[7u32]);
+        assert_eq!(s.search(7), Some(0));
+        assert_eq!(s.lower_bound(8), 1);
+        assert_eq!(s.lower_bound(0), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Array search baselines: binary search and interpolation search.
+//!
+//! §3.2: "The problem with binary search is that many accesses to elements
+//! of the sorted array result in a cache miss ... In the worst case, the
+//! number of cache misses is of the order of the number of key comparisons."
+//! These are the zero-extra-space baselines of the space/time study
+//! (Figs. 2/14): binary search anchors the "no space, slow" end of the
+//! frontier, and interpolation search is the distribution-sensitive outlier
+//! of Figs. 10–11.
+//!
+//! Per §6.2 the binary search is specialised: the loop uses shifts rather
+//! than division and finishes with a hard-coded sequential scan once the
+//! remaining range holds fewer than [`binary::SEQ_THRESHOLD`] keys ("once
+//! the searching range is small enough, we simply perform the equality test
+//! sequentially on each key").
+
+pub mod binary;
+pub mod interpolation;
+
+pub use binary::{BinarySearch, SEQ_THRESHOLD};
+pub use interpolation::InterpolationSearch;

@@ -1,0 +1,147 @@
+//! Bulk construction of a balanced T-tree from a sorted array.
+//!
+//! The OLAP setting (§2.3) never inserts incrementally: the tree is rebuilt
+//! from the sorted array after each update batch. Construction therefore
+//! packs every node full (except the last) and shapes a perfectly balanced
+//! binary tree over the node sequence:
+//!
+//! * in-order node `j` holds array positions `[j·CAP, min((j+1)·CAP, n))`,
+//!   so consecutive nodes cover consecutive key ranges;
+//! * the tree over node ids `0..N` is the balanced median-split tree, built
+//!   recursively into one pre-allocated arena.
+
+use crate::node::{TTreeNode, NO_CHILD};
+use ccindex_common::{ceil_div, AlignedBuf, Key};
+
+/// Builder producing the arena and root for a [`crate::TTree`].
+#[derive(Debug)]
+pub struct TTreeBuilder;
+
+/// Output of a build: arena, root id, height.
+pub(crate) struct Built<K, const CAP: usize> {
+    pub nodes: AlignedBuf<TTreeNode<K, CAP>>,
+    pub root: u32,
+    pub height: u32,
+}
+
+impl TTreeBuilder {
+    /// Build the balanced node arena over `keys` (sorted, duplicates OK).
+    pub(crate) fn build<K: Key, const CAP: usize>(keys: &[K]) -> Built<K, CAP> {
+        assert!(CAP >= 1, "node capacity must be at least 1");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
+        let n_nodes = ceil_div(keys.len(), CAP);
+        assert!((n_nodes as u64) < NO_CHILD as u64, "too many nodes for u32 ids");
+        let mut nodes: AlignedBuf<TTreeNode<K, CAP>> = AlignedBuf::new_zeroed(n_nodes);
+        // Fill node contents in in-order sequence.
+        for j in 0..n_nodes {
+            let base = j * CAP;
+            let end = (base + CAP).min(keys.len());
+            let node = &mut nodes[j];
+            node.left = NO_CHILD;
+            node.right = NO_CHILD;
+            node.count = (end - base) as u32;
+            for (slot, pos) in (base..end).enumerate() {
+                node.keys[slot] = keys[pos];
+                node.rids[slot] = pos as u32;
+            }
+        }
+        // Link a balanced tree over in-order ids [0, n_nodes).
+        let root = Self::link(&mut nodes, 0, n_nodes);
+        let height = if n_nodes == 0 {
+            0
+        } else {
+            usize::BITS - n_nodes.leading_zeros()
+        };
+        Built {
+            nodes,
+            root,
+            height,
+        }
+    }
+
+    fn link<K: Key, const CAP: usize>(
+        nodes: &mut AlignedBuf<TTreeNode<K, CAP>>,
+        lo: usize,
+        hi: usize,
+    ) -> u32 {
+        if lo >= hi {
+            return NO_CHILD;
+        }
+        let mid = lo + ((hi - lo) >> 1);
+        let left = Self::link(nodes, lo, mid);
+        let right = Self::link(nodes, mid + 1, hi);
+        nodes[mid].left = left;
+        nodes[mid].right = right;
+        mid as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_cover_contiguous_ranges() {
+        let keys: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let b = TTreeBuilder::build::<u32, 8>(&keys);
+        assert_eq!(b.nodes.len(), 13); // ceil(100/8)
+        for j in 0..13usize {
+            let node = &b.nodes[j];
+            let expect = if j < 12 { 8 } else { 4 };
+            assert_eq!(node.count as usize, expect, "node {j}");
+            for s in 0..node.count as usize {
+                assert_eq!(node.rids[s] as usize, j * 8 + s);
+                assert_eq!(node.keys[s], keys[j * 8 + s]);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_a_valid_bst_over_node_mins() {
+        let keys: Vec<u32> = (0..10_000).collect();
+        let b = TTreeBuilder::build::<u32, 16>(&keys);
+        // In-order traversal from the root must yield node ids 0,1,2,...
+        fn inorder<K: Key, const CAP: usize>(
+            nodes: &AlignedBuf<TTreeNode<K, CAP>>,
+            id: u32,
+            out: &mut Vec<u32>,
+        ) {
+            if id == NO_CHILD {
+                return;
+            }
+            inorder(nodes, nodes[id as usize].left, out);
+            out.push(id);
+            inorder(nodes, nodes[id as usize].right, out);
+        }
+        let mut seq = Vec::new();
+        inorder(&b.nodes, b.root, &mut seq);
+        let expected: Vec<u32> = (0..b.nodes.len() as u32).collect();
+        assert_eq!(seq, expected);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let keys: Vec<u32> = (0..16_384).collect();
+        let b = TTreeBuilder::build::<u32, 16>(&keys); // 1024 nodes
+        assert_eq!(b.height, 11); // ceil(log2(1024+1)) = 11 levels
+    }
+
+    #[test]
+    fn empty_input() {
+        let b = TTreeBuilder::build::<u32, 8>(&[]);
+        assert_eq!(b.nodes.len(), 0);
+        assert_eq!(b.root, NO_CHILD);
+        assert_eq!(b.height, 0);
+    }
+
+    #[test]
+    fn single_partial_node() {
+        let b = TTreeBuilder::build::<u32, 8>(&[5, 6, 7]);
+        assert_eq!(b.nodes.len(), 1);
+        assert_eq!(b.root, 0);
+        assert_eq!(b.nodes[0].count, 3);
+    }
+}

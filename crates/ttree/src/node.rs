@@ -1,0 +1,105 @@
+//! T-tree node layout.
+//!
+//! §6.2: "We avoid storing the parent pointer in each node of a T-tree
+//! since it's not necessary for searching. ... For each T-tree node, we
+//! store the two child pointers adjacent to the smallest key so that they
+//! will be brought together into cache in the same cache line."
+//!
+//! `#[repr(C)]` pins that layout: the two 4-byte child links, the occupancy
+//! count and the *first* (smallest) key all sit in the node's leading bytes,
+//! so the descent — which per the improved algorithm of \[LC86b\] examines
+//! only the smallest key — touches exactly one cache line per node. Each
+//! key slot is paired with a 4-byte record-identifier slot, the space
+//! overhead §3.3 criticises ("essentially half of the space in each node is
+//! wasted").
+
+use ccindex_common::Key;
+
+/// Child link sentinel: no child.
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// A T-tree node with `CAP` entry slots.
+///
+/// Keys in a node are adjacent values of the sorted array; `rids[i]` is the
+/// array position of `keys[i]`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct TTreeNode<K, const CAP: usize> {
+    /// Left child (node id) or [`NO_CHILD`].
+    pub left: u32,
+    /// Right child (node id) or [`NO_CHILD`].
+    pub right: u32,
+    /// Number of occupied entry slots (≤ `CAP`).
+    pub count: u32,
+    /// Keys, sorted ascending; `keys[0]` is the boundary key the improved
+    /// descent examines, deliberately adjacent to the child links.
+    pub keys: [K; CAP],
+    /// Record identifiers (sorted-array positions), parallel to `keys`.
+    pub rids: [u32; CAP],
+}
+
+impl<K: Key, const CAP: usize> Default for TTreeNode<K, CAP> {
+    fn default() -> Self {
+        Self {
+            left: NO_CHILD,
+            right: NO_CHILD,
+            count: 0,
+            keys: [K::default(); CAP],
+            rids: [0; CAP],
+        }
+    }
+}
+
+impl<K: Key, const CAP: usize> TTreeNode<K, CAP> {
+    /// Byte offset of `keys[0]` within the node; the descent's single line
+    /// fetch covers `[0, header_bytes())`.
+    pub fn header_bytes() -> usize {
+        core::mem::offset_of!(Self, keys) + K::WIDTH
+    }
+
+    /// Smallest key in the node (`count` must be > 0).
+    #[inline]
+    pub fn min_key(&self) -> K {
+        debug_assert!(self.count > 0);
+        self.keys[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_and_min_key_share_leading_bytes() {
+        // left(0) right(4) count(8) keys[0](12) for 4-byte keys: all
+        // within the first 16 bytes — one cache line.
+        assert_eq!(core::mem::offset_of!(TTreeNode<u32, 8>, left), 0);
+        assert_eq!(core::mem::offset_of!(TTreeNode<u32, 8>, right), 4);
+        assert_eq!(core::mem::offset_of!(TTreeNode<u32, 8>, count), 8);
+        assert_eq!(core::mem::offset_of!(TTreeNode<u32, 8>, keys), 12);
+        assert_eq!(TTreeNode::<u32, 8>::header_bytes(), 16);
+    }
+
+    #[test]
+    fn node_size_scales_with_capacity() {
+        // 12-byte header + CAP*(K + R) with u32 keys and rids.
+        assert_eq!(core::mem::size_of::<TTreeNode<u32, 8>>(), 12 + 8 * 8);
+        assert_eq!(core::mem::size_of::<TTreeNode<u32, 16>>(), 12 + 16 * 8);
+    }
+
+    #[test]
+    fn default_node_is_leafless_and_empty() {
+        let n = TTreeNode::<u32, 4>::default();
+        assert_eq!(n.left, NO_CHILD);
+        assert_eq!(n.right, NO_CHILD);
+        assert_eq!(n.count, 0);
+    }
+
+    #[test]
+    fn wide_keys_keep_layout() {
+        // u64 keys: count padding pushes keys to offset 16.
+        let off = core::mem::offset_of!(TTreeNode<u64, 8>, keys);
+        assert_eq!(off, 16);
+        assert_eq!(TTreeNode::<u64, 8>::header_bytes(), 24);
+    }
+}

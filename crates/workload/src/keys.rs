@@ -1,0 +1,273 @@
+//! Key-set generation.
+//!
+//! The canonical experiment (§6.1) uses `n` *distinct* random 4-byte
+//! integer keys, stored sorted (the indexes all sit on a sorted array).
+//! Additional distributions probe interpolation search's sensitivity to
+//! the value distribution (§3, §6.3): evenly spaced keys are its best case,
+//! polynomially skewed and clustered keys its bad cases.
+
+use ccindex_common::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How key *values* are distributed over the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Distinct uniformly random values (the paper's default).
+    UniformRandom,
+    /// Exactly evenly spaced values with the given gap — linear data,
+    /// interpolation search's best case.
+    EvenlySpaced {
+        /// Difference between consecutive keys (≥ 1).
+        gap: u64,
+    },
+    /// Values spaced by `gap` with ±`jitter` uniform noise (still nearly
+    /// linear).
+    JitteredSpaced {
+        /// Mean gap between consecutive keys.
+        gap: u64,
+        /// Maximum absolute jitter added to each key (must be < gap/2 to
+        /// preserve distinctness).
+        jitter: u64,
+    },
+    /// Polynomially skewed: the i-th smallest key is proportional to
+    /// `(i/n)^exponent` of the key space — strongly non-linear CDF, the
+    /// "non-uniform data" on which §6.3 reports interpolation search
+    /// performs even worse than binary search.
+    Polynomial {
+        /// CDF exponent (≥ 2 gives a pronounced skew).
+        exponent: u32,
+    },
+    /// Keys come in dense runs separated by wide gaps (e.g. surrogate keys
+    /// from several loads); piecewise-linear CDF with jumps.
+    Clustered {
+        /// Number of dense clusters.
+        clusters: usize,
+        /// Gap between consecutive keys inside a cluster.
+        intra_gap: u64,
+    },
+}
+
+/// Deterministic builder for sorted, distinct key sets.
+#[derive(Debug, Clone)]
+pub struct KeySetBuilder {
+    n: usize,
+    seed: u64,
+    distribution: KeyDistribution,
+}
+
+impl KeySetBuilder {
+    /// `n` keys with the paper's default distribution.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            seed: crate::DEFAULT_SEED,
+            distribution: KeyDistribution::UniformRandom,
+        }
+    }
+
+    /// Use a specific RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use a specific value distribution.
+    pub fn distribution(mut self, d: KeyDistribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Generate the sorted, distinct key set.
+    pub fn build<K: Key>(&self) -> Vec<K> {
+        let max_rank = K::MAX_KEY.to_rank();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ranks = match self.distribution {
+            KeyDistribution::UniformRandom => distinct_uniform(self.n, max_rank, &mut rng),
+            KeyDistribution::EvenlySpaced { gap } => {
+                assert!(gap >= 1, "gap must be >= 1");
+                (0..self.n as u64).map(|i| i.saturating_mul(gap)).collect()
+            }
+            KeyDistribution::JitteredSpaced { gap, jitter } => {
+                assert!(gap >= 1 && jitter < gap / 2 + 1, "jitter too large for gap");
+                (0..self.n as u64)
+                    .map(|i| {
+                        let base = i * gap + gap / 2;
+                        let j = if jitter == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..=2 * jitter) as i64 - jitter as i64
+                        };
+                        (base as i64 + j) as u64
+                    })
+                    .collect()
+            }
+            KeyDistribution::Polynomial { exponent } => {
+                assert!(exponent >= 1);
+                let n = self.n.max(1) as f64;
+                let span = (max_rank as f64).min(1e18);
+                let mut out: Vec<u64> = (0..self.n)
+                    .map(|i| {
+                        let frac = (i as f64 + 1.0) / n;
+                        (frac.powi(exponent as i32) * span) as u64
+                    })
+                    .collect();
+                dedup_ranks(&mut out);
+                out
+            }
+            KeyDistribution::Clustered { clusters, intra_gap } => {
+                assert!(clusters >= 1 && intra_gap >= 1);
+                let per = crate::keys::ceil_div(self.n, clusters);
+                let cluster_span = per as u64 * intra_gap;
+                // Clusters separated by 1000x their own width.
+                let stride = cluster_span.saturating_mul(1000).max(cluster_span + 1);
+                (0..self.n)
+                    .map(|i| {
+                        let c = (i / per) as u64;
+                        let off = (i % per) as u64;
+                        c * stride + off * intra_gap
+                    })
+                    .collect()
+            }
+        };
+        let mut keys: Vec<K> = ranks.into_iter().map(K::from_rank).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            self.n,
+            "distribution produced non-distinct or clipped keys"
+        );
+        keys
+    }
+}
+
+/// `ceil(a/b)` (local copy to avoid the dependency direction).
+pub(crate) fn ceil_div(a: usize, b: usize) -> usize {
+    if a == 0 {
+        0
+    } else {
+        (a - 1) / b + 1
+    }
+}
+
+/// Sample `n` distinct uniform ranks in `[0, max_rank]`.
+///
+/// Oversamples into a sorted/deduped vector and tops up until the count is
+/// reached — O(n log n), fine for the ≤ 30 M-key experiments.
+fn distinct_uniform(n: usize, max_rank: u64, rng: &mut StdRng) -> Vec<u64> {
+    assert!(
+        (max_rank as u128) + 1 >= n as u128,
+        "key space too small for {n} distinct keys"
+    );
+    let mut out: Vec<u64> = Vec::with_capacity(n + n / 8 + 16);
+    out.extend((0..n).map(|_| rng.gen_range(0..=max_rank)));
+    loop {
+        out.sort_unstable();
+        out.dedup();
+        if out.len() >= n {
+            // Drop the surplus at random positions so the value
+            // distribution stays uniform (truncation would bias against
+            // large keys).
+            while out.len() > n {
+                let i = rng.gen_range(0..out.len());
+                out.swap_remove(i);
+            }
+            out.sort_unstable();
+            return out;
+        }
+        let missing = n - out.len();
+        for _ in 0..missing + missing / 4 + 4 {
+            out.push(rng.gen_range(0..=max_rank));
+        }
+    }
+}
+
+fn dedup_ranks(ranks: &mut [u64]) {
+    ranks.sort_unstable();
+    let mut prev: Option<u64> = None;
+    for r in ranks.iter_mut() {
+        if let Some(p) = prev {
+            if *r <= p {
+                *r = p + 1;
+            }
+        }
+        prev = Some(*r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_are_distinct_sorted_deterministic() {
+        let a: Vec<u32> = KeySetBuilder::new(10_000).build();
+        let b: Vec<u32> = KeySetBuilder::new(10_000).build();
+        assert_eq!(a, b, "same seed must reproduce the same keys");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        let c: Vec<u32> = KeySetBuilder::new(10_000).seed(99).build();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn evenly_spaced_is_linear() {
+        let keys: Vec<u32> = KeySetBuilder::new(1000)
+            .distribution(KeyDistribution::EvenlySpaced { gap: 7 })
+            .build();
+        assert_eq!(keys[0], 0);
+        assert_eq!(keys[999], 999 * 7);
+        assert!(keys.windows(2).all(|w| w[1] - w[0] == 7));
+    }
+
+    #[test]
+    fn jittered_keys_stay_distinct() {
+        let keys: Vec<u32> = KeySetBuilder::new(5000)
+            .distribution(KeyDistribution::JitteredSpaced { gap: 100, jitter: 40 })
+            .build();
+        assert_eq!(keys.len(), 5000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn polynomial_skew_is_nonlinear() {
+        let keys: Vec<u32> = KeySetBuilder::new(10_000)
+            .distribution(KeyDistribution::Polynomial { exponent: 3 })
+            .build();
+        assert_eq!(keys.len(), 10_000);
+        // Median key should sit far below the midpoint of the value range
+        // (the mass is crammed at the low end).
+        let median = keys[5_000] as f64;
+        let max = keys[9_999] as f64;
+        assert!(median < 0.2 * max, "median {median} vs max {max}");
+    }
+
+    #[test]
+    fn clustered_keys_have_gaps() {
+        let keys: Vec<u64> = KeySetBuilder::new(1000)
+            .distribution(KeyDistribution::Clustered { clusters: 10, intra_gap: 2 })
+            .build();
+        assert_eq!(keys.len(), 1000);
+        let max_gap = keys.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_gap > 1000, "expected inter-cluster jumps, got {max_gap}");
+    }
+
+    #[test]
+    fn u16_small_space_still_works() {
+        let keys: Vec<u16> = KeySetBuilder::new(30_000).build();
+        assert_eq!(keys.len(), 30_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "key space too small")]
+    fn rejects_impossible_distinct_request() {
+        let _: Vec<u16> = KeySetBuilder::new(70_000).build();
+    }
+
+    #[test]
+    fn paper_scale_one_million_fast() {
+        let keys: Vec<u32> = KeySetBuilder::new(1_000_000).build();
+        assert_eq!(keys.len(), 1_000_000);
+    }
+}

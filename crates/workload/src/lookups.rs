@@ -1,0 +1,196 @@
+//! Pre-generated lookup streams.
+//!
+//! §6.1: "The keys to look up are generated in advance to prevent the key
+//! generating time from affecting our measurements. We performed 100,000
+//! searches on randomly chosen matching keys." [`LookupStream`] reproduces
+//! that, plus miss mixes and Zipf-skewed hot-key streams.
+
+use crate::zipf::Zipf;
+use ccindex_common::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How missing probes are generated, for streams that include misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissMode {
+    /// Uniform random values over the whole key space (likely absent for
+    /// sparse key sets; the stream re-draws values that happen to exist).
+    UniformAbsent,
+    /// Values adjacent to existing keys (key + 1 where that is absent) —
+    /// worst case for methods that must complete a full descent to decide.
+    Adjacent,
+}
+
+/// A reproducible sequence of probe keys for an experiment.
+#[derive(Debug, Clone)]
+pub struct LookupStream<K> {
+    probes: Vec<K>,
+    expected_hits: usize,
+}
+
+impl<K: Key> LookupStream<K> {
+    /// The paper's protocol: `count` uniformly random *matching* keys.
+    pub fn successful(keys: &[K], count: usize, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "cannot draw lookups from an empty key set");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probes = (0..count)
+            .map(|_| keys[rng.gen_range(0..keys.len())])
+            .collect();
+        Self {
+            probes,
+            expected_hits: count,
+        }
+    }
+
+    /// A mix of hits and misses; `hit_ratio` in `[0, 1]`. `keys` must be
+    /// sorted (it is binary-searched to verify absence).
+    pub fn mixed(keys: &[K], count: usize, hit_ratio: f64, mode: MissMode, seed: u64) -> Self {
+        assert!(!keys.is_empty());
+        assert!((0.0..=1.0).contains(&hit_ratio), "hit_ratio out of range");
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut probes = Vec::with_capacity(count);
+        let mut hits = 0usize;
+        for _ in 0..count {
+            if rng.gen_range(0.0..1.0) < hit_ratio {
+                probes.push(keys[rng.gen_range(0..keys.len())]);
+                hits += 1;
+            } else {
+                probes.push(Self::draw_absent(keys, mode, &mut rng));
+            }
+        }
+        Self {
+            probes,
+            expected_hits: hits,
+        }
+    }
+
+    /// Zipf-skewed stream over the existing keys (hot-key locality): rank 0
+    /// = a random "hot" key, smaller ranks are probed more often.
+    pub fn zipf(keys: &[K], count: usize, theta: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Randomize which keys are hot by drawing a random starting offset
+        // and stride over the key set.
+        let z = Zipf::new(keys.len(), theta);
+        let offset = rng.gen_range(0..keys.len());
+        let probes = (0..count)
+            .map(|_| keys[(z.sample(&mut rng) + offset) % keys.len()])
+            .collect();
+        Self {
+            probes,
+            expected_hits: count,
+        }
+    }
+
+    fn draw_absent(keys: &[K], mode: MissMode, rng: &mut StdRng) -> K {
+        match mode {
+            MissMode::UniformAbsent => loop {
+                let cand = K::from_rank(rng.gen_range(0..=K::MAX_KEY.to_rank()));
+                if keys.binary_search(&cand).is_err() {
+                    return cand;
+                }
+            },
+            MissMode::Adjacent => loop {
+                let base = keys[rng.gen_range(0..keys.len())];
+                let cand = K::from_rank(base.to_rank().saturating_add(1));
+                if cand != base && keys.binary_search(&cand).is_err() {
+                    return cand;
+                }
+            },
+        }
+    }
+
+    /// The probe sequence.
+    pub fn probes(&self) -> &[K] {
+        &self.probes
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// How many probes are guaranteed to hit.
+    pub fn expected_hits(&self) -> usize {
+        self.expected_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyset() -> Vec<u32> {
+        (0..10_000u32).map(|i| i * 3).collect()
+    }
+
+    #[test]
+    fn successful_stream_only_contains_existing_keys() {
+        let keys = keyset();
+        let s = LookupStream::successful(&keys, 5000, 42);
+        assert_eq!(s.len(), 5000);
+        assert_eq!(s.expected_hits(), 5000);
+        assert!(s.probes().iter().all(|k| keys.binary_search(k).is_ok()));
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let keys = keyset();
+        let a = LookupStream::successful(&keys, 100, 7);
+        let b = LookupStream::successful(&keys, 100, 7);
+        let c = LookupStream::successful(&keys, 100, 8);
+        assert_eq!(a.probes(), b.probes());
+        assert_ne!(a.probes(), c.probes());
+    }
+
+    #[test]
+    fn mixed_stream_hit_ratio_respected() {
+        let keys = keyset();
+        let s = LookupStream::mixed(&keys, 10_000, 0.7, MissMode::UniformAbsent, 11);
+        let actual_hits = s
+            .probes()
+            .iter()
+            .filter(|k| keys.binary_search(k).is_ok())
+            .count();
+        assert_eq!(actual_hits, s.expected_hits());
+        assert!((actual_hits as f64 - 7000.0).abs() < 300.0, "hits={actual_hits}");
+    }
+
+    #[test]
+    fn adjacent_misses_are_adjacent() {
+        let keys = keyset();
+        let s = LookupStream::mixed(&keys, 2000, 0.0, MissMode::Adjacent, 3);
+        assert_eq!(s.expected_hits(), 0);
+        for k in s.probes() {
+            assert!(keys.binary_search(k).is_err());
+            assert!(keys.binary_search(&(k - 1)).is_ok(), "{k} not adjacent");
+        }
+    }
+
+    #[test]
+    fn zipf_stream_is_skewed() {
+        let keys = keyset();
+        let s = LookupStream::zipf(&keys, 50_000, 1.2, 5);
+        let mut counts = std::collections::HashMap::new();
+        for k in s.probes() {
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(
+            max > 50_000 / 100,
+            "hottest key should dominate a uniform share, got {max}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key set")]
+    fn rejects_empty_keyset() {
+        let _ = LookupStream::<u32>::successful(&[], 10, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Batch-update streams for the OLAP rebuild cycle.
+//!
+//! §1/§2.3: "OLAP workloads are query-intensive, and have infrequent batch
+//! updates. ... it may be relatively cheap to rebuild an index from scratch
+//! after a batch of updates." These generators produce the batches that
+//! `mmdb::update` applies before rebuilding, and that the Fig. 9 rebuild
+//! benchmark uses as its trigger.
+
+use ccindex_common::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One batch of modifications against a sorted key set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchUpdate<K> {
+    /// New keys, none of which exist in the base set (sorted, distinct).
+    pub inserts: Vec<K>,
+    /// Existing keys to remove (sorted, distinct).
+    pub deletes: Vec<K>,
+}
+
+impl<K: Key> BatchUpdate<K> {
+    /// Apply this batch to a sorted key vector, returning the new sorted
+    /// vector (the merge the paper assumes precedes an index rebuild).
+    pub fn apply(&self, base: &[K]) -> Vec<K> {
+        debug_assert!(base.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(base.len() + self.inserts.len());
+        let mut del = self.deletes.iter().peekable();
+        let mut ins = self.inserts.iter().peekable();
+        for &k in base {
+            while let Some(&&i) = ins.peek() {
+                if i < k {
+                    out.push(i);
+                    ins.next();
+                } else {
+                    break;
+                }
+            }
+            if del.peek() == Some(&&k) {
+                del.next();
+                continue;
+            }
+            out.push(k);
+        }
+        out.extend(ins.copied());
+        out
+    }
+
+    /// Net size change this batch produces.
+    pub fn net_delta(&self) -> isize {
+        self.inserts.len() as isize - self.deletes.len() as isize
+    }
+}
+
+/// Deterministic generator of batches against a base key set.
+#[derive(Debug)]
+pub struct UpdateGenerator {
+    rng: StdRng,
+}
+
+impl UpdateGenerator {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produce a batch of `inserts` new keys and `deletes` existing keys
+    /// against the sorted `base` set.
+    pub fn batch<K: Key>(&mut self, base: &[K], inserts: usize, deletes: usize) -> BatchUpdate<K> {
+        assert!(deletes <= base.len(), "cannot delete more keys than exist");
+        // Deletes: sample distinct positions.
+        let mut positions: Vec<usize> = (0..base.len()).collect();
+        for i in 0..deletes.min(base.len()) {
+            let j = self.rng.gen_range(i..positions.len());
+            positions.swap(i, j);
+        }
+        let mut del: Vec<K> = positions[..deletes].iter().map(|&p| base[p]).collect();
+        del.sort_unstable();
+
+        // Inserts: fresh keys not present in base.
+        let mut ins: Vec<K> = Vec::with_capacity(inserts);
+        let max = K::MAX_KEY.to_rank();
+        while ins.len() < inserts {
+            let cand = K::from_rank(self.rng.gen_range(0..=max));
+            if base.binary_search(&cand).is_err() && ins.binary_search(&cand).is_err() {
+                let pos = ins.partition_point(|k| *k < cand);
+                ins.insert(pos, cand);
+            }
+        }
+        BatchUpdate {
+            inserts: ins,
+            deletes: del,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<u32> {
+        (0..1000u32).map(|i| i * 10).collect()
+    }
+
+    #[test]
+    fn batch_has_requested_shape() {
+        let b = base();
+        let mut g = UpdateGenerator::new(1);
+        let batch = g.batch(&b, 50, 20);
+        assert_eq!(batch.inserts.len(), 50);
+        assert_eq!(batch.deletes.len(), 20);
+        assert_eq!(batch.net_delta(), 30);
+        assert!(batch.inserts.windows(2).all(|w| w[0] < w[1]));
+        assert!(batch.deletes.windows(2).all(|w| w[0] < w[1]));
+        // Inserts absent from base, deletes present.
+        assert!(batch.inserts.iter().all(|k| b.binary_search(k).is_err()));
+        assert!(batch.deletes.iter().all(|k| b.binary_search(k).is_ok()));
+    }
+
+    #[test]
+    fn apply_merges_correctly() {
+        let b = vec![10u32, 20, 30, 40];
+        let batch = BatchUpdate {
+            inserts: vec![5, 25, 50],
+            deletes: vec![20, 40],
+        };
+        assert_eq!(batch.apply(&b), vec![5, 10, 25, 30, 50]);
+    }
+
+    #[test]
+    fn apply_preserves_sortedness_and_size() {
+        let b = base();
+        let mut g = UpdateGenerator::new(2);
+        let batch = g.batch(&b, 137, 41);
+        let merged = batch.apply(&b);
+        assert_eq!(merged.len(), 1000 + 137 - 41);
+        assert!(merged.windows(2).all(|w| w[0] < w[1]));
+        // Every delete gone, every insert present.
+        for k in &batch.deletes {
+            assert!(merged.binary_search(k).is_err());
+        }
+        for k in &batch.inserts {
+            assert!(merged.binary_search(k).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let b = base();
+        let batch = BatchUpdate::<u32> {
+            inserts: vec![],
+            deletes: vec![],
+        };
+        assert_eq!(batch.apply(&b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot delete more")]
+    fn overdelete_rejected() {
+        let b = vec![1u32, 2];
+        let mut g = UpdateGenerator::new(3);
+        let _ = g.batch(&b, 0, 5);
+    }
+}

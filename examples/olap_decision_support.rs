@@ -1,0 +1,116 @@
+//! An OLAP mini-warehouse on the mmdb substrate (§2 of the paper).
+//!
+//! Builds a small star schema (orders ⋈ customers), domain-encodes the
+//! columns, sorts RID lists, and runs the paper's three index consumers —
+//! point selection, range selection, and indexed nested-loop join — with a
+//! CSS-tree as the inner index, then applies a batch update and rebuilds.
+//!
+//! ```sh
+//! cargo run --release --example olap_decision_support
+//! ```
+
+use ccindex::db::{
+    apply_batch, build_index, build_ordered_index, group_aggregate, indexed_nested_loop_join,
+    point_select, range_select, AggFn, IndexKind, RidList, TableBuilder,
+};
+use ccindex::db::domain::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Dimension: 10 000 customers across 8 regions.
+    let regions = ["north", "south", "east", "west", "nw", "ne", "sw", "se"];
+    let n_customers = 10_000i64;
+    let customers = TableBuilder::new("customers")
+        .int_column("id", 0..n_customers)
+        .str_column(
+            "region",
+            (0..n_customers).map(|_| regions[rng.gen_range(0..regions.len())]),
+        )
+        .build();
+
+    // Fact: 200 000 orders referencing customers, with amounts.
+    let n_orders = 200_000usize;
+    let orders = TableBuilder::new("orders")
+        .int_column("cust", (0..n_orders).map(|_| rng.gen_range(0..n_customers)))
+        .int_column("amount", (0..n_orders).map(|_| rng.gen_range(1..10_000)))
+        .build();
+
+    // Sorted RID list + CSS-tree on orders.amount (the paper's §2.2 setup).
+    let amount = orders.column("amount").expect("column");
+    let amount_rids = RidList::for_column(amount);
+    let amount_index = build_ordered_index(IndexKind::FullCss, amount_rids.keys());
+
+    // Point selection: orders of exactly 4999.
+    let exact = point_select(amount, &amount_rids, amount_index.as_ref(), &Value::Int(4999));
+    println!("orders with amount = 4999: {}", exact.len());
+
+    // Range selection: big-ticket orders.
+    let big = range_select(
+        amount,
+        &amount_rids,
+        amount_index.as_ref(),
+        &Value::Int(9_000),
+        &Value::Int(10_000),
+    );
+    println!("orders with amount in [9000, 10000]: {}", big.len());
+    // Verify against a scan.
+    let scan = (0..orders.rows() as u32)
+        .filter(|&r| matches!(amount.value(r), Value::Int(v) if (9_000..=10_000).contains(v)))
+        .count();
+    assert_eq!(big.len(), scan, "index agrees with full scan");
+
+    // Indexed nested-loop join: orders ⋈ customers on customer id, with a
+    // CSS-tree over the inner (customers.id) RID list.
+    let cust_id = customers.column("id").expect("column");
+    let cust_rids = RidList::for_column(cust_id);
+    let cust_index = build_index(IndexKind::FullCss, cust_rids.keys());
+    let joined = indexed_nested_loop_join(
+        orders.column("cust").expect("column"),
+        cust_id,
+        &cust_rids,
+        cust_index.as_ref(),
+    );
+    assert_eq!(joined.len(), n_orders, "every order has exactly one customer");
+    println!("orders ⋈ customers produced {} rows", joined.len());
+
+    // Aggregate the join: order count per region (a small GROUP BY).
+    let region = customers.column("region").expect("column");
+    let mut counts = std::collections::BTreeMap::<String, usize>::new();
+    for j in &joined {
+        let r = region.value(j.inner_rid).to_string();
+        *counts.entry(r).or_default() += 1;
+    }
+    println!("orders per region: {counts:?}");
+
+    // Grouped aggregation over the sorted RID list: total revenue per
+    // customer id band (the sorted order makes grouping a linear pass).
+    let cust_col = orders.column("cust").expect("column");
+    let cust_rids_orders = RidList::for_column(cust_col);
+    let revenue = group_aggregate(
+        cust_col,
+        &cust_rids_orders,
+        Some(orders.column("amount").expect("column")),
+        AggFn::Sum,
+    );
+    let top = revenue.iter().max_by_key(|g| g.value).expect("non-empty");
+    println!(
+        "{} customer groups; top customer {} with revenue {}",
+        revenue.len(),
+        top.group,
+        top.value
+    );
+
+    // The OLAP batch-update cycle (§2.3): merge a batch, rebuild the index.
+    let inserts: Vec<u32> = vec![0, 1, 2]; // three tiny new amounts (domain IDs)
+    let result = apply_batch(amount_rids.keys(), &inserts, &[], IndexKind::FullCss);
+    println!(
+        "batch of {} inserts merged in {:?}, CSS-tree rebuilt in {:?} over {} keys",
+        inserts.len(),
+        result.merge_time,
+        result.rebuild_time,
+        result.keys.len()
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a CSS-tree over a sorted array and look things up.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ccindex::prelude::*;
+
+fn main() {
+    // The paper's setting: a sorted array of 4-byte keys (e.g. a RID list
+    // ordered by some attribute). One million distinct random keys:
+    let keys: Vec<u32> = KeySetBuilder::new(1_000_000).build();
+
+    // A full CSS-tree with 16 keys per node — one 64-byte cache line.
+    // The directory is pointer-free: children are found by arithmetic.
+    let css = FullCssTree::<u32, 16>::build(&keys);
+
+    // Point lookups return the key's position in the sorted array.
+    let probe = keys[777_777];
+    assert_eq!(css.search(probe), Some(777_777));
+    println!("search({probe}) -> {:?}", css.search(probe));
+
+    // Misses are None; lower_bound gives the insertion point.
+    let absent = probe + 1;
+    if !keys.contains(&absent) {
+        assert_eq!(css.search(absent), None);
+        println!("search({absent}) -> None (lower_bound = {})", css.lower_bound(absent));
+    }
+
+    // Range query: positions of all keys in [lo, hi].
+    let (lo, hi) = (keys[1000], keys[1010]);
+    let (start, end) = css.key_range(lo, hi);
+    assert_eq!((start, end), (1000, 1011));
+    println!("keys in [{lo}, {hi}] occupy positions [{start}, {end})");
+
+    // The whole index costs ~1.7% of the data it indexes:
+    let space = css.space();
+    println!(
+        "directory: {} bytes over {} bytes of keys ({:.2}% overhead, {} levels)",
+        space.indirect_bytes,
+        keys.len() * 4,
+        100.0 * space.indirect_bytes as f64 / (keys.len() * 4) as f64,
+        css.stats().levels,
+    );
+
+    // The level variant trades a slot per node for exactly log2(n)
+    // comparisons per lookup; same API.
+    let level = LevelCssTree::<u32, 16>::build(&keys);
+    assert_eq!(level.search(probe), Some(777_777));
+    println!(
+        "level CSS-tree agrees; its directory is {} bytes",
+        level.space().indirect_bytes
+    );
+}

@@ -1,0 +1,133 @@
+//! Property tests focused on the CSS-tree itself: layout invariants,
+//! record trees, batched search, and construction validity over arbitrary
+//! inputs.
+
+use ccindex::common::{OrderedIndex, SearchIndex};
+use ccindex::css::{records::RecordCssTree, FullCssTree, GenericFullCss, LevelCssTree};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Algorithm 4.1's invariant holds for arbitrary inputs — including
+    /// heavy duplication and sizes straddling the layout's boundary cases.
+    #[test]
+    fn built_trees_validate(mut keys in vec(0u32..500, 0..700)) {
+        keys.sort_unstable();
+        FullCssTree::<u32, 4>::build(&keys).validate().map_err(|e| {
+            TestCaseError::fail(format!("m=4: {e}"))
+        })?;
+        FullCssTree::<u32, 16>::build(&keys).validate().map_err(|e| {
+            TestCaseError::fail(format!("m=16: {e}"))
+        })?;
+    }
+
+    /// Full, level and generic trees all agree with the reference on
+    /// random inputs across a spread of node sizes.
+    #[test]
+    fn variants_agree_with_reference(
+        mut keys in vec(0u32..2_000, 0..500),
+        probes in vec(0u32..2_100, 40),
+    ) {
+        keys.sort_unstable();
+        let full = FullCssTree::<u32, 5>::build(&keys);
+        let level = LevelCssTree::<u32, 8>::build(&keys);
+        let generic = GenericFullCss::build(&keys, 9);
+        for probe in probes {
+            let expected = keys.partition_point(|&k| k < probe);
+            prop_assert_eq!(full.lower_bound(probe), expected);
+            prop_assert_eq!(level.lower_bound(probe), expected);
+            prop_assert_eq!(generic.lower_bound(probe), expected);
+        }
+    }
+
+    /// The interleaved batch path is identical to the sequential path for
+    /// any probe multiset and lane count.
+    #[test]
+    fn batch_matches_sequential(
+        mut keys in vec(0u32..5_000, 1..800),
+        probes in vec(0u32..5_200, 1..200),
+    ) {
+        keys.sort_unstable();
+        let t = FullCssTree::<u32, 8>::build(&keys);
+        let seq = t.lower_bound_batch(&probes);
+        prop_assert_eq!(t.lower_bound_batch_interleaved::<3>(&probes), seq.clone());
+        prop_assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq);
+    }
+
+    /// Record trees behave like key trees regardless of payload width.
+    #[test]
+    fn record_tree_matches_key_tree(
+        mut keys in vec(0u32..3_000, 0..400),
+        probes in vec(0u32..3_100, 30),
+    ) {
+        keys.sort_unstable();
+        let records: Vec<(u32, u64)> =
+            keys.iter().map(|&k| (k, (k as u64).wrapping_mul(0x9E3779B9))).collect();
+        let kt = FullCssTree::<u32, 8>::build(&keys);
+        let rt = RecordCssTree::<(u32, u64), 8>::build(&records);
+        for probe in probes {
+            prop_assert_eq!(rt.lower_bound(probe), kt.lower_bound(probe));
+            let found = rt.search(probe);
+            prop_assert_eq!(found.map(|r| r.0), kt.search(probe).map(|_| probe));
+            if let Some(r) = found {
+                prop_assert_eq!(r.1, (probe as u64).wrapping_mul(0x9E3779B9));
+            }
+        }
+    }
+
+    /// `equal_range` over every ordered method equals the reference run
+    /// bounds, for arbitrarily duplicated keys.
+    #[test]
+    fn equal_range_matches_reference(
+        mut keys in vec(0u32..60, 1..400), // small domain -> many duplicates
+        probe in 0u32..70,
+    ) {
+        keys.sort_unstable();
+        let expected = (
+            keys.partition_point(|&k| k < probe),
+            keys.partition_point(|&k| k <= probe),
+        );
+        let arr = ccindex::common::SortedArray::from_slice(&keys);
+        for kind in ccindex::db::IndexKind::ORDERED {
+            let idx = ccindex::db::build_ordered_index(kind, &arr);
+            prop_assert_eq!(idx.equal_range(probe), expected, "{:?}", kind);
+            prop_assert_eq!(idx.count_key(probe), expected.1 - expected.0, "{:?}", kind);
+        }
+    }
+}
+
+/// Deterministic regression corpus for layout boundary cases discovered
+/// during development: exact powers of the branching factor, one-over
+/// sizes, and the dangling-leaf configuration.
+#[test]
+fn layout_boundary_regression_corpus() {
+    for (n, m) in [
+        (100usize, 4usize), // B = 25 = 5^2: all leaves on one level
+        (104, 4),           // dangling bottom leaves
+        (103, 4),           // dangling + partial last leaf
+        (4, 4),             // single full leaf
+        (5, 4),             // two leaves, depth 1
+        (624, 4),           // B = 156: within one of 5^3+...
+        (625 * 4, 4),       // B = 625 = 5^4
+        (16, 16),
+        (17, 16),
+        (4096, 16),
+    ] {
+        let keys: Vec<u32> = (0..n as u32).map(|i| i * 2 + 1).collect();
+        let t = ccindex::css::DynCssTree::build(
+            ccindex::css::CssVariant::Full,
+            m,
+            ccindex::common::SortedArray::from_slice(&keys),
+        );
+        use ccindex::common::OrderedIndex;
+        for probe in 0..(n as u32 * 2 + 3) {
+            assert_eq!(
+                t.lower_bound(probe),
+                keys.partition_point(|&k| k < probe),
+                "n={n} m={m} probe={probe}"
+            );
+        }
+    }
+}
