@@ -86,8 +86,16 @@ mod tests {
         let r = figure5_series(10, 60);
         assert_eq!(r.len(), 51);
         let at16 = r.iter().find(|p| p.m == 16).unwrap();
-        assert!((at16.comparison_ratio - 0.9136).abs() < 0.01, "{}", at16.comparison_ratio);
-        assert!((at16.cache_access_ratio - 1.0219).abs() < 0.005, "{}", at16.cache_access_ratio);
+        assert!(
+            (at16.comparison_ratio - 0.9136).abs() < 0.01,
+            "{}",
+            at16.comparison_ratio
+        );
+        assert!(
+            (at16.cache_access_ratio - 1.0219).abs() < 0.005,
+            "{}",
+            at16.cache_access_ratio
+        );
     }
 
     #[test]

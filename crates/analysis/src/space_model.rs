@@ -131,11 +131,20 @@ mod tests {
         assert_eq!(space_indirect(Method::BinarySearch, &p), 0.0);
         assert_eq!(space_direct(Method::InterpolationSearch, &p), 0.0);
         assert!(close(space_indirect(Method::FullCss, &p), 2.5), "full css");
-        assert!(close(space_indirect(Method::LevelCss, &p), 2.7), "level css");
+        assert!(
+            close(space_indirect(Method::LevelCss, &p), 2.7),
+            "level css"
+        );
         assert!(close(space_indirect(Method::BPlusTree, &p), 5.7), "b+");
-        assert!(close(space_indirect(Method::Hash, &p), 8.0), "hash indirect");
+        assert!(
+            close(space_indirect(Method::Hash, &p), 8.0),
+            "hash indirect"
+        );
         assert!(close(space_direct(Method::Hash, &p), 48.0), "hash direct");
-        assert!(close(space_indirect(Method::TTree, &p), 11.4), "ttree indirect");
+        assert!(
+            close(space_indirect(Method::TTree, &p), 11.4),
+            "ttree indirect"
+        );
         assert!(close(space_direct(Method::TTree, &p), 51.4), "ttree direct");
     }
 
@@ -166,7 +175,12 @@ mod tests {
     #[test]
     fn sweep_is_linear_in_n() {
         let p = Params::default();
-        let pts = sweep_n(Method::FullCss, &p, [10_000_000, 20_000_000, 30_000_000], false);
+        let pts = sweep_n(
+            Method::FullCss,
+            &p,
+            [10_000_000, 20_000_000, 30_000_000],
+            false,
+        );
         assert_eq!(pts.len(), 3);
         let unit = pts[0].1 / pts[0].0 as f64;
         for (n, b) in &pts {

@@ -154,11 +154,20 @@ mod tests {
     #[test]
     fn branching_factors_match_figure_6() {
         let p = p();
-        assert_eq!(cost_breakdown(Method::BinarySearch, &p).unwrap().branching, 2.0);
+        assert_eq!(
+            cost_breakdown(Method::BinarySearch, &p).unwrap().branching,
+            2.0
+        );
         assert_eq!(cost_breakdown(Method::TTree, &p).unwrap().branching, 2.0);
-        assert_eq!(cost_breakdown(Method::BPlusTree, &p).unwrap().branching, 8.0);
+        assert_eq!(
+            cost_breakdown(Method::BPlusTree, &p).unwrap().branching,
+            8.0
+        );
         assert_eq!(cost_breakdown(Method::FullCss, &p).unwrap().branching, 17.0);
-        assert_eq!(cost_breakdown(Method::LevelCss, &p).unwrap().branching, 16.0);
+        assert_eq!(
+            cost_breakdown(Method::LevelCss, &p).unwrap().branching,
+            16.0
+        );
     }
 
     #[test]
@@ -182,11 +191,18 @@ mod tests {
         // CSS-trees do slightly more.
         let p = p();
         let log2n = (p.n as f64).log2();
-        for m in [Method::BinarySearch, Method::TTree, Method::BPlusTree, Method::LevelCss] {
+        for m in [
+            Method::BinarySearch,
+            Method::TTree,
+            Method::BPlusTree,
+            Method::LevelCss,
+        ] {
             let c = cost_breakdown(m, &p).unwrap().total_comparisons;
             assert!((c - log2n).abs() < 1e-9, "{m:?}: {c}");
         }
-        let full = cost_breakdown(Method::FullCss, &p).unwrap().total_comparisons;
+        let full = cost_breakdown(Method::FullCss, &p)
+            .unwrap()
+            .total_comparisons;
         assert!(full > log2n, "full CSS does extra comparisons");
         assert!(full / log2n < 1.2, "but only slightly ({full})");
     }
@@ -245,8 +261,7 @@ mod tests {
         let p = p();
         let b = cost_breakdown(Method::FullCss, &p).unwrap();
         let t = estimate_time(&b, 2.0, 3.0, 80.0, 296e6);
-        let manual =
-            b.total_comparisons * 2.0 + b.moves * 3.0 + b.cache_misses * 80.0;
+        let manual = b.total_comparisons * 2.0 + b.moves * 3.0 + b.cache_misses * 80.0;
         assert!((t.cycles - manual).abs() < 1e-9);
         assert!((t.seconds - manual / 296e6).abs() < 1e-15);
     }

@@ -36,23 +36,15 @@ fn bench_node_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for &m in &[8usize, 16, 24, 32, 64, 128] {
         let full = DynCssTree::build(CssVariant::Full, m, arr.clone());
-        group.bench_with_input(BenchmarkId::new("full-css", m), &m, |b, _| {
-            run(b, &full)
-        });
+        group.bench_with_input(BenchmarkId::new("full-css", m), &m, |b, _| run(b, &full));
         if m.is_power_of_two() {
             let level = DynCssTree::build(CssVariant::Level, m, arr.clone());
-            group.bench_with_input(BenchmarkId::new("level-css", m), &m, |b, _| {
-                run(b, &level)
-            });
+            group.bench_with_input(BenchmarkId::new("level-css", m), &m, |b, _| run(b, &level));
         }
         let bp = build_bplus(&arr, m);
-        group.bench_with_input(BenchmarkId::new("bplus", m), &m, |b, _| {
-            run(b, bp.as_ref())
-        });
+        group.bench_with_input(BenchmarkId::new("bplus", m), &m, |b, _| run(b, bp.as_ref()));
         let tt = build_ttree(&arr, m);
-        group.bench_with_input(BenchmarkId::new("ttree", m), &m, |b, _| {
-            run(b, tt.as_ref())
-        });
+        group.bench_with_input(BenchmarkId::new("ttree", m), &m, |b, _| run(b, tt.as_ref()));
     }
     group.finish();
 }

@@ -24,21 +24,17 @@ fn bench_methods(c: &mut Criterion) {
         group.throughput(Throughput::Elements(probes.len() as u64));
         group.sample_size(10);
         for m in all_methods(&arr, 16) {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(&m.label),
-                &m,
-                |b, m| {
-                    b.iter(|| {
-                        let mut found = 0usize;
-                        for &p in probes {
-                            if m.index.search(p).is_some() {
-                                found += 1;
-                            }
+            group.bench_with_input(BenchmarkId::from_parameter(&m.label), &m, |b, m| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &p in probes {
+                        if m.index.search(p).is_some() {
+                            found += 1;
                         }
-                        found
-                    })
-                },
-            );
+                    }
+                    found
+                })
+            });
         }
         group.finish();
     }

@@ -4,7 +4,7 @@
 //! figures [OPTIONS] <WHAT>...
 //!
 //! WHAT:  fig1 table1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!        fig14 warmcache interp all
+//!        fig14 warmcache interp batched ablations all
 //!
 //! OPTIONS:
 //!   --simulate <machine>   run timing figures on the cache simulator
@@ -17,14 +17,18 @@
 //!
 //! `fig10`/`fig11` and `fig12`/`fig13` differ only in machine model, so
 //! the unsimulated run prints host measurements once and notes the
-//! mapping. Every figure's expected *shape* is described in
-//! EXPERIMENTS.md.
+//! mapping. Every figure's expected *shape* is described in the doc
+//! comment of the function that prints it, below.
 
 use analysis::space_model::{space_direct, space_indirect, Method};
 use analysis::time_model::cost_breakdown;
 use analysis::{csstree_ratios, Params};
-use bench::methods::{all_methods, build_bplus, build_hash, build_ttree};
-use bench::protocol::{run_lookup_protocol, simulate_lookup_protocol, Measurement};
+use bench::methods::{
+    all_methods, batched_comparison_methods, build_bplus, build_hash, build_ttree,
+};
+use bench::protocol::{
+    compare_sequential_vs_batched, run_lookup_protocol, simulate_lookup_protocol, Measurement,
+};
 use bench::report::{format_num, print_series, Series};
 use cachesim::Machine;
 use ccindex_common::{SearchIndex, SortedArray};
@@ -52,8 +56,8 @@ impl Options {
     fn measure(&self, index: &dyn SearchIndex<u32>, probes: &[u32]) -> Measurement {
         match &self.simulate {
             Some(name) => {
-                let mut machine = Machine::by_name(name)
-                    .unwrap_or_else(|| panic!("unknown machine '{name}'"));
+                let mut machine =
+                    Machine::by_name(name).unwrap_or_else(|| panic!("unknown machine '{name}'"));
                 simulate_lookup_protocol(index, probes, &mut machine)
             }
             None => run_lookup_protocol(index, probes, 3),
@@ -138,8 +142,50 @@ fn main() {
     if want("interp") {
         interp(&opts);
     }
+    if want("batched") {
+        batched(&opts);
+    }
     if want("ablations") {
         ablations(&opts);
+    }
+}
+
+/// Beyond-paper: the lookup protocol in sequential vs batched mode for
+/// the baseline quartet (binary search, B+-tree, both CSS variants). The
+/// CSS variants answer batches with interleaved multi-lane descents; the
+/// other two take the sequential default, so their two columns bound the
+/// overhead of the batch plumbing itself.
+fn batched(opts: &Options) {
+    let machine_label = opts.simulate.clone().unwrap_or_else(|| "host".to_string());
+    let n = opts.scaled(5_000_000);
+    let keys: Vec<u32> = KeySetBuilder::new(n).build();
+    let arr = SortedArray::from_slice(&keys);
+    let stream = LookupStream::successful(&keys, opts.lookups, 17);
+    let methods = batched_comparison_methods(&arr, 16);
+    let mut machine = opts
+        .simulate
+        .as_ref()
+        .map(|name| Machine::by_name(name).unwrap_or_else(|| panic!("unknown machine '{name}'")));
+    let block = 4096usize;
+    let rows = compare_sequential_vs_batched(&methods, stream.probes(), 3, block, machine.as_mut());
+    println!(
+        "\n== Batched lookup protocol ({machine_label}): {} probes, block {block}, n = {} ==",
+        stream.len(),
+        format_num(n as f64)
+    );
+    println!(
+        "{:>22} {:>16} {:>16} {:>9}",
+        "Method", "sequential (s)", "batched (s)", "delta"
+    );
+    for r in rows {
+        println!(
+            "{:>22} {:>16} {:>16} {:>8.1}%",
+            r.label,
+            format_num(r.sequential.total_seconds),
+            format_num(r.batched.total_seconds),
+            100.0 * (r.batched.total_seconds - r.sequential.total_seconds)
+                / r.sequential.total_seconds.max(1e-12)
+        );
     }
 }
 
@@ -176,13 +222,16 @@ fn ablations(opts: &Options) {
     // CSS batched lookups: sequential vs 8-way interleaved wall clock.
     let css = FullCssTree::<u32, 16>::build(&keys);
     let t0 = Instant::now();
-    let seq = css.lower_bound_batch(stream.probes());
+    let seq = css.lower_bound_batch_sequential(stream.probes());
     let t_seq = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let inter = css.lower_bound_batch_interleaved::<8>(stream.probes());
     let t_inter = t1.elapsed().as_secs_f64();
     assert_eq!(seq, inter);
-    println!("\n== Ablation: batched CSS lookups ({} probes) ==", stream.len());
+    println!(
+        "\n== Ablation: batched CSS lookups ({} probes) ==",
+        stream.len()
+    );
     println!(
         "sequential {} s, 8-way interleaved {} s ({:+.1}%)",
         format_num(t_seq),
@@ -255,7 +304,11 @@ fn fig5() {
 /// Fig. 6: the analytic cost model at Table 1 values.
 fn fig6() {
     let p = Params::default();
-    println!("\n== Figure 6: Time analysis (n = {}, m = {}) ==", format_num(p.n as f64), p.m());
+    println!(
+        "\n== Figure 6: Time analysis (n = {}, m = {}) ==",
+        format_num(p.n as f64),
+        p.m()
+    );
     println!(
         "{:>22} {:>10} {:>8} {:>12} {:>10} {:>12}",
         "Method", "branching", "levels", "comparisons", "moves", "cache misses"
@@ -283,7 +336,10 @@ fn fig6() {
 /// Fig. 7: space formulas at typical values.
 fn fig7() {
     let p = Params::default();
-    println!("\n== Figure 7: Space analysis (n = {}) ==", format_num(p.n as f64));
+    println!(
+        "\n== Figure 7: Space analysis (n = {}) ==",
+        format_num(p.n as f64)
+    );
     println!(
         "{:>22} {:>16} {:>16} {:>10}",
         "Method", "indirect (MB)", "direct (MB)", "RID-order"
@@ -306,7 +362,10 @@ fn fig7() {
 fn fig8() {
     let p = Params::default();
     let ns: Vec<usize> = (1..=9).map(|i| i * 10_000_000).collect();
-    for (direct, title) in [(false, "Figure 8(a): space (indirect)"), (true, "Figure 8(b): space (direct)")] {
+    for (direct, title) in [
+        (false, "Figure 8(a): space (indirect)"),
+        (true, "Figure 8(b): space (direct)"),
+    ] {
         let mut series = Vec::new();
         for m in Method::ALL {
             if m == Method::BinaryTree {
@@ -353,10 +412,7 @@ fn fig9(opts: &Options) {
 
 /// Figs. 10 & 11: search time vs array size, node sizes 8 and 16 ints.
 fn fig10_11(opts: &Options) {
-    let machine = opts
-        .simulate
-        .clone()
-        .unwrap_or_else(|| "host".to_string());
+    let machine = opts.simulate.clone().unwrap_or_else(|| "host".to_string());
     let max = opts.scaled(10_000_000);
     let mut sizes: Vec<usize> = vec![100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
     sizes.retain(|&s| s <= max.max(100));
@@ -390,10 +446,7 @@ fn fig10_11(opts: &Options) {
 
 /// Figs. 12 & 13: search time vs node size at fixed n (5 M and 10 M rows).
 fn fig12_13(opts: &Options) {
-    let machine = opts
-        .simulate
-        .clone()
-        .unwrap_or_else(|| "host".to_string());
+    let machine = opts.simulate.clone().unwrap_or_else(|| "host".to_string());
     for paper_n in [5_000_000usize, 10_000_000] {
         let n = opts.scaled(paper_n);
         let keys: Vec<u32> = KeySetBuilder::new(n).build();
@@ -407,9 +460,15 @@ fn fig12_13(opts: &Options) {
         let mut level = Series::new("level CSS-tree");
         for &m in &node_sizes {
             let t = build_ttree(&arr, m);
-            ttree.push(m as f64, opts.measure(t.as_ref(), stream.probes()).total_seconds);
+            ttree.push(
+                m as f64,
+                opts.measure(t.as_ref(), stream.probes()).total_seconds,
+            );
             let b = build_bplus(&arr, m);
-            bplus.push(m as f64, opts.measure(b.as_ref(), stream.probes()).total_seconds);
+            bplus.push(
+                m as f64,
+                opts.measure(b.as_ref(), stream.probes()).total_seconds,
+            );
             let f = DynCssTree::build(CssVariant::Full, m, arr.clone());
             full.push(m as f64, opts.measure(&f, stream.probes()).total_seconds);
             if m.is_power_of_two() {
@@ -438,7 +497,10 @@ fn fig12_13(opts: &Options) {
             &[ttree, bplus, full, level],
         );
         print_series(
-            &format!("Figure 12 hash sweep ({machine}), {} rows", format_num(n as f64)),
+            &format!(
+                "Figure 12 hash sweep ({machine}), {} rows",
+                format_num(n as f64)
+            ),
             "directory size",
             &opts.time_label(),
             &[hash],
@@ -448,10 +510,7 @@ fn fig12_13(opts: &Options) {
 
 /// Figs. 2/14: the space/time trade-off frontier.
 fn fig14(opts: &Options) {
-    let machine = opts
-        .simulate
-        .clone()
-        .unwrap_or_else(|| "host".to_string());
+    let machine = opts.simulate.clone().unwrap_or_else(|| "host".to_string());
     let n = opts.scaled(5_000_000);
     let keys: Vec<u32> = KeySetBuilder::new(n).build();
     let arr = SortedArray::from_slice(&keys);
@@ -471,7 +530,11 @@ fn fig14(opts: &Options) {
     for m in all_methods(&arr, 16) {
         if m.label == "array binary search" || m.label == "interpolation search" {
             let meas = opts.measure(m.index.as_ref(), stream.probes());
-            rows.push((m.label.clone(), meas.total_seconds, m.index.space().direct_bytes));
+            rows.push((
+                m.label.clone(),
+                meas.total_seconds,
+                m.index.space().direct_bytes,
+            ));
         }
     }
     // Node-size sweeps.
@@ -514,7 +577,12 @@ fn fig14(opts: &Options) {
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     for (label, t, space) in rows {
-        println!("{:>28} {:>16} {:>16}", label, format_num(t), format_num(space as f64));
+        println!(
+            "{:>28} {:>16} {:>16}",
+            label,
+            format_num(t),
+            format_num(space as f64)
+        );
     }
 }
 
@@ -550,10 +618,19 @@ fn warmcache(opts: &Options) {
 fn interp(opts: &Options) {
     let n = opts.scaled(5_000_000);
     println!("\n== Interpolation search vs distribution (host) ==");
-    println!("{:>14} {:>18} {:>18}", "distribution", "interp (s)", "binary (s)");
+    println!(
+        "{:>14} {:>18} {:>18}",
+        "distribution", "interp (s)", "binary (s)"
+    );
     for (name, dist) in [
         ("linear", KeyDistribution::EvenlySpaced { gap: 10 }),
-        ("jittered", KeyDistribution::JitteredSpaced { gap: 100, jitter: 40 }),
+        (
+            "jittered",
+            KeyDistribution::JitteredSpaced {
+                gap: 100,
+                jitter: 40,
+            },
+        ),
         ("random", KeyDistribution::UniformRandom),
         ("polynomial", KeyDistribution::Polynomial { exponent: 4 }),
     ] {

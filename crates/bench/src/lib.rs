@@ -12,6 +12,10 @@ pub mod methods;
 pub mod protocol;
 pub mod report;
 
-pub use methods::{all_methods, MethodInstance};
-pub use protocol::{run_lookup_protocol, simulate_lookup_protocol, Measurement};
+pub use methods::{all_methods, batched_comparison_methods, MethodInstance};
+pub use protocol::{
+    compare_sequential_vs_batched, run_lookup_protocol, run_lookup_protocol_with,
+    simulate_lookup_protocol, simulate_lookup_protocol_with, BatchComparison, Measurement,
+    ProbeMode,
+};
 pub use report::{print_series, Series};

@@ -22,7 +22,10 @@ pub(crate) fn build_directory<K: Key, const BR: usize>(
     keys: &[K],
     layout: &BPlusLayout,
 ) -> Vec<Level<K, BR>> {
-    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let mut levels: Vec<Level<K, BR>> = Vec::with_capacity(layout.directory_levels());
     if layout.leaves <= 1 {
         return levels;
@@ -102,7 +105,12 @@ mod tests {
         let levels = build_directory::<u32, 8>(&keys, &layout);
         let root = &levels.last().unwrap().nodes[0];
         // Root's separators must be increasing over real children.
-        let real: Vec<u32> = root.keys.iter().copied().filter(|&k| k != u32::MAX).collect();
+        let real: Vec<u32> = root
+            .keys
+            .iter()
+            .copied()
+            .filter(|&k| k != u32::MAX)
+            .collect();
         assert!(real.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -85,7 +85,10 @@ impl<K: Key, const BR: usize> BPlusTree<K, BR> {
             let node = &self.levels[level].nodes[idx as usize];
             // One node = one (or s) cache line(s): the whole node is the
             // fetch unit.
-            tracer.read(self.node_addr(level, idx), core::mem::size_of::<BPlusNode<K, BR>>());
+            tracer.read(
+                self.node_addr(level, idx),
+                core::mem::size_of::<BPlusNode<K, BR>>(),
+            );
             let slot = Self::choose_child(node, key, tracer);
             idx = node.children[slot];
             tracer.descend();
@@ -145,7 +148,10 @@ impl<K: Key, const BR: usize> SearchIndex<K> for BPlusTree<K, BR> {
     }
     fn space(&self) -> SpaceReport {
         // Fig. 7: identical in both columns (the directory stores no RIDs).
-        SpaceReport::same(self.layout.space_bytes(core::mem::size_of::<BPlusNode<K, BR>>()))
+        SpaceReport::same(
+            self.layout
+                .space_bytes(core::mem::size_of::<BPlusNode<K, BR>>()),
+        )
     }
     fn stats(&self) -> IndexStats {
         IndexStats {

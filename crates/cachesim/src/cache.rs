@@ -35,14 +35,31 @@ impl Cache {
     /// an integral number of sets, non-power-of-two block size, zero
     /// associativity).
     pub fn new(capacity: usize, block_bytes: usize, associativity: usize) -> Self {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(associativity >= 1, "associativity must be >= 1");
-        assert!(capacity >= block_bytes * associativity, "cache too small for one set");
+        assert!(
+            capacity >= block_bytes * associativity,
+            "cache too small for one set"
+        );
         let blocks = capacity / block_bytes;
-        assert_eq!(blocks * block_bytes, capacity, "capacity must be a multiple of block size");
-        assert_eq!(blocks % associativity, 0, "blocks must divide evenly into sets");
+        assert_eq!(
+            blocks * block_bytes,
+            capacity,
+            "capacity must be a multiple of block size"
+        );
+        assert_eq!(
+            blocks % associativity,
+            0,
+            "blocks must divide evenly into sets"
+        );
         let sets = blocks / associativity;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         Self {
             capacity,
             block_bytes,
@@ -199,7 +216,7 @@ mod tests {
     #[test]
     fn lru_order_within_set() {
         let mut c = Cache::new(512, 64, 2); // 4 sets, 2-way
-        // Three blocks mapping to set 0: 0, 4, 8.
+                                            // Three blocks mapping to set 0: 0, 4, 8.
         c.access(0, 1); // miss: {0}
         c.access(4 * 64, 1); // miss: {4,0}
         c.access(0, 1); // hit: {0,4}

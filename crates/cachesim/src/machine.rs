@@ -178,16 +178,31 @@ mod tests {
 
     #[test]
     fn by_name_resolves_aliases() {
-        assert_eq!(Machine::by_name("ultrasparc").unwrap().spec.name, "Ultra Sparc II");
+        assert_eq!(
+            Machine::by_name("ultrasparc").unwrap().spec.name,
+            "Ultra Sparc II"
+        );
         assert_eq!(Machine::by_name("P2").unwrap().spec.name, "Pentium II");
-        assert_eq!(Machine::by_name("modern").unwrap().spec.name, "Modern x86-64");
+        assert_eq!(
+            Machine::by_name("modern").unwrap().spec.name,
+            "Modern x86-64"
+        );
         assert!(Machine::by_name("vax").is_none());
     }
 
     #[test]
     fn penalties_align_with_cache_levels() {
-        for spec in [MachineSpec::ultrasparc2(), MachineSpec::pentium2(), MachineSpec::modern()] {
-            assert_eq!(spec.caches.len(), spec.miss_penalty_cycles.len(), "{}", spec.name);
+        for spec in [
+            MachineSpec::ultrasparc2(),
+            MachineSpec::pentium2(),
+            MachineSpec::modern(),
+        ] {
+            assert_eq!(
+                spec.caches.len(),
+                spec.miss_penalty_cycles.len(),
+                "{}",
+                spec.name
+            );
             // Penalties must grow with depth (memory is the most expensive).
             for w in spec.miss_penalty_cycles.windows(2) {
                 assert!(w[0] < w[1], "{}", spec.name);

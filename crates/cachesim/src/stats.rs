@@ -86,8 +86,14 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let early = CacheStats { hits: 10, misses: 2 };
-        let late = CacheStats { hits: 15, misses: 5 };
+        let early = CacheStats {
+            hits: 10,
+            misses: 2,
+        };
+        let late = CacheStats {
+            hits: 15,
+            misses: 5,
+        };
         assert_eq!(late.since(early), CacheStats { hits: 5, misses: 3 });
     }
 

@@ -13,6 +13,13 @@
 use crate::key::Key;
 use crate::tracer::AccessTracer;
 
+/// Default number of interleaved probe lanes used by batch-aware indexes
+/// when a caller reaches them through the trait-object batch methods
+/// (which cannot carry a lane count). Eight in-flight probes is enough to
+/// cover a random-access miss on current memory subsystems without
+/// spilling the per-lane state out of registers.
+pub const DEFAULT_BATCH_LANES: usize = 8;
+
 /// Space occupied by an index structure, following Fig. 7's two columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpaceReport {
@@ -79,6 +86,35 @@ pub trait SearchIndex<K: Key>: Send + Sync {
     /// `tracer` (used by the cache simulator).
     fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize>;
 
+    /// Look up a whole batch of probes; `out[i]` is `search(probes[i])`.
+    ///
+    /// The paper's index consumers are batch-shaped — an indexed
+    /// nested-loop join performs "a lot of searching through indexes on
+    /// the inner relations" (§2.2) — so the batch, not the single probe,
+    /// is the unit the database layer hands to an index. The default is
+    /// the sequential per-probe loop; cache-conscious structures override
+    /// it with a software-pipelined descent that keeps several
+    /// independent probes' node fetches in flight at once (the batching
+    /// counterpart of the paper's cache-line node sizing).
+    fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
+        probes.iter().map(|&p| self.search(p)).collect()
+    }
+
+    /// As [`SearchIndex::search_batch`], reporting every memory access to
+    /// `tracer` so the cache simulator can replay the batched access
+    /// pattern (which differs from the sequential one precisely when an
+    /// override interleaves probes).
+    fn search_batch_traced(
+        &self,
+        probes: &[K],
+        tracer: &mut dyn AccessTracer,
+    ) -> Vec<Option<usize>> {
+        probes
+            .iter()
+            .map(|&p| self.search_traced(p, tracer))
+            .collect()
+    }
+
     /// Space accounting per Fig. 7.
     fn space(&self) -> SpaceReport;
 
@@ -97,6 +133,23 @@ pub trait OrderedIndex<K: Key>: SearchIndex<K> {
 
     /// As [`OrderedIndex::lower_bound`], with access tracing.
     fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize;
+
+    /// Lower bounds for a whole batch; `out[i]` is
+    /// `lower_bound(probes[i])`. Sequential by default; batch-aware
+    /// structures override it with an interleaved multi-lane descent (see
+    /// [`SearchIndex::search_batch`] for the rationale).
+    fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+        probes.iter().map(|&p| self.lower_bound(p)).collect()
+    }
+
+    /// As [`OrderedIndex::lower_bound_batch`], with access tracing for
+    /// cache-simulator replay of the batched pattern.
+    fn lower_bound_batch_traced(&self, probes: &[K], tracer: &mut dyn AccessTracer) -> Vec<usize> {
+        probes
+            .iter()
+            .map(|&p| self.lower_bound_traced(p, tracer))
+            .collect()
+    }
 
     /// Half-open positional range `[start, end)` of entries with keys in
     /// the inclusive key range `[lo, hi]`. Used for range selections (§2.2).
@@ -204,6 +257,21 @@ mod tests {
         let r = SpaceReport::same(128);
         assert_eq!(r.indirect_bytes, 128);
         assert_eq!(r.direct_bytes, 128);
+    }
+
+    #[test]
+    fn default_batch_methods_match_sequential() {
+        let idx = VecIndex(vec![1, 3, 3, 5, 9]);
+        let probes = [0u32, 1, 2, 3, 9, 10];
+        let expect_search: Vec<_> = probes.iter().map(|&p| idx.search(p)).collect();
+        let expect_lb: Vec<_> = probes.iter().map(|&p| idx.lower_bound(p)).collect();
+        assert_eq!(idx.search_batch(&probes), expect_search);
+        assert_eq!(idx.lower_bound_batch(&probes), expect_lb);
+        let mut t = NoopTracer;
+        assert_eq!(idx.search_batch_traced(&probes, &mut t), expect_search);
+        assert_eq!(idx.lower_bound_batch_traced(&probes, &mut t), expect_lb);
+        assert!(idx.search_batch(&[]).is_empty());
+        assert!(idx.lower_bound_batch(&[]).is_empty());
     }
 
     #[test]

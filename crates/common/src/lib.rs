@@ -24,7 +24,7 @@ pub mod tracer;
 
 pub use align::{AlignedBuf, CACHE_LINE_BYTES};
 pub use array::SortedArray;
-pub use index::{IndexStats, OrderedIndex, SearchIndex, SpaceReport};
+pub use index::{IndexStats, OrderedIndex, SearchIndex, SpaceReport, DEFAULT_BATCH_LANES};
 pub use key::Key;
 pub use layout::{ceil_div, ceil_log, ilog_floor, pow_saturating};
 pub use tracer::{AccessKind, AccessTracer, CountingTracer, NoopTracer, RecordingTracer};

@@ -2,108 +2,204 @@
 //!
 //! The OLAP consumers of §2.2 rarely issue one probe at a time: an indexed
 //! nested-loop join performs "a lot of searching through indexes on the
-//! inner relations". [`FullCssTree::lower_bound_batch_interleaved`]
-//! exploits that: it advances `S` independent probes one directory level
-//! per round, so the `S` node fetches of a round are all in flight
-//! together instead of serialised behind one another — the
+//! inner relations". The batch entry points here exploit that:
+//! [`interleaved_descent`] advances up to `lanes` independent probes one
+//! directory level per round, so the node fetches of a round are all in
+//! flight together instead of serialised behind one another — the
 //! software-pipelining counterpart of the paper's cache-line sizing (a
 //! beyond-paper extension; the paper's own protocol is reproduced by the
 //! sequential path, which the batch is tested against).
+//!
+//! One descent helper serves every variant — full, level and generic
+//! trees differ only in how they pick a branch within a node, so that
+//! choice is a closure and the lane bookkeeping lives in exactly one
+//! place.
 
 use crate::full::FullCssTree;
-use crate::layout::LeafSegment;
-use ccindex_common::{Key, NoopTracer};
+use crate::layout::{CssLayout, LeafSegment};
+use crate::level::LevelCssTree;
+use ccindex_common::{AccessTracer, Key, NoopTracer, SortedArray};
 
-impl<K: Key, const M: usize> FullCssTree<K, M> {
-    /// Sequential batch: `lower_bound` per probe.
-    pub fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
-        probes
-            .iter()
-            .map(|&p| self.lower_bound_with(p, &mut NoopTracer))
-            .collect()
-    }
-
-    /// Level-synchronous batch with `S` interleaved lanes.
-    ///
-    /// Produces exactly the same positions as
-    /// [`FullCssTree::lower_bound_batch`].
-    pub fn lower_bound_batch_interleaved<const S: usize>(&self, probes: &[K]) -> Vec<usize> {
-        assert!(S >= 1, "at least one lane");
-        let layout = self.layout();
-        let mut out = vec![0usize; probes.len()];
-        for (chunk_idx, chunk) in probes.chunks(S).enumerate() {
-            let base = chunk_idx * S;
-            let mut nodes = [0usize; S];
-            let mut live = [false; S];
-            for (lane, _) in chunk.iter().enumerate() {
-                live[lane] = true;
-            }
-            // Advance every live lane one directory level per round.
-            let mut any_internal = layout.internal_nodes > 0;
-            while any_internal {
-                any_internal = false;
-                for lane in 0..chunk.len() {
-                    if live[lane] && layout.is_internal(nodes[lane]) {
-                        let l = self.branch_of(nodes[lane], chunk[lane]);
-                        nodes[lane] = layout.child(nodes[lane], l);
-                        if layout.is_internal(nodes[lane]) {
-                            any_internal = true;
-                        }
-                    }
+/// Level-synchronous interleaved descent over a CSS directory.
+///
+/// Probes are processed in chunks of `lanes`; within a chunk every live
+/// lane advances one directory level per round (`branch` picks the child
+/// slot for one `(node, probe)` pair), then each lane's virtual leaf is
+/// handed to `resolve`. The tracer is threaded through both closures so
+/// the cache simulator can replay the *batched* access pattern, which is
+/// exactly what distinguishes this path from a sequential descent.
+pub(crate) fn interleaved_descent<K, T, B, R>(
+    layout: &CssLayout,
+    probes: &[K],
+    lanes: usize,
+    tracer: &mut T,
+    mut branch: B,
+    mut resolve: R,
+) -> Vec<usize>
+where
+    K: Key,
+    T: AccessTracer,
+    B: FnMut(usize, K, &mut T) -> usize,
+    R: FnMut(usize, K, &mut T) -> usize,
+{
+    assert!(lanes >= 1, "at least one lane");
+    let lanes = lanes.min(probes.len()).max(1);
+    let mut out = vec![0usize; probes.len()];
+    let mut nodes = vec![0usize; lanes];
+    for (chunk_idx, chunk) in probes.chunks(lanes).enumerate() {
+        let base = chunk_idx * lanes;
+        for node in nodes[..chunk.len()].iter_mut() {
+            *node = 0;
+        }
+        // Advance every lane still inside the directory one level per
+        // round; lanes whose subtrees are shallower simply sit at their
+        // leaf until the round loop drains.
+        let mut any_internal = layout.internal_nodes > 0;
+        while any_internal {
+            any_internal = false;
+            for (lane, &probe) in chunk.iter().enumerate() {
+                let d = nodes[lane];
+                if layout.is_internal(d) {
+                    let next = layout.child(d, branch(d, probe, tracer));
+                    tracer.descend();
+                    nodes[lane] = next;
+                    any_internal |= layout.is_internal(next);
                 }
             }
-            // Resolve leaves.
-            for (lane, &probe) in chunk.iter().enumerate() {
-                out[base + lane] = self.resolve_leaf(nodes[lane], probe);
+        }
+        for (lane, &probe) in chunk.iter().enumerate() {
+            out[base + lane] = resolve(nodes[lane], probe, tracer);
+        }
+    }
+    out
+}
+
+/// Binary search of one resolved virtual leaf's array segment — the final
+/// step shared by the sequential and batched paths of every CSS variant.
+pub(crate) fn resolve_leaf<K: Key, T: AccessTracer>(
+    layout: &CssLayout,
+    array: &SortedArray<K>,
+    leaf: usize,
+    probe: K,
+    tracer: &mut T,
+) -> usize {
+    let n = array.len();
+    if n == 0 {
+        return 0;
+    }
+    let (start, end) = match layout.leaf_segment(leaf) {
+        LeafSegment::Range { start, end } => (start, end),
+        LeafSegment::BeyondEnd => return n, // probe exceeds every key
+    };
+    let a = array.as_slice();
+    let mut lo = start;
+    let mut hi = end;
+    while lo < hi {
+        let mid = lo + ((hi - lo) >> 1);
+        tracer.compare();
+        tracer.read(array.addr_of(mid), K::WIDTH);
+        if a[mid] < probe {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Equality check turning batched lower bounds into batched point
+/// lookups, tracing the leaf reads exactly like the sequential
+/// `search_with`.
+pub(crate) fn confirm_matches<K: Key, T: AccessTracer>(
+    array: &SortedArray<K>,
+    probes: &[K],
+    lower_bounds: Vec<usize>,
+    tracer: &mut T,
+) -> Vec<Option<usize>> {
+    let n = array.len();
+    lower_bounds
+        .into_iter()
+        .zip(probes)
+        .map(|(pos, &probe)| {
+            if pos < n {
+                tracer.compare();
+                if array.get_traced(pos, tracer) == probe {
+                    return Some(pos);
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// The identical batch surface for both specialised tree variants; the
+/// variants differ only in the `node_branch` the descent closure calls.
+macro_rules! impl_css_batch {
+    ($tree:ident) => {
+        impl<K: Key, const M: usize> $tree<K, M> {
+            /// Sequential batch: one full `lower_bound` descent per probe,
+            /// in order. This is the paper-faithful reference the
+            /// interleaved path is tested against.
+            pub fn lower_bound_batch_sequential(&self, probes: &[K]) -> Vec<usize> {
+                probes
+                    .iter()
+                    .map(|&p| self.lower_bound_with(p, &mut NoopTracer))
+                    .collect()
+            }
+
+            /// Level-synchronous batch with a compile-time lane count.
+            ///
+            /// Produces exactly the same positions as
+            /// [`Self::lower_bound_batch_sequential`].
+            pub fn lower_bound_batch_interleaved<const S: usize>(
+                &self,
+                probes: &[K],
+            ) -> Vec<usize> {
+                self.lower_bound_batch_lanes(probes, S)
+            }
+
+            /// Level-synchronous batch with a runtime lane count.
+            pub fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+                self.lower_bound_batch_lanes_with(probes, lanes, &mut NoopTracer)
+            }
+
+            /// As [`Self::lower_bound_batch_lanes`], reporting the batched
+            /// access pattern to `tracer`.
+            pub fn lower_bound_batch_lanes_with<T: AccessTracer>(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                tracer: &mut T,
+            ) -> Vec<usize> {
+                interleaved_descent(
+                    self.layout(),
+                    probes,
+                    lanes,
+                    tracer,
+                    |d, p, tr| self.node_branch(d, p, tr),
+                    |leaf, p, tr| resolve_leaf(self.layout(), self.array(), leaf, p, tr),
+                )
+            }
+
+            /// Batched point lookup: interleaved lower bounds plus the
+            /// per-probe equality check.
+            pub fn search_batch_lanes_with<T: AccessTracer>(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                tracer: &mut T,
+            ) -> Vec<Option<usize>> {
+                let lbs = self.lower_bound_batch_lanes_with(probes, lanes, tracer);
+                confirm_matches(self.array(), probes, lbs, tracer)
             }
         }
-        out
-    }
+    };
+}
 
-    /// Branch selection for one node (shared with the batch path).
-    #[inline]
-    pub(crate) fn branch_of(&self, d: usize, probe: K) -> usize {
-        let dir = self.directory_slice();
-        let base = d * M;
-        let node = &dir[base..base + M];
-        let mut lo = 0usize;
-        let mut hi = M;
-        while lo < hi {
-            let mid = (lo + hi) >> 1;
-            if node[mid] < probe {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
-    }
+impl_css_batch!(FullCssTree);
+impl_css_batch!(LevelCssTree);
 
-    /// Leaf binary search for one resolved virtual leaf node.
-    #[inline]
-    pub(crate) fn resolve_leaf(&self, leaf: usize, probe: K) -> usize {
-        let n = self.array().len();
-        if n == 0 {
-            return 0;
-        }
-        let (start, end) = match self.layout().leaf_segment(leaf) {
-            LeafSegment::Range { start, end } => (start, end),
-            LeafSegment::BeyondEnd => return n,
-        };
-        let a = self.array().as_slice();
-        let mut lo = start;
-        let mut hi = end;
-        while lo < hi {
-            let mid = lo + ((hi - lo) >> 1);
-            if a[mid] < probe {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
-    }
-
+impl<K: Key, const M: usize> FullCssTree<K, M> {
     /// Structural self-check: every internal entry must be non-decreasing
     /// within its node and equal the largest key of its child subtree
     /// (Algorithm 4.1's invariant, recomputed independently), and every
@@ -149,6 +245,7 @@ impl<K: Key, const M: usize> FullCssTree<K, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccindex_common::{CountingTracer, OrderedIndex, SearchIndex};
 
     fn tree(n: u32) -> FullCssTree<u32, 8> {
         let keys: Vec<u32> = (0..n).map(|i| i * 3 + 1).collect();
@@ -159,11 +256,34 @@ mod tests {
     fn interleaved_agrees_with_sequential() {
         let t = tree(10_000);
         let probes: Vec<u32> = (0..4_000u32).map(|i| i * 7 % 31_000).collect();
-        let seq = t.lower_bound_batch(&probes);
+        let seq = t.lower_bound_batch_sequential(&probes);
         assert_eq!(t.lower_bound_batch_interleaved::<4>(&probes), seq);
         assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq);
         assert_eq!(t.lower_bound_batch_interleaved::<16>(&probes), seq);
         assert_eq!(t.lower_bound_batch_interleaved::<1>(&probes), seq);
+        for lanes in [1usize, 2, 3, 5, 13, 64, 5_000] {
+            assert_eq!(
+                t.lower_bound_batch_lanes(&probes, lanes),
+                seq,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_tree_batches_agree_with_sequential() {
+        let keys: Vec<u32> = (0..9_000u32).map(|i| i * 2).collect();
+        let t = LevelCssTree::<u32, 16>::build(&keys);
+        let probes: Vec<u32> = (0..3_000u32).map(|i| i * 11 % 19_000).collect();
+        let seq = t.lower_bound_batch_sequential(&probes);
+        assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq);
+        for lanes in [1usize, 2, 7, 32] {
+            assert_eq!(
+                t.lower_bound_batch_lanes(&probes, lanes),
+                seq,
+                "lanes={lanes}"
+            );
+        }
     }
 
     #[test]
@@ -172,11 +292,44 @@ mod tests {
         let probes: Vec<u32> = (0..13u32).collect(); // not a multiple of S
         assert_eq!(
             t.lower_bound_batch_interleaved::<8>(&probes),
-            t.lower_bound_batch(&probes)
+            t.lower_bound_batch_sequential(&probes)
         );
         assert!(t.lower_bound_batch_interleaved::<8>(&[]).is_empty());
         let empty = FullCssTree::<u32, 8>::build(&[]);
         assert_eq!(empty.lower_bound_batch_interleaved::<4>(&[5]), vec![0]);
+        assert_eq!(empty.search_batch(&[5]), vec![None]);
+    }
+
+    #[test]
+    fn trait_batch_overrides_route_through_interleaved_descent() {
+        let t = tree(50_000);
+        let probes: Vec<u32> = (0..2_000u32).map(|i| i * 13 % 151_000).collect();
+        // Trait-object calls must agree with the sequential defaults.
+        let idx: &dyn OrderedIndex<u32> = &t;
+        assert_eq!(
+            idx.lower_bound_batch(&probes),
+            t.lower_bound_batch_sequential(&probes)
+        );
+        let expect: Vec<Option<usize>> = probes.iter().map(|&p| t.search(p)).collect();
+        assert_eq!(idx.search_batch(&probes), expect);
+    }
+
+    #[test]
+    fn traced_batch_reports_directory_reads() {
+        let t = tree(100_000);
+        let probes: Vec<u32> = (0..256u32).map(|i| i * 997).collect();
+        let mut seq_tr = CountingTracer::new();
+        for &p in &probes {
+            t.lower_bound_with(p, &mut seq_tr);
+        }
+        let mut batch_tr = CountingTracer::new();
+        let got = t.lower_bound_batch_lanes_with(&probes, 8, &mut batch_tr);
+        assert_eq!(got, t.lower_bound_batch_sequential(&probes));
+        // Interleaving reorders accesses but performs the same work.
+        assert_eq!(batch_tr.reads, seq_tr.reads);
+        assert_eq!(batch_tr.bytes_read, seq_tr.bytes_read);
+        assert_eq!(batch_tr.compares, seq_tr.compares);
+        assert_eq!(batch_tr.descends, seq_tr.descends);
     }
 
     #[test]

@@ -95,6 +95,47 @@ macro_rules! dyn_css {
                     Self::Generic(t) => t.lower_bound_with(key, tracer),
                 }
             }
+
+            /// Batched lower bounds with a runtime-tunable lane count —
+            /// the interleaved descent of [`crate::batch`] with `lanes`
+            /// probes in flight per round, on whichever monomorphised
+            /// tree this enum wraps.
+            pub fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+                self.lower_bound_batch_lanes_with(probes, lanes, &mut NoopTracer)
+            }
+
+            /// As [`DynCssTree::lower_bound_batch_lanes`], with access
+            /// tracing for cache-simulator replay.
+            pub fn lower_bound_batch_lanes_with<T: AccessTracer>(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                tracer: &mut T,
+            ) -> Vec<usize> {
+                match self {
+                    $(
+                        Self::$variant_full(t) => t.lower_bound_batch_lanes_with(probes, lanes, tracer),
+                        Self::$variant_level(t) => t.lower_bound_batch_lanes_with(probes, lanes, tracer),
+                    )+
+                    Self::Generic(t) => t.lower_bound_batch_lanes_with(probes, lanes, tracer),
+                }
+            }
+
+            /// Batched point lookups with a runtime-tunable lane count.
+            pub fn search_batch_lanes_with<T: AccessTracer>(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                tracer: &mut T,
+            ) -> Vec<Option<usize>> {
+                match self {
+                    $(
+                        Self::$variant_full(t) => t.search_batch_lanes_with(probes, lanes, tracer),
+                        Self::$variant_level(t) => t.search_batch_lanes_with(probes, lanes, tracer),
+                    )+
+                    Self::Generic(t) => t.search_batch_lanes_with(probes, lanes, tracer),
+                }
+            }
         }
 
         impl<K: Key> SearchIndex<K> for DynCssTree<K> {
@@ -122,6 +163,16 @@ macro_rules! dyn_css {
             fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
                 self.search_with(key, &mut { tracer })
             }
+            fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
+                self.search_batch_lanes_with(probes, ccindex_common::DEFAULT_BATCH_LANES, &mut NoopTracer)
+            }
+            fn search_batch_traced(
+                &self,
+                probes: &[K],
+                tracer: &mut dyn AccessTracer,
+            ) -> Vec<Option<usize>> {
+                self.search_batch_lanes_with(probes, ccindex_common::DEFAULT_BATCH_LANES, &mut { tracer })
+            }
             fn space(&self) -> SpaceReport {
                 match self {
                     $(
@@ -148,6 +199,16 @@ macro_rules! dyn_css {
             }
             fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
                 self.lower_bound_with(key, &mut { tracer })
+            }
+            fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+                self.lower_bound_batch_lanes(probes, ccindex_common::DEFAULT_BATCH_LANES)
+            }
+            fn lower_bound_batch_traced(
+                &self,
+                probes: &[K],
+                tracer: &mut dyn AccessTracer,
+            ) -> Vec<usize> {
+                self.lower_bound_batch_lanes_with(probes, ccindex_common::DEFAULT_BATCH_LANES, &mut { tracer })
             }
         }
     };
@@ -214,6 +275,36 @@ mod tests {
         let _a = DynCssTree::build(CssVariant::Full, 16, arr.clone());
         let _b = DynCssTree::build(CssVariant::Level, 16, arr.clone());
         assert_eq!(arr.holders(), 3);
+    }
+
+    #[test]
+    fn runtime_lanes_agree_with_per_probe_lookups() {
+        let ks = keys(3000);
+        let arr = SortedArray::from_slice(&ks);
+        let probes: Vec<u32> = (0..500u32).map(|i| i * 19 % 9_100).collect();
+        let expected: Vec<usize> = probes
+            .iter()
+            .map(|&p| ks.partition_point(|&k| k < p))
+            .collect();
+        for (variant, m) in [
+            (CssVariant::Full, 16usize),
+            (CssVariant::Level, 8),
+            (CssVariant::Full, 24), // generic fallback
+        ] {
+            let t = DynCssTree::build(variant, m, arr.clone());
+            for lanes in [1usize, 4, 8, 33] {
+                assert_eq!(
+                    t.lower_bound_batch_lanes(&probes, lanes),
+                    expected,
+                    "{variant:?} m={m} lanes={lanes}"
+                );
+            }
+            // The trait-level batch entry points route through the
+            // interleaved descent and must agree too.
+            assert_eq!(t.lower_bound_batch(&probes), expected, "{variant:?} m={m}");
+            let point: Vec<Option<usize>> = probes.iter().map(|&p| t.search(p)).collect();
+            assert_eq!(t.search_batch(&probes), point, "{variant:?} m={m}");
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! subtrees dangle past the data are padded with the first part's last
 //! element, which keeps every reachable descent inside the array.
 
+use crate::batch;
 use crate::layout::{CssLayout, LeafSegment};
 use ccindex_common::{
     AccessTracer, AlignedBuf, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray,
-    SpaceReport,
+    SpaceReport, DEFAULT_BATCH_LANES,
 };
 
 /// A full CSS-tree with `M` keys per directory node (`M + 1`-way).
@@ -108,15 +109,13 @@ impl<K: Key, const M: usize> FullCssTree<K, M> {
     /// Leftmost slot of node `d` with key `>= probe`, else `M`.
     ///
     /// Binary search over a const-size node — monomorphisation unrolls
-    /// this into the specialised comparison tree of §6.2.
+    /// this into the specialised comparison tree of §6.2. Shared with the
+    /// interleaved batch descent in [`crate::batch`].
     #[inline(always)]
-    fn node_branch<T: AccessTracer>(&self, d: usize, probe: K, tracer: &mut T) -> usize {
+    pub(crate) fn node_branch<T: AccessTracer>(&self, d: usize, probe: K, tracer: &mut T) -> usize {
         let base = d * M;
         let node = &self.directory.as_slice()[base..base + M];
-        tracer.read(
-            self.directory.base_addr() + base * K::WIDTH,
-            M * K::WIDTH,
-        );
+        tracer.read(self.directory.base_addr() + base * K::WIDTH, M * K::WIDTH);
         let mut lo = 0usize;
         let mut hi = M;
         while lo < hi {
@@ -145,30 +144,11 @@ impl<K: Key, const M: usize> FullCssTree<K, M> {
 
     /// Leftmost position with key `>= probe`, traced.
     pub fn lower_bound_with<T: AccessTracer>(&self, probe: K, tracer: &mut T) -> usize {
-        let n = self.array.len();
-        if n == 0 {
+        if self.array.is_empty() {
             return 0;
         }
         let leaf = self.descend(probe, tracer);
-        let (start, end) = match self.layout.leaf_segment(leaf) {
-            LeafSegment::Range { start, end } => (start, end),
-            LeafSegment::BeyondEnd => return n, // probe exceeds every key
-        };
-        // Hard-coded binary search of the leaf segment in the sorted array.
-        let a = self.array.as_slice();
-        let mut lo = start;
-        let mut hi = end;
-        while lo < hi {
-            let mid = lo + ((hi - lo) >> 1);
-            tracer.compare();
-            tracer.read(self.array.addr_of(mid), K::WIDTH);
-            if a[mid] < probe {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        batch::resolve_leaf(&self.layout, &self.array, leaf, probe, tracer)
     }
 
     /// Leftmost matching position, traced.
@@ -197,6 +177,16 @@ impl<K: Key, const M: usize> SearchIndex<K> for FullCssTree<K, M> {
     fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
         self.search_with(key, &mut { tracer })
     }
+    fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut NoopTracer)
+    }
+    fn search_batch_traced(
+        &self,
+        probes: &[K],
+        tracer: &mut dyn AccessTracer,
+    ) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
+    }
     fn space(&self) -> SpaceReport {
         SpaceReport::same(self.directory.size_bytes())
     }
@@ -216,6 +206,12 @@ impl<K: Key, const M: usize> OrderedIndex<K> for FullCssTree<K, M> {
     }
     fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
         self.lower_bound_with(key, &mut { tracer })
+    }
+    fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+        self.lower_bound_batch_lanes(probes, DEFAULT_BATCH_LANES)
+    }
+    fn lower_bound_batch_traced(&self, probes: &[K], tracer: &mut dyn AccessTracer) -> Vec<usize> {
+        self.lower_bound_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
     }
 }
 
@@ -308,7 +304,11 @@ mod tests {
         assert!(tr.descends <= 4, "descends = {}", tr.descends);
         // Total comparisons stay ~log2 n (§4: "the total number of
         // comparisons is the same" as binary search).
-        assert!((18..=28).contains(&(tr.compares as usize)), "compares = {}", tr.compares);
+        assert!(
+            (18..=28).contains(&(tr.compares as usize)),
+            "compares = {}",
+            tr.compares
+        );
     }
 
     #[test]
@@ -319,11 +319,7 @@ mod tests {
         let t = FullCssTree::<u32, 16>::build(&keys);
         let mut tr = ccindex_common::RecordingTracer::new();
         t.search_with(54_321, &mut tr);
-        let node_reads = tr
-            .accesses
-            .iter()
-            .filter(|&&(_, _, len)| len == 64)
-            .count() as u32;
+        let node_reads = tr.accesses.iter().filter(|&&(_, _, len)| len == 64).count() as u32;
         // Bottom-level leaves are `depth` internal reads away, upper-level
         // leaves one fewer.
         let depth = t.layout().depth;

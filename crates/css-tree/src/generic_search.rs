@@ -12,10 +12,11 @@
 //! claim. It also backs [`crate::DynCssTree`] for non-standard node sizes
 //! such as the m = 24 bump point of Figs. 12–13.
 
+use crate::batch;
 use crate::layout::{CssLayout, LeafSegment};
 use ccindex_common::{
     AccessTracer, AlignedBuf, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray,
-    SpaceReport,
+    SpaceReport, DEFAULT_BATCH_LANES,
 };
 
 /// A full CSS-tree whose node size is a runtime value.
@@ -73,6 +74,30 @@ impl<K: Key> GenericFullCss<K> {
         &self.layout
     }
 
+    /// Runtime-`m` intra-node search: the deliberately unspecialised
+    /// branch pick (division and data-dependent bounds the compiler cannot
+    /// unroll). Shared with the interleaved batch descent in
+    /// [`crate::batch`].
+    pub(crate) fn node_branch<T: AccessTracer>(&self, d: usize, probe: K, tracer: &mut T) -> usize {
+        let m = self.layout.m;
+        let base = d * m;
+        let dir = self.directory.as_slice();
+        tracer.read(self.directory.base_addr() + base * K::WIDTH, m * K::WIDTH);
+        // Generic (non-unrolled) intra-node binary search.
+        let mut lo = 0usize;
+        let mut hi = m;
+        while lo < hi {
+            let mid = (lo + hi) / 2; // division, not shift: the ablation
+            tracer.compare();
+            if dir[base + mid] < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// Leftmost position with key `>= probe`, traced.
     pub fn lower_bound_with<T: AccessTracer>(&self, probe: K, tracer: &mut T) -> usize {
         let n = self.array.len();
@@ -80,24 +105,10 @@ impl<K: Key> GenericFullCss<K> {
             return 0;
         }
         let m = self.layout.m;
-        let dir = self.directory.as_slice();
         let mut d = 0usize;
         while self.layout.is_internal(d) {
-            let base = d * m;
-            tracer.read(self.directory.base_addr() + base * K::WIDTH, m * K::WIDTH);
-            // Generic (non-unrolled) intra-node binary search.
-            let mut lo = 0usize;
-            let mut hi = m;
-            while lo < hi {
-                let mid = (lo + hi) / 2; // division, not shift: the ablation
-                tracer.compare();
-                if dir[base + mid] < probe {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
-            }
-            d = d * (m + 1) + 1 + lo; // multiplication, not shift
+            let l = self.node_branch(d, probe, tracer);
+            d = d * (m + 1) + 1 + l; // multiplication, not shift
             tracer.descend();
         }
         let (start, end) = match self.layout.leaf_segment(d) {
@@ -118,6 +129,47 @@ impl<K: Key> GenericFullCss<K> {
             }
         }
         lo
+    }
+
+    /// Sequential batch: one full descent per probe (reference path).
+    pub fn lower_bound_batch_sequential(&self, probes: &[K]) -> Vec<usize> {
+        probes
+            .iter()
+            .map(|&p| self.lower_bound_with(p, &mut NoopTracer))
+            .collect()
+    }
+
+    /// Level-synchronous batch with a runtime lane count.
+    pub fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+        self.lower_bound_batch_lanes_with(probes, lanes, &mut NoopTracer)
+    }
+
+    /// As [`Self::lower_bound_batch_lanes`], with access tracing.
+    pub fn lower_bound_batch_lanes_with<T: AccessTracer>(
+        &self,
+        probes: &[K],
+        lanes: usize,
+        tracer: &mut T,
+    ) -> Vec<usize> {
+        batch::interleaved_descent(
+            &self.layout,
+            probes,
+            lanes,
+            tracer,
+            |d, p, tr| self.node_branch(d, p, tr),
+            |leaf, p, tr| batch::resolve_leaf(&self.layout, &self.array, leaf, p, tr),
+        )
+    }
+
+    /// Batched point lookup via the interleaved descent.
+    pub fn search_batch_lanes_with<T: AccessTracer>(
+        &self,
+        probes: &[K],
+        lanes: usize,
+        tracer: &mut T,
+    ) -> Vec<Option<usize>> {
+        let lbs = self.lower_bound_batch_lanes_with(probes, lanes, tracer);
+        batch::confirm_matches(&self.array, probes, lbs, tracer)
     }
 
     /// Leftmost matching position, traced.
@@ -146,6 +198,16 @@ impl<K: Key> SearchIndex<K> for GenericFullCss<K> {
     fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
         self.search_with(key, &mut { tracer })
     }
+    fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut NoopTracer)
+    }
+    fn search_batch_traced(
+        &self,
+        probes: &[K],
+        tracer: &mut dyn AccessTracer,
+    ) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
+    }
     fn space(&self) -> SpaceReport {
         SpaceReport::same(self.directory.size_bytes())
     }
@@ -166,6 +228,12 @@ impl<K: Key> OrderedIndex<K> for GenericFullCss<K> {
     fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
         self.lower_bound_with(key, &mut { tracer })
     }
+    fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+        self.lower_bound_batch_lanes(probes, DEFAULT_BATCH_LANES)
+    }
+    fn lower_bound_batch_traced(&self, probes: &[K], tracer: &mut dyn AccessTracer) -> Vec<usize> {
+        self.lower_bound_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +246,11 @@ mod tests {
         let spec = crate::FullCssTree::<u32, 16>::build(&keys);
         let gen = GenericFullCss::build(&keys, 16);
         for probe in 0..6_100u32 {
-            assert_eq!(gen.lower_bound(probe), spec.lower_bound(probe), "probe {probe}");
+            assert_eq!(
+                gen.lower_bound(probe),
+                spec.lower_bound(probe),
+                "probe {probe}"
+            );
             assert_eq!(gen.search(probe), spec.search(probe), "probe {probe}");
         }
     }

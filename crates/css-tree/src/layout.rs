@@ -215,24 +215,30 @@ mod tests {
     fn fig3_leaf_mapping_switches_regions() {
         let l = CssLayout::full(260, 4);
         // Bottom-level leaf 31 is the first part's start.
-        assert_eq!(
-            l.leaf_segment(31),
-            LeafSegment::Range { start: 0, end: 4 }
-        );
+        assert_eq!(l.leaf_segment(31), LeafSegment::Range { start: 0, end: 4 });
         // Last bottom leaf 80 ends the first part.
         assert_eq!(
             l.leaf_segment(80),
-            LeafSegment::Range { start: 196, end: 200 }
+            LeafSegment::Range {
+                start: 196,
+                end: 200
+            }
         );
         // Upper leaf 16 starts region II (tail of the array).
         assert_eq!(
             l.leaf_segment(16),
-            LeafSegment::Range { start: 200, end: 204 }
+            LeafSegment::Range {
+                start: 200,
+                end: 204
+            }
         );
         // Last upper leaf 30 ends at n.
         assert_eq!(
             l.leaf_segment(30),
-            LeafSegment::Range { start: 256, end: 260 }
+            LeafSegment::Range {
+                start: 256,
+                end: 260
+            }
         );
     }
 
@@ -275,10 +281,7 @@ mod tests {
             assert_eq!(l.leaves, ceil_div(n, 4));
             assert_eq!(l.first_part_len, n);
             if n > 0 {
-                assert_eq!(
-                    l.leaf_segment(0),
-                    LeafSegment::Range { start: 0, end: n }
-                );
+                assert_eq!(l.leaf_segment(0), LeafSegment::Range { start: 0, end: n });
             }
         }
     }

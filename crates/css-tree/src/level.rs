@@ -12,10 +12,11 @@
 //! fill parent entries without re-descending subtrees. That is why level
 //! trees build measurably faster than full trees (Fig. 9).
 
+use crate::batch;
 use crate::layout::{CssLayout, LeafSegment};
 use ccindex_common::{
     AccessTracer, AlignedBuf, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex, SortedArray,
-    SpaceReport,
+    SpaceReport, DEFAULT_BATCH_LANES,
 };
 
 /// A level CSS-tree with `M`-slot nodes (`M − 1` separator keys + 1
@@ -100,9 +101,10 @@ impl<K: Key, const M: usize> LevelCssTree<K, M> {
     /// Leftmost branch with separator `>= probe`, else `M − 1`.
     ///
     /// Exactly `t = log2 M` comparisons over the `M − 1` separators — the
-    /// full binary comparison tree of Fig. 4.
+    /// full binary comparison tree of Fig. 4. Shared with the interleaved
+    /// batch descent in [`crate::batch`].
     #[inline(always)]
-    fn node_branch<T: AccessTracer>(&self, d: usize, probe: K, tracer: &mut T) -> usize {
+    pub(crate) fn node_branch<T: AccessTracer>(&self, d: usize, probe: K, tracer: &mut T) -> usize {
         let base = d * M;
         let node = &self.directory.as_slice()[base..base + M];
         tracer.read(self.directory.base_addr() + base * K::WIDTH, M * K::WIDTH);
@@ -135,29 +137,11 @@ impl<K: Key, const M: usize> LevelCssTree<K, M> {
 
     /// Leftmost position with key `>= probe`, traced.
     pub fn lower_bound_with<T: AccessTracer>(&self, probe: K, tracer: &mut T) -> usize {
-        let n = self.array.len();
-        if n == 0 {
+        if self.array.is_empty() {
             return 0;
         }
         let leaf = self.descend(probe, tracer);
-        let (start, end) = match self.layout.leaf_segment(leaf) {
-            LeafSegment::Range { start, end } => (start, end),
-            LeafSegment::BeyondEnd => return n,
-        };
-        let a = self.array.as_slice();
-        let mut lo = start;
-        let mut hi = end;
-        while lo < hi {
-            let mid = lo + ((hi - lo) >> 1);
-            tracer.compare();
-            tracer.read(self.array.addr_of(mid), K::WIDTH);
-            if a[mid] < probe {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        batch::resolve_leaf(&self.layout, &self.array, leaf, probe, tracer)
     }
 
     /// Leftmost matching position, traced.
@@ -186,6 +170,16 @@ impl<K: Key, const M: usize> SearchIndex<K> for LevelCssTree<K, M> {
     fn search_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> Option<usize> {
         self.search_with(key, &mut { tracer })
     }
+    fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut NoopTracer)
+    }
+    fn search_batch_traced(
+        &self,
+        probes: &[K],
+        tracer: &mut dyn AccessTracer,
+    ) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
+    }
     fn space(&self) -> SpaceReport {
         SpaceReport::same(self.directory.size_bytes())
     }
@@ -205,6 +199,12 @@ impl<K: Key, const M: usize> OrderedIndex<K> for LevelCssTree<K, M> {
     }
     fn lower_bound_traced(&self, key: K, tracer: &mut dyn AccessTracer) -> usize {
         self.lower_bound_with(key, &mut { tracer })
+    }
+    fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
+        self.lower_bound_batch_lanes(probes, DEFAULT_BATCH_LANES)
+    }
+    fn lower_bound_batch_traced(&self, probes: &[K], tracer: &mut dyn AccessTracer) -> Vec<usize> {
+        self.lower_bound_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })
     }
 }
 

@@ -231,7 +231,9 @@ mod tests {
             for probe in 0..(n * 3 + 4) {
                 assert_eq!(
                     t.lower_bound(probe),
-                    data.iter().position(|r| r.key >= probe).unwrap_or(n as usize),
+                    data.iter()
+                        .position(|r| r.key >= probe)
+                        .unwrap_or(n as usize),
                     "n={n} probe={probe}"
                 );
             }

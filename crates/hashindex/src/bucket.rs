@@ -112,7 +112,11 @@ mod tests {
         b.push(20, 6);
         assert_eq!(b.find(10), Some(5));
         assert_eq!(b.find(20), Some(6));
-        assert_eq!(b.find(0), None, "default key in unoccupied slot is not a match");
+        assert_eq!(
+            b.find(0),
+            None,
+            "default key in unoccupied slot is not a match"
+        );
     }
 
     #[test]

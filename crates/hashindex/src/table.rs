@@ -311,8 +311,12 @@ mod tests {
         let keys: Vec<u32> = (0..2048).map(|i| i * 256).collect();
         let low = H::build_with_config(&keys, 256, crate::HashFn::LowBits);
         let fib = H::build_with_config(&keys, 256, crate::HashFn::Fibonacci);
-        assert!(low.max_chain() > 10 * fib.max_chain(),
-            "low {} vs fib {}", low.max_chain(), fib.max_chain());
+        assert!(
+            low.max_chain() > 10 * fib.max_chain(),
+            "low {} vs fib {}",
+            low.max_chain(),
+            fib.max_chain()
+        );
         for (i, &k) in keys.iter().enumerate().step_by(37) {
             assert_eq!(fib.search(k), Some(i));
             assert_eq!(fib.search(k + 1), None);

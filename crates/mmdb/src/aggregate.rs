@@ -106,9 +106,18 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                GroupRow { group: "e".into(), value: 3 },
-                GroupRow { group: "n".into(), value: 1 },
-                GroupRow { group: "w".into(), value: 2 },
+                GroupRow {
+                    group: "e".into(),
+                    value: 3
+                },
+                GroupRow {
+                    group: "n".into(),
+                    value: 1
+                },
+                GroupRow {
+                    group: "w".into(),
+                    value: 2
+                },
             ]
         );
     }
@@ -119,8 +128,20 @@ mod tests {
         let region = t.column("region").unwrap();
         let amount = t.column("amount").unwrap();
         let sums = group_aggregate(region, &rl, Some(amount), AggFn::Sum);
-        assert_eq!(sums[0], GroupRow { group: "e".into(), value: 100 }); // 10+30+60
-        assert_eq!(sums[2], GroupRow { group: "w".into(), value: 70 }); // 20+50
+        assert_eq!(
+            sums[0],
+            GroupRow {
+                group: "e".into(),
+                value: 100
+            }
+        ); // 10+30+60
+        assert_eq!(
+            sums[2],
+            GroupRow {
+                group: "w".into(),
+                value: 70
+            }
+        ); // 20+50
         let mins = group_aggregate(region, &rl, Some(amount), AggFn::Min);
         assert_eq!(mins[0].value, 10);
         let maxs = group_aggregate(region, &rl, Some(amount), AggFn::Max);

@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn encodes_and_decodes_rows() {
-        let vals: Vec<Value> = ["b", "a", "c", "a", "b"].iter().map(|&s| s.into()).collect();
+        let vals: Vec<Value> = ["b", "a", "c", "a", "b"]
+            .iter()
+            .map(|&s| s.into())
+            .collect();
         let col = Column::from_values(&vals);
         assert_eq!(col.len(), 5);
         assert_eq!(col.domain().len(), 3);

@@ -81,6 +81,53 @@ impl Domain {
         self.values.binary_search(value).ok().map(|i| i as u32)
     }
 
+    /// Domain IDs for a whole batch of values; `out[i]` is
+    /// `encode(values[i])`.
+    ///
+    /// "Transforming domain values to domain IDs requires searching on
+    /// the domain" (§2.2), and the query operators transform constants by
+    /// the batch, so the search runs [`DEFAULT_BATCH_LANES`] interleaved
+    /// bisections: every live probe advances one step per round, keeping
+    /// the round's dictionary accesses independent of one another — the
+    /// same software pipelining the CSS-trees apply to directory descents.
+    ///
+    /// [`DEFAULT_BATCH_LANES`]: ccindex_common::DEFAULT_BATCH_LANES
+    pub fn encode_batch(&self, values: &[Value]) -> Vec<Option<u32>> {
+        const LANES: usize = ccindex_common::DEFAULT_BATCH_LANES;
+        let n = self.values.len();
+        let mut out = vec![None; values.len()];
+        if n == 0 {
+            return out;
+        }
+        for (chunk_idx, chunk) in values.chunks(LANES).enumerate() {
+            let base = chunk_idx * LANES;
+            let mut lo = [0usize; LANES];
+            let mut hi = [n; LANES];
+            let mut live = true;
+            while live {
+                live = false;
+                for (lane, probe) in chunk.iter().enumerate() {
+                    if lo[lane] < hi[lane] {
+                        let mid = lo[lane] + (hi[lane] - lo[lane]) / 2;
+                        if self.values[mid] < *probe {
+                            lo[lane] = mid + 1;
+                        } else {
+                            hi[lane] = mid;
+                        }
+                        live |= lo[lane] < hi[lane];
+                    }
+                }
+            }
+            for (lane, probe) in chunk.iter().enumerate() {
+                let pos = lo[lane];
+                if pos < n && self.values[pos] == *probe {
+                    out[base + lane] = Some(pos as u32);
+                }
+            }
+        }
+        out
+    }
+
     /// ID of the first domain value `>= value` (equals `len` when every
     /// value is smaller). This is how inequality predicates on raw values
     /// become inequality predicates on IDs.
@@ -170,9 +217,30 @@ mod tests {
     #[test]
     fn id_range_maps_value_ranges() {
         let d = Domain::from_values((0..50).map(|i| Value::Int(i * 10)).collect());
-        assert_eq!(d.id_range(&Value::Int(95), &Value::Int(130)), Some((10, 13)));
-        assert_eq!(d.id_range(&Value::Int(100), &Value::Int(100)), Some((10, 10)));
+        assert_eq!(
+            d.id_range(&Value::Int(95), &Value::Int(130)),
+            Some((10, 13))
+        );
+        assert_eq!(
+            d.id_range(&Value::Int(100), &Value::Int(100)),
+            Some((10, 10))
+        );
         assert_eq!(d.id_range(&Value::Int(101), &Value::Int(109)), None);
+    }
+
+    #[test]
+    fn encode_batch_matches_encode() {
+        let d = Domain::from_values((0..137).map(|i| Value::Int(i * 3)).collect());
+        let probes: Vec<Value> = (0..450).map(|i| Value::Int(i - 20)).collect();
+        let expected: Vec<Option<u32>> = probes.iter().map(|v| d.encode(v)).collect();
+        assert_eq!(d.encode_batch(&probes), expected);
+        // Degenerate shapes: empty batch, empty domain, ragged tails.
+        assert!(d.encode_batch(&[]).is_empty());
+        let empty = Domain::from_values(vec![]);
+        assert_eq!(empty.encode_batch(&probes[..3]), vec![None, None, None]);
+        for len in [1usize, 7, 8, 9, 15, 16, 17] {
+            assert_eq!(d.encode_batch(&probes[..len]), expected[..len]);
+        }
     }
 
     #[test]

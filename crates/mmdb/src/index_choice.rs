@@ -153,7 +153,9 @@ mod tests {
     fn css_space_is_smallest_directory(/* §1's headline, at the DB layer */) {
         let ks = SortedArray::from_slice(&(0..200_000u32).collect::<Vec<_>>());
         let css = build_index(IndexKind::FullCss, &ks).space().indirect_bytes;
-        let bplus = build_index(IndexKind::BPlusTree, &ks).space().indirect_bytes;
+        let bplus = build_index(IndexKind::BPlusTree, &ks)
+            .space()
+            .indirect_bytes;
         let ttree = build_index(IndexKind::TTree, &ks).space().indirect_bytes;
         let hash = build_index(IndexKind::Hash, &ks).space().indirect_bytes;
         assert!(css > 0 && css < bplus && bplus < ttree && css < hash);

@@ -35,7 +35,10 @@ pub use aggregate::{group_aggregate, AggFn, GroupRow};
 pub use column::Column;
 pub use domain::Domain;
 pub use index_choice::{build_index, build_ordered_index, IndexKind};
-pub use query::{indexed_nested_loop_join, point_select, range_select, JoinRow};
+pub use query::{
+    indexed_nested_loop_join, point_select, point_select_many, range_select, range_select_many,
+    JoinRow, JOIN_PROBE_BLOCK,
+};
 pub use rid::RidList;
 pub use table::{Table, TableBuilder};
 pub use update::{apply_batch, BatchResult};

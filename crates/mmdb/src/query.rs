@@ -1,17 +1,25 @@
-//! Query operators: the paper's three index consumers (§2.2).
+//! Query operators: the paper's three index consumers (§2.2), batched.
 //!
 //! 1. "searching an index is still useful for answering single value
-//!    selection queries and range queries" — [`point_select`] and
-//!    [`range_select`];
+//!    selection queries and range queries" — [`point_select_many`] and
+//!    [`range_select_many`] (with [`point_select`] / [`range_select`] as
+//!    the batch-of-one conveniences);
 //! 2. "cheaper random access makes indexed nested loop joins more
 //!    affordable ... This approach requires a lot of searching through
 //!    indexes on the inner relations" — [`indexed_nested_loop_join`];
 //! 3. "transforming domain values to domain IDs requires searching on the
-//!    domain" — every operator below starts with a domain `encode`.
+//!    domain" — every operator below starts with a batched domain
+//!    [`encode_batch`](crate::domain::Domain::encode_batch).
+//!
+//! In the decision-support setting probes arrive by the hundred-thousand,
+//! so every operator hands the index whole probe batches
+//! (`search_batch` / `lower_bound_batch`); batch-aware structures such as
+//! the CSS-trees answer them with interleaved multi-lane descents instead
+//! of one serialised lookup per probe.
 
 use crate::column::Column;
-use crate::rid::RidList;
 use crate::domain::Value;
+use crate::rid::RidList;
 use ccindex_common::{OrderedIndex, SearchIndex};
 
 /// One output row of an indexed nested-loop join.
@@ -23,8 +31,16 @@ pub struct JoinRow {
     pub inner_rid: u32,
 }
 
-/// All RIDs whose column value equals `value`, via one index search plus a
-/// rightward duplicate scan (§3.6).
+/// How many outer rows an [`indexed_nested_loop_join`] hands to the inner
+/// index per `search_batch` call. Large enough to fill every interleave
+/// lane many times over, small enough that the probe scratch stays
+/// cache-resident.
+pub const JOIN_PROBE_BLOCK: usize = 1024;
+
+/// All RIDs whose column value equals `value`, via one index search plus
+/// a rightward duplicate scan (§3.6). Single-probe fast path — batches of
+/// constants should go through [`point_select_many`] instead (it is
+/// equivalence-tested against this function for every index kind).
 pub fn point_select(
     column: &Column,
     rid_list: &RidList,
@@ -45,8 +61,51 @@ pub fn point_select(
     rid_list.rids_in(first, end).to_vec()
 }
 
+/// One RID set per probe value: a single batched domain encoding followed
+/// by a single batched index probe, plus the §3.6 rightward duplicate
+/// scan per hit.
+pub fn point_select_many(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn SearchIndex<u32>,
+    values: &[Value],
+) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); values.len()];
+    // Consumer #3, batched: constants -> domain IDs. Values outside the
+    // domain match no rows and are not probed at all.
+    let ids = column.domain().encode_batch(values);
+    let mut probe_ids = Vec::with_capacity(values.len());
+    let mut probe_slots = Vec::with_capacity(values.len());
+    for (slot, id) in ids.into_iter().enumerate() {
+        if let Some(id) = id {
+            probe_ids.push(id);
+            probe_slots.push(slot);
+        }
+    }
+    let keys = rid_list.keys().as_slice();
+    for ((&slot, &id), hit) in probe_slots
+        .iter()
+        .zip(&probe_ids)
+        .zip(index.search_batch(&probe_ids))
+    {
+        if let Some(first) = hit {
+            let mut end = first;
+            while end < keys.len() && keys[end] == id {
+                end += 1;
+            }
+            out[slot] = rid_list.rids_in(first, end).to_vec();
+        }
+    }
+    out
+}
+
 /// All RIDs whose column value lies in the inclusive range `[lo, hi]`.
 /// Requires an ordered index (hash indexes cannot serve range queries).
+///
+/// Single-range fast path using the trait's [`OrderedIndex::key_range`]
+/// (the source of truth for inclusive-range semantics); batches of
+/// ranges should go through [`range_select_many`], which is
+/// equivalence-tested against this function for every ordered kind.
 pub fn range_select(
     column: &Column,
     rid_list: &RidList,
@@ -61,10 +120,60 @@ pub fn range_select(
     rid_list.rids_in(start, end).to_vec()
 }
 
-/// Indexed nested-loop join: for each outer row, decode its value, map it
-/// into the inner domain, and search the inner index — "pipelinable,
-/// requiring minimal storage for intermediate results" (§2.2). Equal inner
-/// duplicates all match.
+/// One RID set per inclusive value range. Each range contributes its two
+/// positional bounds to a single `lower_bound_batch` over the index, so a
+/// batch-aware structure descends for all ranges' endpoints concurrently.
+pub fn range_select_many(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    ranges: &[(Value, Value)],
+) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); ranges.len()];
+    // (slot, end-probe present?) per non-empty ID range; probes laid out
+    // flat as [lo0, end0, lo1, end1, ...] minus any absent end probes.
+    let mut pending: Vec<(usize, bool)> = Vec::new();
+    let mut probes: Vec<u32> = Vec::new();
+    for (slot, (lo, hi)) in ranges.iter().enumerate() {
+        let Some((lo_id, hi_id)) = column.domain().id_range(lo, hi) else {
+            continue;
+        };
+        probes.push(lo_id);
+        // `hi_id + 1` is the exclusive ID bound; if it is unrepresentable
+        // every key from `lo_id` on matches and the end is `len`.
+        match hi_id.checked_add(1) {
+            Some(next) => {
+                probes.push(next);
+                pending.push((slot, true));
+            }
+            None => pending.push((slot, false)),
+        }
+    }
+    let bounds = index.lower_bound_batch(&probes);
+    let mut at = 0usize;
+    for (slot, has_end) in pending {
+        let start = bounds[at];
+        at += 1;
+        let end = if has_end {
+            at += 1;
+            bounds[at - 1]
+        } else {
+            index.len()
+        };
+        out[slot] = rid_list.rids_in(start, end.max(start)).to_vec();
+    }
+    out
+}
+
+/// Indexed nested-loop join — "pipelinable, requiring minimal storage for
+/// intermediate results" (§2.2). Equal inner duplicates all match.
+///
+/// Batch-shaped on both of the paper's search axes: the outer *domain*
+/// (its distinct values, not its rows) is translated into inner-domain
+/// IDs with one batched dictionary search up front, and outer rows then
+/// stream through the inner index [`JOIN_PROBE_BLOCK`] probes at a time
+/// via `search_batch`, which batch-aware indexes answer with interleaved
+/// descents.
 pub fn indexed_nested_loop_join(
     outer: &Column,
     inner: &Column,
@@ -73,23 +182,38 @@ pub fn indexed_nested_loop_join(
 ) -> Vec<JoinRow> {
     let mut out = Vec::new();
     let inner_keys = inner_rids.keys().as_slice();
-    for outer_rid in 0..outer.len() as u32 {
-        let value = outer.value(outer_rid);
-        // Domain-to-domain mapping (consumer #3): skip outer values the
-        // inner domain does not contain.
-        let Some(inner_id) = inner.domain().encode(value) else {
-            continue;
-        };
-        let Some(first) = inner_index.search(inner_id) else {
-            continue;
-        };
-        let mut pos = first;
-        while pos < inner_keys.len() && inner_keys[pos] == inner_id {
-            out.push(JoinRow {
-                outer_rid,
-                inner_rid: inner_rids.rid(pos),
-            });
-            pos += 1;
+    // Consumer #3, batched and hoisted: one inner-domain lookup per
+    // *distinct* outer value instead of one per outer row.
+    let translation = inner.domain().encode_batch(outer.domain().values());
+    let outer_ids = outer.ids();
+    let mut probe_ids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
+    let mut probe_rids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
+    for block_start in (0..outer_ids.len()).step_by(JOIN_PROBE_BLOCK) {
+        let block = &outer_ids[block_start..(block_start + JOIN_PROBE_BLOCK).min(outer_ids.len())];
+        probe_ids.clear();
+        probe_rids.clear();
+        for (off, &outer_id) in block.iter().enumerate() {
+            // Outer values the inner domain does not contain join nothing.
+            if let Some(inner_id) = translation[outer_id as usize] {
+                probe_ids.push(inner_id);
+                probe_rids.push((block_start + off) as u32);
+            }
+        }
+        for ((&outer_rid, &inner_id), hit) in probe_rids
+            .iter()
+            .zip(&probe_ids)
+            .zip(inner_index.search_batch(&probe_ids))
+        {
+            if let Some(first) = hit {
+                let mut pos = first;
+                while pos < inner_keys.len() && inner_keys[pos] == inner_id {
+                    out.push(JoinRow {
+                        outer_rid,
+                        inner_rid: inner_rids.rid(pos),
+                    });
+                    pos += 1;
+                }
+            }
         }
     }
     out
@@ -132,11 +256,85 @@ mod tests {
             rids.sort_unstable();
             assert_eq!(rids, vec![0, 2, 4], "{kind:?}");
             // Band with no domain values.
-            assert!(range_select(col, &rl, idx.as_ref(), &Value::Int(31), &Value::Int(39)).is_empty());
+            assert!(
+                range_select(col, &rl, idx.as_ref(), &Value::Int(31), &Value::Int(39)).is_empty()
+            );
             // Full range.
             assert_eq!(
                 range_select(col, &rl, idx.as_ref(), &Value::Int(0), &Value::Int(100)).len(),
                 7
+            );
+        }
+    }
+
+    #[test]
+    fn point_select_many_matches_single_selects() {
+        let (t, rl) = setup();
+        let col = t.column("amount").unwrap();
+        let probes: Vec<Value> = [10i64, 99, 30, 40, 10, -5]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, rl.keys());
+            let many = point_select_many(col, &rl, idx.as_ref(), &probes);
+            assert_eq!(many.len(), probes.len());
+            for (value, got) in probes.iter().zip(&many) {
+                assert_eq!(
+                    got,
+                    &point_select(col, &rl, idx.as_ref(), value),
+                    "{kind:?}"
+                );
+            }
+            assert!(point_select_many(col, &rl, idx.as_ref(), &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn range_select_many_matches_single_selects() {
+        let (t, rl) = setup();
+        let col = t.column("amount").unwrap();
+        let ranges: Vec<(Value, Value)> = [(15i64, 30i64), (0, 100), (31, 39), (40, 40)]
+            .iter()
+            .map(|&(a, b)| (Value::Int(a), Value::Int(b)))
+            .collect();
+        for kind in IndexKind::ORDERED {
+            let idx = build_ordered_index(kind, rl.keys());
+            let many = range_select_many(col, &rl, idx.as_ref(), &ranges);
+            for ((lo, hi), got) in ranges.iter().zip(&many) {
+                assert_eq!(
+                    got,
+                    &range_select(col, &rl, idx.as_ref(), lo, hi),
+                    "{kind:?} [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_blocks_larger_than_probe_block() {
+        // More outer rows than JOIN_PROBE_BLOCK so the blocked streaming
+        // path takes more than one batch.
+        let n = JOIN_PROBE_BLOCK * 2 + 37;
+        let outer_vals: Vec<i64> = (0..n as i64).map(|i| i % 50).collect();
+        let inner_vals: Vec<i64> = (0..40i64).collect(); // values 0..40
+        let ot = TableBuilder::new("o")
+            .int_column("k", outer_vals.clone())
+            .build();
+        let it = TableBuilder::new("i")
+            .int_column("k", inner_vals.clone())
+            .build();
+        let icol = it.column("k").unwrap();
+        let irids = RidList::for_column(icol);
+        let idx = build_index(IndexKind::FullCss, irids.keys());
+        let joined = indexed_nested_loop_join(ot.column("k").unwrap(), icol, &irids, idx.as_ref());
+        // Outer values 0..40 match exactly one inner row each; 40..50 none.
+        let expected = outer_vals.iter().filter(|&&v| v < 40).count();
+        assert_eq!(joined.len(), expected);
+        for j in &joined {
+            assert_eq!(
+                outer_vals[j.outer_rid as usize],
+                inner_vals[j.inner_rid as usize]
             );
         }
     }
@@ -186,16 +384,21 @@ mod tests {
         let rcol = right.column("k").unwrap();
         let rrids = RidList::for_column(rcol);
         let idx = build_index(IndexKind::FullCss, rrids.keys());
-        let joined = indexed_nested_loop_join(
-            left.column("k").unwrap(),
-            rcol,
-            &rrids,
-            idx.as_ref(),
-        );
+        let joined =
+            indexed_nested_loop_join(left.column("k").unwrap(), rcol, &rrids, idx.as_ref());
         // "b" matches rids 1,2; "a" matches rid 0; "z" matches nothing.
         assert_eq!(joined.len(), 3);
-        assert!(joined.contains(&JoinRow { outer_rid: 1, inner_rid: 0 }));
-        assert!(joined.contains(&JoinRow { outer_rid: 0, inner_rid: 1 }));
-        assert!(joined.contains(&JoinRow { outer_rid: 0, inner_rid: 2 }));
+        assert!(joined.contains(&JoinRow {
+            outer_rid: 1,
+            inner_rid: 0
+        }));
+        assert!(joined.contains(&JoinRow {
+            outer_rid: 0,
+            inner_rid: 1
+        }));
+        assert!(joined.contains(&JoinRow {
+            outer_rid: 0,
+            inner_rid: 2
+        }));
     }
 }

@@ -34,7 +34,11 @@ impl TableBuilder {
     }
 
     /// Convenience: an integer column.
-    pub fn int_column(self, name: impl Into<String>, values: impl IntoIterator<Item = i64>) -> Self {
+    pub fn int_column(
+        self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = i64>,
+    ) -> Self {
         self.column(name, values.into_iter().map(Value::Int).collect())
     }
 
@@ -81,10 +85,7 @@ impl Table {
 
     /// Column by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
     }
 
     /// All `(name, column)` pairs.

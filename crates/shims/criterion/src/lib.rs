@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds with no network access, so the bench targets are
+//! written against the real criterion surface (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `criterion_group!` /
+//! `criterion_main!`) but link against this minimal harness. It runs each
+//! benchmark `sample_size` times, reports the best and mean wall-clock
+//! time per sample (plus per-element throughput when configured), and does
+//! no statistical analysis.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work performed per benchmark iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (one anonymous function per group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` once, timing it. The surrounding harness calls the
+    /// benchmark body once per sample, so one inner iteration per call
+    /// keeps total runtime proportional to `sample_size`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+
+    fn take_elapsed(&mut self) -> Duration {
+        std::mem::take(&mut self.elapsed)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupSettings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupSettings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+fn run_samples(label: &str, settings: GroupSettings, mut sample: impl FnMut(&mut Bencher)) {
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut bencher = Bencher::default();
+    for _ in 0..settings.sample_size.max(1) {
+        sample(&mut bencher);
+        let t = bencher.take_elapsed();
+        total += t;
+        if t < best {
+            best = t;
+        }
+    }
+    let mean = total / settings.sample_size.max(1) as u32;
+    let rate = settings.throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  {:.1} Melem/s",
+            n as f64 / best.as_secs_f64().max(1e-12) / 1e6
+        ),
+        Throughput::Bytes(n) => format!(
+            "  {:.1} MiB/s",
+            n as f64 / best.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+        ),
+    });
+    println!(
+        "{label:<48} best {best:>12?}  mean {mean:>12?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: GroupSettings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the work performed per iteration (enables rate reporting).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_samples(&label, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure of no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_samples(&label, self.settings, &mut f);
+        self
+    }
+
+    /// End the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: GroupSettings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure of no input outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_samples(&id.to_string(), GroupSettings::default(), &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4)).sample_size(2);
+            g.bench_with_input(BenchmarkId::new("f", 1), &3usize, |b, &x| {
+                b.iter(|| x * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 2);
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -44,7 +44,7 @@ impl<K: Key> InterpolationSearch<K> {
         }
         let mut lo = 0usize;
         let mut hi = a.len() - 1; // inclusive
-        // Check the endpoints once; they also seed the interpolation.
+                                  // Check the endpoints once; they also seed the interpolation.
         tracer.compare();
         let klo = self.array.get_traced(lo, tracer);
         if key <= klo {
@@ -61,7 +61,11 @@ impl<K: Key> InterpolationSearch<K> {
         // Invariant: a[lo] < key <= a[hi].
         while hi - lo > 1 {
             let width = (hi - lo) as f64;
-            let frac = if vhi > vlo { (kv - vlo) / (vhi - vlo) } else { 0.5 };
+            let frac = if vhi > vlo {
+                (kv - vlo) / (vhi - vlo)
+            } else {
+                0.5
+            };
             let mut mid = lo + (frac * width) as usize;
             // Keep the probe strictly inside (lo, hi) so the range always
             // shrinks; degenerate estimates become a binary step.
@@ -195,7 +199,14 @@ mod tests {
         let s = InterpolationSearch::build(&keys);
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(s.search(k), Some(i));
-            assert_eq!(s.search(k + 1), if k + 1 == keys[(i + 1).min(59)] { Some(i + 1) } else { None });
+            assert_eq!(
+                s.search(k + 1),
+                if k + 1 == keys[(i + 1).min(59)] {
+                    Some(i + 1)
+                } else {
+                    None
+                }
+            );
         }
     }
 

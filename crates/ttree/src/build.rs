@@ -33,7 +33,10 @@ impl TTreeBuilder {
             "input must be sorted"
         );
         let n_nodes = ceil_div(keys.len(), CAP);
-        assert!((n_nodes as u64) < NO_CHILD as u64, "too many nodes for u32 ids");
+        assert!(
+            (n_nodes as u64) < NO_CHILD as u64,
+            "too many nodes for u32 ids"
+        );
         let mut nodes: AlignedBuf<TTreeNode<K, CAP>> = AlignedBuf::new_zeroed(n_nodes);
         // Fill node contents in in-order sequence.
         for j in 0..n_nodes {

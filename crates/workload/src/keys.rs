@@ -115,7 +115,10 @@ impl KeySetBuilder {
                 dedup_ranks(&mut out);
                 out
             }
-            KeyDistribution::Clustered { clusters, intra_gap } => {
+            KeyDistribution::Clustered {
+                clusters,
+                intra_gap,
+            } => {
                 assert!(clusters >= 1 && intra_gap >= 1);
                 let per = crate::keys::ceil_div(self.n, clusters);
                 let cluster_span = per as u64 * intra_gap;
@@ -223,7 +226,10 @@ mod tests {
     #[test]
     fn jittered_keys_stay_distinct() {
         let keys: Vec<u32> = KeySetBuilder::new(5000)
-            .distribution(KeyDistribution::JitteredSpaced { gap: 100, jitter: 40 })
+            .distribution(KeyDistribution::JitteredSpaced {
+                gap: 100,
+                jitter: 40,
+            })
             .build();
         assert_eq!(keys.len(), 5000);
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
@@ -245,11 +251,17 @@ mod tests {
     #[test]
     fn clustered_keys_have_gaps() {
         let keys: Vec<u64> = KeySetBuilder::new(1000)
-            .distribution(KeyDistribution::Clustered { clusters: 10, intra_gap: 2 })
+            .distribution(KeyDistribution::Clustered {
+                clusters: 10,
+                intra_gap: 2,
+            })
             .build();
         assert_eq!(keys.len(), 1000);
         let max_gap = keys.windows(2).map(|w| w[1] - w[0]).max().unwrap();
-        assert!(max_gap > 1000, "expected inter-cluster jumps, got {max_gap}");
+        assert!(
+            max_gap > 1000,
+            "expected inter-cluster jumps, got {max_gap}"
+        );
     }
 
     #[test]

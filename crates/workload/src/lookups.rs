@@ -31,7 +31,10 @@ pub struct LookupStream<K> {
 impl<K: Key> LookupStream<K> {
     /// The paper's protocol: `count` uniformly random *matching* keys.
     pub fn successful(keys: &[K], count: usize, seed: u64) -> Self {
-        assert!(!keys.is_empty(), "cannot draw lookups from an empty key set");
+        assert!(
+            !keys.is_empty(),
+            "cannot draw lookups from an empty key set"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let probes = (0..count)
             .map(|_| keys[rng.gen_range(0..keys.len())])
@@ -159,7 +162,10 @@ mod tests {
             .filter(|k| keys.binary_search(k).is_ok())
             .count();
         assert_eq!(actual_hits, s.expected_hits());
-        assert!((actual_hits as f64 - 7000.0).abs() < 300.0, "hits={actual_hits}");
+        assert!(
+            (actual_hits as f64 - 7000.0).abs() < 300.0,
+            "hits={actual_hits}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn main() {
         for k in batch.deletes.iter().step_by(1000) {
             // The key may still exist if it was duplicated; batch
             // generation picks distinct existing keys, so it must be gone.
-            assert!(result.index.search(*k).is_none(), "delete {k} still present");
+            assert!(
+                result.index.search(*k).is_none(),
+                "delete {k} still present"
+            );
         }
 
         println!(

@@ -9,11 +9,11 @@
 //! cargo run --release --example olap_decision_support
 //! ```
 
+use ccindex::db::domain::Value;
 use ccindex::db::{
     apply_batch, build_index, build_ordered_index, group_aggregate, indexed_nested_loop_join,
     point_select, range_select, AggFn, IndexKind, RidList, TableBuilder,
 };
-use ccindex::db::domain::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,7 +44,12 @@ fn main() {
     let amount_index = build_ordered_index(IndexKind::FullCss, amount_rids.keys());
 
     // Point selection: orders of exactly 4999.
-    let exact = point_select(amount, &amount_rids, amount_index.as_ref(), &Value::Int(4999));
+    let exact = point_select(
+        amount,
+        &amount_rids,
+        amount_index.as_ref(),
+        &Value::Int(4999),
+    );
     println!("orders with amount = 4999: {}", exact.len());
 
     // Range selection: big-ticket orders.
@@ -73,7 +78,11 @@ fn main() {
         &cust_rids,
         cust_index.as_ref(),
     );
-    assert_eq!(joined.len(), n_orders, "every order has exactly one customer");
+    assert_eq!(
+        joined.len(),
+        n_orders,
+        "every order has exactly one customer"
+    );
     println!("orders ⋈ customers produced {} rows", joined.len());
 
     // Aggregate the join: order count per region (a small GROUP BY).

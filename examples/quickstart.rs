@@ -24,7 +24,10 @@ fn main() {
     let absent = probe + 1;
     if !keys.contains(&absent) {
         assert_eq!(css.search(absent), None);
-        println!("search({absent}) -> None (lower_bound = {})", css.lower_bound(absent));
+        println!(
+            "search({absent}) -> None (lower_bound = {})",
+            css.lower_bound(absent)
+        );
     }
 
     // Range query: positions of all keys in [lo, hi].

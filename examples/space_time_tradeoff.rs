@@ -14,7 +14,10 @@ fn main() {
     let arr = ccindex::common::SortedArray::from_slice(&keys);
     let stream = LookupStream::successful(&keys, 100_000, 11);
 
-    println!("{:>22} {:>14} {:>16} {:>10}", "method", "time (ms)", "space (bytes)", "ordered");
+    println!(
+        "{:>22} {:>14} {:>16} {:>10}",
+        "method", "time (ms)", "space (bytes)", "ordered"
+    );
     let mut rows = Vec::new();
     for kind in IndexKind::ALL {
         let index = build_index(kind, &arr);

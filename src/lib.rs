@@ -58,12 +58,13 @@ pub use {bplus, ttree};
 pub mod prelude {
     pub use crate::common::{
         AccessTracer, AlignedBuf, IndexStats, Key, NoopTracer, OrderedIndex, SearchIndex,
-        SortedArray, SpaceReport, CACHE_LINE_BYTES,
+        SortedArray, SpaceReport, CACHE_LINE_BYTES, DEFAULT_BATCH_LANES,
     };
     pub use crate::css::{CssVariant, DynCssTree, FullCssTree, LevelCssTree};
     pub use crate::db::{
-        build_index, build_ordered_index, point_select, range_select, Domain, IndexKind, RidList,
-        Table, TableBuilder,
+        build_index, build_ordered_index, indexed_nested_loop_join, point_select,
+        point_select_many, range_select, range_select_many, Domain, IndexKind, RidList, Table,
+        TableBuilder,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;

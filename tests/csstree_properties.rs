@@ -51,9 +51,10 @@ proptest! {
     ) {
         keys.sort_unstable();
         let t = FullCssTree::<u32, 8>::build(&keys);
-        let seq = t.lower_bound_batch(&probes);
+        let seq = t.lower_bound_batch_sequential(&probes);
         prop_assert_eq!(t.lower_bound_batch_interleaved::<3>(&probes), seq.clone());
-        prop_assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq);
+        prop_assert_eq!(t.lower_bound_batch_interleaved::<8>(&probes), seq.clone());
+        prop_assert_eq!(t.lower_bound_batch(&probes), seq);
     }
 
     /// Record trees behave like key trees regardless of payload width.

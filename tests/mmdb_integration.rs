@@ -125,7 +125,9 @@ proptest! {
 fn string_range_queries_via_domain_ids() {
     let cities = ["austin", "boston", "chicago", "denver", "el paso", "fresno"];
     let values: Vec<Value> = (0..600).map(|i| cities[i % cities.len()].into()).collect();
-    let t = TableBuilder::new("t").column("city", values.clone()).build();
+    let t = TableBuilder::new("t")
+        .column("city", values.clone())
+        .build();
     let col = t.column("city").unwrap();
     let rids = RidList::for_column(col);
     let idx = build_ordered_index(IndexKind::FullCss, rids.keys());

@@ -117,7 +117,10 @@ fn structural_stats_match_model() {
         let idx = build_index(kind, &arr);
         let stats = idx.stats();
         let model = cost_breakdown(method, &p).expect("modelled");
-        assert_eq!(stats.branching as f64, model.branching, "{kind:?} branching");
+        assert_eq!(
+            stats.branching as f64, model.branching,
+            "{kind:?} branching"
+        );
         // Levels: the model is real-valued; the tree rounds up.
         let model_levels = model.levels.ceil() as u32;
         assert!(
@@ -141,7 +144,8 @@ fn css_dominates_bplus_and_ttree() {
 
     let mut run = |kind: IndexKind| {
         let idx = build_index(kind, &arr);
-        let m = bench::protocol::simulate_lookup_protocol(idx.as_ref(), stream.probes(), &mut machine);
+        let m =
+            bench::protocol::simulate_lookup_protocol(idx.as_ref(), stream.probes(), &mut machine);
         (m.total_seconds, idx.space().direct_bytes)
     };
     let (css_t, css_s) = run(IndexKind::FullCss);

@@ -1,0 +1,25 @@
+//! The README's batched-join example, kept compiling and correct.
+
+use ccindex::prelude::*;
+
+#[test]
+fn readme_batched_join_example() {
+    let orders = TableBuilder::new("orders")
+        .int_column("cust", [5i64, 1, 2, 5, 9])
+        .build();
+    let customers = TableBuilder::new("customers")
+        .int_column("id", [1i64, 2, 3, 5, 5])
+        .build();
+
+    let cust_id = customers.column("id").unwrap();
+    let cust_rids = RidList::for_column(cust_id);
+    let css = build_index(IndexKind::FullCss, cust_rids.keys());
+
+    let joined = indexed_nested_loop_join(
+        orders.column("cust").unwrap(),
+        cust_id,
+        &cust_rids,
+        css.as_ref(),
+    );
+    assert_eq!(joined.len(), 6); // each 5 matches two customer rows; 1 and 2 one each; 9 none
+}

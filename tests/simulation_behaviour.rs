@@ -49,7 +49,10 @@ fn ranking_reproduces_on_both_machines() {
         assert!(time["full CSS-tree"] < time["B+-tree"], "{name}");
         assert!(time["level CSS-tree"] < time["B+-tree"], "{name}");
         assert!(time["B+-tree"] < time["array binary search"], "{name}");
-        assert!(time["array binary search"] < time["tree binary search"], "{name}");
+        assert!(
+            time["array binary search"] < time["tree binary search"],
+            "{name}"
+        );
         // §6.3 headline: binary search & T-trees "run more than twice as
         // slow as CSS-trees".
         assert!(
