@@ -4,7 +4,7 @@
 //! figures [OPTIONS] <WHAT>...
 //!
 //! WHAT:  fig1 table1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!        fig14 warmcache interp batched ablations all
+//!        fig14 warmcache interp batched engine ablations all
 //!
 //! OPTIONS:
 //!   --simulate <machine>   run timing figures on the cache simulator
@@ -145,6 +145,9 @@ fn main() {
     if want("batched") {
         batched(&opts);
     }
+    if want("engine") {
+        engine(&opts);
+    }
     if want("ablations") {
         ablations(&opts);
     }
@@ -185,6 +188,112 @@ fn batched(opts: &Options) {
             format_num(r.batched.total_seconds),
             100.0 * (r.batched.total_seconds - r.sequential.total_seconds)
                 / r.sequential.total_seconds.max(1e-12)
+        );
+    }
+}
+
+/// Beyond-paper: the §2.2 index consumers as *whole queries* through the
+/// `Database` engine — one catalog serving point selection, a range/point
+/// conjunction, an indexed nested-loop join, and the full
+/// select-join-group pipeline, timed per access-path kind. CSS-trees
+/// should win the range-driven queries; the hash index is picked
+/// automatically for equality probes wherever it is registered.
+fn engine(opts: &Options) {
+    use mmdb::{between, eq, on, sum, Database, IndexKind, TableBuilder};
+
+    let n_orders = opts.scaled(2_000_000);
+    let n_customers = (n_orders / 20).max(100);
+    let regions = ["north", "south", "east", "west", "nw", "ne", "sw", "se"];
+    let orders = TableBuilder::new("orders")
+        .int_column(
+            "cust",
+            (0..n_orders)
+                .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % n_customers as u64) as i64),
+        )
+        .int_column(
+            "amount",
+            (0..n_orders).map(|i| ((i as u64).wrapping_mul(48_271) % 10_000) as i64),
+        )
+        .build()
+        .expect("equal columns");
+    let customers = TableBuilder::new("customers")
+        .int_column("id", 0..n_customers as i64)
+        .str_column(
+            "region",
+            (0..n_customers).map(|i| regions[i % regions.len()]),
+        )
+        .build()
+        .expect("equal columns");
+
+    println!(
+        "\n== Query engine: whole-query timings (host), {} orders x {} customers ==",
+        format_num(n_orders as f64),
+        format_num(n_customers as f64)
+    );
+    println!(
+        "{:>14} {:>12} {:>14} {:>14} {:>14} {:>16}",
+        "access path", "build (s)", "point (s)", "conj (s)", "join (s)", "pipeline (s)"
+    );
+    for kind in [
+        IndexKind::FullCss,
+        IndexKind::LevelCss,
+        IndexKind::BPlusTree,
+        IndexKind::TTree,
+        IndexKind::BinarySearch,
+    ] {
+        let mut db = Database::new();
+        db.register(orders.clone()).expect("fresh catalog");
+        db.register(customers.clone()).expect("fresh catalog");
+        let t0 = Instant::now();
+        db.create_index("orders", "amount", kind).expect("column");
+        db.create_index("customers", "id", kind).expect("column");
+        let build = t0.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let point = db
+            .query("orders")
+            .filter(eq("amount", 4_999))
+            .run()
+            .expect("planned");
+        let t_point = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let conj = db
+            .query("orders")
+            .filter(between("amount", 4_000, 6_000))
+            .filter(between("amount", 4_990, 5_010))
+            .run()
+            .expect("planned");
+        let t_conj = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let joined = db
+            .query("orders")
+            .join("customers", on("cust", "id"))
+            .run()
+            .expect("planned");
+        let t_join = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let pipeline = db
+            .query("orders")
+            .filter(between("amount", 5_000, 9_999))
+            .join("customers", on("cust", "id"))
+            .group_by("region", sum("amount"))
+            .run()
+            .expect("planned");
+        let t_pipe = t.elapsed().as_secs_f64();
+
+        assert_eq!(joined.len(), n_orders, "every order joins one customer");
+        std::hint::black_box((&point, &conj, &pipeline));
+        println!(
+            "{:>14} {:>12} {:>14} {:>14} {:>14} {:>16}",
+            format!("{kind:?}"),
+            format_num(build),
+            format_num(t_point),
+            format_num(t_conj),
+            format_num(t_join),
+            format_num(t_pipe)
         );
     }
 }

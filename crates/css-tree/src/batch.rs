@@ -3,7 +3,8 @@
 //! The OLAP consumers of §2.2 rarely issue one probe at a time: an indexed
 //! nested-loop join performs "a lot of searching through indexes on the
 //! inner relations". The batch entry points here exploit that:
-//! [`interleaved_descent`] advances up to `lanes` independent probes one
+//! the crate-internal `interleaved_descent` advances up to `lanes`
+//! independent probes one
 //! directory level per round, so the node fetches of a round are all in
 //! flight together instead of serialised behind one another — the
 //! software-pipelining counterpart of the paper's cache-line sizing (a

@@ -32,6 +32,60 @@ pub struct GroupRow {
     pub value: i64,
 }
 
+/// Grouped aggregation over arbitrary `(group_rid, measure_rid)` pairs —
+/// the operator a query plan runs when grouping *filtered* selections or
+/// join output, where rows no longer arrive clustered by group. Groups
+/// accumulate keyed by domain ID (an ordered map, so results still come
+/// out in group-value order, matching [`group_aggregate`]), and the group
+/// keys are decoded in one
+/// [`decode_batch`](crate::domain::Domain::decode_batch) at the end.
+///
+/// The two RIDs of a pair may address different relations (group column
+/// from one join side, measure from the other); for plain selections pass
+/// each RID twice. `measure` may be `None` for `Count`. Callers must have
+/// checked that the measure column is integer-valued for Sum/Min/Max.
+pub fn group_aggregate_pairs(
+    group_col: &Column,
+    measure: Option<&Column>,
+    pairs: impl IntoIterator<Item = (u32, u32)>,
+    agg: AggFn,
+) -> Vec<GroupRow> {
+    use std::collections::BTreeMap;
+    if agg != AggFn::Count {
+        measure.expect("aggregate other than Count needs a measure column");
+    }
+    let mut acc: BTreeMap<u32, i64> = BTreeMap::new();
+    for (group_rid, measure_rid) in pairs {
+        let id = group_col.id(group_rid);
+        match agg {
+            AggFn::Count => *acc.entry(id).or_insert(0) += 1,
+            AggFn::Sum | AggFn::Min | AggFn::Max => {
+                let v = match measure.expect("checked above").value(measure_rid) {
+                    Value::Int(v) => *v,
+                    other => panic!("non-integer measure value {other}"),
+                };
+                acc.entry(id)
+                    .and_modify(|a| {
+                        *a = match agg {
+                            AggFn::Sum => *a + v,
+                            AggFn::Min => (*a).min(v),
+                            AggFn::Max => (*a).max(v),
+                            AggFn::Count => unreachable!(),
+                        }
+                    })
+                    .or_insert(v);
+            }
+        }
+    }
+    let ids: Vec<u32> = acc.keys().copied().collect();
+    let groups = group_col.domain().decode_batch(&ids);
+    groups
+        .into_iter()
+        .zip(acc.into_values())
+        .map(|(group, value)| GroupRow { group, value })
+        .collect()
+}
+
 /// `SELECT group, agg(measure) FROM t GROUP BY group` where `rids` is the
 /// RID list sorted on the group column. `measure` may be `None` for
 /// `Count`. Results come out in group-value order (the "interesting
@@ -94,7 +148,8 @@ mod tests {
         let t = TableBuilder::new("sales")
             .str_column("region", ["e", "w", "e", "n", "w", "e"])
             .int_column("amount", [10, 20, 30, 40, 50, 60])
-            .build();
+            .build()
+            .expect("equal-length columns");
         let rl = RidList::for_column(t.column("region").unwrap());
         (t, rl)
     }
@@ -159,8 +214,55 @@ mod tests {
     }
 
     #[test]
+    fn pairs_match_sorted_rid_list_on_whole_tables() {
+        let (t, rl) = setup();
+        let region = t.column("region").unwrap();
+        let amount = t.column("amount").unwrap();
+        let all: Vec<(u32, u32)> = (0..region.len() as u32).map(|r| (r, r)).collect();
+        for agg in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let measure = (agg != AggFn::Count).then_some(amount);
+            assert_eq!(
+                group_aggregate_pairs(region, measure, all.iter().copied(), agg),
+                group_aggregate(region, &rl, measure, agg),
+                "{agg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_handle_filtered_subsets_and_cross_relation_measures() {
+        let (t, _) = setup();
+        let region = t.column("region").unwrap();
+        let amount = t.column("amount").unwrap();
+        // Only rows 0, 2, 4: regions e, e, w with amounts 10, 30, 50.
+        let pairs = [(0u32, 0u32), (2, 2), (4, 4)];
+        let sums = group_aggregate_pairs(region, Some(amount), pairs, AggFn::Sum);
+        assert_eq!(
+            sums,
+            vec![
+                GroupRow {
+                    group: "e".into(),
+                    value: 40
+                },
+                GroupRow {
+                    group: "w".into(),
+                    value: 50
+                },
+            ]
+        );
+        // Measure RID differing from group RID (the join shape): group by
+        // row 0's region but measure row 5's amount.
+        let cross = group_aggregate_pairs(region, Some(amount), [(0u32, 5u32)], AggFn::Max);
+        assert_eq!(cross[0].value, 60);
+        assert!(group_aggregate_pairs(region, None, [], AggFn::Count).is_empty());
+    }
+
+    #[test]
     fn empty_table_yields_no_groups() {
-        let t = TableBuilder::new("empty").int_column("g", []).build();
+        let t = TableBuilder::new("empty")
+            .int_column("g", [])
+            .build()
+            .expect("one column");
         let rl = RidList::for_column(t.column("g").unwrap());
         assert!(group_aggregate(t.column("g").unwrap(), &rl, None, AggFn::Count).is_empty());
     }

@@ -149,6 +149,18 @@ impl Domain {
         &self.values[id as usize]
     }
 
+    /// Decoded values for a whole batch of IDs; `out[i]` is
+    /// `decode(ids[i]).clone()` — the inverse of [`Domain::encode_batch`].
+    ///
+    /// Decoding is a plain array gather (no search), so unlike encoding it
+    /// needs no interleaving; the batch form exists so result sets can
+    /// surface decoded values in one call instead of a per-row `decode`.
+    pub fn decode_batch(&self, ids: &[u32]) -> Vec<Value> {
+        ids.iter()
+            .map(|&id| self.values[id as usize].clone())
+            .collect()
+    }
+
     /// All values in ID (= value) order.
     pub fn values(&self) -> &[Value] {
         &self.values
@@ -241,6 +253,19 @@ mod tests {
         for len in [1usize, 7, 8, 9, 15, 16, 17] {
             assert_eq!(d.encode_batch(&probes[..len]), expected[..len]);
         }
+    }
+
+    #[test]
+    fn decode_batch_inverts_encode_batch() {
+        let d = Domain::from_values((0..97).map(|i| Value::Int(i * 5)).collect());
+        let probes: Vec<Value> = (0..97).rev().map(|i| Value::Int(i * 5)).collect();
+        let ids: Vec<u32> = d
+            .encode_batch(&probes)
+            .into_iter()
+            .map(|id| id.expect("all present"))
+            .collect();
+        assert_eq!(d.decode_batch(&ids), probes);
+        assert!(d.decode_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! The [`Database`] engine: a system catalog owning tables, RID lists and
+//! indexes.
+//!
+//! §2 of the paper situates CSS-trees inside a main-memory
+//! decision-support *system* — relations, per-column sorted RID lists,
+//! and "an index" chosen per access path. The free functions in
+//! [`query`](crate::query) are that system's physical operators; this
+//! module is the system itself. A [`Database`] registers [`Table`]s,
+//! builds and owns one [`RidList`] per indexed column, and keys any
+//! number of [`IndexHandle`]s per column by [`IndexKind`] — so an index
+//! is built once and reused by every selection and join that touches the
+//! column, instead of being threaded by hand through each call.
+//!
+//! Queries start at [`Database::query`], which hands back the composable
+//! builder in [`plan`](crate::plan):
+//!
+//! ```
+//! use mmdb::{eq, between, Database, IndexKind, TableBuilder};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     TableBuilder::new("sales")
+//!         .int_column("amount", [120, 40, 975, 40])
+//!         .str_column("region", ["east", "west", "east", "east"])
+//!         .build()?,
+//! )?;
+//! db.create_index("sales", "amount", IndexKind::FullCss)?;
+//! db.create_index("sales", "region", IndexKind::Hash)?;
+//!
+//! let hits = db
+//!     .query("sales")
+//!     .filter(eq("region", "east"))
+//!     .filter(between("amount", 100, 1000))
+//!     .run()?;
+//! assert_eq!(hits.rids(), &[0, 2]);
+//! # Ok::<(), mmdb::MmdbError>(())
+//! ```
+//!
+//! Updates follow the paper's OLAP cycle (§2.3): mutate a column
+//! wholesale, then [`Database::rebuild_column`] reruns the batch-update
+//! cycle ([`apply_batch_handle`]) for every index registered on it.
+
+use crate::column::Column;
+use crate::domain::Value;
+use crate::error::{MmdbError, Result};
+use crate::index_choice::{IndexHandle, IndexKind};
+use crate::plan::Query;
+use crate::rid::RidList;
+use crate::table::Table;
+use crate::update::apply_batch_handle;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The engine: tables plus their access paths, behind name resolution
+/// that fails with a typed, offender-naming [`MmdbError`] instead of a
+/// panic.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, TableEntry>,
+}
+
+#[derive(Debug)]
+pub(crate) struct TableEntry {
+    pub(crate) table: Table,
+    /// Access paths, created lazily: a column gets an entry when its
+    /// first index is built.
+    pub(crate) columns: BTreeMap<String, ColumnEntry>,
+}
+
+/// A column's access paths: the sorted RID list every index of the
+/// column shares, and the indexes keyed by kind.
+#[derive(Debug)]
+pub(crate) struct ColumnEntry {
+    pub(crate) rids: RidList,
+    pub(crate) indexes: BTreeMap<IndexKind, IndexHandle>,
+}
+
+/// What one [`Database::rebuild_column`] cycle did, per §2.3's
+/// "rebuild an index from scratch after a batch of updates".
+#[derive(Debug)]
+pub struct RebuildReport {
+    /// Time to re-sort the column into its RID list (the merge phase of
+    /// the cycle; a wholesale column replacement re-sorts rather than
+    /// merging deltas).
+    pub sort_time: Duration,
+    /// Per-kind from-scratch rebuild times (Fig. 9's measurement).
+    pub rebuilds: Vec<(IndexKind, Duration)>,
+}
+
+impl Database {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table under its own name. Fails with
+    /// [`MmdbError::DuplicateTable`] if the name is taken.
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(MmdbError::DuplicateTable { table: name });
+        }
+        self.tables.insert(
+            name,
+            TableEntry {
+                table,
+                columns: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered table names, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// The table registered as `name`.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .map(|e| &e.table)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: name.to_owned(),
+            })
+    }
+
+    /// Build (or rebuild) a `kind` index on `table.column`. The column's
+    /// sorted [`RidList`] is computed on its first index and shared by
+    /// all of them.
+    pub fn create_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        let entry = self.entry_mut(table)?;
+        if entry.table.column(column).is_none() {
+            return Err(MmdbError::UnknownColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        let col_entry = entry.columns.entry(column.to_owned()).or_insert_with(|| {
+            let col = entry.table.column(column).expect("checked above");
+            ColumnEntry {
+                rids: RidList::for_column(col),
+                indexes: BTreeMap::new(),
+            }
+        });
+        let handle = IndexHandle::build(kind, col_entry.rids.keys());
+        col_entry.indexes.insert(kind, handle);
+        Ok(())
+    }
+
+    /// Drop the `kind` index on `table.column` (the RID list stays while
+    /// any other kind remains).
+    pub fn drop_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        let table_name = table.to_owned();
+        let entry = self.entry_mut(table)?;
+        if entry.table.column(column).is_none() {
+            return Err(MmdbError::UnknownColumn {
+                table: table_name,
+                column: column.to_owned(),
+            });
+        }
+        let col_entry = entry
+            .columns
+            .get_mut(column)
+            .ok_or_else(|| MmdbError::NoIndex {
+                table: table_name.clone(),
+                column: column.to_owned(),
+            })?;
+        if col_entry.indexes.remove(&kind).is_none() {
+            return Err(MmdbError::IndexNotBuilt {
+                table: table_name,
+                column: column.to_owned(),
+                kind,
+            });
+        }
+        if col_entry.indexes.is_empty() {
+            entry.columns.remove(column);
+        }
+        Ok(())
+    }
+
+    /// The sorted RID list the catalog owns for `table.column` (present
+    /// once any index exists on the column).
+    pub fn rid_list(&self, table: &str, column: &str) -> Result<&RidList> {
+        Ok(&self.column_entry(table, column)?.rids)
+    }
+
+    /// The `kind` index on `table.column`.
+    pub fn index(&self, table: &str, column: &str, kind: IndexKind) -> Result<&IndexHandle> {
+        self.column_entry(table, column)?
+            .indexes
+            .get(&kind)
+            .ok_or_else(|| MmdbError::IndexNotBuilt {
+                table: table.to_owned(),
+                column: column.to_owned(),
+                kind,
+            })
+    }
+
+    /// Which kinds are built on `table.column`, in [`IndexKind`] order.
+    pub fn indexed_kinds(&self, table: &str, column: &str) -> Result<Vec<IndexKind>> {
+        Ok(self
+            .column_entry(table, column)?
+            .indexes
+            .keys()
+            .copied()
+            .collect())
+    }
+
+    /// Replace a column's values wholesale (the OLAP batch-update entry
+    /// point), then run the rebuild cycle over its indexes — an empty
+    /// report if the column has none. The new values must keep the
+    /// table's row count; every error path leaves the table untouched.
+    pub fn replace_column(
+        &mut self,
+        table: &str,
+        column: &str,
+        values: Vec<Value>,
+    ) -> Result<RebuildReport> {
+        let entry = self.entry_mut(table)?;
+        if entry.table.column(column).is_none() {
+            return Err(MmdbError::UnknownColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        if values.len() != entry.table.rows() {
+            return Err(MmdbError::RaggedColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+                expected: entry.table.rows(),
+                got: values.len(),
+            });
+        }
+        let indexed = entry.columns.contains_key(column);
+        entry
+            .table
+            .replace_column(column, Column::from_values(&values));
+        if indexed {
+            self.rebuild_column(table, column)
+        } else {
+            Ok(RebuildReport {
+                sort_time: Duration::ZERO,
+                rebuilds: Vec::new(),
+            })
+        }
+    }
+
+    /// Re-derive `table.column`'s RID list from the (possibly mutated)
+    /// column and rebuild every index registered on it from scratch via
+    /// the [`apply_batch_handle`] cycle — §2.3: "it may be relatively
+    /// cheap to rebuild an index from scratch after a batch of updates."
+    pub fn rebuild_column(&mut self, table: &str, column: &str) -> Result<RebuildReport> {
+        let table_name = table.to_owned();
+        let entry = self.entry_mut(table)?;
+        let col = entry
+            .table
+            .column(column)
+            .ok_or_else(|| MmdbError::UnknownColumn {
+                table: table_name.clone(),
+                column: column.to_owned(),
+            })?;
+        let col_entry = entry
+            .columns
+            .get_mut(column)
+            .ok_or_else(|| MmdbError::NoIndex {
+                table: table_name,
+                column: column.to_owned(),
+            })?;
+        let t0 = std::time::Instant::now();
+        col_entry.rids = RidList::for_column(col);
+        let sort_time = t0.elapsed();
+        let mut rebuilds = Vec::with_capacity(col_entry.indexes.len());
+        for (&kind, handle) in col_entry.indexes.iter_mut() {
+            // A wholesale replacement carries no key-level deltas, so the
+            // cycle runs with an empty batch: pure from-scratch rebuild.
+            let cycle = apply_batch_handle(col_entry.rids.keys(), &[], &[], kind);
+            *handle = cycle.handle;
+            rebuilds.push((kind, cycle.rebuild_time));
+        }
+        Ok(RebuildReport {
+            sort_time,
+            rebuilds,
+        })
+    }
+
+    /// Start a composable query over `table` (resolution happens at
+    /// [`Query::plan`]/[`Query::run`], so an unknown name fails there
+    /// with a typed error, not here).
+    pub fn query(&self, table: impl Into<String>) -> Query<'_> {
+        Query::new(self, table.into())
+    }
+
+    // ---- crate-internal resolution used by the planner/executor ----
+
+    pub(crate) fn entry(&self, table: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: table.to_owned(),
+            })
+    }
+
+    fn entry_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: table.to_owned(),
+            })
+    }
+
+    /// The column itself (no index required).
+    pub(crate) fn column(&self, table: &str, column: &str) -> Result<&Column> {
+        self.entry(table)?
+            .table
+            .column(column)
+            .ok_or_else(|| MmdbError::UnknownColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            })
+    }
+
+    /// The column's access paths; [`MmdbError::NoIndex`] when the column
+    /// exists but has never been indexed.
+    pub(crate) fn column_entry(&self, table: &str, column: &str) -> Result<&ColumnEntry> {
+        let entry = self.entry(table)?;
+        if entry.table.column(column).is_none() {
+            return Err(MmdbError::UnknownColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        entry.columns.get(column).ok_or_else(|| MmdbError::NoIndex {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sales_db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            TableBuilder::new("sales")
+                .int_column("amount", [30, 10, 20, 10, 30])
+                .str_column("region", ["e", "w", "e", "n", "w"])
+                .build()
+                .expect("equal columns"),
+        )
+        .expect("fresh name");
+        db
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut db = sales_db();
+        assert_eq!(db.tables().collect::<Vec<_>>(), ["sales"]);
+        assert_eq!(db.table("sales").unwrap().rows(), 5);
+        assert_eq!(
+            db.table("saels").unwrap_err(),
+            MmdbError::UnknownTable {
+                table: "saels".into()
+            }
+        );
+        let dup = TableBuilder::new("sales").build().unwrap();
+        assert_eq!(
+            db.register(dup).unwrap_err(),
+            MmdbError::DuplicateTable {
+                table: "sales".into()
+            }
+        );
+    }
+
+    #[test]
+    fn create_index_owns_rid_list_and_handles() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("sales", "amount", IndexKind::Hash).unwrap();
+        assert_eq!(
+            db.indexed_kinds("sales", "amount").unwrap(),
+            vec![IndexKind::FullCss, IndexKind::Hash]
+        );
+        // One shared RID list; both kinds resolve.
+        assert_eq!(db.rid_list("sales", "amount").unwrap().len(), 5);
+        assert!(db
+            .index("sales", "amount", IndexKind::Hash)
+            .unwrap()
+            .as_ordered()
+            .is_none());
+        assert!(db
+            .index("sales", "amount", IndexKind::FullCss)
+            .unwrap()
+            .as_ordered()
+            .is_some());
+        // Typed failures name the offender.
+        assert_eq!(
+            db.index("sales", "amount", IndexKind::TTree).unwrap_err(),
+            MmdbError::IndexNotBuilt {
+                table: "sales".into(),
+                column: "amount".into(),
+                kind: IndexKind::TTree
+            }
+        );
+        assert_eq!(
+            db.rid_list("sales", "region").unwrap_err(),
+            MmdbError::NoIndex {
+                table: "sales".into(),
+                column: "region".into()
+            }
+        );
+        assert_eq!(
+            db.create_index("sales", "amuont", IndexKind::Hash)
+                .unwrap_err(),
+            MmdbError::UnknownColumn {
+                table: "sales".into(),
+                column: "amuont".into()
+            }
+        );
+    }
+
+    #[test]
+    fn drop_index_removes_kind_then_entry() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::Hash).unwrap();
+        db.create_index("sales", "amount", IndexKind::TTree)
+            .unwrap();
+        db.drop_index("sales", "amount", IndexKind::Hash).unwrap();
+        assert_eq!(
+            db.indexed_kinds("sales", "amount").unwrap(),
+            vec![IndexKind::TTree]
+        );
+        db.drop_index("sales", "amount", IndexKind::TTree).unwrap();
+        // Last index gone: the whole access-path entry disappears.
+        assert!(matches!(
+            db.rid_list("sales", "amount").unwrap_err(),
+            MmdbError::NoIndex { .. }
+        ));
+        assert!(matches!(
+            db.drop_index("sales", "amount", IndexKind::TTree)
+                .unwrap_err(),
+            MmdbError::NoIndex { .. }
+        ));
+        // A typo'd column reports UnknownColumn, not NoIndex.
+        assert_eq!(
+            db.drop_index("sales", "amuont", IndexKind::TTree)
+                .unwrap_err(),
+            MmdbError::UnknownColumn {
+                table: "sales".into(),
+                column: "amuont".into()
+            }
+        );
+    }
+
+    #[test]
+    fn replace_column_runs_the_rebuild_cycle() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("sales", "amount", IndexKind::Hash).unwrap();
+        let report = db
+            .replace_column(
+                "sales",
+                "amount",
+                vec![1i64, 2, 3, 4, 5].into_iter().map(Value::Int).collect(),
+            )
+            .unwrap();
+        assert_eq!(report.rebuilds.len(), 2);
+        // The fresh indexes answer over the new values.
+        let hits = db
+            .query("sales")
+            .filter(crate::plan::eq("amount", 4))
+            .run()
+            .unwrap();
+        assert_eq!(hits.rids(), &[3]);
+        // Row-count mismatch is a named error, and the table keeps its
+        // current values.
+        assert_eq!(
+            db.replace_column("sales", "amount", vec![Value::Int(1)])
+                .unwrap_err(),
+            MmdbError::RaggedColumn {
+                table: "sales".into(),
+                column: "amount".into(),
+                expected: 5,
+                got: 1
+            }
+        );
+        assert_eq!(
+            db.table("sales").unwrap().value("amount", 3),
+            Some(&Value::Int(4))
+        );
+    }
+
+    #[test]
+    fn replace_unindexed_column_succeeds_with_empty_report() {
+        let mut db = sales_db();
+        let report = db
+            .replace_column(
+                "sales",
+                "region",
+                ["a", "b", "c", "d", "e"]
+                    .iter()
+                    .map(|&s| Value::from(s))
+                    .collect(),
+            )
+            .unwrap();
+        assert!(report.rebuilds.is_empty());
+        assert_eq!(
+            db.table("sales").unwrap().value("region", 4),
+            Some(&Value::Str("e".into()))
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Typed errors for the database engine.
+//!
+//! The physical layer (operators over explicit `Column`/`RidList`/index
+//! parts) stays panic-free by construction — callers hold the parts. The
+//! engine layer resolves *names* (tables, columns, index kinds) at run
+//! time, so lookups can fail; every failure names the offending table or
+//! column so a query over a million-row catalog fails with a message, not
+//! a stack trace.
+
+use crate::index_choice::IndexKind;
+
+/// Everything the engine and builders can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmdbError {
+    /// A table name was not found in the catalog.
+    UnknownTable {
+        /// The name that failed to resolve.
+        table: String,
+    },
+    /// A table was registered under a name the catalog already holds.
+    DuplicateTable {
+        /// The already-taken name.
+        table: String,
+    },
+    /// A column name was not found in a table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// The column name that failed to resolve.
+        column: String,
+    },
+    /// No index of any kind is registered on the column.
+    NoIndex {
+        /// Table holding the column.
+        table: String,
+        /// The unindexed column.
+        column: String,
+    },
+    /// A specific index kind was requested but never built.
+    IndexNotBuilt {
+        /// Table holding the column.
+        table: String,
+        /// The column.
+        column: String,
+        /// The kind that was requested.
+        kind: IndexKind,
+    },
+    /// A range or ordered operation needs an ordered index but only
+    /// unordered (hash) indexes are registered — §3.5: hash indexes do
+    /// not preserve order.
+    NoOrderedIndex {
+        /// Table holding the column.
+        table: String,
+        /// The column.
+        column: String,
+    },
+    /// `TableBuilder::build` found columns of unequal length.
+    RaggedColumn {
+        /// The table being built.
+        table: String,
+        /// The first column whose length disagrees.
+        column: String,
+        /// Length implied by the first column.
+        expected: usize,
+        /// Length actually found.
+        got: usize,
+    },
+    /// An aggregate other than `Count` was asked over a non-integer
+    /// measure column.
+    NonIntegerMeasure {
+        /// Table holding the measure.
+        table: String,
+        /// The measure column.
+        column: String,
+    },
+    /// The requested operation does not apply to this result shape.
+    Unsupported {
+        /// Human-readable description of what was attempted.
+        what: String,
+    },
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MmdbError>;
+
+impl std::fmt::Display for MmdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmdbError::UnknownTable { table } => {
+                write!(f, "unknown table `{table}`")
+            }
+            MmdbError::DuplicateTable { table } => {
+                write!(f, "table `{table}` is already registered")
+            }
+            MmdbError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            MmdbError::NoIndex { table, column } => {
+                write!(f, "no index registered on `{table}.{column}`")
+            }
+            MmdbError::IndexNotBuilt {
+                table,
+                column,
+                kind,
+            } => {
+                write!(f, "no {kind:?} index built on `{table}.{column}`")
+            }
+            MmdbError::NoOrderedIndex { table, column } => {
+                write!(
+                    f,
+                    "`{table}.{column}` has no ordered index (hash indexes \
+                     cannot serve range or ordered access, §3.5)"
+                )
+            }
+            MmdbError::RaggedColumn {
+                table,
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "table `{table}`: column `{column}` has {got} rows, \
+                     expected {expected}"
+                )
+            }
+            MmdbError::NonIntegerMeasure { table, column } => {
+                write!(
+                    f,
+                    "measure column `{table}.{column}` holds non-integer \
+                     values; Sum/Min/Max need an Int column"
+                )
+            }
+            MmdbError::Unsupported { what } => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for MmdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = MmdbError::UnknownColumn {
+            table: "sales".into(),
+            column: "regoin".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sales") && msg.contains("regoin"), "{msg}");
+
+        let e = MmdbError::RaggedColumn {
+            table: "t".into(),
+            column: "b".into(),
+            expected: 3,
+            got: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('t') && msg.contains('b'), "{msg}");
+        assert!(msg.contains('3') && msg.contains('2'), "{msg}");
+
+        let e = MmdbError::IndexNotBuilt {
+            table: "t".into(),
+            column: "c".into(),
+            kind: IndexKind::FullCss,
+        };
+        assert!(e.to_string().contains("FullCss"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(MmdbError::UnknownTable { table: "x".into() });
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -15,7 +15,12 @@ use sorted_search::{BinarySearch, InterpolationSearch};
 use ttree::TTree;
 
 /// The index methods available to the database layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order and exists so catalogs can key maps by
+/// kind deterministically; it is **not** a quality ranking — access-path
+/// choice uses [`IndexKind::POINT_PREFERENCE`] /
+/// [`IndexKind::ORDERED_PREFERENCE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum IndexKind {
     /// Binary search on the sorted RID list — zero extra space.
     BinarySearch,
@@ -62,6 +67,83 @@ impl IndexKind {
     /// Does this kind support `lower_bound`/range queries?
     pub fn is_ordered(&self) -> bool {
         !matches!(self, IndexKind::Hash)
+    }
+
+    /// Access-path preference for equality probes, best first: the hash
+    /// index wins point lookups when present (§3.5 "fastest point
+    /// lookups"), then the paper's recommendation (full CSS-tree) and the
+    /// remaining directories by decreasing branching, with the zero-space
+    /// array methods last.
+    pub const POINT_PREFERENCE: [IndexKind; 8] = [
+        IndexKind::Hash,
+        IndexKind::FullCss,
+        IndexKind::LevelCss,
+        IndexKind::BPlusTree,
+        IndexKind::TTree,
+        IndexKind::BinaryTree,
+        IndexKind::InterpolationSearch,
+        IndexKind::BinarySearch,
+    ];
+
+    /// Access-path preference for range / ordered probes, best first —
+    /// [`IndexKind::POINT_PREFERENCE`] minus the hash index, which cannot
+    /// serve ordered access.
+    pub const ORDERED_PREFERENCE: [IndexKind; 7] = [
+        IndexKind::FullCss,
+        IndexKind::LevelCss,
+        IndexKind::BPlusTree,
+        IndexKind::TTree,
+        IndexKind::BinaryTree,
+        IndexKind::InterpolationSearch,
+        IndexKind::BinarySearch,
+    ];
+}
+
+/// A built index that remembers whether it can serve ordered access —
+/// what a catalog stores per `(column, kind)` so point probes can reach
+/// `search_batch` on any kind while range probes are confined, at the
+/// type level, to ordered kinds.
+pub enum IndexHandle {
+    /// Point lookups only (the hash index, §3.5).
+    Point(Box<dyn SearchIndex<u32>>),
+    /// Full ordered access (every other kind).
+    Ordered(Box<dyn OrderedIndex<u32>>),
+}
+
+impl IndexHandle {
+    /// Build the handle for `kind` over a shared sorted key array.
+    pub fn build(kind: IndexKind, keys: &SortedArray<u32>) -> Self {
+        if kind.is_ordered() {
+            IndexHandle::Ordered(build_ordered_index(kind, keys))
+        } else {
+            IndexHandle::Point(build_index(kind, keys))
+        }
+    }
+
+    /// The point-lookup view every kind supports.
+    pub fn as_search(&self) -> &dyn SearchIndex<u32> {
+        match self {
+            IndexHandle::Point(i) => i.as_ref(),
+            IndexHandle::Ordered(i) => i.as_ref(),
+        }
+    }
+
+    /// The ordered view, when the kind preserves key order.
+    pub fn as_ordered(&self) -> Option<&dyn OrderedIndex<u32>> {
+        match self {
+            IndexHandle::Point(_) => None,
+            IndexHandle::Ordered(i) => Some(i.as_ref()),
+        }
+    }
+}
+
+impl std::fmt::Debug for IndexHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (shape, name) = match self {
+            IndexHandle::Point(i) => ("Point", i.name()),
+            IndexHandle::Ordered(i) => ("Ordered", i.name()),
+        };
+        write!(f, "IndexHandle::{shape}({name})")
     }
 }
 
@@ -147,6 +229,36 @@ mod tests {
     #[should_panic(expected = "do not preserve order")]
     fn hash_cannot_be_ordered() {
         let _ = build_ordered_index(IndexKind::Hash, &keys());
+    }
+
+    #[test]
+    fn handle_preserves_orderedness() {
+        let ks = keys();
+        for kind in IndexKind::ALL {
+            let h = IndexHandle::build(kind, &ks);
+            assert_eq!(h.as_ordered().is_some(), kind.is_ordered(), "{kind:?}");
+            assert_eq!(h.as_search().search(7), Some(21), "{kind:?}");
+            assert!(format!("{h:?}").starts_with("IndexHandle::"));
+            if let Some(o) = h.as_ordered() {
+                assert_eq!(o.equal_range(7), (21, 24), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn preference_orders_cover_the_kinds() {
+        // Every kind appears exactly once in the point preference; the
+        // ordered preference is the same list minus Hash.
+        let mut point = IndexKind::POINT_PREFERENCE.to_vec();
+        point.sort();
+        let mut all = IndexKind::ALL.to_vec();
+        all.sort();
+        assert_eq!(point, all);
+        assert!(IndexKind::ORDERED_PREFERENCE.iter().all(|k| k.is_ordered()));
+        assert_eq!(
+            IndexKind::ORDERED_PREFERENCE.len(),
+            IndexKind::ALL.len() - 1
+        );
     }
 
     #[test]

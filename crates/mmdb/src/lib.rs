@@ -9,7 +9,17 @@
 //! used in \[WK90\]"), and (3) mapping query constants to domain IDs by
 //! searching the domain itself.
 //!
-//! This crate builds that system:
+//! This crate builds that system in two layers.
+//!
+//! **The engine** (the primary surface): a [`Database`] whose catalog
+//! registers tables and builds/owns per-column RID lists and indexes
+//! (keyed by [`IndexKind`]), and a composable [`Query`] builder —
+//! `db.query("sales").filter(eq(..)).join(.., on(..)).group_by(..)` —
+//! compiled by [`mod@plan`] into a small physical plan whose executor
+//! drives the batched operators below. Failures are typed
+//! ([`MmdbError`]) and name the offending table/column.
+//!
+//! **The physical layer** the engine compiles onto:
 //! * [`domain`] — sorted domain dictionaries with domain-ID encoding;
 //!   equality *and* inequality predicates evaluate on IDs directly because
 //!   the domain is kept in value order,
@@ -18,6 +28,8 @@
 //! * [`index_choice`] — one constructor per paper method, all behind
 //!   `ccindex_common::OrderedIndex`/`SearchIndex`,
 //! * [`query`] — point select, range select, and indexed nested-loop join,
+//! * [`aggregate`] — grouped aggregation over sorted RID lists and
+//!   arbitrary row sets,
 //! * [`update`] — the OLAP batch-update cycle: apply inserts/deletes, then
 //!   rebuild affected indexes from scratch (§2.3: "it may be relatively
 //!   cheap to rebuild an index from scratch after a batch of updates").
@@ -25,20 +37,33 @@
 pub mod aggregate;
 pub mod column;
 pub mod domain;
+pub mod engine;
+pub mod error;
 pub mod index_choice;
+pub mod plan;
 pub mod query;
 pub mod rid;
 pub mod table;
 pub mod update;
 
-pub use aggregate::{group_aggregate, AggFn, GroupRow};
+// The engine surface.
+pub use engine::{Database, RebuildReport};
+pub use error::{MmdbError, Result};
+pub use plan::{
+    between, count, eq, max, min, on, sum, Agg, JoinOn, Plan, Predicate, Query, ResultRows,
+    ResultSet,
+};
+
+// The physical layer.
+pub use aggregate::{group_aggregate, group_aggregate_pairs, AggFn, GroupRow};
 pub use column::Column;
 pub use domain::Domain;
-pub use index_choice::{build_index, build_ordered_index, IndexKind};
+pub use index_choice::{build_index, build_ordered_index, IndexHandle, IndexKind};
 pub use query::{
-    indexed_nested_loop_join, point_select, point_select_many, range_select, range_select_many,
-    JoinRow, JOIN_PROBE_BLOCK,
+    indexed_nested_loop_join, indexed_nested_loop_join_rids, point_select, point_select_many,
+    point_select_many_ordered, point_select_ordered, range_select, range_select_many, JoinRow,
+    JOIN_PROBE_BLOCK,
 };
 pub use rid::RidList;
 pub use table::{Table, TableBuilder};
-pub use update::{apply_batch, BatchResult};
+pub use update::{apply_batch, apply_batch_handle, merge_batch, BatchResult, HandleBatchResult};

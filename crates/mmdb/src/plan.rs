@@ -1,0 +1,1083 @@
+//! Composable queries over the [`Database`] engine: a declarative
+//! [`Query`] builder, the small physical [`Plan`] it compiles into, and
+//! the executor that drives the batched physical operators.
+//!
+//! The shape mirrors the paper's three index consumers (§2.2):
+//! selections ([`eq`] / [`between`] filters, conjunctions combined by
+//! sorted RID-set intersection), indexed nested-loop joins
+//! ([`Query::join`]), and domain encoding (every probe starts with a
+//! batched `encode_batch`). Grouped aggregation ([`Query::group_by`])
+//! rides on top, as OLAP queries do.
+//!
+//! ```
+//! use mmdb::{between, eq, on, sum, Database, IndexKind, TableBuilder};
+//!
+//! # fn main() -> mmdb::Result<()> {
+//! let mut db = Database::new();
+//! db.register(
+//!     TableBuilder::new("sales")
+//!         .int_column("cust", [1, 2, 1, 3])
+//!         .int_column("amount", [10, 40, 25, 99])
+//!         .build()?,
+//! )?;
+//! db.register(
+//!     TableBuilder::new("customers")
+//!         .int_column("id", [1, 2, 3])
+//!         .str_column("region", ["east", "west", "east"])
+//!         .build()?,
+//! )?;
+//! db.create_index("sales", "amount", IndexKind::FullCss)?;
+//! db.create_index("customers", "id", IndexKind::Hash)?;
+//!
+//! // Select, join, aggregate — one composable pipeline.
+//! let revenue = db
+//!     .query("sales")
+//!     .filter(between("amount", 20, 100))
+//!     .join("customers", on("cust", "id"))
+//!     .group_by("region", sum("amount"))
+//!     .run()?;
+//! assert_eq!(revenue.groups().len(), 2); // east: 25 + 99, west: 40
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aggregate::{group_aggregate_pairs, AggFn, GroupRow};
+use crate::column::Column;
+use crate::domain::Value;
+use crate::engine::Database;
+use crate::error::{MmdbError, Result};
+use crate::index_choice::{IndexHandle, IndexKind};
+use crate::query::{
+    indexed_nested_loop_join_rids, point_select_many, point_select_many_ordered, range_select_many,
+    JoinRow,
+};
+
+// ---------------------------------------------------------------------
+// Builder vocabulary
+// ---------------------------------------------------------------------
+
+/// Equality predicate: `column = value`.
+pub fn eq(column: &str, value: impl Into<Value>) -> Predicate {
+    Predicate {
+        column: column.to_owned(),
+        op: PredOp::Eq(value.into()),
+    }
+}
+
+/// Inclusive range predicate: `lo <= column <= hi`.
+pub fn between(column: &str, lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+    Predicate {
+        column: column.to_owned(),
+        op: PredOp::Between(lo.into(), hi.into()),
+    }
+}
+
+/// Join condition: `outer_column = inner_column`.
+pub fn on(outer_column: &str, inner_column: &str) -> JoinOn {
+    JoinOn {
+        outer: outer_column.to_owned(),
+        inner: inner_column.to_owned(),
+    }
+}
+
+/// `COUNT(*)` per group.
+pub fn count() -> Agg {
+    Agg::Count
+}
+
+/// `SUM(column)` per group.
+pub fn sum(column: &str) -> Agg {
+    Agg::Sum(column.to_owned())
+}
+
+/// `MIN(column)` per group.
+pub fn min(column: &str) -> Agg {
+    Agg::Min(column.to_owned())
+}
+
+/// `MAX(column)` per group.
+pub fn max(column: &str) -> Agg {
+    Agg::Max(column.to_owned())
+}
+
+/// One conjunct of a query's WHERE clause (built by [`eq`]/[`between`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    column: String,
+    op: PredOp,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PredOp {
+    Eq(Value),
+    Between(Value, Value),
+}
+
+/// An equi-join condition (built by [`on`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOn {
+    outer: String,
+    inner: String,
+}
+
+/// An aggregate over the grouped rows (built by [`count`]/[`sum`]/
+/// [`min`]/[`max`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Row count per group.
+    Count,
+    /// Sum of the named integer measure column.
+    Sum(String),
+    /// Minimum of the named integer measure column.
+    Min(String),
+    /// Maximum of the named integer measure column.
+    Max(String),
+}
+
+impl Agg {
+    fn fn_and_measure(&self) -> (AggFn, Option<&str>) {
+        match self {
+            Agg::Count => (AggFn::Count, None),
+            Agg::Sum(m) => (AggFn::Sum, Some(m)),
+            Agg::Min(m) => (AggFn::Min, Some(m)),
+            Agg::Max(m) => (AggFn::Max, Some(m)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------
+
+/// A composable query over one table (and optionally one joined inner
+/// table), started by [`Database::query`]. Nothing resolves until
+/// [`Query::plan`] or [`Query::run`], so builders can be assembled
+/// freely and fail with a typed error naming the offender.
+#[derive(Debug, Clone)]
+pub struct Query<'db> {
+    db: &'db Database,
+    table: String,
+    filters: Vec<Predicate>,
+    join: Option<(String, JoinOn)>,
+    group: Option<(String, Agg)>,
+    forced_kind: Option<IndexKind>,
+}
+
+impl<'db> Query<'db> {
+    pub(crate) fn new(db: &'db Database, table: String) -> Self {
+        Self {
+            db,
+            table,
+            filters: Vec::new(),
+            join: None,
+            group: None,
+            forced_kind: None,
+        }
+    }
+
+    /// Add a conjunct; multiple filters AND together and are combined by
+    /// sorted RID-set intersection.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filters.push(predicate);
+        self
+    }
+
+    /// Indexed nested-loop join against `inner_table` (the filtered rows
+    /// of this query's table stream through the inner column's index).
+    pub fn join(mut self, inner_table: &str, condition: JoinOn) -> Self {
+        self.join = Some((inner_table.to_owned(), condition));
+        self
+    }
+
+    /// Group the result (join output if a join is present, else the
+    /// selected rows) by `column` and aggregate each group. The column
+    /// and any measure may come from either side of a join.
+    pub fn group_by(mut self, column: &str, agg: Agg) -> Self {
+        self.group = Some((column.to_owned(), agg));
+        self
+    }
+
+    /// Force every probe in this query through one [`IndexKind`] instead
+    /// of the catalog's preference order. The kind must be built on each
+    /// probed column, and range filters reject the (unordered) hash kind.
+    pub fn using(mut self, kind: IndexKind) -> Self {
+        self.forced_kind = Some(kind);
+        self
+    }
+
+    /// Compile into a physical [`Plan`]: resolve every name, choose an
+    /// access path per probe, and validate aggregate typing.
+    pub fn plan(&self) -> Result<Plan> {
+        let db = self.db;
+        let outer = &self.table;
+        db.entry(outer)?;
+
+        let mut probes = Vec::with_capacity(self.filters.len());
+        for p in &self.filters {
+            let ordered_required = matches!(p.op, PredOp::Between(..));
+            let kind = resolve_kind(db, outer, &p.column, ordered_required, self.forced_kind)?;
+            probes.push(ProbeStep {
+                column: p.column.clone(),
+                kind,
+                probe: match &p.op {
+                    PredOp::Eq(v) => Probe::Point(v.clone()),
+                    PredOp::Between(lo, hi) => Probe::Range(lo.clone(), hi.clone()),
+                },
+            });
+        }
+
+        let join = match &self.join {
+            None => None,
+            Some((inner_table, cond)) => {
+                db.column(outer, &cond.outer)?;
+                db.column(inner_table, &cond.inner)?;
+                let kind = resolve_kind(db, inner_table, &cond.inner, false, self.forced_kind)?;
+                Some(JoinStep {
+                    inner_table: inner_table.clone(),
+                    outer_column: cond.outer.clone(),
+                    inner_column: cond.inner.clone(),
+                    kind,
+                })
+            }
+        };
+
+        let group = match &self.group {
+            None => None,
+            Some((column, agg)) => {
+                let inner = join.as_ref().map(|j| j.inner_table.as_str());
+                let (side, _) = resolve_side(db, outer, inner, column)?;
+                let (agg_fn, measure) = agg.fn_and_measure();
+                let measure = match measure {
+                    None => None,
+                    Some(m) => {
+                        let (m_side, m_col) = resolve_side(db, outer, inner, m)?;
+                        let all_int = m_col
+                            .domain()
+                            .values()
+                            .iter()
+                            .all(|v| matches!(v, Value::Int(_)));
+                        if !all_int {
+                            let table = match m_side {
+                                Side::Outer => outer.clone(),
+                                Side::Inner => join
+                                    .as_ref()
+                                    .expect("inner side implies join")
+                                    .inner_table
+                                    .clone(),
+                            };
+                            return Err(MmdbError::NonIntegerMeasure {
+                                table,
+                                column: m.to_owned(),
+                            });
+                        }
+                        Some((m.to_owned(), m_side))
+                    }
+                };
+                Some(GroupStep {
+                    column: column.clone(),
+                    side,
+                    agg: agg_fn,
+                    measure,
+                })
+            }
+        };
+
+        Ok(Plan {
+            table: outer.clone(),
+            probes,
+            join,
+            group,
+        })
+    }
+
+    /// Compile and execute.
+    pub fn run(&self) -> Result<ResultSet<'db>> {
+        self.plan()?.execute(self.db)
+    }
+}
+
+/// Pick an access path for a probe on `table.column`: the forced kind if
+/// any (validated), else the first registered kind in the applicable
+/// preference order.
+fn resolve_kind(
+    db: &Database,
+    table: &str,
+    column: &str,
+    ordered_required: bool,
+    forced: Option<IndexKind>,
+) -> Result<IndexKind> {
+    let entry = db.column_entry(table, column)?;
+    if let Some(kind) = forced {
+        if ordered_required && !kind.is_ordered() {
+            return Err(MmdbError::NoOrderedIndex {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        if !entry.indexes.contains_key(&kind) {
+            return Err(MmdbError::IndexNotBuilt {
+                table: table.to_owned(),
+                column: column.to_owned(),
+                kind,
+            });
+        }
+        return Ok(kind);
+    }
+    let preference: &[IndexKind] = if ordered_required {
+        &IndexKind::ORDERED_PREFERENCE
+    } else {
+        &IndexKind::POINT_PREFERENCE
+    };
+    preference
+        .iter()
+        .copied()
+        .find(|k| entry.indexes.contains_key(k))
+        .ok_or_else(|| {
+            // Something is registered (column_entry succeeded), so the
+            // only way to miss is needing order with only hash built.
+            MmdbError::NoOrderedIndex {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            }
+        })
+}
+
+/// Which relation of a (possibly joined) query a column belongs to:
+/// searched outer-first, so a name present on both sides binds to the
+/// query's own table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The query's own table.
+    Outer,
+    /// The joined inner table.
+    Inner,
+}
+
+fn resolve_side<'db>(
+    db: &'db Database,
+    outer: &str,
+    inner: Option<&str>,
+    column: &str,
+) -> Result<(Side, &'db Column)> {
+    if let Ok(col) = db.column(outer, column) {
+        return Ok((Side::Outer, col));
+    }
+    if let Some(inner) = inner {
+        if let Ok(col) = db.column(inner, column) {
+            return Ok((Side::Inner, col));
+        }
+    }
+    Err(MmdbError::UnknownColumn {
+        table: outer.to_owned(),
+        column: column.to_owned(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The physical plan
+// ---------------------------------------------------------------------
+
+/// A compiled physical plan: fully resolved probes, join, and grouping.
+/// Inspect with [`Plan::explain`], execute with [`Plan::execute`].
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The outer (driving) table.
+    pub table: String,
+    /// One index probe per filter; empty means every row qualifies.
+    pub probes: Vec<ProbeStep>,
+    /// The join, if any.
+    pub join: Option<JoinStep>,
+    /// The grouping, if any.
+    pub group: Option<GroupStep>,
+}
+
+/// One resolved filter probe.
+#[derive(Debug, Clone)]
+pub struct ProbeStep {
+    /// Probed column of the outer table.
+    pub column: String,
+    /// Chosen access path.
+    pub kind: IndexKind,
+    /// The probe itself.
+    pub probe: Probe,
+}
+
+/// What a [`ProbeStep`] asks its index.
+#[derive(Debug, Clone)]
+pub enum Probe {
+    /// Equality probe.
+    Point(Value),
+    /// Inclusive range probe (requires an ordered kind).
+    Range(Value, Value),
+}
+
+/// A resolved indexed nested-loop join.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// The inner (indexed) relation.
+    pub inner_table: String,
+    /// Join column on the outer table.
+    pub outer_column: String,
+    /// Join column on the inner table (must be indexed).
+    pub inner_column: String,
+    /// Access path on the inner column.
+    pub kind: IndexKind,
+}
+
+/// A resolved grouped aggregation.
+#[derive(Debug, Clone)]
+pub struct GroupStep {
+    /// Group-by column.
+    pub column: String,
+    /// Which relation the group-by column lives on.
+    pub side: Side,
+    /// The aggregate function.
+    pub agg: AggFn,
+    /// Measure column and its side (`None` for `Count`).
+    pub measure: Option<(String, Side)>,
+}
+
+impl Plan {
+    /// A human-readable rendering of the plan, one step per line.
+    pub fn explain(&self) -> String {
+        let mut out = format!("scan {}", self.table);
+        if self.probes.is_empty() {
+            out.push_str(" (all rows)");
+        }
+        for p in &self.probes {
+            match &p.probe {
+                Probe::Point(v) => {
+                    out.push_str(&format!("\n  probe {} = {} via {:?}", p.column, v, p.kind));
+                }
+                Probe::Range(lo, hi) => {
+                    out.push_str(&format!(
+                        "\n  probe {} in [{}, {}] via {:?}",
+                        p.column, lo, hi, p.kind
+                    ));
+                }
+            }
+        }
+        if self.probes.len() > 1 {
+            out.push_str(&format!(
+                "\n  intersect {} sorted RID sets",
+                self.probes.len()
+            ));
+        }
+        if let Some(j) = &self.join {
+            out.push_str(&format!(
+                "\n  join {} on {} = {} via {:?}",
+                j.inner_table, j.outer_column, j.inner_column, j.kind
+            ));
+        }
+        if let Some(g) = &self.group {
+            let measure = g
+                .measure
+                .as_ref()
+                .map_or_else(|| "*".to_owned(), |(m, _)| m.clone());
+            out.push_str(&format!(
+                "\n  group by {} ({:?} over {})",
+                g.column, g.agg, measure
+            ));
+        }
+        out
+    }
+
+    /// Execute against `db` (normally the database the plan was compiled
+    /// from; names re-resolve, so a stale plan fails with a typed error
+    /// rather than undefined behaviour).
+    pub fn execute<'db>(&self, db: &'db Database) -> Result<ResultSet<'db>> {
+        // 1. Selection: evaluate each probe to a sorted RID set and
+        //    intersect. `None` means "all rows" (no filters), kept
+        //    symbolic so group-only queries iterate 0..n without an
+        //    allocation; a join or a bare selection materialises it once.
+        let mut selected: Option<Vec<u32>> = None;
+        for step in &self.probes {
+            let rids = self.eval_probe(db, step)?;
+            selected = Some(match selected {
+                None => rids,
+                Some(prev) => intersect_sorted(&prev, &rids),
+            });
+        }
+
+        // 2. Join: stream the selected outer rows through the inner
+        //    column's index in probe blocks.
+        let joined: Option<Vec<JoinRow>> = match &self.join {
+            None => None,
+            Some(j) => {
+                let outer_col = db.column(&self.table, &j.outer_column)?;
+                let inner_col = db.column(&j.inner_table, &j.inner_column)?;
+                let entry = db.column_entry(&j.inner_table, &j.inner_column)?;
+                let handle =
+                    entry
+                        .indexes
+                        .get(&j.kind)
+                        .ok_or_else(|| MmdbError::IndexNotBuilt {
+                            table: j.inner_table.clone(),
+                            column: j.inner_column.clone(),
+                            kind: j.kind,
+                        })?;
+                let all_rids: Vec<u32>;
+                let outer_rids: &[u32] = match &selected {
+                    Some(rids) => rids,
+                    None => {
+                        all_rids = (0..db.table(&self.table)?.rows() as u32).collect();
+                        &all_rids
+                    }
+                };
+                Some(indexed_nested_loop_join_rids(
+                    outer_col,
+                    outer_rids,
+                    inner_col,
+                    &entry.rids,
+                    handle.as_search(),
+                ))
+            }
+        };
+
+        // 3. Grouped aggregation over whichever rows survived.
+        if let Some(g) = &self.group {
+            let inner = self.join.as_ref().map(|j| j.inner_table.as_str());
+            let group_col = side_column(db, &self.table, inner, &g.column, g.side)?;
+            let measure_col = match &g.measure {
+                None => None,
+                Some((m, side)) => Some(side_column(db, &self.table, inner, m, *side)?),
+            };
+            let pick = |row: &JoinRow, side: Side| match side {
+                Side::Outer => row.outer_rid,
+                Side::Inner => row.inner_rid,
+            };
+            let groups = match &joined {
+                Some(rows) => {
+                    let measure_side = g.measure.as_ref().map_or(g.side, |(_, s)| *s);
+                    group_aggregate_pairs(
+                        group_col,
+                        measure_col,
+                        rows.iter()
+                            .map(|r| (pick(r, g.side), pick(r, measure_side))),
+                        g.agg,
+                    )
+                }
+                None => {
+                    let rows = db.table(&self.table)?.rows() as u32;
+                    match &selected {
+                        Some(rids) => group_aggregate_pairs(
+                            group_col,
+                            measure_col,
+                            rids.iter().map(|&r| (r, r)),
+                            g.agg,
+                        ),
+                        None => group_aggregate_pairs(
+                            group_col,
+                            measure_col,
+                            (0..rows).map(|r| (r, r)),
+                            g.agg,
+                        ),
+                    }
+                }
+            };
+            return Ok(ResultSet {
+                db,
+                outer_table: self.table.clone(),
+                inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
+                rows: ResultRows::Groups(groups),
+            });
+        }
+
+        let rows = match joined {
+            Some(rows) => ResultRows::Joined(rows),
+            None => ResultRows::Rids(match selected {
+                Some(rids) => rids,
+                None => (0..db.table(&self.table)?.rows() as u32).collect(),
+            }),
+        };
+        Ok(ResultSet {
+            db,
+            outer_table: self.table.clone(),
+            inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
+            rows,
+        })
+    }
+
+    /// One probe -> sorted RID set, always through the batched operators
+    /// (`encode_batch` + `search_batch`/`lower_bound_batch`).
+    fn eval_probe(&self, db: &Database, step: &ProbeStep) -> Result<Vec<u32>> {
+        let col = db.column(&self.table, &step.column)?;
+        let entry = db.column_entry(&self.table, &step.column)?;
+        let handle = entry
+            .indexes
+            .get(&step.kind)
+            .ok_or_else(|| MmdbError::IndexNotBuilt {
+                table: self.table.clone(),
+                column: step.column.clone(),
+                kind: step.kind,
+            })?;
+        let mut rids = match (&step.probe, handle) {
+            (Probe::Point(v), IndexHandle::Ordered(idx)) => {
+                point_select_many_ordered(col, &entry.rids, idx.as_ref(), std::slice::from_ref(v))
+                    .pop()
+                    .expect("one probe in, one out")
+            }
+            (Probe::Point(v), IndexHandle::Point(idx)) => {
+                point_select_many(col, &entry.rids, idx.as_ref(), std::slice::from_ref(v))
+                    .pop()
+                    .expect("one probe in, one out")
+            }
+            (Probe::Range(lo, hi), handle) => {
+                let idx = handle
+                    .as_ordered()
+                    .ok_or_else(|| MmdbError::NoOrderedIndex {
+                        table: self.table.clone(),
+                        column: step.column.clone(),
+                    })?;
+                range_select_many(col, &entry.rids, idx, &[(lo.clone(), hi.clone())])
+                    .pop()
+                    .expect("one range in, one out")
+            }
+        };
+        rids.sort_unstable();
+        Ok(rids)
+    }
+}
+
+fn side_column<'db>(
+    db: &'db Database,
+    outer: &str,
+    inner: Option<&str>,
+    column: &str,
+    side: Side,
+) -> Result<&'db Column> {
+    match side {
+        Side::Outer => db.column(outer, column),
+        Side::Inner => {
+            let inner = inner.ok_or_else(|| MmdbError::UnknownColumn {
+                table: outer.to_owned(),
+                column: column.to_owned(),
+            })?;
+            db.column(inner, column)
+        }
+    }
+}
+
+/// Intersection of two ascending RID sets — how the executor ANDs
+/// predicate conjuncts.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// What a query produced. Shape follows the builder statically: plain
+/// selections yield RIDs, joins yield RID pairs, grouped queries yield
+/// group rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultRows {
+    /// RIDs of the selected rows, ascending.
+    Rids(Vec<u32>),
+    /// Join output pairs, in outer-stream order.
+    Joined(Vec<JoinRow>),
+    /// Aggregated groups, in group-value order.
+    Groups(Vec<GroupRow>),
+}
+
+/// A query result bound to its database, so row values can be decoded
+/// on demand (one batched
+/// [`decode_batch`](crate::domain::Domain::decode_batch) per column).
+#[derive(Debug, Clone)]
+pub struct ResultSet<'db> {
+    db: &'db Database,
+    outer_table: String,
+    inner_table: Option<String>,
+    rows: ResultRows,
+}
+
+impl ResultSet<'_> {
+    /// The rows, whatever their shape.
+    pub fn rows(&self) -> &ResultRows {
+        &self.rows
+    }
+
+    /// Number of result rows (of whichever shape).
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            ResultRows::Rids(r) => r.len(),
+            ResultRows::Joined(r) => r.len(),
+            ResultRows::Groups(r) => r.len(),
+        }
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Selected RIDs, ascending. Panics if this result is join- or
+    /// group-shaped (shape is statically determined by the builder).
+    pub fn rids(&self) -> &[u32] {
+        match &self.rows {
+            ResultRows::Rids(r) => r,
+            other => panic!("rids() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Join output pairs. Panics unless this result came from a join
+    /// without grouping.
+    pub fn join_rows(&self) -> &[JoinRow] {
+        match &self.rows {
+            ResultRows::Joined(r) => r,
+            other => panic!("join_rows() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Aggregated groups. Panics unless the query had a `group_by`.
+    pub fn groups(&self) -> &[GroupRow] {
+        match &self.rows {
+            ResultRows::Groups(r) => r,
+            other => panic!("groups() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Decoded values of `column` for every result row, via one batched
+    /// domain decode. For join results the column may come from either
+    /// side (outer binds first). Group results carry their decoded keys
+    /// already — asking for per-row values there is an error.
+    pub fn values(&self, column: &str) -> Result<Vec<Value>> {
+        match &self.rows {
+            ResultRows::Rids(rids) => {
+                let col = self.db.column(&self.outer_table, column)?;
+                let ids: Vec<u32> = rids.iter().map(|&r| col.id(r)).collect();
+                Ok(col.domain().decode_batch(&ids))
+            }
+            ResultRows::Joined(rows) => {
+                let (side, col) = resolve_side(
+                    self.db,
+                    &self.outer_table,
+                    self.inner_table.as_deref(),
+                    column,
+                )?;
+                let ids: Vec<u32> = rows
+                    .iter()
+                    .map(|r| {
+                        col.id(match side {
+                            Side::Outer => r.outer_rid,
+                            Side::Inner => r.inner_rid,
+                        })
+                    })
+                    .collect();
+                Ok(col.domain().decode_batch(&ids))
+            }
+            ResultRows::Groups(_) => Err(MmdbError::Unsupported {
+                what: "values() on a grouped result; group keys are already \
+                       decoded in groups()"
+                    .into(),
+            }),
+        }
+    }
+}
+
+fn shape_name(rows: &ResultRows) -> &'static str {
+    match rows {
+        ResultRows::Rids(_) => "selection",
+        ResultRows::Joined(_) => "join",
+        ResultRows::Groups(_) => "grouped",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            TableBuilder::new("sales")
+                .int_column("cust", [1, 2, 1, 3, 2, 1])
+                .int_column("amount", [10, 40, 25, 99, 15, 25])
+                .str_column("day", ["mon", "mon", "tue", "wed", "tue", "mon"])
+                .build()
+                .expect("equal columns"),
+        )
+        .unwrap();
+        db.register(
+            TableBuilder::new("customers")
+                .int_column("id", [1, 2, 3])
+                .str_column("region", ["east", "west", "east"])
+                .build()
+                .expect("equal columns"),
+        )
+        .unwrap();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("sales", "day", IndexKind::Hash).unwrap();
+        db.create_index("sales", "day", IndexKind::BPlusTree)
+            .unwrap();
+        db.create_index("customers", "id", IndexKind::LevelCss)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn point_and_range_selections() {
+        let db = db();
+        let r = db.query("sales").filter(eq("day", "mon")).run().unwrap();
+        assert_eq!(r.rids(), &[0, 1, 5]);
+        let r = db
+            .query("sales")
+            .filter(between("amount", 20, 50))
+            .run()
+            .unwrap();
+        assert_eq!(r.rids(), &[1, 2, 5]);
+        // Unfiltered query: every row.
+        assert_eq!(db.query("sales").run().unwrap().rids().len(), 6);
+        // Value outside the domain: empty, not an error.
+        assert!(db
+            .query("sales")
+            .filter(eq("day", "sun"))
+            .run()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn conjunctions_intersect_sorted_rid_sets() {
+        let db = db();
+        let r = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .filter(between("amount", 20, 100))
+            .run()
+            .unwrap();
+        // mon rows {0,1,5} ∩ amount 20..=100 rows {1,2,3,5} = {1,5}.
+        assert_eq!(r.rids(), &[1, 5]);
+        let decoded = r.values("amount").unwrap();
+        assert_eq!(decoded, vec![Value::Int(40), Value::Int(25)]);
+    }
+
+    #[test]
+    fn join_streams_filtered_rows() {
+        let db = db();
+        let r = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .join("customers", on("cust", "id"))
+            .run()
+            .unwrap();
+        // mon rows: 0 (cust 1), 1 (cust 2), 5 (cust 1).
+        let pairs: Vec<(u32, u32)> = r
+            .join_rows()
+            .iter()
+            .map(|j| (j.outer_rid, j.inner_rid))
+            .collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (5, 0)]);
+        // Cross-side decode: region comes from the inner table.
+        let regions = r.values("region").unwrap();
+        assert_eq!(
+            regions,
+            vec!["east".into(), "west".into(), "east".into()] as Vec<Value>
+        );
+    }
+
+    #[test]
+    fn group_by_over_selection_join_and_whole_table() {
+        let db = db();
+        // Whole table, count per day.
+        let r = db.query("sales").group_by("day", count()).run().unwrap();
+        let counts: Vec<(String, i64)> = r
+            .groups()
+            .iter()
+            .map(|g| (g.group.to_string(), g.value))
+            .collect();
+        assert_eq!(
+            counts,
+            vec![("mon".into(), 3), ("tue".into(), 2), ("wed".into(), 1)]
+        );
+        // Filtered sum.
+        let r = db
+            .query("sales")
+            .filter(between("amount", 20, 100))
+            .group_by("day", sum("amount"))
+            .run()
+            .unwrap();
+        let sums: Vec<(String, i64)> = r
+            .groups()
+            .iter()
+            .map(|g| (g.group.to_string(), g.value))
+            .collect();
+        assert_eq!(
+            sums,
+            vec![
+                ("mon".into(), 65), // rids 1 (40) + 5 (25)
+                ("tue".into(), 25), // rid 2
+                ("wed".into(), 99), // rid 3
+            ]
+        );
+        // Join then group by the inner table's region, summing the outer
+        // measure — the ISSUE's flagship pipeline.
+        let r = db
+            .query("sales")
+            .join("customers", on("cust", "id"))
+            .group_by("region", sum("amount"))
+            .run()
+            .unwrap();
+        let sums: Vec<(String, i64)> = r
+            .groups()
+            .iter()
+            .map(|g| (g.group.to_string(), g.value))
+            .collect();
+        // east = cust 1 (10+25+25) + cust 3 (99); west = cust 2 (40+15).
+        assert_eq!(sums, vec![("east".into(), 159), ("west".into(), 55)]);
+        // min/max too.
+        let r = db
+            .query("sales")
+            .group_by("cust", super::max("amount"))
+            .run()
+            .unwrap();
+        assert_eq!(r.groups()[0].value, 25); // cust 1: max(10, 25, 25)
+        let r = db
+            .query("sales")
+            .group_by("cust", super::min("amount"))
+            .run()
+            .unwrap();
+        assert_eq!(r.groups()[2].value, 99); // cust 3: only 99
+    }
+
+    #[test]
+    fn using_forces_the_access_path_and_plans_explain() {
+        let db = db();
+        let plan = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .filter(between("amount", 20, 50))
+            .join("customers", on("cust", "id"))
+            .group_by("region", count())
+            .plan()
+            .unwrap();
+        // Hash preferred for the point probe, CSS for the range, the
+        // inner column's only kind for the join.
+        assert_eq!(plan.probes[0].kind, IndexKind::Hash);
+        assert_eq!(plan.probes[1].kind, IndexKind::FullCss);
+        assert_eq!(plan.join.as_ref().unwrap().kind, IndexKind::LevelCss);
+        let text = plan.explain();
+        assert!(text.contains("intersect 2"), "{text}");
+        assert!(text.contains("join customers"), "{text}");
+        assert!(text.contains("group by region"), "{text}");
+
+        // Forcing picks the named kind...
+        let plan = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .using(IndexKind::BPlusTree)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.probes[0].kind, IndexKind::BPlusTree);
+        // ... and rejects unbuilt or unordered choices with typed errors.
+        assert_eq!(
+            db.query("sales")
+                .filter(eq("day", "mon"))
+                .using(IndexKind::TTree)
+                .plan()
+                .unwrap_err(),
+            MmdbError::IndexNotBuilt {
+                table: "sales".into(),
+                column: "day".into(),
+                kind: IndexKind::TTree
+            }
+        );
+        assert_eq!(
+            db.query("sales")
+                .filter(between("amount", 1, 2))
+                .using(IndexKind::Hash)
+                .plan()
+                .unwrap_err(),
+            MmdbError::NoOrderedIndex {
+                table: "sales".into(),
+                column: "amount".into()
+            }
+        );
+    }
+
+    #[test]
+    fn typed_errors_name_the_offender() {
+        let db = db();
+        assert_eq!(
+            db.query("sale").run().unwrap_err(),
+            MmdbError::UnknownTable {
+                table: "sale".into()
+            }
+        );
+        assert_eq!(
+            db.query("sales")
+                .filter(eq("dya", "mon"))
+                .run()
+                .unwrap_err(),
+            MmdbError::UnknownColumn {
+                table: "sales".into(),
+                column: "dya".into()
+            }
+        );
+        // cust exists but is unindexed.
+        assert_eq!(
+            db.query("sales").filter(eq("cust", 1)).run().unwrap_err(),
+            MmdbError::NoIndex {
+                table: "sales".into(),
+                column: "cust".into()
+            }
+        );
+        // Range over a hash-only column.
+        let mut db2 = Database::new();
+        db2.register(
+            TableBuilder::new("t")
+                .int_column("v", [1, 2, 3])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db2.create_index("t", "v", IndexKind::Hash).unwrap();
+        assert_eq!(
+            db2.query("t").filter(between("v", 1, 2)).run().unwrap_err(),
+            MmdbError::NoOrderedIndex {
+                table: "t".into(),
+                column: "v".into()
+            }
+        );
+        // Non-integer measure.
+        assert_eq!(
+            db.query("sales")
+                .group_by("cust", sum("day"))
+                .run()
+                .unwrap_err(),
+            MmdbError::NonIntegerMeasure {
+                table: "sales".into(),
+                column: "day".into()
+            }
+        );
+        // values() on groups is unsupported, with a message.
+        let r = db.query("sales").group_by("day", count()).run().unwrap();
+        assert!(matches!(
+            r.values("day").unwrap_err(),
+            MmdbError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 7, 9]), vec![3, 7]);
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+        assert_eq!(intersect_sorted(&[4], &[4]), vec![4]);
+    }
+}

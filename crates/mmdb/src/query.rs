@@ -3,7 +3,10 @@
 //! 1. "searching an index is still useful for answering single value
 //!    selection queries and range queries" — [`point_select_many`] and
 //!    [`range_select_many`] (with [`point_select`] / [`range_select`] as
-//!    the batch-of-one conveniences);
+//!    the batch-of-one conveniences, and
+//!    [`point_select_ordered`] / [`point_select_many_ordered`] asking an
+//!    ordered index for whole duplicate runs via `equal_range` instead of
+//!    the §3.6 rightward scan, which only the hash path needs);
 //! 2. "cheaper random access makes indexed nested loop joins more
 //!    affordable ... This approach requires a lot of searching through
 //!    indexes on the inner relations" — [`indexed_nested_loop_join`];
@@ -37,10 +40,27 @@ pub struct JoinRow {
 /// cache-resident.
 pub const JOIN_PROBE_BLOCK: usize = 1024;
 
+/// The §3.6 duplicate primitive for indexes that only answer point
+/// lookups (the hash index): given the leftmost match `first`, scan
+/// rightward through the sorted key array for the end of the run of
+/// `id`. Ordered indexes do **not** come through here — they answer the
+/// same question with [`OrderedIndex::equal_range`] (or its batched
+/// `lower_bound_batch` form), so this is the single place the hand-rolled
+/// scan lives.
+fn duplicate_run_end(keys: &[u32], first: usize, id: u32) -> usize {
+    let mut end = first;
+    while end < keys.len() && keys[end] == id {
+        end += 1;
+    }
+    end
+}
+
 /// All RIDs whose column value equals `value`, via one index search plus
-/// a rightward duplicate scan (§3.6). Single-probe fast path — batches of
+/// the §3.6 rightward duplicate scan. Single-probe fast path — batches of
 /// constants should go through [`point_select_many`] instead (it is
-/// equivalence-tested against this function for every index kind).
+/// equivalence-tested against this function for every index kind). With
+/// an ordered index in hand, prefer [`point_select_ordered`], which asks
+/// the index for the whole duplicate run directly.
 pub fn point_select(
     column: &Column,
     rid_list: &RidList,
@@ -53,12 +73,69 @@ pub fn point_select(
     let Some(first) = index.search(id) else {
         return Vec::new();
     };
-    let keys = rid_list.keys().as_slice();
-    let mut end = first;
-    while end < keys.len() && keys[end] == id {
-        end += 1;
-    }
+    let end = duplicate_run_end(rid_list.keys().as_slice(), first, id);
     rid_list.rids_in(first, end).to_vec()
+}
+
+/// All RIDs whose column value equals `value`, asking an ordered index
+/// for the duplicate run via [`OrderedIndex::equal_range`] — no manual
+/// scan over the key array (§3.6 "find the leftmost element ... and
+/// sequentially scan towards right" is the *hash-index* fallback; ordered
+/// directories locate both ends of the run by descent).
+pub fn point_select_ordered(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    value: &Value,
+) -> Vec<u32> {
+    let Some(id) = column.domain().encode(value) else {
+        return Vec::new();
+    };
+    let (start, end) = index.equal_range(id);
+    rid_list.rids_in(start, end).to_vec()
+}
+
+/// One RID set per probe value through an ordered index: a single batched
+/// domain encoding, then one `lower_bound_batch` holding **both** ends of
+/// every probe's duplicate run (the batched form of
+/// [`OrderedIndex::equal_range`]) — no per-hit rightward scan.
+pub fn point_select_many_ordered(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    values: &[Value],
+) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); values.len()];
+    let ids = column.domain().encode_batch(values);
+    // (slot, end-probe present?) per in-domain value; probes laid out
+    // flat as [id0, id0+1, id1, id1+1, ...] minus unrepresentable ends.
+    let mut pending: Vec<(usize, bool)> = Vec::new();
+    let mut probes: Vec<u32> = Vec::new();
+    for (slot, id) in ids.into_iter().enumerate() {
+        let Some(id) = id else { continue };
+        probes.push(id);
+        match id.checked_add(1) {
+            Some(next) => {
+                probes.push(next);
+                pending.push((slot, true));
+            }
+            None => pending.push((slot, false)),
+        }
+    }
+    let bounds = index.lower_bound_batch(&probes);
+    let mut at = 0usize;
+    for (slot, has_end) in pending {
+        let start = bounds[at];
+        at += 1;
+        let end = if has_end {
+            at += 1;
+            bounds[at - 1]
+        } else {
+            index.len()
+        };
+        out[slot] = rid_list.rids_in(start, end.max(start)).to_vec();
+    }
+    out
 }
 
 /// One RID set per probe value: a single batched domain encoding followed
@@ -89,10 +166,7 @@ pub fn point_select_many(
         .zip(index.search_batch(&probe_ids))
     {
         if let Some(first) = hit {
-            let mut end = first;
-            while end < keys.len() && keys[end] == id {
-                end += 1;
-            }
+            let end = duplicate_run_end(keys, first, id);
             out[slot] = rid_list.rids_in(first, end).to_vec();
         }
     }
@@ -180,23 +254,38 @@ pub fn indexed_nested_loop_join(
     inner_rids: &RidList,
     inner_index: &dyn SearchIndex<u32>,
 ) -> Vec<JoinRow> {
+    let all: Vec<u32> = (0..outer.len() as u32).collect();
+    indexed_nested_loop_join_rids(outer, &all, inner, inner_rids, inner_index)
+}
+
+/// [`indexed_nested_loop_join`] restricted to a subset of outer rows —
+/// the shape a query plan produces when selections precede the join
+/// ("pipelinable": the RID set from a filter streams straight into the
+/// probe blocks). `outer_rids` need not be sorted; output order follows
+/// it. Joining every outer row is exactly
+/// `indexed_nested_loop_join(..)`, which delegates here.
+pub fn indexed_nested_loop_join_rids(
+    outer: &Column,
+    outer_rids: &[u32],
+    inner: &Column,
+    inner_rids: &RidList,
+    inner_index: &dyn SearchIndex<u32>,
+) -> Vec<JoinRow> {
     let mut out = Vec::new();
     let inner_keys = inner_rids.keys().as_slice();
     // Consumer #3, batched and hoisted: one inner-domain lookup per
     // *distinct* outer value instead of one per outer row.
     let translation = inner.domain().encode_batch(outer.domain().values());
-    let outer_ids = outer.ids();
     let mut probe_ids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
     let mut probe_rids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
-    for block_start in (0..outer_ids.len()).step_by(JOIN_PROBE_BLOCK) {
-        let block = &outer_ids[block_start..(block_start + JOIN_PROBE_BLOCK).min(outer_ids.len())];
+    for block in outer_rids.chunks(JOIN_PROBE_BLOCK) {
         probe_ids.clear();
         probe_rids.clear();
-        for (off, &outer_id) in block.iter().enumerate() {
+        for &outer_rid in block {
             // Outer values the inner domain does not contain join nothing.
-            if let Some(inner_id) = translation[outer_id as usize] {
+            if let Some(inner_id) = translation[outer.id(outer_rid) as usize] {
                 probe_ids.push(inner_id);
-                probe_rids.push((block_start + off) as u32);
+                probe_rids.push(outer_rid);
             }
         }
         for ((&outer_rid, &inner_id), hit) in probe_rids
@@ -205,13 +294,12 @@ pub fn indexed_nested_loop_join(
             .zip(inner_index.search_batch(&probe_ids))
         {
             if let Some(first) = hit {
-                let mut pos = first;
-                while pos < inner_keys.len() && inner_keys[pos] == inner_id {
+                let end = duplicate_run_end(inner_keys, first, inner_id);
+                for pos in first..end {
                     out.push(JoinRow {
                         outer_rid,
                         inner_rid: inner_rids.rid(pos),
                     });
-                    pos += 1;
                 }
             }
         }
@@ -228,7 +316,8 @@ mod tests {
     fn setup() -> (crate::table::Table, RidList) {
         let t = TableBuilder::new("sales")
             .int_column("amount", [30, 10, 20, 10, 30, 10, 40])
-            .build();
+            .build()
+            .expect("one column");
         let rl = RidList::for_column(t.column("amount").unwrap());
         (t, rl)
     }
@@ -291,6 +380,65 @@ mod tests {
     }
 
     #[test]
+    fn ordered_point_selects_match_the_scan_path() {
+        let (t, rl) = setup();
+        let col = t.column("amount").unwrap();
+        let probes: Vec<Value> = [10i64, 99, 30, 40, 10, -5]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        for kind in IndexKind::ORDERED {
+            let ordered = build_ordered_index(kind, rl.keys());
+            let scan = build_index(kind, rl.keys());
+            for value in &probes {
+                assert_eq!(
+                    point_select_ordered(col, &rl, ordered.as_ref(), value),
+                    point_select(col, &rl, scan.as_ref(), value),
+                    "{kind:?} {value}"
+                );
+            }
+            let many = point_select_many_ordered(col, &rl, ordered.as_ref(), &probes);
+            assert_eq!(
+                many,
+                point_select_many(col, &rl, scan.as_ref(), &probes),
+                "{kind:?}"
+            );
+            assert!(point_select_many_ordered(col, &rl, ordered.as_ref(), &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn filtered_join_restricts_to_the_outer_subset() {
+        let orders = TableBuilder::new("orders")
+            .int_column("cust", [5, 1, 2, 5, 9])
+            .build()
+            .expect("one column");
+        let customers = TableBuilder::new("customers")
+            .int_column("id", [1, 2, 3, 5, 5])
+            .build()
+            .expect("one column");
+        let ccol = customers.column("id").unwrap();
+        let crids = RidList::for_column(ccol);
+        let ocol = orders.column("cust").unwrap();
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, crids.keys());
+            let full = indexed_nested_loop_join(ocol, ccol, &crids, idx.as_ref());
+            // The subset path with rids {0, 3} must equal the full join
+            // filtered to those outer rows.
+            let subset = indexed_nested_loop_join_rids(ocol, &[0, 3], ccol, &crids, idx.as_ref());
+            let expected: Vec<JoinRow> = full
+                .iter()
+                .filter(|j| j.outer_rid == 0 || j.outer_rid == 3)
+                .copied()
+                .collect();
+            assert_eq!(subset, expected, "{kind:?}");
+            assert!(
+                indexed_nested_loop_join_rids(ocol, &[], ccol, &crids, idx.as_ref()).is_empty()
+            );
+        }
+    }
+
+    #[test]
     fn range_select_many_matches_single_selects() {
         let (t, rl) = setup();
         let col = t.column("amount").unwrap();
@@ -320,10 +468,12 @@ mod tests {
         let inner_vals: Vec<i64> = (0..40i64).collect(); // values 0..40
         let ot = TableBuilder::new("o")
             .int_column("k", outer_vals.clone())
-            .build();
+            .build()
+            .expect("one column");
         let it = TableBuilder::new("i")
             .int_column("k", inner_vals.clone())
-            .build();
+            .build()
+            .expect("one column");
         let icol = it.column("k").unwrap();
         let irids = RidList::for_column(icol);
         let idx = build_index(IndexKind::FullCss, irids.keys());
@@ -343,10 +493,12 @@ mod tests {
     fn join_matches_brute_force() {
         let orders = TableBuilder::new("orders")
             .int_column("cust", [5, 1, 2, 5, 9])
-            .build();
+            .build()
+            .expect("one column");
         let customers = TableBuilder::new("customers")
             .int_column("id", [1, 2, 3, 5, 5])
-            .build();
+            .build()
+            .expect("one column");
         let ccol = customers.column("id").unwrap();
         let crids = RidList::for_column(ccol);
         let ocol = orders.column("cust").unwrap();
@@ -377,10 +529,12 @@ mod tests {
     fn join_with_string_keys_via_domains() {
         let left = TableBuilder::new("l")
             .str_column("k", ["b", "a", "z"])
-            .build();
+            .build()
+            .expect("one column");
         let right = TableBuilder::new("r")
             .str_column("k", ["a", "b", "b"])
-            .build();
+            .build()
+            .expect("one column");
         let rcol = right.column("k").unwrap();
         let rrids = RidList::for_column(rcol);
         let idx = build_index(IndexKind::FullCss, rrids.keys());

@@ -2,6 +2,7 @@
 
 use crate::column::Column;
 use crate::domain::Value;
+use crate::error::{MmdbError, Result};
 
 /// A named, columnar, domain-encoded table.
 #[derive(Debug, Clone)]
@@ -54,13 +55,22 @@ impl TableBuilder {
         )
     }
 
-    /// Encode every column and produce the table.
-    pub fn build(self) -> Table {
+    /// Encode every column and produce the table. Fails with
+    /// [`MmdbError::RaggedColumn`] — naming the table and the first
+    /// offending column — when column lengths disagree.
+    pub fn build(self) -> Result<Table> {
         let rows = self.columns.first().map_or(0, |(_, v)| v.len());
         for (name, v) in &self.columns {
-            assert_eq!(v.len(), rows, "column {name} has mismatched length");
+            if v.len() != rows {
+                return Err(MmdbError::RaggedColumn {
+                    table: self.name,
+                    column: name.clone(),
+                    expected: rows,
+                    got: v.len(),
+                });
+            }
         }
-        Table {
+        Ok(Table {
             name: self.name,
             columns: self
                 .columns
@@ -68,7 +78,7 @@ impl TableBuilder {
                 .map(|(name, vals)| (name, Column::from_values(&vals)))
                 .collect(),
             rows,
-        }
+        })
     }
 }
 
@@ -120,6 +130,7 @@ mod tests {
             .int_column("amount", [30, 10, 20, 10])
             .str_column("region", ["east", "west", "east", "north"])
             .build()
+            .expect("equal-length columns")
     }
 
     #[test]
@@ -141,17 +152,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mismatched length")]
-    fn rejects_ragged_columns() {
-        let _ = TableBuilder::new("bad")
+    fn rejects_ragged_columns_with_named_error() {
+        let err = TableBuilder::new("bad")
             .int_column("a", [1, 2])
             .int_column("b", [1])
-            .build();
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MmdbError::RaggedColumn {
+                table: "bad".into(),
+                column: "b".into(),
+                expected: 2,
+                got: 1,
+            }
+        );
+        assert!(err.to_string().contains("bad"));
+        assert!(err.to_string().contains('b'));
     }
 
     #[test]
     fn empty_table() {
-        let t = TableBuilder::new("empty").build();
+        let t = TableBuilder::new("empty").build().expect("no columns");
         assert_eq!(t.rows(), 0);
         assert_eq!(t.columns().count(), 0);
     }

@@ -7,7 +7,7 @@
 //! kind from scratch, reporting how long each phase took (the quantity
 //! Fig. 9 plots for CSS-trees).
 
-use crate::index_choice::{build_index, IndexKind};
+use crate::index_choice::{build_index, IndexHandle, IndexKind};
 use ccindex_common::{SearchIndex, SortedArray};
 use std::time::{Duration, Instant};
 
@@ -23,15 +23,28 @@ pub struct BatchResult {
     pub rebuild_time: Duration,
 }
 
-/// Merge `inserts`/`deletes` into `keys` (both sorted; duplicates in
-/// `keys` allowed — one delete removes one occurrence) and rebuild a
-/// `kind` index over the result.
-pub fn apply_batch(
+/// Outcome of one batch-update + rebuild cycle at the catalog level,
+/// where the rebuilt index keeps its ordered view (see [`IndexHandle`]).
+pub struct HandleBatchResult {
+    /// The merged sorted key array.
+    pub keys: SortedArray<u32>,
+    /// The freshly rebuilt index handle.
+    pub handle: IndexHandle,
+    /// Time spent merging the batch into the sorted array.
+    pub merge_time: Duration,
+    /// Time spent rebuilding the index.
+    pub rebuild_time: Duration,
+}
+
+/// The merge phase alone: `inserts`/`deletes` folded into `keys` (all
+/// sorted; duplicates in `keys` allowed — one delete removes one
+/// occurrence), with the time it took. Both rebuild cycles below share
+/// this.
+pub fn merge_batch(
     keys: &SortedArray<u32>,
     inserts: &[u32],
     deletes: &[u32],
-    kind: IndexKind,
-) -> BatchResult {
+) -> (SortedArray<u32>, Duration) {
     debug_assert!(inserts.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(deletes.windows(2).all(|w| w[0] <= w[1]));
     let t0 = Instant::now();
@@ -55,9 +68,18 @@ pub fn apply_batch(
         merged.push(k);
     }
     merged.extend(ins.copied());
-    let new_keys = SortedArray::from_vec(merged);
-    let merge_time = t0.elapsed();
+    (SortedArray::from_vec(merged), t0.elapsed())
+}
 
+/// Merge `inserts`/`deletes` into `keys` and rebuild a `kind` index over
+/// the result.
+pub fn apply_batch(
+    keys: &SortedArray<u32>,
+    inserts: &[u32],
+    deletes: &[u32],
+    kind: IndexKind,
+) -> BatchResult {
+    let (new_keys, merge_time) = merge_batch(keys, inserts, deletes);
     let t1 = Instant::now();
     let index = build_index(kind, &new_keys);
     let rebuild_time = t1.elapsed();
@@ -65,6 +87,29 @@ pub fn apply_batch(
     BatchResult {
         keys: new_keys,
         index,
+        merge_time,
+        rebuild_time,
+    }
+}
+
+/// As [`apply_batch`], producing an [`IndexHandle`] so ordered kinds keep
+/// their ordered view — the cycle the catalog runs when a column's
+/// indexes are rebuilt (§2.3: "it may be relatively cheap to rebuild an
+/// index from scratch after a batch of updates").
+pub fn apply_batch_handle(
+    keys: &SortedArray<u32>,
+    inserts: &[u32],
+    deletes: &[u32],
+    kind: IndexKind,
+) -> HandleBatchResult {
+    let (new_keys, merge_time) = merge_batch(keys, inserts, deletes);
+    let t1 = Instant::now();
+    let handle = IndexHandle::build(kind, &new_keys);
+    let rebuild_time = t1.elapsed();
+
+    HandleBatchResult {
+        keys: new_keys,
+        handle,
         merge_time,
         rebuild_time,
     }
@@ -102,6 +147,28 @@ mod tests {
             assert_eq!(r.index.search(10_000), Some(r.keys.len() - 1), "{kind:?}");
             assert_eq!(r.index.search(2_500), None, "{kind:?}");
             assert_eq!(r.index.len(), 5000, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn handle_cycle_matches_plain_cycle() {
+        let keys = SortedArray::from_slice(&(0..2000u32).map(|i| i * 3).collect::<Vec<_>>());
+        for kind in IndexKind::ALL {
+            let plain = apply_batch(&keys, &[1, 4], &[3], kind);
+            let handled = apply_batch_handle(&keys, &[1, 4], &[3], kind);
+            assert_eq!(plain.keys.as_slice(), handled.keys.as_slice(), "{kind:?}");
+            for probe in [0u32, 1, 4, 3, 5999] {
+                assert_eq!(
+                    plain.index.search(probe),
+                    handled.handle.as_search().search(probe),
+                    "{kind:?} probe {probe}"
+                );
+            }
+            assert_eq!(
+                handled.handle.as_ordered().is_some(),
+                kind.is_ordered(),
+                "{kind:?}"
+            );
         }
     }
 

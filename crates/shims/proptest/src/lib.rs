@@ -2,7 +2,7 @@
 //!
 //! This workspace builds with no network access, so the subset of
 //! `proptest` used by its test suites is reimplemented here behind the same
-//! import paths: the [`proptest!`] macro, range / tuple / [`Just`] /
+//! import paths: the [`proptest!`] macro, range / tuple / [`strategy::Just`] /
 //! [`prop_oneof!`] / [`collection::vec`] strategies, `prop_assert*!`
 //! macros, [`test_runner::Config`] and [`test_runner::TestCaseError`].
 //!

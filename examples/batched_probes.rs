@@ -57,7 +57,8 @@ fn main() {
     let amounts: Vec<i64> = (0..50_000).map(|i| (i * 37) % 1_000).collect();
     let table = TableBuilder::new("orders")
         .int_column("amount", amounts)
-        .build();
+        .build()
+        .expect("one column");
     let col = table.column("amount").expect("column");
     let rids = RidList::for_column(col);
     let index = build_index(IndexKind::FullCss, rids.keys());
@@ -85,10 +86,12 @@ fn main() {
     // blocks; the CSS-tree answers each block with interleaved descents.
     let outer = TableBuilder::new("outer")
         .int_column("k", (0..30_000).map(|i| i % 500))
-        .build();
+        .build()
+        .expect("one column");
     let inner = TableBuilder::new("inner")
         .int_column("k", (0..400i64).collect::<Vec<_>>())
-        .build();
+        .build()
+        .expect("one column");
     let icol = inner.column("k").expect("column");
     let irids = RidList::for_column(icol);
     let iindex = build_index(IndexKind::FullCss, irids.keys());

@@ -1,23 +1,22 @@
-//! An OLAP mini-warehouse on the mmdb substrate (§2 of the paper).
+//! An OLAP mini-warehouse on the `Database` engine (§2 of the paper).
 //!
-//! Builds a small star schema (orders ⋈ customers), domain-encodes the
-//! columns, sorts RID lists, and runs the paper's three index consumers —
-//! point selection, range selection, and indexed nested-loop join — with a
-//! CSS-tree as the inner index, then applies a batch update and rebuilds.
+//! Builds a small star schema (orders ⋈ customers), registers it in a
+//! catalog that owns the RID lists and indexes, and runs the paper's
+//! three index consumers as *composable queries* — point selection,
+//! range selection, multi-predicate conjunction, indexed nested-loop
+//! join, and a join-then-group-by pipeline — then applies a batch update
+//! through the catalog's rebuild cycle.
 //!
 //! ```sh
 //! cargo run --release --example olap_decision_support
 //! ```
 
 use ccindex::db::domain::Value;
-use ccindex::db::{
-    apply_batch, build_index, build_ordered_index, group_aggregate, indexed_nested_loop_join,
-    point_select, range_select, AggFn, IndexKind, RidList, TableBuilder,
-};
+use ccindex::db::{between, count, eq, on, sum, Database, IndexKind, MmdbError, TableBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), MmdbError> {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Dimension: 10 000 customers across 8 regions.
@@ -29,55 +28,58 @@ fn main() {
             "region",
             (0..n_customers).map(|_| regions[rng.gen_range(0..regions.len())]),
         )
-        .build();
+        .build()?;
 
     // Fact: 200 000 orders referencing customers, with amounts.
     let n_orders = 200_000usize;
     let orders = TableBuilder::new("orders")
         .int_column("cust", (0..n_orders).map(|_| rng.gen_range(0..n_customers)))
         .int_column("amount", (0..n_orders).map(|_| rng.gen_range(1..10_000)))
-        .build();
+        .build()?;
 
-    // Sorted RID list + CSS-tree on orders.amount (the paper's §2.2 setup).
-    let amount = orders.column("amount").expect("column");
-    let amount_rids = RidList::for_column(amount);
-    let amount_index = build_ordered_index(IndexKind::FullCss, amount_rids.keys());
+    // The catalog owns the access paths: a CSS-tree for ranges on the
+    // measure, a hash index for point probes on it, and a CSS-tree on
+    // the join column (§2.2's setup, held by the engine instead of
+    // threaded by hand).
+    let mut db = Database::new();
+    db.register(customers)?;
+    db.register(orders)?;
+    db.create_index("orders", "amount", IndexKind::FullCss)?;
+    db.create_index("orders", "amount", IndexKind::Hash)?;
+    db.create_index("customers", "id", IndexKind::FullCss)?;
 
-    // Point selection: orders of exactly 4999.
-    let exact = point_select(
-        amount,
-        &amount_rids,
-        amount_index.as_ref(),
-        &Value::Int(4999),
-    );
+    // Point selection: orders of exactly 4999 (planner picks the hash).
+    let exact = db.query("orders").filter(eq("amount", 4999)).run()?;
     println!("orders with amount = 4999: {}", exact.len());
 
-    // Range selection: big-ticket orders.
-    let big = range_select(
-        amount,
-        &amount_rids,
-        amount_index.as_ref(),
-        &Value::Int(9_000),
-        &Value::Int(10_000),
-    );
+    // Range selection: big-ticket orders (planner picks the CSS-tree).
+    let big = db
+        .query("orders")
+        .filter(between("amount", 9_000, 10_000))
+        .run()?;
     println!("orders with amount in [9000, 10000]: {}", big.len());
     // Verify against a scan.
-    let scan = (0..orders.rows() as u32)
+    let amount = db.table("orders")?.column("amount").expect("column");
+    let scan = (0..db.table("orders")?.rows() as u32)
         .filter(|&r| matches!(amount.value(r), Value::Int(v) if (9_000..=10_000).contains(v)))
         .count();
     assert_eq!(big.len(), scan, "index agrees with full scan");
 
-    // Indexed nested-loop join: orders ⋈ customers on customer id, with a
-    // CSS-tree over the inner (customers.id) RID list.
-    let cust_id = customers.column("id").expect("column");
-    let cust_rids = RidList::for_column(cust_id);
-    let cust_index = build_index(IndexKind::FullCss, cust_rids.keys());
-    let joined = indexed_nested_loop_join(
-        orders.column("cust").expect("column"),
-        cust_id,
-        &cust_rids,
-        cust_index.as_ref(),
-    );
+    // Multi-predicate conjunction: mid-range amounts that are also one
+    // exact value — combined by sorted RID-set intersection.
+    let both = db
+        .query("orders")
+        .filter(between("amount", 4_000, 6_000))
+        .filter(eq("amount", 4999))
+        .run()?;
+    assert_eq!(both.len(), exact.len());
+    println!("conjunction [4000,6000] ∧ (= 4999): {} orders", both.len());
+
+    // Indexed nested-loop join: orders ⋈ customers on customer id. The
+    // plan is inspectable before it runs.
+    let join_query = db.query("orders").join("customers", on("cust", "id"));
+    println!("plan:\n{}", join_query.plan()?.explain());
+    let joined = join_query.run()?;
     assert_eq!(
         joined.len(),
         n_orders,
@@ -85,41 +87,80 @@ fn main() {
     );
     println!("orders ⋈ customers produced {} rows", joined.len());
 
-    // Aggregate the join: order count per region (a small GROUP BY).
-    let region = customers.column("region").expect("column");
-    let mut counts = std::collections::BTreeMap::<String, usize>::new();
-    for j in &joined {
-        let r = region.value(j.inner_rid).to_string();
-        *counts.entry(r).or_default() += 1;
-    }
-    println!("orders per region: {counts:?}");
-
-    // Grouped aggregation over the sorted RID list: total revenue per
-    // customer id band (the sorted order makes grouping a linear pass).
-    let cust_col = orders.column("cust").expect("column");
-    let cust_rids_orders = RidList::for_column(cust_col);
-    let revenue = group_aggregate(
-        cust_col,
-        &cust_rids_orders,
-        Some(orders.column("amount").expect("column")),
-        AggFn::Sum,
+    // The flagship pipeline: select, join, aggregate — order count and
+    // revenue per region, with the group column on the inner table and
+    // the measure on the outer.
+    let counts = db
+        .query("orders")
+        .join("customers", on("cust", "id"))
+        .group_by("region", count())
+        .run()?;
+    println!(
+        "orders per region: {:?}",
+        counts
+            .groups()
+            .iter()
+            .map(|g| (g.group.to_string(), g.value))
+            .collect::<Vec<_>>()
     );
-    let top = revenue.iter().max_by_key(|g| g.value).expect("non-empty");
+    let revenue = db
+        .query("orders")
+        .filter(between("amount", 5_000, 10_000))
+        .join("customers", on("cust", "id"))
+        .group_by("region", sum("amount"))
+        .run()?;
+    let top = revenue
+        .groups()
+        .iter()
+        .max_by_key(|g| g.value)
+        .expect("non-empty");
+    println!(
+        "big-ticket revenue per region: top {} with {}",
+        top.group, top.value
+    );
+
+    // Grouped aggregation without a join: total revenue per customer.
+    let per_customer = db.query("orders").group_by("cust", sum("amount")).run()?;
+    let best = per_customer
+        .groups()
+        .iter()
+        .max_by_key(|g| g.value)
+        .expect("non-empty");
     println!(
         "{} customer groups; top customer {} with revenue {}",
-        revenue.len(),
-        top.group,
-        top.value
+        per_customer.len(),
+        best.group,
+        best.value
     );
 
-    // The OLAP batch-update cycle (§2.3): merge a batch, rebuild the index.
-    let inserts: Vec<u32> = vec![0, 1, 2]; // three tiny new amounts (domain IDs)
-    let result = apply_batch(amount_rids.keys(), &inserts, &[], IndexKind::FullCss);
+    // The OLAP batch-update cycle (§2.3), catalog-owned: replace the
+    // measure column wholesale (here: a 10% price bump on every order),
+    // and the engine re-sorts the RID list and rebuilds both indexes.
+    let bumped: Vec<Value> = (0..db.table("orders")?.rows() as u32)
+        .map(|r| match amount.value(r) {
+            Value::Int(v) => Value::Int(v * 11 / 10),
+            other => other.clone(),
+        })
+        .collect();
+    let report = db.replace_column("orders", "amount", bumped)?;
     println!(
-        "batch of {} inserts merged in {:?}, CSS-tree rebuilt in {:?} over {} keys",
-        inserts.len(),
-        result.merge_time,
-        result.rebuild_time,
-        result.keys.len()
+        "batch update: RID list re-sorted in {:?}, {} indexes rebuilt ({:?})",
+        report.sort_time,
+        report.rebuilds.len(),
+        report
+            .rebuilds
+            .iter()
+            .map(|(k, d)| format!("{k:?} in {d:?}"))
+            .collect::<Vec<_>>()
     );
+    // The fresh indexes answer over the new values.
+    let big_after = db
+        .query("orders")
+        .filter(between("amount", 9_900, 11_000))
+        .run()?;
+    println!(
+        "after the 10% bump, orders in [9900, 11000]: {}",
+        big_after.len()
+    );
+    Ok(())
 }

@@ -62,9 +62,9 @@ pub mod prelude {
     };
     pub use crate::css::{CssVariant, DynCssTree, FullCssTree, LevelCssTree};
     pub use crate::db::{
-        build_index, build_ordered_index, indexed_nested_loop_join, point_select,
-        point_select_many, range_select, range_select_many, Domain, IndexKind, RidList, Table,
-        TableBuilder,
+        between, build_index, build_ordered_index, count, eq, indexed_nested_loop_join, max, min,
+        on, point_select, point_select_many, range_select, range_select_many, sum, Agg, Database,
+        Domain, IndexKind, MmdbError, RidList, Table, TableBuilder,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;

@@ -1,10 +1,14 @@
 //! End-to-end database-substrate tests: query operators against brute
-//! force on randomized tables, for every index kind.
+//! force on randomized tables, for every index kind — plus the
+//! engine-vs-raw-operator equivalence suite: the same query through
+//! [`Database`] and through the free functions must return identical RID
+//! sets / join pairs / group rows for every [`IndexKind`].
 
 use ccindex::db::domain::Value;
 use ccindex::db::{
-    apply_batch, build_index, build_ordered_index, indexed_nested_loop_join, point_select,
-    range_select, IndexKind, RidList, TableBuilder,
+    apply_batch, between, build_index, build_ordered_index, count, eq, group_aggregate,
+    indexed_nested_loop_join, on, point_select, range_select, sum, AggFn, Database, IndexKind,
+    RidList, Table, TableBuilder,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -17,7 +21,7 @@ proptest! {
         values in vec(0i64..200, 1..300),
         probe in 0i64..220,
     ) {
-        let t = TableBuilder::new("t").int_column("v", values.clone()).build();
+        let t = TableBuilder::new("t").int_column("v", values.clone()).build().unwrap();
         let col = t.column("v").unwrap();
         let rids = RidList::for_column(col);
         let expected: Vec<u32> = (0..values.len() as u32)
@@ -38,7 +42,7 @@ proptest! {
         b in 0i64..520,
     ) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let t = TableBuilder::new("t").int_column("v", values.clone()).build();
+        let t = TableBuilder::new("t").int_column("v", values.clone()).build().unwrap();
         let col = t.column("v").unwrap();
         let rids = RidList::for_column(col);
         let mut expected: Vec<u32> = (0..values.len() as u32)
@@ -58,8 +62,8 @@ proptest! {
         outer in vec(0i64..60, 1..120),
         inner in vec(0i64..60, 1..120),
     ) {
-        let ot = TableBuilder::new("o").int_column("k", outer.clone()).build();
-        let it = TableBuilder::new("i").int_column("k", inner.clone()).build();
+        let ot = TableBuilder::new("o").int_column("k", outer.clone()).build().unwrap();
+        let it = TableBuilder::new("i").int_column("k", inner.clone()).build().unwrap();
         let ocol = ot.column("k").unwrap();
         let icol = it.column("k").unwrap();
         let irids = RidList::for_column(icol);
@@ -120,6 +124,216 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Engine-vs-raw-operator equivalence: for every index kind, the same
+// query answered by the `Database` engine and by hand-threaded free
+// functions.
+// ---------------------------------------------------------------------
+
+/// A deterministic two-table schema with duplicates in every column.
+fn star_tables() -> (Table, Table) {
+    let n = 400usize;
+    let sales = TableBuilder::new("sales")
+        .int_column("cust", (0..n).map(|i| (i * 7 % 50) as i64))
+        .int_column("amount", (0..n).map(|i| (i * 13 % 90) as i64))
+        .build()
+        .expect("equal columns");
+    let customers = TableBuilder::new("customers")
+        .int_column("id", (0..45).map(|i| i as i64))
+        .str_column("region", (0..45).map(|i| ["n", "s", "e", "w"][i % 4]))
+        .build()
+        .expect("equal columns");
+    (sales, customers)
+}
+
+/// Engine with one index kind on every access-path column.
+fn engine_with(kind: IndexKind) -> Database {
+    let (sales, customers) = star_tables();
+    let mut db = Database::new();
+    db.register(sales).unwrap();
+    db.register(customers).unwrap();
+    db.create_index("sales", "amount", kind).unwrap();
+    db.create_index("customers", "id", kind).unwrap();
+    db
+}
+
+#[test]
+fn engine_point_select_equals_raw_for_every_kind() {
+    let (sales, _) = star_tables();
+    let amount = sales.column("amount").unwrap();
+    let rids = RidList::for_column(amount);
+    for kind in IndexKind::ALL {
+        let db = engine_with(kind);
+        let idx = build_index(kind, rids.keys());
+        for probe in [0i64, 13, 26, 89, 91, -1] {
+            let mut raw = point_select(amount, &rids, idx.as_ref(), &Value::Int(probe));
+            raw.sort_unstable();
+            let engine = db
+                .query("sales")
+                .filter(eq("amount", probe))
+                .using(kind)
+                .run()
+                .unwrap();
+            assert_eq!(engine.rids(), raw.as_slice(), "{kind:?} probe {probe}");
+        }
+    }
+}
+
+#[test]
+fn engine_range_select_equals_raw_for_every_ordered_kind() {
+    let (sales, _) = star_tables();
+    let amount = sales.column("amount").unwrap();
+    let rids = RidList::for_column(amount);
+    for kind in IndexKind::ORDERED {
+        let db = engine_with(kind);
+        let idx = build_ordered_index(kind, rids.keys());
+        for (lo, hi) in [(0i64, 20i64), (15, 15), (85, 200), (90, 95)] {
+            let mut raw = range_select(
+                amount,
+                &rids,
+                idx.as_ref(),
+                &Value::Int(lo),
+                &Value::Int(hi),
+            );
+            raw.sort_unstable();
+            let engine = db
+                .query("sales")
+                .filter(between("amount", lo, hi))
+                .using(kind)
+                .run()
+                .unwrap();
+            assert_eq!(engine.rids(), raw.as_slice(), "{kind:?} [{lo}, {hi}]");
+        }
+    }
+}
+
+#[test]
+fn engine_conjunction_equals_brute_force_for_every_ordered_kind() {
+    let (sales, _) = star_tables();
+    let cust = sales.column("cust").unwrap();
+    let amount = sales.column("amount").unwrap();
+    let expected: Vec<u32> = (0..sales.rows() as u32)
+        .filter(|&r| {
+            matches!(cust.value(r), Value::Int(c) if (10..=30).contains(c))
+                && matches!(amount.value(r), Value::Int(a) if (0..=45).contains(a))
+        })
+        .collect();
+    for kind in IndexKind::ORDERED {
+        let mut db = engine_with(kind);
+        db.create_index("sales", "cust", kind).unwrap();
+        let engine = db
+            .query("sales")
+            .filter(between("cust", 10, 30))
+            .filter(between("amount", 0, 45))
+            .using(kind)
+            .run()
+            .unwrap();
+        assert_eq!(engine.rids(), expected.as_slice(), "{kind:?}");
+    }
+}
+
+#[test]
+fn engine_join_equals_raw_for_every_kind() {
+    let (sales, customers) = star_tables();
+    let cust = sales.column("cust").unwrap();
+    let id = customers.column("id").unwrap();
+    let id_rids = RidList::for_column(id);
+    for kind in IndexKind::ALL {
+        let db = engine_with(kind);
+        let idx = build_index(kind, id_rids.keys());
+        let mut raw: Vec<(u32, u32)> = indexed_nested_loop_join(cust, id, &id_rids, idx.as_ref())
+            .into_iter()
+            .map(|j| (j.outer_rid, j.inner_rid))
+            .collect();
+        raw.sort_unstable();
+        let engine = db
+            .query("sales")
+            .join("customers", on("cust", "id"))
+            .using(kind)
+            .run()
+            .unwrap();
+        let mut pairs: Vec<(u32, u32)> = engine
+            .join_rows()
+            .iter()
+            .map(|j| (j.outer_rid, j.inner_rid))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, raw, "{kind:?}");
+    }
+}
+
+#[test]
+fn engine_group_by_equals_raw_for_every_kind() {
+    let (sales, _) = star_tables();
+    let cust = sales.column("cust").unwrap();
+    let amount = sales.column("amount").unwrap();
+    let cust_rids = RidList::for_column(cust);
+    // Raw path: grouped aggregation over the RID list sorted on `cust`.
+    let raw_counts = group_aggregate(cust, &cust_rids, None, AggFn::Count);
+    let raw_sums = group_aggregate(cust, &cust_rids, Some(amount), AggFn::Sum);
+    for kind in IndexKind::ALL {
+        let db = engine_with(kind);
+        let engine_counts = db.query("sales").group_by("cust", count()).run().unwrap();
+        assert_eq!(engine_counts.groups(), raw_counts.as_slice(), "{kind:?}");
+        let engine_sums = db
+            .query("sales")
+            .group_by("cust", sum("amount"))
+            .run()
+            .unwrap();
+        assert_eq!(engine_sums.groups(), raw_sums.as_slice(), "{kind:?}");
+    }
+}
+
+/// The full pipeline — select, join, group — against a hand-composed
+/// raw-operator pipeline, for every kind that can drive it.
+#[test]
+fn engine_pipeline_equals_raw_composition() {
+    let (sales, customers) = star_tables();
+    let amount = sales.column("amount").unwrap();
+    let cust = sales.column("cust").unwrap();
+    let region = customers.column("region").unwrap();
+    let id = customers.column("id").unwrap();
+    let amount_rids = RidList::for_column(amount);
+    let id_rids = RidList::for_column(id);
+    for kind in IndexKind::ORDERED {
+        let db = engine_with(kind);
+        let engine = db
+            .query("sales")
+            .filter(between("amount", 30, 80))
+            .join("customers", on("cust", "id"))
+            .group_by("region", sum("amount"))
+            .using(kind)
+            .run()
+            .unwrap();
+
+        // Raw composition of the same query.
+        let idx = build_ordered_index(kind, amount_rids.keys());
+        let mut selected = range_select(
+            amount,
+            &amount_rids,
+            idx.as_ref(),
+            &Value::Int(30),
+            &Value::Int(80),
+        );
+        selected.sort_unstable();
+        let inner_idx = build_index(kind, id_rids.keys());
+        let joined = ccindex::db::indexed_nested_loop_join_rids(
+            cust,
+            &selected,
+            id,
+            &id_rids,
+            inner_idx.as_ref(),
+        );
+        let raw = ccindex::db::group_aggregate_pairs(
+            region,
+            Some(amount),
+            joined.iter().map(|j| (j.inner_rid, j.outer_rid)),
+            AggFn::Sum,
+        );
+        assert_eq!(engine.groups(), raw.as_slice(), "{kind:?}");
+    }
+}
+
 /// String-valued columns exercise the domain encoding end to end.
 #[test]
 fn string_range_queries_via_domain_ids() {
@@ -127,7 +341,8 @@ fn string_range_queries_via_domain_ids() {
     let values: Vec<Value> = (0..600).map(|i| cities[i % cities.len()].into()).collect();
     let t = TableBuilder::new("t")
         .column("city", values.clone())
-        .build();
+        .build()
+        .expect("one column");
     let col = t.column("city").unwrap();
     let rids = RidList::for_column(col);
     let idx = build_ordered_index(IndexKind::FullCss, rids.keys());

@@ -6,10 +6,12 @@ use ccindex::prelude::*;
 fn readme_batched_join_example() {
     let orders = TableBuilder::new("orders")
         .int_column("cust", [5i64, 1, 2, 5, 9])
-        .build();
+        .build()
+        .unwrap();
     let customers = TableBuilder::new("customers")
         .int_column("id", [1i64, 2, 3, 5, 5])
-        .build();
+        .build()
+        .unwrap();
 
     let cust_id = customers.column("id").unwrap();
     let cust_rids = RidList::for_column(cust_id);

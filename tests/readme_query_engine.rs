@@ -1,0 +1,46 @@
+//! The README's "Query engine" example, kept compiling and correct.
+
+use ccindex::prelude::*;
+
+fn demo() -> Result<(), MmdbError> {
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("sales")
+            .int_column("cust", [1, 2, 1, 3])
+            .int_column("amount", [10, 40, 25, 99])
+            .str_column("day", ["mon", "mon", "tue", "wed"])
+            .build()?,
+    )?;
+    db.register(
+        TableBuilder::new("customers")
+            .int_column("id", [1, 2, 3])
+            .str_column("region", ["east", "west", "east"])
+            .build()?,
+    )?;
+    db.create_index("sales", "amount", IndexKind::FullCss)?;
+    db.create_index("sales", "day", IndexKind::Hash)?;
+    db.create_index("customers", "id", IndexKind::FullCss)?;
+
+    // Point + range conjunction, intersected as sorted RID sets.
+    let monday_mid = db
+        .query("sales")
+        .filter(eq("day", "mon"))
+        .filter(between("amount", 20, 100))
+        .run()?;
+    assert_eq!(monday_mid.rids(), &[1]);
+
+    // Select ⋈ join ⋈ group-by: revenue per region.
+    let revenue = db
+        .query("sales")
+        .filter(between("amount", 20, 100))
+        .join("customers", on("cust", "id"))
+        .group_by("region", sum("amount"))
+        .run()?;
+    assert_eq!(revenue.groups().len(), 2); // east 25+99, west 40
+    Ok(())
+}
+
+#[test]
+fn readme_query_engine_example() {
+    demo().expect("the README example must run clean");
+}
