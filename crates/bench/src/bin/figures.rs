@@ -4,7 +4,7 @@
 //! figures [OPTIONS] <WHAT>...
 //!
 //! WHAT:  fig1 table1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!        fig14 warmcache interp batched engine ablations all
+//!        fig14 warmcache interp batched engine parallel ablations all
 //!
 //! OPTIONS:
 //!   --simulate <machine>   run timing figures on the cache simulator
@@ -147,6 +147,9 @@ fn main() {
     }
     if want("engine") {
         engine(&opts);
+    }
+    if want("parallel") {
+        parallel(&opts);
     }
     if want("ablations") {
         ablations(&opts);
@@ -294,6 +297,164 @@ fn engine(opts: &Options) {
             format_num(t_conj),
             format_num(t_join),
             format_num(t_pipe)
+        );
+    }
+}
+
+/// Beyond-paper: partitioned parallel execution — the sequential baseline
+/// against the scoped-worker-pool operators at thread counts 1/2/4/8, on
+/// (a) batched CSS lower bounds (`lower_bound_batch_par`) and (b) whole
+/// group-by pipelines through the `Database` engine
+/// (`ExecOptions { threads, .. }`). At `--scale paper` the key count is
+/// the acceptance target of 4 M; expect near-linear speedup up to the
+/// machine's core count (this host reports its own count in the header —
+/// on a single-core container every row sits near 1.0x by construction).
+fn parallel(opts: &Options) {
+    use ccindex_common::DEFAULT_BATCH_LANES;
+    use mmdb::{between, on, sum, Database, ExecOptions, IndexKind, TableBuilder};
+
+    let cores = ccindex_parallel::available_threads();
+    let thread_counts = [1usize, 2, 4, 8];
+    let repeats = 3usize;
+    let best_of = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    // (a) Partitioned batched lower bounds over one full CSS-tree.
+    let n = opts.scaled(4_000_000);
+    let keys: Vec<u32> = KeySetBuilder::new(n).build();
+    let css = FullCssTree::<u32, 16>::build(&keys);
+    let stream = LookupStream::successful(&keys, opts.lookups, 23);
+    let probes = stream.probes();
+    let lanes = DEFAULT_BATCH_LANES;
+    println!(
+        "\n== Parallel batched lower bounds (host, {cores} core(s)): n = {}, {} probes, {lanes} lanes ==",
+        format_num(n as f64),
+        format_num(probes.len() as f64),
+    );
+    println!(
+        "{:>10} {:>14} {:>18} {:>9}",
+        "threads", "seconds", "probes/s", "speedup"
+    );
+    let baseline = best_of(&|| {
+        std::hint::black_box(css.lower_bound_batch_lanes(probes, lanes));
+    });
+    println!(
+        "{:>10} {:>14} {:>18} {:>8.2}x",
+        "seq",
+        format_num(baseline),
+        format_num(probes.len() as f64 / baseline),
+        1.0
+    );
+    let reference = css.lower_bound_batch_lanes(probes, lanes);
+    for threads in thread_counts {
+        assert_eq!(
+            css.lower_bound_batch_par(probes, lanes, threads),
+            reference,
+            "parallel lower bounds must be byte-identical"
+        );
+        let t = best_of(&|| {
+            std::hint::black_box(css.lower_bound_batch_par(probes, lanes, threads));
+        });
+        println!(
+            "{:>10} {:>14} {:>18} {:>8.2}x",
+            threads,
+            format_num(t),
+            format_num(probes.len() as f64 / t),
+            baseline / t
+        );
+    }
+
+    // (b) Whole group-by pipelines through the engine.
+    let n_orders = n;
+    let n_customers = (n_orders / 20).max(100);
+    let regions = ["north", "south", "east", "west", "nw", "ne", "sw", "se"];
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("orders")
+            .int_column(
+                "cust",
+                (0..n_orders)
+                    .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % n_customers as u64) as i64),
+            )
+            .int_column(
+                "amount",
+                (0..n_orders).map(|i| ((i as u64).wrapping_mul(48_271) % 10_000) as i64),
+            )
+            .build()
+            .expect("equal columns"),
+    )
+    .expect("fresh catalog");
+    db.register(
+        TableBuilder::new("customers")
+            .int_column("id", 0..n_customers as i64)
+            .str_column(
+                "region",
+                (0..n_customers).map(|i| regions[i % regions.len()]),
+            )
+            .build()
+            .expect("equal columns"),
+    )
+    .expect("fresh catalog");
+    db.create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+    db.create_index("customers", "id", IndexKind::FullCss)
+        .expect("column");
+    println!(
+        "\n== Parallel group-by pipeline (host, {cores} core(s)): {} orders, filter+join+group ==",
+        format_num(n_orders as f64)
+    );
+    println!(
+        "{:>10} {:>14} {:>18} {:>9}",
+        "threads", "seconds", "rows/s", "speedup"
+    );
+    let run_pipeline = |db: &Database| -> Vec<mmdb::GroupRow> {
+        db.query("orders")
+            .filter(between("amount", 2_000, 8_000))
+            .join("customers", on("cust", "id"))
+            .group_by("region", sum("amount"))
+            .run()
+            .expect("planned")
+            .groups()
+            .to_vec()
+    };
+    db.set_exec_options(ExecOptions::default());
+    let reference = run_pipeline(&db);
+    let baseline = best_of(&|| {
+        std::hint::black_box(run_pipeline(&db));
+    });
+    println!(
+        "{:>10} {:>14} {:>18} {:>8.2}x",
+        "seq",
+        format_num(baseline),
+        format_num(n_orders as f64 / baseline),
+        1.0
+    );
+    for threads in thread_counts {
+        db.set_exec_options(ExecOptions {
+            threads,
+            lanes: DEFAULT_BATCH_LANES,
+        });
+        assert_eq!(
+            run_pipeline(&db),
+            reference,
+            "parallel pipeline must be byte-identical"
+        );
+        let t = best_of(&|| {
+            std::hint::black_box(run_pipeline(&db));
+        });
+        println!(
+            "{:>10} {:>14} {:>18} {:>8.2}x",
+            threads,
+            format_num(t),
+            format_num(n_orders as f64 / t),
+            baseline / t
         );
     }
 }

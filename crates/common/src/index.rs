@@ -100,6 +100,19 @@ pub trait SearchIndex<K: Key>: Send + Sync {
         probes.iter().map(|&p| self.search(p)).collect()
     }
 
+    /// As [`SearchIndex::search_batch`] with an explicit interleave lane
+    /// count. Structures that are not batch-aware ignore `lanes` (the
+    /// default just forwards to [`SearchIndex::search_batch`]); the CSS
+    /// trees override it so callers holding only a trait object — e.g.
+    /// the database executor honouring its `ExecOptions { lanes, .. }`
+    /// knob — can still tune the interleaved descent. Degenerate lane
+    /// counts (`0`, or more lanes than probes) must behave like the
+    /// sequential descent, never panic.
+    fn search_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<Option<usize>> {
+        let _ = lanes;
+        self.search_batch(probes)
+    }
+
     /// As [`SearchIndex::search_batch`], reporting every memory access to
     /// `tracer` so the cache simulator can replay the batched access
     /// pattern (which differs from the sequential one precisely when an
@@ -140,6 +153,15 @@ pub trait OrderedIndex<K: Key>: SearchIndex<K> {
     /// [`SearchIndex::search_batch`] for the rationale).
     fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
         probes.iter().map(|&p| self.lower_bound(p)).collect()
+    }
+
+    /// As [`OrderedIndex::lower_bound_batch`] with an explicit interleave
+    /// lane count; see [`SearchIndex::search_batch_lanes`] for the
+    /// contract (default ignores `lanes`, batch-aware structures
+    /// override, degenerate lane counts fall back to sequential descent).
+    fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+        let _ = lanes;
+        self.lower_bound_batch(probes)
     }
 
     /// As [`OrderedIndex::lower_bound_batch`], with access tracing for
@@ -267,6 +289,13 @@ mod tests {
         let expect_lb: Vec<_> = probes.iter().map(|&p| idx.lower_bound(p)).collect();
         assert_eq!(idx.search_batch(&probes), expect_search);
         assert_eq!(idx.lower_bound_batch(&probes), expect_lb);
+        // The lane-carrying defaults ignore the lane count entirely —
+        // including the degenerate values batch-aware overrides must
+        // also accept.
+        for lanes in [0usize, 1, 8, 1000] {
+            assert_eq!(idx.search_batch_lanes(&probes, lanes), expect_search);
+            assert_eq!(idx.lower_bound_batch_lanes(&probes, lanes), expect_lb);
+        }
         let mut t = NoopTracer;
         assert_eq!(idx.search_batch_traced(&probes, &mut t), expect_search);
         assert_eq!(idx.lower_bound_batch_traced(&probes, &mut t), expect_lb);

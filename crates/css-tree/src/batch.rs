@@ -29,6 +29,11 @@ use ccindex_common::{AccessTracer, Key, NoopTracer, SortedArray};
 /// handed to `resolve`. The tracer is threaded through both closures so
 /// the cache simulator can replay the *batched* access pattern, which is
 /// exactly what distinguishes this path from a sequential descent.
+///
+/// Degenerate lane counts are legal configuration, not errors: `lanes ==
+/// 0` falls back to the sequential descent (one lane), and `lanes >
+/// probes.len()` is clamped to the probe count so no lane bookkeeping is
+/// allocated or scanned for lanes that could never carry a probe.
 pub(crate) fn interleaved_descent<K, T, B, R>(
     layout: &CssLayout,
     probes: &[K],
@@ -43,8 +48,7 @@ where
     B: FnMut(usize, K, &mut T) -> usize,
     R: FnMut(usize, K, &mut T) -> usize,
 {
-    assert!(lanes >= 1, "at least one lane");
-    let lanes = lanes.min(probes.len()).max(1);
+    let lanes = lanes.clamp(1, probes.len().max(1));
     let mut out = vec![0usize; probes.len()];
     let mut nodes = vec![0usize; lanes];
     for (chunk_idx, chunk) in probes.chunks(lanes).enumerate() {
@@ -193,6 +197,39 @@ macro_rules! impl_css_batch {
                 let lbs = self.lower_bound_batch_lanes_with(probes, lanes, tracer);
                 confirm_matches(self.array(), probes, lbs, tracer)
             }
+
+            /// Partitioned batched lower bounds: `probes` is split into
+            /// one contiguous chunk per worker and every chunk runs the
+            /// interleaved descent at `lanes` concurrently
+            /// ([`ccindex_parallel::WorkerPool`]; `threads == 0` means
+            /// one worker per core, `threads == 1` is the inline
+            /// sequential fallback). Chunk results are concatenated in
+            /// probe order, so the output is byte-identical to
+            /// [`Self::lower_bound_batch_lanes`].
+            pub fn lower_bound_batch_par(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                threads: usize,
+            ) -> Vec<usize> {
+                ccindex_parallel::WorkerPool::new(threads)
+                    .flat_map_chunks(probes, |chunk| self.lower_bound_batch_lanes(chunk, lanes))
+            }
+
+            /// Partitioned batched point lookups — the
+            /// [`Self::lower_bound_batch_par`] strategy applied to
+            /// [`Self::search_batch_lanes_with`]'s descent + equality
+            /// check.
+            pub fn search_batch_par(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                threads: usize,
+            ) -> Vec<Option<usize>> {
+                ccindex_parallel::WorkerPool::new(threads).flat_map_chunks(probes, |chunk| {
+                    self.search_batch_lanes_with(chunk, lanes, &mut NoopTracer)
+                })
+            }
         }
     };
 }
@@ -299,6 +336,45 @@ mod tests {
         let empty = FullCssTree::<u32, 8>::build(&[]);
         assert_eq!(empty.lower_bound_batch_interleaved::<4>(&[5]), vec![0]);
         assert_eq!(empty.search_batch(&[5]), vec![None]);
+    }
+
+    #[test]
+    fn degenerate_lane_counts_fall_back_to_sequential() {
+        let t = tree(2_000);
+        let probes: Vec<u32> = (0..37u32).map(|i| i * 101 % 6_100).collect();
+        let seq = t.lower_bound_batch_sequential(&probes);
+        // lanes == 0 and lanes far beyond the probe count are valid
+        // configurations, answered exactly like the sequential descent.
+        assert_eq!(t.lower_bound_batch_lanes(&probes, 0), seq);
+        assert_eq!(t.lower_bound_batch_lanes(&probes, probes.len() + 500), seq);
+        let mut tr = CountingTracer::new();
+        assert_eq!(t.search_batch_lanes_with(&probes, 0, &mut tr).len(), 37);
+        assert!(t.lower_bound_batch_lanes(&[], 0).is_empty());
+        let empty = FullCssTree::<u32, 8>::build(&[]);
+        assert_eq!(empty.lower_bound_batch_lanes(&[5], 0), vec![0]);
+    }
+
+    #[test]
+    fn parallel_batches_are_byte_identical_to_sequential() {
+        let t = tree(20_000);
+        let probes: Vec<u32> = (0..4_003u32).map(|i| i * 17 % 61_000).collect();
+        let seq_lb = t.lower_bound_batch_sequential(&probes);
+        let seq_pt: Vec<Option<usize>> = probes.iter().map(|&p| t.search(p)).collect();
+        for threads in [0usize, 1, 2, 8] {
+            assert_eq!(
+                t.lower_bound_batch_par(&probes, 8, threads),
+                seq_lb,
+                "threads={threads}"
+            );
+            assert_eq!(
+                t.search_batch_par(&probes, 8, threads),
+                seq_pt,
+                "threads={threads}"
+            );
+        }
+        // Degenerate inputs through the parallel path.
+        assert!(t.lower_bound_batch_par(&[], 8, 8).is_empty());
+        assert_eq!(t.search_batch_par(&probes[..1], 0, 8), seq_pt[..1]);
     }
 
     #[test]

@@ -136,6 +136,43 @@ macro_rules! dyn_css {
                     Self::Generic(t) => t.search_batch_lanes_with(probes, lanes, tracer),
                 }
             }
+
+            /// Partitioned batched lower bounds on whichever
+            /// monomorphised tree this enum wraps: probes chunked across
+            /// `threads` workers (`0` = one per core), each chunk running
+            /// the interleaved descent at `lanes`; byte-identical to
+            /// [`DynCssTree::lower_bound_batch_lanes`].
+            pub fn lower_bound_batch_par(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                threads: usize,
+            ) -> Vec<usize> {
+                match self {
+                    $(
+                        Self::$variant_full(t) => t.lower_bound_batch_par(probes, lanes, threads),
+                        Self::$variant_level(t) => t.lower_bound_batch_par(probes, lanes, threads),
+                    )+
+                    Self::Generic(t) => t.lower_bound_batch_par(probes, lanes, threads),
+                }
+            }
+
+            /// Partitioned batched point lookups; see
+            /// [`DynCssTree::lower_bound_batch_par`].
+            pub fn search_batch_par(
+                &self,
+                probes: &[K],
+                lanes: usize,
+                threads: usize,
+            ) -> Vec<Option<usize>> {
+                match self {
+                    $(
+                        Self::$variant_full(t) => t.search_batch_par(probes, lanes, threads),
+                        Self::$variant_level(t) => t.search_batch_par(probes, lanes, threads),
+                    )+
+                    Self::Generic(t) => t.search_batch_par(probes, lanes, threads),
+                }
+            }
         }
 
         impl<K: Key> SearchIndex<K> for DynCssTree<K> {
@@ -165,6 +202,9 @@ macro_rules! dyn_css {
             }
             fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
                 self.search_batch_lanes_with(probes, ccindex_common::DEFAULT_BATCH_LANES, &mut NoopTracer)
+            }
+            fn search_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<Option<usize>> {
+                self.search_batch_lanes_with(probes, lanes, &mut NoopTracer)
             }
             fn search_batch_traced(
                 &self,
@@ -202,6 +242,9 @@ macro_rules! dyn_css {
             }
             fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
                 self.lower_bound_batch_lanes(probes, ccindex_common::DEFAULT_BATCH_LANES)
+            }
+            fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+                self.lower_bound_batch_lanes_with(probes, lanes, &mut NoopTracer)
             }
             fn lower_bound_batch_traced(
                 &self,
@@ -292,11 +335,26 @@ mod tests {
             (CssVariant::Full, 24), // generic fallback
         ] {
             let t = DynCssTree::build(variant, m, arr.clone());
-            for lanes in [1usize, 4, 8, 33] {
+            // Lane count 0 is the documented sequential fallback, not a
+            // panic; oversized lane counts clamp to the probe count.
+            for lanes in [0usize, 1, 4, 8, 33, 10_000] {
                 assert_eq!(
                     t.lower_bound_batch_lanes(&probes, lanes),
                     expected,
                     "{variant:?} m={m} lanes={lanes}"
+                );
+            }
+            for threads in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    t.lower_bound_batch_par(&probes, 8, threads),
+                    expected,
+                    "{variant:?} m={m} threads={threads}"
+                );
+                let point: Vec<Option<usize>> = probes.iter().map(|&p| t.search(p)).collect();
+                assert_eq!(
+                    t.search_batch_par(&probes, 8, threads),
+                    point,
+                    "{variant:?} m={m} threads={threads}"
                 );
             }
             // The trait-level batch entry points route through the

@@ -173,6 +173,9 @@ impl<K: Key, const M: usize> SearchIndex<K> for LevelCssTree<K, M> {
     fn search_batch(&self, probes: &[K]) -> Vec<Option<usize>> {
         self.search_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut NoopTracer)
     }
+    fn search_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<Option<usize>> {
+        self.search_batch_lanes_with(probes, lanes, &mut NoopTracer)
+    }
     fn search_batch_traced(
         &self,
         probes: &[K],
@@ -202,6 +205,9 @@ impl<K: Key, const M: usize> OrderedIndex<K> for LevelCssTree<K, M> {
     }
     fn lower_bound_batch(&self, probes: &[K]) -> Vec<usize> {
         self.lower_bound_batch_lanes(probes, DEFAULT_BATCH_LANES)
+    }
+    fn lower_bound_batch_lanes(&self, probes: &[K], lanes: usize) -> Vec<usize> {
+        self.lower_bound_batch_lanes_with(probes, lanes, &mut NoopTracer)
     }
     fn lower_bound_batch_traced(&self, probes: &[K], tracer: &mut dyn AccessTracer) -> Vec<usize> {
         self.lower_bound_batch_lanes_with(probes, DEFAULT_BATCH_LANES, &mut { tracer })

@@ -9,6 +9,7 @@
 use crate::column::Column;
 use crate::domain::Value;
 use crate::rid::RidList;
+use std::collections::BTreeMap;
 
 /// Supported aggregate functions over an `Int` measure column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,33 +51,144 @@ pub fn group_aggregate_pairs(
     pairs: impl IntoIterator<Item = (u32, u32)>,
     agg: AggFn,
 ) -> Vec<GroupRow> {
-    use std::collections::BTreeMap;
     if agg != AggFn::Count {
         measure.expect("aggregate other than Count needs a measure column");
     }
-    let mut acc: BTreeMap<u32, i64> = BTreeMap::new();
+    let mut acc = BTreeMap::new();
+    accumulate_pairs(&mut acc, group_col, measure, pairs, agg);
+    decode_accumulator(group_col, acc)
+}
+
+/// Parallel [`group_aggregate_pairs`]: the pairs are partitioned into one
+/// contiguous chunk per worker, each worker folds its chunk into a
+/// **partial** per-group accumulator, and the partials are merged at the
+/// join barrier (every [`AggFn`] is commutative and associative, and the
+/// ordered accumulator map keys groups by domain ID, so the merged result
+/// — including group order — is byte-identical to the sequential pass).
+/// `threads == 0` means one worker per core; `threads == 1` runs inline.
+pub fn group_aggregate_pairs_par(
+    group_col: &Column,
+    measure: Option<&Column>,
+    pairs: &[(u32, u32)],
+    agg: AggFn,
+    threads: usize,
+) -> Vec<GroupRow> {
+    group_aggregate_chunked_par(group_col, measure, pairs, |&p| p, agg, threads)
+}
+
+/// The general partitioned grouping: any sliceable row source plus a
+/// pair-extraction closure, so the executor can chunk join rows or
+/// selected RIDs **in place** instead of materialising an intermediate
+/// `(group_rid, measure_rid)` vector. [`group_aggregate_pairs_par`] is
+/// the `items = pairs` instance.
+pub fn group_aggregate_chunked_par<T, F>(
+    group_col: &Column,
+    measure: Option<&Column>,
+    items: &[T],
+    to_pair: F,
+    agg: AggFn,
+    threads: usize,
+) -> Vec<GroupRow>
+where
+    T: Sync,
+    F: Fn(&T) -> (u32, u32) + Sync,
+{
+    if agg != AggFn::Count {
+        measure.expect("aggregate other than Count needs a measure column");
+    }
+    let partials = ccindex_parallel::WorkerPool::new(threads).map_chunks(items, |chunk| {
+        let mut acc = BTreeMap::new();
+        accumulate_pairs(
+            &mut acc,
+            group_col,
+            measure,
+            chunk.iter().map(&to_pair),
+            agg,
+        );
+        acc
+    });
+    decode_accumulator(group_col, merge_partials(agg, partials))
+}
+
+/// Partitioned grouping of whole-table row ranges (`(r, r)` pairs for
+/// every RID in `0..rows`) — no slice exists to chunk, so the RID space
+/// itself is partitioned.
+pub fn group_aggregate_rows_par(
+    group_col: &Column,
+    measure: Option<&Column>,
+    rows: u32,
+    agg: AggFn,
+    threads: usize,
+) -> Vec<GroupRow> {
+    if agg != AggFn::Count {
+        measure.expect("aggregate other than Count needs a measure column");
+    }
+    let pool = ccindex_parallel::WorkerPool::new(threads);
+    let ranges = ccindex_parallel::partition(rows as usize, pool.threads());
+    let partials = pool.run(ranges.len(), |i| {
+        let mut acc = BTreeMap::new();
+        let range = ranges[i].start as u32..ranges[i].end as u32;
+        accumulate_pairs(&mut acc, group_col, measure, range.map(|r| (r, r)), agg);
+        acc
+    });
+    decode_accumulator(group_col, merge_partials(agg, partials))
+}
+
+/// Merge per-worker partial accumulators at the join barrier.
+fn merge_partials(
+    agg: AggFn,
+    partials: impl IntoIterator<Item = BTreeMap<u32, i64>>,
+) -> BTreeMap<u32, i64> {
+    let mut merged: BTreeMap<u32, i64> = BTreeMap::new();
+    for partial in partials {
+        for (id, v) in partial {
+            merged
+                .entry(id)
+                .and_modify(|a| *a = combine(agg, *a, v))
+                .or_insert(v);
+        }
+    }
+    merged
+}
+
+/// Fold one combined value into the accumulator (`Count` partials merge
+/// by addition like `Sum`).
+fn combine(agg: AggFn, a: i64, v: i64) -> i64 {
+    match agg {
+        AggFn::Count | AggFn::Sum => a + v,
+        AggFn::Min => a.min(v),
+        AggFn::Max => a.max(v),
+    }
+}
+
+/// The shared accumulation loop of the sequential and per-worker passes.
+fn accumulate_pairs(
+    acc: &mut BTreeMap<u32, i64>,
+    group_col: &Column,
+    measure: Option<&Column>,
+    pairs: impl IntoIterator<Item = (u32, u32)>,
+    agg: AggFn,
+) {
     for (group_rid, measure_rid) in pairs {
         let id = group_col.id(group_rid);
         match agg {
             AggFn::Count => *acc.entry(id).or_insert(0) += 1,
             AggFn::Sum | AggFn::Min | AggFn::Max => {
-                let v = match measure.expect("checked above").value(measure_rid) {
+                let v = match measure.expect("checked by callers").value(measure_rid) {
                     Value::Int(v) => *v,
                     other => panic!("non-integer measure value {other}"),
                 };
                 acc.entry(id)
-                    .and_modify(|a| {
-                        *a = match agg {
-                            AggFn::Sum => *a + v,
-                            AggFn::Min => (*a).min(v),
-                            AggFn::Max => (*a).max(v),
-                            AggFn::Count => unreachable!(),
-                        }
-                    })
+                    .and_modify(|a| *a = combine(agg, *a, v))
                     .or_insert(v);
             }
         }
     }
+}
+
+/// Decode the accumulator's domain IDs in one batch and emit the rows in
+/// group-value order (the map's iteration order).
+fn decode_accumulator(group_col: &Column, acc: BTreeMap<u32, i64>) -> Vec<GroupRow> {
     let ids: Vec<u32> = acc.keys().copied().collect();
     let groups = group_col.domain().decode_batch(&ids);
     groups
@@ -255,6 +367,54 @@ mod tests {
         let cross = group_aggregate_pairs(region, Some(amount), [(0u32, 5u32)], AggFn::Max);
         assert_eq!(cross[0].value, 60);
         assert!(group_aggregate_pairs(region, None, [], AggFn::Count).is_empty());
+    }
+
+    #[test]
+    fn parallel_pairs_match_sequential_for_every_aggregate() {
+        // Enough rows that the chunking is non-trivial at 8 workers.
+        let n = 5_000u32;
+        let t = TableBuilder::new("sales")
+            .str_column(
+                "region",
+                (0..n).map(|i| ["e", "w", "n", "s"][i as usize % 4]),
+            )
+            .int_column("amount", (0..n).map(|i| (i as i64 * 37) % 1_000 - 200))
+            .build()
+            .expect("equal-length columns");
+        let region = t.column("region").unwrap();
+        let amount = t.column("amount").unwrap();
+        let pairs: Vec<(u32, u32)> = (0..n).map(|r| (r, (r + 7) % n)).collect();
+        for agg in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let measure = (agg != AggFn::Count).then_some(amount);
+            let seq = group_aggregate_pairs(region, measure, pairs.iter().copied(), agg);
+            for threads in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    group_aggregate_pairs_par(region, measure, &pairs, agg, threads),
+                    seq,
+                    "{agg:?} threads={threads}"
+                );
+            }
+        }
+        assert!(group_aggregate_pairs_par(region, None, &[], AggFn::Count, 8).is_empty());
+        // The in-place chunked and whole-table range variants agree too.
+        let all: Vec<(u32, u32)> = (0..n).map(|r| (r, r)).collect();
+        for agg in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let measure = (agg != AggFn::Count).then_some(amount);
+            let seq = group_aggregate_pairs(region, measure, all.iter().copied(), agg);
+            for threads in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    group_aggregate_chunked_par(region, measure, &all, |&p| p, agg, threads),
+                    seq,
+                    "{agg:?} threads={threads}"
+                );
+                assert_eq!(
+                    group_aggregate_rows_par(region, measure, n, agg, threads),
+                    seq,
+                    "{agg:?} threads={threads}"
+                );
+            }
+        }
+        assert!(group_aggregate_rows_par(region, None, 0, AggFn::Count, 8).is_empty());
     }
 
     #[test]

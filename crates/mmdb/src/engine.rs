@@ -44,7 +44,7 @@ use crate::column::Column;
 use crate::domain::Value;
 use crate::error::{MmdbError, Result};
 use crate::index_choice::{IndexHandle, IndexKind};
-use crate::plan::Query;
+use crate::plan::{ExecOptions, Query};
 use crate::rid::RidList;
 use crate::table::Table;
 use crate::update::apply_batch_handle;
@@ -54,9 +54,18 @@ use std::time::Duration;
 /// The engine: tables plus their access paths, behind name resolution
 /// that fails with a typed, offender-naming [`MmdbError`] instead of a
 /// panic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, TableEntry>,
+    /// Catalog-wide execution knobs every compiled plan inherits (unless
+    /// the query overrides them with [`Query::exec`]).
+    exec: ExecOptions,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[derive(Debug)]
@@ -88,9 +97,28 @@ pub struct RebuildReport {
 }
 
 impl Database {
-    /// An empty catalog.
+    /// An empty catalog. Execution options start from
+    /// [`ExecOptions::from_env`], so `CCINDEX_THREADS=8` switches every
+    /// query of a process to partitioned execution without code changes
+    /// (the compiled-in default is sequential).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            tables: BTreeMap::new(),
+            exec: ExecOptions::from_env(),
+        }
+    }
+
+    /// Set the catalog-wide [`ExecOptions`]: worker threads for the
+    /// partitioned equality/range/join/group operators and interleave
+    /// lanes for batch-aware indexes. Plans compiled afterwards record
+    /// these; running plans are unaffected.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        self.exec = options;
+    }
+
+    /// The catalog-wide [`ExecOptions`] new plans inherit.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
     }
 
     /// Register a table under its own name. Fails with

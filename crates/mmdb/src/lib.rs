@@ -16,8 +16,12 @@
 //! (keyed by [`IndexKind`]), and a composable [`Query`] builder —
 //! `db.query("sales").filter(eq(..)).join(.., on(..)).group_by(..)` —
 //! compiled by [`mod@plan`] into a small physical plan whose executor
-//! drives the batched operators below. Failures are typed
-//! ([`MmdbError`]) and name the offending table/column.
+//! drives the batched operators below — sequentially by default, or
+//! partitioned across a scoped worker pool when the catalog's
+//! [`ExecOptions`] (or a per-query [`Query::exec`] override) asks for
+//! more than one thread, with results byte-identical either way.
+//! Failures are typed ([`MmdbError`]) and name the offending
+//! table/column.
 //!
 //! **The physical layer** the engine compiles onto:
 //! * [`domain`] — sorted domain dictionaries with domain-ID encoding;
@@ -27,9 +31,12 @@
 //! * [`rid`] — sorted RID lists (the arrays the indexes sit on),
 //! * [`index_choice`] — one constructor per paper method, all behind
 //!   `ccindex_common::OrderedIndex`/`SearchIndex`,
-//! * [`query`] — point select, range select, and indexed nested-loop join,
+//! * [`query`] — point select, range select, and indexed nested-loop join
+//!   (each with a `_par` partitioned variant chunking probes/RIDs across
+//!   workers),
 //! * [`aggregate`] — grouped aggregation over sorted RID lists and
-//!   arbitrary row sets,
+//!   arbitrary row sets (parallel variant: per-worker partial aggregates
+//!   merged at the barrier),
 //! * [`update`] — the OLAP batch-update cycle: apply inserts/deletes, then
 //!   rebuild affected indexes from scratch (§2.3: "it may be relatively
 //!   cheap to rebuild an index from scratch after a batch of updates").
@@ -50,19 +57,24 @@ pub mod update;
 pub use engine::{Database, RebuildReport};
 pub use error::{MmdbError, Result};
 pub use plan::{
-    between, count, eq, max, min, on, sum, Agg, JoinOn, Plan, Predicate, Query, ResultRows,
-    ResultSet,
+    between, count, eq, max, min, on, sum, Agg, ExecOptions, JoinOn, Plan, Predicate, Query,
+    ResultRows, ResultSet,
 };
 
 // The physical layer.
-pub use aggregate::{group_aggregate, group_aggregate_pairs, AggFn, GroupRow};
+pub use aggregate::{
+    group_aggregate, group_aggregate_chunked_par, group_aggregate_pairs, group_aggregate_pairs_par,
+    group_aggregate_rows_par, AggFn, GroupRow,
+};
 pub use column::Column;
 pub use domain::Domain;
 pub use index_choice::{build_index, build_ordered_index, IndexHandle, IndexKind};
 pub use query::{
-    indexed_nested_loop_join, indexed_nested_loop_join_rids, point_select, point_select_many,
-    point_select_many_ordered, point_select_ordered, range_select, range_select_many, JoinRow,
-    JOIN_PROBE_BLOCK,
+    indexed_nested_loop_join, indexed_nested_loop_join_rids, indexed_nested_loop_join_rids_par,
+    point_select, point_select_many, point_select_many_lanes, point_select_many_ordered,
+    point_select_many_ordered_lanes, point_select_many_ordered_par, point_select_many_par,
+    point_select_ordered, range_select, range_select_many, range_select_many_lanes,
+    range_select_many_par, JoinRow, JOIN_PROBE_BLOCK,
 };
 pub use rid::RidList;
 pub use table::{Table, TableBuilder};

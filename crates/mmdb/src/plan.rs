@@ -41,16 +41,88 @@
 //! # }
 //! ```
 
-use crate::aggregate::{group_aggregate_pairs, AggFn, GroupRow};
+use crate::aggregate::{
+    group_aggregate_chunked_par, group_aggregate_pairs, group_aggregate_rows_par, AggFn, GroupRow,
+};
 use crate::column::Column;
 use crate::domain::Value;
 use crate::engine::Database;
 use crate::error::{MmdbError, Result};
 use crate::index_choice::{IndexHandle, IndexKind};
 use crate::query::{
-    indexed_nested_loop_join_rids, point_select_many, point_select_many_ordered, range_select_many,
-    JoinRow,
+    indexed_nested_loop_join_rids_par, point_select_many_ordered_par, point_select_many_par,
+    range_select_many_par, JoinRow,
 };
+use ccindex_common::DEFAULT_BATCH_LANES;
+
+// ---------------------------------------------------------------------
+// Execution options
+// ---------------------------------------------------------------------
+
+/// Execution knobs for the physical operators, set catalog-wide with
+/// [`Database::set_exec_options`] (or per query with [`Query::exec`]) and
+/// recorded on every compiled [`Plan`] so plans stay inspectable.
+///
+/// `threads == 1` (the default) is the sequential executor; `threads >
+/// 1` routes the equality/range/join/group stages through the
+/// partitioned operators on a scoped worker pool of exactly that many
+/// workers; `threads == 0` means one worker per available core. `lanes`
+/// is the interleave lane count handed to batch-aware indexes
+/// (`lower_bound_batch_lanes`/`search_batch_lanes`); structures that are
+/// not batch-aware ignore it, and degenerate values (0, or more lanes
+/// than probes) fall back to sequential descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for the partitioned operators.
+    pub threads: usize,
+    /// Interleave lanes per batched index descent.
+    pub lanes: usize,
+}
+
+impl Default for ExecOptions {
+    /// Sequential execution at the default lane count.
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            lanes: DEFAULT_BATCH_LANES,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Partitioned execution across `threads` workers (`0` = one per
+    /// core) at the default lane count.
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Read the knobs from the environment: `CCINDEX_THREADS` and
+    /// `CCINDEX_LANES`, each falling back to the [`ExecOptions::default`]
+    /// value when unset or unparsable. This is what [`Database::new`]
+    /// uses, so a whole test suite or service can be switched to
+    /// partitioned execution without a code change (CI runs the tests
+    /// once with `CCINDEX_THREADS=8`).
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        let default = Self::default();
+        Self {
+            threads: parse("CCINDEX_THREADS").unwrap_or(default.threads),
+            lanes: parse("CCINDEX_LANES").unwrap_or(default.lanes),
+        }
+    }
+
+    /// Whether this configuration partitions work across workers.
+    pub fn is_parallel(&self) -> bool {
+        self.threads != 1
+    }
+}
 
 // ---------------------------------------------------------------------
 // Builder vocabulary
@@ -161,6 +233,7 @@ pub struct Query<'db> {
     join: Option<(String, JoinOn)>,
     group: Option<(String, Agg)>,
     forced_kind: Option<IndexKind>,
+    exec: Option<ExecOptions>,
 }
 
 impl<'db> Query<'db> {
@@ -172,6 +245,7 @@ impl<'db> Query<'db> {
             join: None,
             group: None,
             forced_kind: None,
+            exec: None,
         }
     }
 
@@ -205,12 +279,21 @@ impl<'db> Query<'db> {
         self
     }
 
+    /// Override the catalog's [`ExecOptions`] for this query alone —
+    /// e.g. `.exec(ExecOptions::threads(8))` to partition its stages
+    /// across 8 workers regardless of [`Database::set_exec_options`].
+    pub fn exec(mut self, options: ExecOptions) -> Self {
+        self.exec = Some(options);
+        self
+    }
+
     /// Compile into a physical [`Plan`]: resolve every name, choose an
     /// access path per probe, and validate aggregate typing.
     pub fn plan(&self) -> Result<Plan> {
         let db = self.db;
         let outer = &self.table;
         db.entry(outer)?;
+        let exec = self.exec.unwrap_or_else(|| db.exec_options());
 
         let mut probes = Vec::with_capacity(self.filters.len());
         for p in &self.filters {
@@ -223,6 +306,10 @@ impl<'db> Query<'db> {
                     PredOp::Eq(v) => Probe::Point(v.clone()),
                     PredOp::Between(lo, hi) => Probe::Range(lo.clone(), hi.clone()),
                 },
+                // A filter stage probes one constant, which cannot be
+                // chunked — recording `exec.threads` here would claim a
+                // partitioning that can never happen.
+                threads: 1,
             });
         }
 
@@ -237,6 +324,7 @@ impl<'db> Query<'db> {
                     outer_column: cond.outer.clone(),
                     inner_column: cond.inner.clone(),
                     kind,
+                    threads: exec.threads,
                 })
             }
         };
@@ -278,6 +366,7 @@ impl<'db> Query<'db> {
                     side,
                     agg: agg_fn,
                     measure,
+                    threads: exec.threads,
                 })
             }
         };
@@ -287,6 +376,7 @@ impl<'db> Query<'db> {
             probes,
             join,
             group,
+            exec,
         })
     }
 
@@ -389,6 +479,9 @@ pub struct Plan {
     pub join: Option<JoinStep>,
     /// The grouping, if any.
     pub group: Option<GroupStep>,
+    /// The execution options the plan was compiled under; every node
+    /// below records the thread count it was assigned from these.
+    pub exec: ExecOptions,
 }
 
 /// One resolved filter probe.
@@ -400,6 +493,11 @@ pub struct ProbeStep {
     pub kind: IndexKind,
     /// The probe itself.
     pub probe: Probe,
+    /// Worker threads this probe's select operator partitions across.
+    /// Always 1 today: the executor evaluates each filter with a single
+    /// probe constant, which cannot chunk (a future multi-value probe
+    /// step would inherit the plan's `exec.threads`).
+    pub threads: usize,
 }
 
 /// What a [`ProbeStep`] asks its index.
@@ -422,6 +520,9 @@ pub struct JoinStep {
     pub inner_column: String,
     /// Access path on the inner column.
     pub kind: IndexKind,
+    /// Worker threads the outer RID stream partitions across
+    /// (1 = sequential, 0 = one per core).
+    pub threads: usize,
 }
 
 /// A resolved grouped aggregation.
@@ -435,11 +536,21 @@ pub struct GroupStep {
     pub agg: AggFn,
     /// Measure column and its side (`None` for `Count`).
     pub measure: Option<(String, Side)>,
+    /// Worker threads accumulating partial aggregates (1 = sequential,
+    /// 0 = one per core; partials merge at the join barrier).
+    pub threads: usize,
 }
 
 impl Plan {
-    /// A human-readable rendering of the plan, one step per line.
+    /// A human-readable rendering of the plan, one step per line
+    /// (parallel stages carry a `[xN threads]` suffix so the chosen
+    /// parallelism is inspectable).
     pub fn explain(&self) -> String {
+        let par = |threads: usize| match threads {
+            1 => String::new(),
+            0 => " [x all-core threads]".to_owned(),
+            n => format!(" [x{n} threads]"),
+        };
         let mut out = format!("scan {}", self.table);
         if self.probes.is_empty() {
             out.push_str(" (all rows)");
@@ -447,12 +558,22 @@ impl Plan {
         for p in &self.probes {
             match &p.probe {
                 Probe::Point(v) => {
-                    out.push_str(&format!("\n  probe {} = {} via {:?}", p.column, v, p.kind));
+                    out.push_str(&format!(
+                        "\n  probe {} = {} via {:?}{}",
+                        p.column,
+                        v,
+                        p.kind,
+                        par(p.threads)
+                    ));
                 }
                 Probe::Range(lo, hi) => {
                     out.push_str(&format!(
-                        "\n  probe {} in [{}, {}] via {:?}",
-                        p.column, lo, hi, p.kind
+                        "\n  probe {} in [{}, {}] via {:?}{}",
+                        p.column,
+                        lo,
+                        hi,
+                        p.kind,
+                        par(p.threads)
                     ));
                 }
             }
@@ -465,8 +586,12 @@ impl Plan {
         }
         if let Some(j) = &self.join {
             out.push_str(&format!(
-                "\n  join {} on {} = {} via {:?}",
-                j.inner_table, j.outer_column, j.inner_column, j.kind
+                "\n  join {} on {} = {} via {:?}{}",
+                j.inner_table,
+                j.outer_column,
+                j.inner_column,
+                j.kind,
+                par(j.threads)
             ));
         }
         if let Some(g) = &self.group {
@@ -475,8 +600,17 @@ impl Plan {
                 .as_ref()
                 .map_or_else(|| "*".to_owned(), |(m, _)| m.clone());
             out.push_str(&format!(
-                "\n  group by {} ({:?} over {})",
-                g.column, g.agg, measure
+                "\n  group by {} ({:?} over {}){}",
+                g.column,
+                g.agg,
+                measure,
+                par(g.threads)
+            ));
+        }
+        if self.exec.is_parallel() {
+            out.push_str(&format!(
+                "\n  exec: {} worker(s), {} interleave lane(s)",
+                self.exec.threads, self.exec.lanes
             ));
         }
         out
@@ -524,12 +658,14 @@ impl Plan {
                         &all_rids
                     }
                 };
-                Some(indexed_nested_loop_join_rids(
+                Some(indexed_nested_loop_join_rids_par(
                     outer_col,
                     outer_rids,
                     inner_col,
                     &entry.rids,
                     handle.as_search(),
+                    self.exec.lanes,
+                    j.threads,
                 ))
             }
         };
@@ -546,34 +682,66 @@ impl Plan {
                 Side::Outer => row.outer_rid,
                 Side::Inner => row.inner_rid,
             };
+            // One arm per row source; within each, the partitioned path
+            // chunks the source in place (no intermediate pair vector)
+            // and the sequential path streams it lazily.
+            let par = g.threads != 1;
             let groups = match &joined {
                 Some(rows) => {
                     let measure_side = g.measure.as_ref().map_or(g.side, |(_, s)| *s);
-                    group_aggregate_pairs(
-                        group_col,
-                        measure_col,
-                        rows.iter()
-                            .map(|r| (pick(r, g.side), pick(r, measure_side))),
-                        g.agg,
-                    )
-                }
-                None => {
-                    let rows = db.table(&self.table)?.rows() as u32;
-                    match &selected {
-                        Some(rids) => group_aggregate_pairs(
+                    let to_pair = |r: &JoinRow| (pick(r, g.side), pick(r, measure_side));
+                    if par {
+                        group_aggregate_chunked_par(
                             group_col,
                             measure_col,
-                            rids.iter().map(|&r| (r, r)),
+                            rows,
+                            to_pair,
                             g.agg,
-                        ),
-                        None => group_aggregate_pairs(
+                            g.threads,
+                        )
+                    } else {
+                        group_aggregate_pairs(
                             group_col,
                             measure_col,
-                            (0..rows).map(|r| (r, r)),
+                            rows.iter().map(to_pair),
                             g.agg,
-                        ),
+                        )
                     }
                 }
+                None => match &selected {
+                    Some(rids) => {
+                        if par {
+                            group_aggregate_chunked_par(
+                                group_col,
+                                measure_col,
+                                rids,
+                                |&r| (r, r),
+                                g.agg,
+                                g.threads,
+                            )
+                        } else {
+                            group_aggregate_pairs(
+                                group_col,
+                                measure_col,
+                                rids.iter().map(|&r| (r, r)),
+                                g.agg,
+                            )
+                        }
+                    }
+                    None => {
+                        let rows = db.table(&self.table)?.rows() as u32;
+                        if par {
+                            group_aggregate_rows_par(group_col, measure_col, rows, g.agg, g.threads)
+                        } else {
+                            group_aggregate_pairs(
+                                group_col,
+                                measure_col,
+                                (0..rows).map(|r| (r, r)),
+                                g.agg,
+                            )
+                        }
+                    }
+                },
             };
             return Ok(ResultSet {
                 db,
@@ -598,8 +766,12 @@ impl Plan {
         })
     }
 
-    /// One probe -> sorted RID set, always through the batched operators
-    /// (`encode_batch` + `search_batch`/`lower_bound_batch`).
+    /// One probe -> sorted RID set, always through the partitioned
+    /// batched operators (`encode_batch` +
+    /// `search_batch_lanes`/`lower_bound_batch_lanes`). The step's
+    /// recorded `threads` is always 1 — one probe constant cannot chunk —
+    /// so the `_par` entry points run their inline sequential path while
+    /// still honouring the plan's `lanes`.
     fn eval_probe(&self, db: &Database, step: &ProbeStep) -> Result<Vec<u32>> {
         let col = db.column(&self.table, &step.column)?;
         let entry = db.column_entry(&self.table, &step.column)?;
@@ -611,17 +783,28 @@ impl Plan {
                 column: step.column.clone(),
                 kind: step.kind,
             })?;
+        let lanes = self.exec.lanes;
         let mut rids = match (&step.probe, handle) {
-            (Probe::Point(v), IndexHandle::Ordered(idx)) => {
-                point_select_many_ordered(col, &entry.rids, idx.as_ref(), std::slice::from_ref(v))
-                    .pop()
-                    .expect("one probe in, one out")
-            }
-            (Probe::Point(v), IndexHandle::Point(idx)) => {
-                point_select_many(col, &entry.rids, idx.as_ref(), std::slice::from_ref(v))
-                    .pop()
-                    .expect("one probe in, one out")
-            }
+            (Probe::Point(v), IndexHandle::Ordered(idx)) => point_select_many_ordered_par(
+                col,
+                &entry.rids,
+                idx.as_ref(),
+                std::slice::from_ref(v),
+                lanes,
+                step.threads,
+            )
+            .pop()
+            .expect("one probe in, one out"),
+            (Probe::Point(v), IndexHandle::Point(idx)) => point_select_many_par(
+                col,
+                &entry.rids,
+                idx.as_ref(),
+                std::slice::from_ref(v),
+                lanes,
+                step.threads,
+            )
+            .pop()
+            .expect("one probe in, one out"),
             (Probe::Range(lo, hi), handle) => {
                 let idx = handle
                     .as_ordered()
@@ -629,9 +812,16 @@ impl Plan {
                         table: self.table.clone(),
                         column: step.column.clone(),
                     })?;
-                range_select_many(col, &entry.rids, idx, &[(lo.clone(), hi.clone())])
-                    .pop()
-                    .expect("one range in, one out")
+                range_select_many_par(
+                    col,
+                    &entry.rids,
+                    idx,
+                    &[(lo.clone(), hi.clone())],
+                    lanes,
+                    step.threads,
+                )
+                .pop()
+                .expect("one range in, one out")
             }
         };
         rids.sort_unstable();
@@ -1009,6 +1199,71 @@ mod tests {
                 column: "amount".into()
             }
         );
+    }
+
+    #[test]
+    fn exec_options_partition_without_changing_results() {
+        let mut db = db();
+        let queries = |db: &Database| -> Vec<ResultRows> {
+            [
+                db.query("sales").filter(eq("day", "mon")).run().unwrap(),
+                db.query("sales")
+                    .filter(between("amount", 20, 50))
+                    .run()
+                    .unwrap(),
+                db.query("sales")
+                    .filter(eq("day", "mon"))
+                    .join("customers", on("cust", "id"))
+                    .run()
+                    .unwrap(),
+                db.query("sales")
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount"))
+                    .run()
+                    .unwrap(),
+                db.query("sales").group_by("day", count()).run().unwrap(),
+            ]
+            .into_iter()
+            .map(|r| r.rows().clone())
+            .collect()
+        };
+        let sequential = queries(&db);
+        for threads in [0usize, 2, 8] {
+            db.set_exec_options(ExecOptions::threads(threads));
+            assert_eq!(queries(&db), sequential, "threads={threads}");
+        }
+        // Per-query override beats the catalog default, and the plan
+        // records the chosen parallelism for inspection.
+        db.set_exec_options(ExecOptions::default());
+        let plan = db
+            .query("sales")
+            .filter(between("amount", 20, 50))
+            .group_by("day", count())
+            .exec(ExecOptions {
+                threads: 8,
+                lanes: 4,
+            })
+            .plan()
+            .unwrap();
+        assert_eq!(plan.exec.threads, 8);
+        // Filter stages probe one constant and cannot chunk, so they
+        // honestly record 1; the chunkable group stage records 8.
+        assert_eq!(plan.probes[0].threads, 1);
+        assert_eq!(plan.group.as_ref().unwrap().threads, 8);
+        let text = plan.explain();
+        assert!(text.contains("[x8 threads]"), "{text}");
+        assert!(
+            text.contains("exec: 8 worker(s), 4 interleave lane(s)"),
+            "{text}"
+        );
+        // Sequential plans stay visually unchanged.
+        let text = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .plan()
+            .unwrap()
+            .explain();
+        assert!(!text.contains("threads"), "{text}");
     }
 
     #[test]

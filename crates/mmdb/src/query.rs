@@ -23,7 +23,7 @@
 use crate::column::Column;
 use crate::domain::Value;
 use crate::rid::RidList;
-use ccindex_common::{OrderedIndex, SearchIndex};
+use ccindex_common::{OrderedIndex, SearchIndex, DEFAULT_BATCH_LANES};
 
 /// One output row of an indexed nested-loop join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,20 @@ pub fn point_select_many_ordered(
     index: &dyn OrderedIndex<u32>,
     values: &[Value],
 ) -> Vec<Vec<u32>> {
+    point_select_many_ordered_lanes(column, rid_list, index, values, DEFAULT_BATCH_LANES)
+}
+
+/// [`point_select_many_ordered`] with an explicit interleave lane count,
+/// forwarded to the index through
+/// [`OrderedIndex::lower_bound_batch_lanes`] (ignored by structures that
+/// are not batch-aware).
+pub fn point_select_many_ordered_lanes(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    values: &[Value],
+    lanes: usize,
+) -> Vec<Vec<u32>> {
     let mut out = vec![Vec::new(); values.len()];
     let ids = column.domain().encode_batch(values);
     // (slot, end-probe present?) per in-domain value; probes laid out
@@ -122,7 +136,7 @@ pub fn point_select_many_ordered(
             None => pending.push((slot, false)),
         }
     }
-    let bounds = index.lower_bound_batch(&probes);
+    let bounds = index.lower_bound_batch_lanes(&probes, lanes);
     let mut at = 0usize;
     for (slot, has_end) in pending {
         let start = bounds[at];
@@ -138,6 +152,23 @@ pub fn point_select_many_ordered(
     out
 }
 
+/// Partitioned [`point_select_many_ordered`]: the probe values are
+/// chunked across `threads` workers (`0` = one per core), each chunk
+/// running the batched ordered select at `lanes`; per-value RID sets come
+/// back in value order, byte-identical to the sequential operator.
+pub fn point_select_many_ordered_par(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    values: &[Value],
+    lanes: usize,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    ccindex_parallel::WorkerPool::new(threads).flat_map_chunks(values, |chunk| {
+        point_select_many_ordered_lanes(column, rid_list, index, chunk, lanes)
+    })
+}
+
 /// One RID set per probe value: a single batched domain encoding followed
 /// by a single batched index probe, plus the §3.6 rightward duplicate
 /// scan per hit.
@@ -146,6 +177,18 @@ pub fn point_select_many(
     rid_list: &RidList,
     index: &dyn SearchIndex<u32>,
     values: &[Value],
+) -> Vec<Vec<u32>> {
+    point_select_many_lanes(column, rid_list, index, values, DEFAULT_BATCH_LANES)
+}
+
+/// [`point_select_many`] with an explicit interleave lane count (see
+/// [`SearchIndex::search_batch_lanes`]).
+pub fn point_select_many_lanes(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn SearchIndex<u32>,
+    values: &[Value],
+    lanes: usize,
 ) -> Vec<Vec<u32>> {
     let mut out = vec![Vec::new(); values.len()];
     // Consumer #3, batched: constants -> domain IDs. Values outside the
@@ -163,7 +206,7 @@ pub fn point_select_many(
     for ((&slot, &id), hit) in probe_slots
         .iter()
         .zip(&probe_ids)
-        .zip(index.search_batch(&probe_ids))
+        .zip(index.search_batch_lanes(&probe_ids, lanes))
     {
         if let Some(first) = hit {
             let end = duplicate_run_end(keys, first, id);
@@ -171,6 +214,21 @@ pub fn point_select_many(
         }
     }
     out
+}
+
+/// Partitioned [`point_select_many`]; see
+/// [`point_select_many_ordered_par`] for the chunking contract.
+pub fn point_select_many_par(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn SearchIndex<u32>,
+    values: &[Value],
+    lanes: usize,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    ccindex_parallel::WorkerPool::new(threads).flat_map_chunks(values, |chunk| {
+        point_select_many_lanes(column, rid_list, index, chunk, lanes)
+    })
 }
 
 /// All RIDs whose column value lies in the inclusive range `[lo, hi]`.
@@ -203,6 +261,18 @@ pub fn range_select_many(
     index: &dyn OrderedIndex<u32>,
     ranges: &[(Value, Value)],
 ) -> Vec<Vec<u32>> {
+    range_select_many_lanes(column, rid_list, index, ranges, DEFAULT_BATCH_LANES)
+}
+
+/// [`range_select_many`] with an explicit interleave lane count (see
+/// [`OrderedIndex::lower_bound_batch_lanes`]).
+pub fn range_select_many_lanes(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    ranges: &[(Value, Value)],
+    lanes: usize,
+) -> Vec<Vec<u32>> {
     let mut out = vec![Vec::new(); ranges.len()];
     // (slot, end-probe present?) per non-empty ID range; probes laid out
     // flat as [lo0, end0, lo1, end1, ...] minus any absent end probes.
@@ -223,7 +293,7 @@ pub fn range_select_many(
             None => pending.push((slot, false)),
         }
     }
-    let bounds = index.lower_bound_batch(&probes);
+    let bounds = index.lower_bound_batch_lanes(&probes, lanes);
     let mut at = 0usize;
     for (slot, has_end) in pending {
         let start = bounds[at];
@@ -237,6 +307,21 @@ pub fn range_select_many(
         out[slot] = rid_list.rids_in(start, end.max(start)).to_vec();
     }
     out
+}
+
+/// Partitioned [`range_select_many`]; see
+/// [`point_select_many_ordered_par`] for the chunking contract.
+pub fn range_select_many_par(
+    column: &Column,
+    rid_list: &RidList,
+    index: &dyn OrderedIndex<u32>,
+    ranges: &[(Value, Value)],
+    lanes: usize,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    ccindex_parallel::WorkerPool::new(threads).flat_map_chunks(ranges, |chunk| {
+        range_select_many_lanes(column, rid_list, index, chunk, lanes)
+    })
 }
 
 /// Indexed nested-loop join — "pipelinable, requiring minimal storage for
@@ -271,11 +356,53 @@ pub fn indexed_nested_loop_join_rids(
     inner_rids: &RidList,
     inner_index: &dyn SearchIndex<u32>,
 ) -> Vec<JoinRow> {
-    let mut out = Vec::new();
-    let inner_keys = inner_rids.keys().as_slice();
     // Consumer #3, batched and hoisted: one inner-domain lookup per
     // *distinct* outer value instead of one per outer row.
     let translation = inner.domain().encode_batch(outer.domain().values());
+    join_rids_translated(
+        outer,
+        outer_rids,
+        inner_rids,
+        inner_index,
+        &translation,
+        DEFAULT_BATCH_LANES,
+    )
+}
+
+/// Partitioned [`indexed_nested_loop_join_rids`]: the outer RID stream is
+/// chunked across `threads` workers (`0` = one per core) over one shared
+/// outer→inner domain translation, each chunk streaming through the
+/// inner index in [`JOIN_PROBE_BLOCK`]-probe blocks at `lanes` interleave
+/// lanes. Chunk outputs concatenate in outer-stream order, so the result
+/// is byte-identical to the sequential join.
+pub fn indexed_nested_loop_join_rids_par(
+    outer: &Column,
+    outer_rids: &[u32],
+    inner: &Column,
+    inner_rids: &RidList,
+    inner_index: &dyn SearchIndex<u32>,
+    lanes: usize,
+    threads: usize,
+) -> Vec<JoinRow> {
+    let translation = inner.domain().encode_batch(outer.domain().values());
+    ccindex_parallel::WorkerPool::new(threads).flat_map_chunks(outer_rids, |chunk| {
+        join_rids_translated(outer, chunk, inner_rids, inner_index, &translation, lanes)
+    })
+}
+
+/// The blocked probe loop shared by the sequential and partitioned joins:
+/// stream `outer_rids` through `inner_index` with the outer→inner domain
+/// `translation` already in hand.
+fn join_rids_translated(
+    outer: &Column,
+    outer_rids: &[u32],
+    inner_rids: &RidList,
+    inner_index: &dyn SearchIndex<u32>,
+    translation: &[Option<u32>],
+    lanes: usize,
+) -> Vec<JoinRow> {
+    let mut out = Vec::new();
+    let inner_keys = inner_rids.keys().as_slice();
     let mut probe_ids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
     let mut probe_rids: Vec<u32> = Vec::with_capacity(JOIN_PROBE_BLOCK);
     for block in outer_rids.chunks(JOIN_PROBE_BLOCK) {
@@ -291,7 +418,7 @@ pub fn indexed_nested_loop_join_rids(
         for ((&outer_rid, &inner_id), hit) in probe_rids
             .iter()
             .zip(&probe_ids)
-            .zip(inner_index.search_batch(&probe_ids))
+            .zip(inner_index.search_batch_lanes(&probe_ids, lanes))
         {
             if let Some(first) = hit {
                 let end = duplicate_run_end(inner_keys, first, inner_id);
@@ -454,6 +581,72 @@ mod tests {
                     got,
                     &range_select(col, &rl, idx.as_ref(), lo, hi),
                     "{kind:?} [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_operators_match_sequential_for_every_kind() {
+        let n = 4_000i64;
+        let t = TableBuilder::new("sales")
+            .int_column("amount", (0..n).map(|i| (i * 7) % 500))
+            .build()
+            .expect("one column");
+        let col = t.column("amount").unwrap();
+        let rl = RidList::for_column(col);
+        let values: Vec<Value> = (0..600i64).map(|v| Value::Int(v - 50)).collect();
+        let ranges: Vec<(Value, Value)> = (0..300i64)
+            .map(|v| (Value::Int(v - 20), Value::Int(v + 35)))
+            .collect();
+        let inner = TableBuilder::new("codes")
+            .int_column("amount", (0..200i64).flat_map(|v| [v, v]))
+            .build()
+            .expect("one column");
+        let icol = inner.column("amount").unwrap();
+        let irl = RidList::for_column(icol);
+        let all_outer: Vec<u32> = (0..col.len() as u32).collect();
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, rl.keys());
+            let seq_points = point_select_many(col, &rl, idx.as_ref(), &values);
+            let inner_idx = build_index(kind, irl.keys());
+            let seq_join =
+                indexed_nested_loop_join_rids(col, &all_outer, icol, &irl, inner_idx.as_ref());
+            for threads in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    point_select_many_par(col, &rl, idx.as_ref(), &values, 8, threads),
+                    seq_points,
+                    "{kind:?} threads={threads}"
+                );
+                assert_eq!(
+                    indexed_nested_loop_join_rids_par(
+                        col,
+                        &all_outer,
+                        icol,
+                        &irl,
+                        inner_idx.as_ref(),
+                        8,
+                        threads
+                    ),
+                    seq_join,
+                    "{kind:?} threads={threads}"
+                );
+            }
+        }
+        for kind in IndexKind::ORDERED {
+            let idx = build_ordered_index(kind, rl.keys());
+            let seq_points = point_select_many_ordered(col, &rl, idx.as_ref(), &values);
+            let seq_ranges = range_select_many(col, &rl, idx.as_ref(), &ranges);
+            for threads in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    point_select_many_ordered_par(col, &rl, idx.as_ref(), &values, 8, threads),
+                    seq_points,
+                    "{kind:?} threads={threads}"
+                );
+                assert_eq!(
+                    range_select_many_par(col, &rl, idx.as_ref(), &ranges, 8, threads),
+                    seq_ranges,
+                    "{kind:?} threads={threads}"
                 );
             }
         }

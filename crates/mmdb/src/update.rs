@@ -40,6 +40,14 @@ pub struct HandleBatchResult {
 /// sorted; duplicates in `keys` allowed — one delete removes one
 /// occurrence), with the time it took. Both rebuild cycles below share
 /// this.
+///
+/// Delete semantics: deletes target occurrences of the **pre-batch**
+/// array only. A delete key absent from the base array is a no-op (it is
+/// skipped, never stalling the cursor on later base keys), and a delete
+/// key equal to a same-batch insert does not cancel that insert — whether
+/// the insert lands between base keys or in the appended tail beyond the
+/// last base key. Callers wanting insert/delete cancellation should
+/// pre-net their batches before calling.
 pub fn merge_batch(
     keys: &SortedArray<u32>,
     inserts: &[u32],
@@ -57,6 +65,16 @@ pub fn merge_batch(
             if i < k {
                 merged.push(i);
                 ins.next();
+            } else {
+                break;
+            }
+        }
+        // Discard delete keys smaller than the current base key: they
+        // matched no base occurrence (absent, or already consumed by an
+        // earlier equal base key) and must not block later deletes.
+        while let Some(&&d) = del.peek() {
+            if d < k {
+                del.next();
             } else {
                 break;
             }
@@ -137,6 +155,34 @@ mod tests {
         let keys = SortedArray::from_slice(&[5u32, 5, 5, 9]);
         let r = apply_batch(&keys, &[], &[5], IndexKind::BinarySearch);
         assert_eq!(r.keys.as_slice(), &[5, 5, 9]);
+    }
+
+    #[test]
+    fn absent_delete_keys_do_not_stall_the_cursor() {
+        // The ISSUE's repro: a delete key (3) absent from the base array
+        // must not shadow a later delete key (10) that is present.
+        let keys = SortedArray::from_slice(&[5u32, 10]);
+        let (merged, _) = merge_batch(&keys, &[], &[3, 10]);
+        assert_eq!(merged.as_slice(), &[5]);
+        // Several stale keys in a row, before and between live ones.
+        let keys = SortedArray::from_slice(&[2u32, 4, 4, 9]);
+        let (merged, _) = merge_batch(&keys, &[], &[0, 1, 3, 4, 6, 7, 9, 11]);
+        assert_eq!(merged.as_slice(), &[2, 4]);
+    }
+
+    #[test]
+    fn deletes_never_cancel_same_batch_inserts() {
+        // Tail insert beyond every base key: the delete for it is stale.
+        let keys = SortedArray::from_slice(&[5u32, 10]);
+        let (merged, _) = merge_batch(&keys, &[20], &[20]);
+        assert_eq!(merged.as_slice(), &[5, 10, 20]);
+        // Insert landing between base keys: same rule.
+        let (merged, _) = merge_batch(&keys, &[7], &[7]);
+        assert_eq!(merged.as_slice(), &[5, 7, 10]);
+        // But a delete equal to a *base* key still fires even when an
+        // equal insert arrives in the same batch (one out, one in).
+        let (merged, _) = merge_batch(&keys, &[10], &[10]);
+        assert_eq!(merged.as_slice(), &[5, 10]);
     }
 
     #[test]

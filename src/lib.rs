@@ -41,12 +41,14 @@
 //! | [`model`] | `analysis` | §5 analytical time/space models |
 //! | [`db`] | `mmdb` | Main-memory OLAP database substrate |
 //! | [`gen`] | `workload` | Key/lookup/update generators |
+//! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
 
 pub use analysis as model;
 pub use bst_index as bst;
 pub use cachesim as sim;
 pub use ccindex_common as common;
+pub use ccindex_parallel as parallel;
 pub use css_tree as css;
 pub use hashindex as hash;
 pub use mmdb as db;
@@ -64,11 +66,12 @@ pub mod prelude {
     pub use crate::db::{
         between, build_index, build_ordered_index, count, eq, indexed_nested_loop_join, max, min,
         on, point_select, point_select_many, range_select, range_select_many, sum, Agg, Database,
-        Domain, IndexKind, MmdbError, RidList, Table, TableBuilder,
+        Domain, ExecOptions, IndexKind, MmdbError, RidList, Table, TableBuilder,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;
     pub use crate::model::Params;
+    pub use crate::parallel::WorkerPool;
     pub use crate::sim::{CacheHierarchy, Machine, SimTracer};
     pub use crate::sorted::{BinarySearch, InterpolationSearch};
     pub use bplus::BPlusTree;

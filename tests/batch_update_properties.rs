@@ -1,0 +1,101 @@
+//! Property tests for the OLAP batch-update merge (`merge_batch`): the
+//! production merge must agree with a naive multiset model over arbitrary
+//! sorted batches — including delete keys absent from the base array (the
+//! cursor-stall bug this suite regression-guards), duplicate base keys,
+//! and inserts equal to deletes (which, per the documented semantics,
+//! deletes never cancel: deletes target pre-batch occurrences only).
+
+use ccindex::common::SortedArray;
+use ccindex::db::{apply_batch, merge_batch, IndexKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The specification: deletes each remove one occurrence from the *base*
+/// multiset (no-ops when none remains), then the inserts are added.
+fn model_merge(base: &[u32], inserts: &[u32], deletes: &[u32]) -> Vec<u32> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &k in base {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    for &d in deletes {
+        if let Some(c) = counts.get_mut(&d) {
+            if *c > 0 {
+                *c -= 1;
+            }
+        }
+    }
+    let mut out: Vec<u32> = counts
+        .into_iter()
+        .flat_map(|(k, c)| std::iter::repeat_n(k, c))
+        .collect();
+    out.extend_from_slice(inserts);
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Narrow value range (0..40) so duplicate base keys, absent delete
+    /// keys, and insert/delete collisions all occur constantly.
+    #[test]
+    fn merge_agrees_with_multiset_model(
+        mut base in vec(0u32..40, 0..200),
+        mut inserts in vec(0u32..40, 0..60),
+        mut deletes in vec(0u32..40, 0..60),
+    ) {
+        base.sort_unstable();
+        inserts.sort_unstable();
+        deletes.sort_unstable();
+        let keys = SortedArray::from_slice(&base);
+        let (merged, _) = merge_batch(&keys, &inserts, &deletes);
+        let expect = model_merge(&base, &inserts, &deletes);
+        prop_assert_eq!(merged.as_slice(), expect.as_slice());
+    }
+
+    /// Deletes drawn from outside the base range are all absent: the
+    /// merge must leave the base + inserts untouched, regardless of how
+    /// the stale keys interleave with live ones.
+    #[test]
+    fn absent_deletes_are_noops(
+        mut base in vec(100u32..200, 1..100),
+        mut deletes in vec(0u32..100, 1..50),
+    ) {
+        base.sort_unstable();
+        deletes.sort_unstable();
+        let keys = SortedArray::from_slice(&base);
+        let (merged, _) = merge_batch(&keys, &[], &deletes);
+        prop_assert_eq!(merged.as_slice(), base.as_slice());
+    }
+
+    /// The merged array stays sorted and the rebuilt index of a random
+    /// kind answers over exactly the merged keys.
+    #[test]
+    fn rebuild_cycle_serves_the_merged_array(
+        mut base in vec(0u32..60, 0..120),
+        mut inserts in vec(0u32..60, 0..30),
+        mut deletes in vec(0u32..60, 0..30),
+        kind_pick in 0usize..8,
+    ) {
+        base.sort_unstable();
+        inserts.sort_unstable();
+        deletes.sort_unstable();
+        let keys = SortedArray::from_slice(&base);
+        let kind = IndexKind::ALL[kind_pick];
+        let r = apply_batch(&keys, &inserts, &deletes, kind);
+        let expect = model_merge(&base, &inserts, &deletes);
+        prop_assert_eq!(r.keys.as_slice(), expect.as_slice());
+        prop_assert_eq!(r.index.len(), expect.len());
+        // Every surviving key is found at its leftmost position; every
+        // probe outside the merged set misses.
+        for probe in 0u32..60 {
+            let expected = if expect.contains(&probe) {
+                Some(expect.partition_point(|&k| k < probe))
+            } else {
+                None
+            };
+            prop_assert_eq!(r.index.search(probe), expected, "{:?} probe {}", kind, probe);
+        }
+    }
+}

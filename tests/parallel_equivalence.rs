@@ -1,0 +1,226 @@
+//! Parallel/sequential equivalence: every partitioned operator and every
+//! engine stage routed through the worker pool must return byte-identical
+//! results to its sequential counterpart — across all 8 `IndexKind`s and
+//! thread counts {1, 2, 8} (plus 0 = all cores), at both layer levels:
+//! the raw physical operators and whole queries through `Database` with
+//! `ExecOptions`.
+
+use ccindex::css::{CssVariant, DynCssTree};
+use ccindex::db::domain::Value;
+use ccindex::db::{
+    between, eq, group_aggregate_pairs, group_aggregate_pairs_par, indexed_nested_loop_join_rids,
+    indexed_nested_loop_join_rids_par, on, point_select_many, point_select_many_ordered,
+    point_select_many_ordered_par, point_select_many_par, range_select_many, range_select_many_par,
+    sum, AggFn, Database, ExecOptions, IndexKind, ResultRows, RidList, TableBuilder,
+};
+use ccindex::parallel::WorkerPool;
+use ccindex::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 8, 0];
+
+fn workload_db() -> Database {
+    let n = 6_000usize;
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("orders")
+            .int_column("cust", (0..n).map(|i| (i as i64 * 131) % 400))
+            .int_column("amount", (0..n).map(|i| (i as i64 * 17) % 1_000))
+            .build()
+            .expect("equal columns"),
+    )
+    .expect("fresh");
+    db.register(
+        TableBuilder::new("customers")
+            .int_column("id", 0..400i64)
+            .str_column("region", (0..400).map(|i| ["e", "w", "n", "s"][i % 4]))
+            .build()
+            .expect("equal columns"),
+    )
+    .expect("fresh");
+    for kind in IndexKind::ALL {
+        db.create_index("orders", "amount", kind).expect("column");
+        db.create_index("customers", "id", kind).expect("column");
+    }
+    db
+}
+
+/// Whole queries through the engine: every kind forced as the access
+/// path, every thread count, compared stage by stage against the
+/// sequential run of the same query.
+#[test]
+fn engine_queries_are_identical_across_kinds_and_threads() {
+    let mut db = workload_db();
+    for kind in IndexKind::ALL {
+        let queries = |db: &Database| -> Vec<ResultRows> {
+            let mut out = vec![
+                // Equality stage.
+                db.query("orders")
+                    .filter(eq("amount", 340))
+                    .using(kind)
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+                // Join stage (inner access path forced to `kind`).
+                db.query("orders")
+                    .filter(eq("amount", 123))
+                    .join("customers", on("cust", "id"))
+                    .using(kind)
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+                // Group stage over the whole table (no index involved in
+                // the aggregation itself).
+                db.query("orders")
+                    .group_by("cust", sum("amount"))
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+            ];
+            if kind.is_ordered() {
+                // Range stage (the hash kind cannot serve it).
+                out.push(
+                    db.query("orders")
+                        .filter(between("amount", 250, 750))
+                        .using(kind)
+                        .run()
+                        .expect("planned")
+                        .rows()
+                        .clone(),
+                );
+                // The full pipeline: range + join + group.
+                out.push(
+                    db.query("orders")
+                        .filter(between("amount", 100, 900))
+                        .join("customers", on("cust", "id"))
+                        .group_by("region", sum("amount"))
+                        .using(kind)
+                        .run()
+                        .expect("planned")
+                        .rows()
+                        .clone(),
+                );
+            }
+            out
+        };
+        db.set_exec_options(ExecOptions::default());
+        let sequential = queries(&db);
+        for threads in THREADS {
+            db.set_exec_options(ExecOptions::threads(threads));
+            assert_eq!(queries(&db), sequential, "{kind:?} threads={threads}");
+        }
+    }
+}
+
+/// The raw partitioned operators against their sequential counterparts,
+/// per kind and thread count.
+#[test]
+fn physical_operators_are_identical_across_kinds_and_threads() {
+    let db = workload_db();
+    let orders = db.table("orders").expect("registered");
+    let amount = orders.column("amount").expect("present");
+    let rl = RidList::for_column(amount);
+    let customers = db.table("customers").expect("registered");
+    let cust = orders.column("cust").expect("present");
+    let id = customers.column("id").expect("present");
+    let irl = RidList::for_column(id);
+    let values: Vec<Value> = (0..500i64).map(|v| Value::Int(v * 3 - 100)).collect();
+    let ranges: Vec<(Value, Value)> = (0..200i64)
+        .map(|v| (Value::Int(v * 4 - 50), Value::Int(v * 4 + 90)))
+        .collect();
+    let all_outer: Vec<u32> = (0..cust.len() as u32).collect();
+    for kind in IndexKind::ALL {
+        let idx = db.index("orders", "amount", kind).expect("built");
+        let inner_idx = db.index("customers", "id", kind).expect("built");
+        let seq_points = point_select_many(amount, &rl, idx.as_search(), &values);
+        let seq_join =
+            indexed_nested_loop_join_rids(cust, &all_outer, id, &irl, inner_idx.as_search());
+        for threads in THREADS {
+            assert_eq!(
+                point_select_many_par(amount, &rl, idx.as_search(), &values, 8, threads),
+                seq_points,
+                "{kind:?} threads={threads}"
+            );
+            assert_eq!(
+                indexed_nested_loop_join_rids_par(
+                    cust,
+                    &all_outer,
+                    id,
+                    &irl,
+                    inner_idx.as_search(),
+                    8,
+                    threads
+                ),
+                seq_join,
+                "{kind:?} threads={threads}"
+            );
+            if let Some(ordered) = idx.as_ordered() {
+                assert_eq!(
+                    point_select_many_ordered_par(amount, &rl, ordered, &values, 8, threads),
+                    point_select_many_ordered(amount, &rl, ordered, &values),
+                    "{kind:?} threads={threads}"
+                );
+                assert_eq!(
+                    range_select_many_par(amount, &rl, ordered, &ranges, 8, threads),
+                    range_select_many(amount, &rl, ordered, &ranges),
+                    "{kind:?} threads={threads}"
+                );
+            }
+        }
+    }
+    // Parallel grouped aggregation with per-worker partials.
+    let region = customers.column("region").expect("present");
+    let pairs: Vec<(u32, u32)> = (0..id.len() as u32).map(|r| (r, r)).collect();
+    for agg in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max] {
+        let measure = (agg != AggFn::Count).then_some(id);
+        let seq = group_aggregate_pairs(region, measure, pairs.iter().copied(), agg);
+        for threads in THREADS {
+            assert_eq!(
+                group_aggregate_pairs_par(region, measure, &pairs, agg, threads),
+                seq,
+                "{agg:?} threads={threads}"
+            );
+        }
+    }
+}
+
+/// The CSS trees' partitioned batch descents, over every standard node
+/// size and both variants, including degenerate lane counts.
+#[test]
+fn css_partitioned_batches_are_identical() {
+    let keys: Vec<u32> = (0..30_000u32).map(|i| i * 3 % 50_021).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let arr = SortedArray::from_slice(&sorted);
+    let probes: Vec<u32> = (0..5_000u32).map(|i| i * 37 % 90_100).collect();
+    for (variant, m) in [
+        (CssVariant::Full, 16usize),
+        (CssVariant::Level, 16),
+        (CssVariant::Full, 24), // generic fallback
+    ] {
+        let t = DynCssTree::build(variant, m, arr.clone());
+        let seq_lb = t.lower_bound_batch(&probes);
+        let seq_pt: Vec<Option<usize>> = probes.iter().map(|&p| t.search(p)).collect();
+        for threads in THREADS {
+            for lanes in [0usize, 1, 8, 64] {
+                assert_eq!(
+                    t.lower_bound_batch_par(&probes, lanes, threads),
+                    seq_lb,
+                    "{variant:?} m={m} threads={threads} lanes={lanes}"
+                );
+                assert_eq!(
+                    t.search_batch_par(&probes, lanes, threads),
+                    seq_pt,
+                    "{variant:?} m={m} threads={threads} lanes={lanes}"
+                );
+            }
+        }
+    }
+    // The worker pool itself honours ordering for uneven partitions.
+    let pool = WorkerPool::new(8);
+    let doubled = pool.flat_map_chunks(&probes, |c| c.iter().map(|&p| u64::from(p) * 2).collect());
+    let expect: Vec<u64> = probes.iter().map(|&p| u64::from(p) * 2).collect();
+    assert_eq!(doubled, expect);
+}
