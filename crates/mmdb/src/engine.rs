@@ -38,7 +38,9 @@
 //!
 //! Updates follow the paper's OLAP cycle (§2.3): mutate a column
 //! wholesale, then [`Database::rebuild_column`] reruns the batch-update
-//! cycle ([`apply_batch_handle`]) for every index registered on it.
+//! cycle ([`apply_batch_kinds_par`]) for every index registered on it —
+//! the independent per-kind rebuilds fanning out across the worker pool
+//! sized by the catalog's [`ExecOptions`].
 
 use crate::column::Column;
 use crate::domain::Value;
@@ -47,7 +49,7 @@ use crate::index_choice::{IndexHandle, IndexKind};
 use crate::plan::{ExecOptions, Query};
 use crate::rid::RidList;
 use crate::table::Table;
-use crate::update::apply_batch_handle;
+use crate::update::apply_batch_kinds_par;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -276,9 +278,15 @@ impl Database {
 
     /// Re-derive `table.column`'s RID list from the (possibly mutated)
     /// column and rebuild every index registered on it from scratch via
-    /// the [`apply_batch_handle`] cycle — §2.3: "it may be relatively
+    /// the [`apply_batch_kinds_par`] cycle — §2.3: "it may be relatively
     /// cheap to rebuild an index from scratch after a batch of updates."
+    /// The per-kind rebuilds are independent, so they fan out across the
+    /// worker pool sized by the catalog's [`ExecOptions::threads`]
+    /// (`1` rebuilds sequentially; `0` spawns one worker per kind up to
+    /// the core count — each job here is a whole index build, so the
+    /// kind count, not a probe estimate, is the right partition unit).
     pub fn rebuild_column(&mut self, table: &str, column: &str) -> Result<RebuildReport> {
+        let threads = self.exec.threads;
         let table_name = table.to_owned();
         let entry = self.entry_mut(table)?;
         let col = entry
@@ -298,18 +306,33 @@ impl Database {
         let t0 = std::time::Instant::now();
         col_entry.rids = RidList::for_column(col);
         let sort_time = t0.elapsed();
-        let mut rebuilds = Vec::with_capacity(col_entry.indexes.len());
-        for (&kind, handle) in col_entry.indexes.iter_mut() {
-            // A wholesale replacement carries no key-level deltas, so the
-            // cycle runs with an empty batch: pure from-scratch rebuild.
-            let cycle = apply_batch_handle(col_entry.rids.keys(), &[], &[], kind);
-            *handle = cycle.handle;
-            rebuilds.push((kind, cycle.rebuild_time));
+        // A wholesale replacement carries no key-level deltas, so the
+        // cycle runs with an empty batch: pure from-scratch rebuilds,
+        // one pool job per registered kind.
+        let kinds: Vec<IndexKind> = col_entry.indexes.keys().copied().collect();
+        let cycle = apply_batch_kinds_par(col_entry.rids.keys(), &[], &[], &kinds, threads);
+        let mut rebuilds = Vec::with_capacity(kinds.len());
+        for (kind, handle, rebuild_time) in cycle.rebuilds {
+            col_entry.indexes.insert(kind, handle);
+            rebuilds.push((kind, rebuild_time));
         }
         Ok(RebuildReport {
             sort_time,
             rebuilds,
         })
+    }
+
+    /// Remove a table and every access path built on it. Fails with
+    /// [`MmdbError::UnknownTable`] when the name is not registered —
+    /// the entry point a sharded catalog uses when re-partitioning a
+    /// table whose shard-key column was replaced.
+    pub fn drop_table(&mut self, table: &str) -> Result<()> {
+        if self.tables.remove(table).is_none() {
+            return Err(MmdbError::UnknownTable {
+                table: table.to_owned(),
+            });
+        }
+        Ok(())
     }
 
     /// Start a composable query over `table` (resolution happens at
@@ -521,6 +544,67 @@ mod tests {
             db.table("sales").unwrap().value("amount", 3),
             Some(&Value::Int(4))
         );
+    }
+
+    #[test]
+    fn rebuild_fans_kinds_across_the_pool_with_identical_results() {
+        // The same replace-then-query cycle must answer identically
+        // whatever the catalog's thread count — including 0 (auto).
+        let mut reference: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 8, 0] {
+            let mut db = sales_db();
+            db.set_exec_options(crate::plan::ExecOptions::threads(threads));
+            for kind in [IndexKind::FullCss, IndexKind::Hash, IndexKind::TTree] {
+                db.create_index("sales", "amount", kind).unwrap();
+            }
+            let report = db
+                .replace_column(
+                    "sales",
+                    "amount",
+                    vec![7i64, 3, 7, 1, 7].into_iter().map(Value::Int).collect(),
+                )
+                .unwrap();
+            assert_eq!(report.rebuilds.len(), 3, "threads={threads}");
+            // Kind order in the report stays deterministic (map order).
+            let kinds: Vec<IndexKind> = report.rebuilds.iter().map(|&(k, _)| k).collect();
+            assert_eq!(
+                kinds,
+                vec![IndexKind::TTree, IndexKind::FullCss, IndexKind::Hash]
+            );
+            let hits = db
+                .query("sales")
+                .filter(crate::plan::eq("amount", 7))
+                .run()
+                .unwrap()
+                .rids()
+                .to_vec();
+            match &reference {
+                None => reference = Some(hits),
+                Some(r) => assert_eq!(&hits, r, "threads={threads}"),
+            }
+        }
+        assert_eq!(reference.unwrap(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn drop_table_removes_the_entry() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::Hash).unwrap();
+        db.drop_table("sales").unwrap();
+        assert_eq!(db.tables().count(), 0);
+        assert!(matches!(
+            db.table("sales").unwrap_err(),
+            MmdbError::UnknownTable { .. }
+        ));
+        assert_eq!(
+            db.drop_table("sales").unwrap_err(),
+            MmdbError::UnknownTable {
+                table: "sales".into()
+            }
+        );
+        // The name is reusable afterwards.
+        db.register(TableBuilder::new("sales").build().unwrap())
+            .unwrap();
     }
 
     #[test]

@@ -73,6 +73,20 @@ pub enum MmdbError {
         /// The measure column.
         column: String,
     },
+    /// A shard key fell outside every range a partitioner declares — the
+    /// sharded catalog has no shard that owns the row.
+    ShardKeyOutOfRange {
+        /// Display form of the offending key value.
+        key: String,
+        /// How many shards the partitioner declares.
+        shards: usize,
+    },
+    /// A partitioner was constructed from an invalid specification
+    /// (zero shards, unsorted or overlapping ranges, inverted bounds).
+    InvalidPartitioner {
+        /// What was wrong with the specification.
+        reason: String,
+    },
     /// The requested operation does not apply to this result shape.
     Unsupported {
         /// Human-readable description of what was attempted.
@@ -131,6 +145,16 @@ impl std::fmt::Display for MmdbError {
                      values; Sum/Min/Max need an Int column"
                 )
             }
+            MmdbError::ShardKeyOutOfRange { key, shards } => {
+                write!(
+                    f,
+                    "shard key `{key}` falls outside every declared range \
+                     of the {shards}-shard partitioner"
+                )
+            }
+            MmdbError::InvalidPartitioner { reason } => {
+                write!(f, "invalid partitioner: {reason}")
+            }
             MmdbError::Unsupported { what } => write!(f, "{what}"),
         }
     }
@@ -167,6 +191,18 @@ mod tests {
             kind: IndexKind::FullCss,
         };
         assert!(e.to_string().contains("FullCss"));
+
+        let e = MmdbError::ShardKeyOutOfRange {
+            key: "9999".into(),
+            shards: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("9999") && msg.contains('4'), "{msg}");
+
+        let e = MmdbError::InvalidPartitioner {
+            reason: "ranges overlap".into(),
+        };
+        assert!(e.to_string().contains("ranges overlap"));
     }
 
     #[test]

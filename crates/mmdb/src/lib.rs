@@ -67,7 +67,7 @@ pub use aggregate::{
     group_aggregate_rows_par, AggFn, GroupRow,
 };
 pub use column::Column;
-pub use domain::Domain;
+pub use domain::{Domain, Value};
 pub use index_choice::{build_index, build_ordered_index, IndexHandle, IndexKind};
 pub use query::{
     indexed_nested_loop_join, indexed_nested_loop_join_rids, indexed_nested_loop_join_rids_par,
@@ -78,4 +78,7 @@ pub use query::{
 };
 pub use rid::RidList;
 pub use table::{Table, TableBuilder};
-pub use update::{apply_batch, apply_batch_handle, merge_batch, BatchResult, HandleBatchResult};
+pub use update::{
+    apply_batch, apply_batch_handle, apply_batch_kinds_par, merge_batch, BatchResult,
+    HandleBatchResult, MultiBatchResult,
+};

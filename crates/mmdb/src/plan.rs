@@ -66,32 +66,44 @@ use ccindex_common::DEFAULT_BATCH_LANES;
 /// `threads == 1` (the default) is the sequential executor; `threads >
 /// 1` routes the equality/range/join/group stages through the
 /// partitioned operators on a scoped worker pool of exactly that many
-/// workers; `threads == 0` means one worker per available core. `lanes`
-/// is the interleave lane count handed to batch-aware indexes
+/// workers; `threads == 0` means **adaptive**: each plan node picks its
+/// own worker count at execution time from the number of probes/RIDs it
+/// actually processes ([`ccindex_parallel::adaptive_threads`]), so tiny
+/// inputs run inline and never pay the spawn overhead while large stages
+/// still spread across every core. `lanes` is the interleave lane count
+/// handed to batch-aware indexes
 /// (`lower_bound_batch_lanes`/`search_batch_lanes`); structures that are
 /// not batch-aware ignore it, and degenerate values (0, or more lanes
-/// than probes) fall back to sequential descent.
+/// than probes) fall back to sequential descent. `shards` is read by the
+/// sharded catalog layer (`ccindex-shard`): how many shards a
+/// `ShardedDatabase` built "from the environment" partitions each table
+/// across (plain [`Database`]s ignore it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
-    /// Worker threads for the partitioned operators.
+    /// Worker threads for the partitioned operators (`1` sequential,
+    /// `0` adaptive per node).
     pub threads: usize,
     /// Interleave lanes per batched index descent.
     pub lanes: usize,
+    /// Shard count for environment-constructed sharded catalogs
+    /// (minimum 1; plain catalogs ignore it).
+    pub shards: usize,
 }
 
 impl Default for ExecOptions {
-    /// Sequential execution at the default lane count.
+    /// Sequential, unsharded execution at the default lane count.
     fn default() -> Self {
         Self {
             threads: 1,
             lanes: DEFAULT_BATCH_LANES,
+            shards: 1,
         }
     }
 }
 
 impl ExecOptions {
-    /// Partitioned execution across `threads` workers (`0` = one per
-    /// core) at the default lane count.
+    /// Partitioned execution across `threads` workers (`0` = adaptive
+    /// per node) at the default lane count.
     pub fn threads(threads: usize) -> Self {
         Self {
             threads,
@@ -99,12 +111,13 @@ impl ExecOptions {
         }
     }
 
-    /// Read the knobs from the environment: `CCINDEX_THREADS` and
-    /// `CCINDEX_LANES`, each falling back to the [`ExecOptions::default`]
-    /// value when unset or unparsable. This is what [`Database::new`]
-    /// uses, so a whole test suite or service can be switched to
-    /// partitioned execution without a code change (CI runs the tests
-    /// once with `CCINDEX_THREADS=8`).
+    /// Read the knobs from the environment: `CCINDEX_THREADS`,
+    /// `CCINDEX_LANES` and `CCINDEX_SHARDS`, each falling back to the
+    /// [`ExecOptions::default`] value when unset or unparsable. This is
+    /// what [`Database::new`] uses, so a whole test suite or service can
+    /// be switched to partitioned execution without a code change (CI
+    /// runs the tests once with `CCINDEX_THREADS=8` and once with
+    /// `CCINDEX_SHARDS=4`).
     pub fn from_env() -> Self {
         let parse = |name: &str| {
             std::env::var(name)
@@ -115,12 +128,24 @@ impl ExecOptions {
         Self {
             threads: parse("CCINDEX_THREADS").unwrap_or(default.threads),
             lanes: parse("CCINDEX_LANES").unwrap_or(default.lanes),
+            shards: parse("CCINDEX_SHARDS").unwrap_or(default.shards).max(1),
         }
     }
 
     /// Whether this configuration partitions work across workers.
     pub fn is_parallel(&self) -> bool {
         self.threads != 1
+    }
+}
+
+/// Resolve a plan node's recorded thread count against the work it is
+/// about to do: `0` ("auto") adapts to the item count so small inputs
+/// run inline, anything else is used as given.
+fn resolve_threads(threads: usize, items: usize) -> usize {
+    if threads == 0 {
+        ccindex_parallel::adaptive_threads(items)
+    } else {
+        threads
     }
 }
 
@@ -190,6 +215,20 @@ enum PredOp {
 pub struct JoinOn {
     outer: String,
     inner: String,
+}
+
+impl JoinOn {
+    /// The join column on the outer (driving) table.
+    pub fn outer(&self) -> &str {
+        &self.outer
+    }
+
+    /// The join column on the inner (indexed) table — what a sharding
+    /// layer compares against the inner table's shard key to decide
+    /// bucketed vs fanned join routing.
+    pub fn inner(&self) -> &str {
+        &self.inner
+    }
 }
 
 /// An aggregate over the grouped rows (built by [`count`]/[`sum`]/
@@ -521,7 +560,8 @@ pub struct JoinStep {
     /// Access path on the inner column.
     pub kind: IndexKind,
     /// Worker threads the outer RID stream partitions across
-    /// (1 = sequential, 0 = one per core).
+    /// (1 = sequential, 0 = adaptive: resolved from the outer RID count
+    /// at execution time).
     pub threads: usize,
 }
 
@@ -537,7 +577,8 @@ pub struct GroupStep {
     /// Measure column and its side (`None` for `Count`).
     pub measure: Option<(String, Side)>,
     /// Worker threads accumulating partial aggregates (1 = sequential,
-    /// 0 = one per core; partials merge at the join barrier).
+    /// 0 = adaptive: resolved from the grouped row count at execution
+    /// time; partials merge at the join barrier).
     pub threads: usize,
 }
 
@@ -548,7 +589,7 @@ impl Plan {
     pub fn explain(&self) -> String {
         let par = |threads: usize| match threads {
             1 => String::new(),
-            0 => " [x all-core threads]".to_owned(),
+            0 => " [x adaptive threads]".to_owned(),
             n => format!(" [x{n} threads]"),
         };
         let mut out = format!("scan {}", self.table);
@@ -665,7 +706,7 @@ impl Plan {
                     &entry.rids,
                     handle.as_search(),
                     self.exec.lanes,
-                    j.threads,
+                    resolve_threads(j.threads, outer_rids.len()),
                 ))
             }
         };
@@ -682,22 +723,24 @@ impl Plan {
                 Side::Outer => row.outer_rid,
                 Side::Inner => row.inner_rid,
             };
-            // One arm per row source; within each, the partitioned path
-            // chunks the source in place (no intermediate pair vector)
-            // and the sequential path streams it lazily.
-            let par = g.threads != 1;
+            // One arm per row source; within each, the thread count is
+            // resolved against the source's actual row count (`0` =
+            // adaptive), the partitioned path chunks the source in place
+            // (no intermediate pair vector) and the sequential path
+            // streams it lazily.
             let groups = match &joined {
                 Some(rows) => {
+                    let threads = resolve_threads(g.threads, rows.len());
                     let measure_side = g.measure.as_ref().map_or(g.side, |(_, s)| *s);
                     let to_pair = |r: &JoinRow| (pick(r, g.side), pick(r, measure_side));
-                    if par {
+                    if threads != 1 {
                         group_aggregate_chunked_par(
                             group_col,
                             measure_col,
                             rows,
                             to_pair,
                             g.agg,
-                            g.threads,
+                            threads,
                         )
                     } else {
                         group_aggregate_pairs(
@@ -710,14 +753,15 @@ impl Plan {
                 }
                 None => match &selected {
                     Some(rids) => {
-                        if par {
+                        let threads = resolve_threads(g.threads, rids.len());
+                        if threads != 1 {
                             group_aggregate_chunked_par(
                                 group_col,
                                 measure_col,
                                 rids,
                                 |&r| (r, r),
                                 g.agg,
-                                g.threads,
+                                threads,
                             )
                         } else {
                             group_aggregate_pairs(
@@ -730,8 +774,9 @@ impl Plan {
                     }
                     None => {
                         let rows = db.table(&self.table)?.rows() as u32;
-                        if par {
-                            group_aggregate_rows_par(group_col, measure_col, rows, g.agg, g.threads)
+                        let threads = resolve_threads(g.threads, rows as usize);
+                        if threads != 1 {
+                            group_aggregate_rows_par(group_col, measure_col, rows, g.agg, threads)
                         } else {
                             group_aggregate_pairs(
                                 group_col,
@@ -1242,6 +1287,7 @@ mod tests {
             .exec(ExecOptions {
                 threads: 8,
                 lanes: 4,
+                ..ExecOptions::default()
             })
             .plan()
             .unwrap();
@@ -1327,6 +1373,49 @@ mod tests {
             r.values("day").unwrap_err(),
             MmdbError::Unsupported { .. }
         ));
+    }
+
+    #[test]
+    fn join_condition_accessors() {
+        let j = on("cust", "id");
+        assert_eq!((j.outer(), j.inner()), ("cust", "id"));
+    }
+
+    #[test]
+    fn exec_options_default_is_unsharded_sequential() {
+        let opts = ExecOptions::default();
+        assert_eq!((opts.threads, opts.shards), (1, 1));
+        assert!(!opts.is_parallel());
+        // from_env clamps shards to at least 1 even when the variable is
+        // unset/garbage (it falls back to the default in those cases).
+        assert!(ExecOptions::from_env().shards >= 1);
+        // Adaptive resolution: explicit counts pass through, 0 adapts.
+        assert_eq!(resolve_threads(4, 10), 4);
+        assert_eq!(resolve_threads(0, 10), 1, "tiny inputs run inline");
+        assert!(resolve_threads(0, 10_000_000) >= 1);
+    }
+
+    #[test]
+    fn adaptive_plans_execute_and_explain() {
+        let db = db();
+        let plan = db
+            .query("sales")
+            .filter(between("amount", 20, 50))
+            .group_by("day", count())
+            .exec(ExecOptions::threads(0))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.group.as_ref().unwrap().threads, 0);
+        assert!(plan.explain().contains("[x adaptive threads]"));
+        // Same rows as the sequential plan.
+        let adaptive = plan.execute(&db).unwrap();
+        let sequential = db
+            .query("sales")
+            .filter(between("amount", 20, 50))
+            .group_by("day", count())
+            .run()
+            .unwrap();
+        assert_eq!(adaptive.rows(), sequential.rows());
     }
 
     #[test]

@@ -26,7 +26,12 @@ use crate::rid::RidList;
 use ccindex_common::{OrderedIndex, SearchIndex, DEFAULT_BATCH_LANES};
 
 /// One output row of an indexed nested-loop join.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Orders lexicographically by `(outer_rid, inner_rid)` — exactly the
+/// order a join over an ascending outer RID stream emits, which is what
+/// lets a scatter-gather layer sort per-shard partial outputs back into
+/// the sequential join's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct JoinRow {
     /// RID in the outer relation.
     pub outer_rid: u32,

@@ -110,6 +110,49 @@ pub fn apply_batch(
     }
 }
 
+/// Outcome of one batch-update cycle rebuilding **several** index kinds
+/// over the same merged key array (the shape of
+/// [`Database::rebuild_column`](crate::engine::Database::rebuild_column),
+/// where every kind registered on a column rebuilds at once).
+pub struct MultiBatchResult {
+    /// The merged sorted key array all kinds were rebuilt over.
+    pub keys: SortedArray<u32>,
+    /// Time spent merging the batch into the sorted array (once, shared
+    /// by every kind).
+    pub merge_time: Duration,
+    /// Per-kind rebuilt handles with their from-scratch rebuild times,
+    /// in input-kind order.
+    pub rebuilds: Vec<(IndexKind, IndexHandle, Duration)>,
+}
+
+/// As [`apply_batch_handle`] for several kinds at once: merge the batch
+/// once, then rebuild each kind's index over the merged array — the
+/// rebuilds are independent, so they fan out across a
+/// [`ccindex_parallel::WorkerPool`] of `threads` workers (`1` =
+/// sequential, `0` = one per core). Results come back in input-kind
+/// order regardless of the thread count, and each per-kind rebuild time
+/// is measured inside its own job.
+pub fn apply_batch_kinds_par(
+    keys: &SortedArray<u32>,
+    inserts: &[u32],
+    deletes: &[u32],
+    kinds: &[IndexKind],
+    threads: usize,
+) -> MultiBatchResult {
+    let (new_keys, merge_time) = merge_batch(keys, inserts, deletes);
+    let rebuilds = ccindex_parallel::WorkerPool::new(threads).run(kinds.len(), |i| {
+        let kind = kinds[i];
+        let t0 = Instant::now();
+        let handle = IndexHandle::build(kind, &new_keys);
+        (kind, handle, t0.elapsed())
+    });
+    MultiBatchResult {
+        keys: new_keys,
+        merge_time,
+        rebuilds,
+    }
+}
+
 /// As [`apply_batch`], producing an [`IndexHandle`] so ordered kinds keep
 /// their ordered view — the cycle the catalog runs when a column's
 /// indexes are rebuilt (§2.3: "it may be relatively cheap to rebuild an
@@ -216,6 +259,33 @@ mod tests {
                 "{kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn multi_kind_parallel_cycle_matches_per_kind_cycles() {
+        let keys = SortedArray::from_slice(&(0..3000u32).map(|i| i * 2).collect::<Vec<_>>());
+        let inserts = [1u32, 7, 9_999];
+        let deletes = [0u32, 10];
+        for threads in [0usize, 1, 2, 8] {
+            let multi = apply_batch_kinds_par(&keys, &inserts, &deletes, &IndexKind::ALL, threads);
+            assert_eq!(multi.rebuilds.len(), IndexKind::ALL.len(), "t={threads}");
+            for (i, (kind, handle, _)) in multi.rebuilds.iter().enumerate() {
+                assert_eq!(*kind, IndexKind::ALL[i], "order is input order");
+                let single = apply_batch_handle(&keys, &inserts, &deletes, *kind);
+                assert_eq!(multi.keys.as_slice(), single.keys.as_slice());
+                for probe in [0u32, 1, 7, 10, 9_999, 123_456] {
+                    assert_eq!(
+                        handle.as_search().search(probe),
+                        single.handle.as_search().search(probe),
+                        "{kind:?} t={threads} probe {probe}"
+                    );
+                }
+            }
+        }
+        // No kinds at all: still merges, reports nothing to rebuild.
+        let none = apply_batch_kinds_par(&keys, &inserts, &deletes, &[], 4);
+        assert!(none.rebuilds.is_empty());
+        assert_eq!(none.keys.len(), keys.len() + 1);
     }
 
     #[test]

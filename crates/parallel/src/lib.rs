@@ -27,6 +27,23 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Fewest items a worker must receive for the pool's per-call spawn
+/// overhead (~10 µs) to be amortised away. The engine's adaptive thread
+/// picker ([`adaptive_threads`]) hands out one worker per this many
+/// items, so tiny probe sets run inline and never pay the spawns.
+pub const ADAPTIVE_ITEMS_PER_WORKER: usize = 4096;
+
+/// Pick a worker count for `items` work items: one worker per
+/// [`ADAPTIVE_ITEMS_PER_WORKER`] items, clamped to `[1, available
+/// cores]`. This is what `threads == 0` ("auto") means at the engine
+/// layer — a 50-probe batch resolves to 1 (inline, no spawn overhead), a
+/// million-RID join stage resolves to every core. Note [`WorkerPool::new`]
+/// itself keeps the raw meaning of `0` = one worker per core; adaptivity
+/// is a policy applied by callers that know their item counts.
+pub fn adaptive_threads(items: usize) -> usize {
+    (items / ADAPTIVE_ITEMS_PER_WORKER).clamp(1, available_threads())
+}
+
 /// Split `len` items into at most `parts` contiguous, near-equal,
 /// non-empty ranges (fewer when `len < parts`). The concatenation of the
 /// ranges is exactly `0..len`, so a partitioned operator that maps each
@@ -230,6 +247,24 @@ mod tests {
         let empty: &[u32] = &[];
         assert!(pool.flat_map_chunks(empty, |c| c.to_vec()).is_empty());
         assert!(partition(0, 8).is_empty());
+    }
+
+    #[test]
+    fn adaptive_threads_scales_with_items() {
+        // Tiny inputs run inline; growth is linear in items and capped by
+        // the core count.
+        assert_eq!(adaptive_threads(0), 1);
+        assert_eq!(adaptive_threads(ADAPTIVE_ITEMS_PER_WORKER - 1), 1);
+        let cores = available_threads();
+        assert_eq!(
+            adaptive_threads(ADAPTIVE_ITEMS_PER_WORKER * 2),
+            2.clamp(1, cores)
+        );
+        assert_eq!(adaptive_threads(usize::MAX / 2), cores);
+        for items in [0usize, 1, 5000, 100_000, 10_000_000] {
+            let t = adaptive_threads(items);
+            assert!((1..=cores).contains(&t), "items={items} -> {t}");
+        }
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! # ccindex-shard — sharded catalog with scatter-gather execution
+//!
+//! The ROADMAP's "Sharding" step: partition tables across N shards by a
+//! key column — hash or range, per the Gamma-style shared-nothing
+//! designs — so a catalog can exceed one node's memory, while every
+//! query keeps answering **byte-identically** to the unsharded
+//! [`Database`](mmdb::Database).
+//!
+//! Two pieces:
+//!
+//! * [`Partitioner`] — who owns which key: [`HashPartitioner`]
+//!   (deterministic FNV, equality probes prune to one shard) and
+//!   [`RangePartitioner`] (declared inclusive ranges, both equality and
+//!   range probes prune; out-of-range keys fail placement with a typed
+//!   [`MmdbError::ShardKeyOutOfRange`](mmdb::MmdbError));
+//! * [`ShardedDatabase`] — N per-shard `Database` catalogs behind the
+//!   same builder surface (`query(..).filter(..).join(..).group_by(..)`),
+//!   splitting updates by shard and executing queries scatter-gather:
+//!   probe batches route to the shards that can match, join chunks fan
+//!   (or bucket) across inner shards over the shared worker pool, and
+//!   per-shard partial aggregates merge at the gather barrier.
+//!
+//! ```
+//! use ccindex_shard::ShardedDatabase;
+//! use mmdb::{eq, IndexKind, TableBuilder};
+//!
+//! let mut db = ShardedDatabase::hash(4)?;
+//! db.register(
+//!     TableBuilder::new("sales")
+//!         .int_column("cust", [1, 2, 1, 3])
+//!         .int_column("amount", [10, 40, 25, 99])
+//!         .build()?,
+//!     "cust", // shard key
+//! )?;
+//! db.create_index("sales", "cust", IndexKind::Hash)?;
+//! let plan = db.query("sales").filter(eq("cust", 1)).plan()?;
+//! assert!(plan.explain().contains("(pruned)")); // routed to one shard
+//! assert_eq!(plan.execute(&db)?.rids(), &[0, 2]); // global row ids
+//! # Ok::<(), mmdb::MmdbError>(())
+//! ```
+
+mod partition;
+mod sharded;
+
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use sharded::{
+    JoinRouting, ShardRouting, ShardTargets, ShardedDatabase, ShardedPlan, ShardedQuery,
+    ShardedRebuildReport, ShardedResultSet,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb::{between, count, eq, on, sum, Database, IndexKind, MmdbError, TableBuilder, Value};
+
+    fn seed_tables(rows: usize) -> (mmdb::Table, mmdb::Table) {
+        let sales = TableBuilder::new("sales")
+            .int_column("cust", (0..rows).map(|i| (i as i64 * 31) % 40))
+            .int_column("amount", (0..rows).map(|i| (i as i64 * 17) % 500))
+            .str_column("day", (0..rows).map(|i| ["mon", "tue", "wed"][i % 3]))
+            .build()
+            .expect("equal columns");
+        let customers = TableBuilder::new("customers")
+            .int_column("id", 0..40i64)
+            .str_column("region", (0..40).map(|i| ["e", "w", "n", "s"][i % 4]))
+            .build()
+            .expect("equal columns");
+        (sales, customers)
+    }
+
+    fn unsharded(rows: usize) -> Database {
+        let (sales, customers) = seed_tables(rows);
+        let mut db = Database::new();
+        db.register(sales).unwrap();
+        db.register(customers).unwrap();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("sales", "cust", IndexKind::Hash).unwrap();
+        db.create_index("sales", "cust", IndexKind::BPlusTree)
+            .unwrap();
+        db.create_index("customers", "id", IndexKind::LevelCss)
+            .unwrap();
+        db
+    }
+
+    fn sharded<P: Partitioner + 'static>(rows: usize, p: P) -> ShardedDatabase {
+        let (sales, customers) = seed_tables(rows);
+        let mut db = ShardedDatabase::new(p).unwrap();
+        db.register(sales, "cust").unwrap();
+        db.register(customers, "id").unwrap();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("sales", "cust", IndexKind::Hash).unwrap();
+        db.create_index("sales", "cust", IndexKind::BPlusTree)
+            .unwrap();
+        db.create_index("customers", "id", IndexKind::LevelCss)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn registration_splits_rows_and_keeps_global_view() {
+        let db = sharded(200, HashPartitioner::new(4).unwrap());
+        assert_eq!(db.shards(), 4);
+        assert_eq!(db.rows("sales").unwrap(), 200);
+        assert_eq!(db.shard_key("sales").unwrap(), "cust");
+        assert_eq!(db.tables().collect::<Vec<_>>(), ["customers", "sales"]);
+        // Every global row is placed exactly once and the per-shard row
+        // counts add up.
+        let total: usize = (0..4)
+            .map(|s| db.shard(s).table("sales").unwrap().rows())
+            .sum();
+        assert_eq!(total, 200);
+        for g in 0..200u32 {
+            let (s, l) = db.placement_of("sales", g).unwrap();
+            assert!(s < 4);
+            assert!((l as usize) < db.shard(s).table("sales").unwrap().rows());
+        }
+    }
+
+    #[test]
+    fn typed_errors_surface_through_the_sharded_layer() {
+        let mut db = sharded(60, HashPartitioner::new(2).unwrap());
+        assert_eq!(
+            db.query("slaes").run().unwrap_err(),
+            MmdbError::UnknownTable {
+                table: "slaes".into()
+            }
+        );
+        let (sales, _) = seed_tables(10);
+        assert_eq!(
+            db.register(sales, "cust").unwrap_err(),
+            MmdbError::DuplicateTable {
+                table: "sales".into()
+            }
+        );
+        let (sales2, _) = seed_tables(10);
+        let mut renamed = TableBuilder::new("sales2");
+        for (name, col) in sales2.columns() {
+            renamed = renamed.column(
+                name,
+                (0..sales2.rows() as u32)
+                    .map(|r| col.value(r).clone())
+                    .collect(),
+            );
+        }
+        assert_eq!(
+            db.register(renamed.build().unwrap(), "nokey").unwrap_err(),
+            MmdbError::UnknownColumn {
+                table: "sales2".into(),
+                column: "nokey".into()
+            }
+        );
+        assert!(matches!(
+            db.create_index("sales", "nocol", IndexKind::Hash)
+                .unwrap_err(),
+            MmdbError::UnknownColumn { .. }
+        ));
+        assert!(matches!(
+            db.replace_column("sales", "amount", vec![Value::Int(1)])
+                .unwrap_err(),
+            MmdbError::RaggedColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_keys_fail_registration_with_a_typed_error() {
+        // Ranges cover keys 0..=19 only; 'cust' goes up to 39.
+        let p = RangePartitioner::int_spans(0, 19, 2).unwrap();
+        let mut db = ShardedDatabase::new(p).unwrap();
+        let (sales, _) = seed_tables(60);
+        let err = db.register(sales, "cust").unwrap_err();
+        assert!(
+            matches!(err, MmdbError::ShardKeyOutOfRange { shards: 2, .. }),
+            "{err:?}"
+        );
+        // The failed registration left nothing behind.
+        assert_eq!(db.tables().count(), 0);
+    }
+
+    #[test]
+    fn empty_shards_answer_queries() {
+        // All 'cust' keys land in [0, 39]; two of the four ranges own
+        // keys nobody uses, so those shards hold zero sales rows.
+        let p = RangePartitioner::new(vec![
+            (Value::Int(0), Value::Int(39)),
+            (Value::Int(40), Value::Int(79)),
+            (Value::Int(80), Value::Int(119)),
+            (Value::Int(120), Value::Int(159)),
+        ])
+        .unwrap();
+        let db = sharded(90, p);
+        assert_eq!(db.shard(1).table("sales").unwrap().rows(), 0);
+        let un = unsharded(90);
+        for (s, u) in [
+            (
+                db.query("sales").filter(eq("cust", 7)).run().unwrap(),
+                un.query("sales").filter(eq("cust", 7)).run().unwrap(),
+            ),
+            (
+                db.query("sales")
+                    .filter(between("amount", 50, 300))
+                    .run()
+                    .unwrap(),
+                un.query("sales")
+                    .filter(between("amount", 50, 300))
+                    .run()
+                    .unwrap(),
+            ),
+        ] {
+            assert_eq!(s.rows(), u.rows());
+        }
+        // A probe into an unowned key range matches nothing (and is not
+        // an error).
+        assert!(db
+            .query("sales")
+            .filter(eq("cust", 999))
+            .run()
+            .unwrap()
+            .is_empty());
+        // Group over the whole table still merges only non-empty shards.
+        let s = db.query("sales").group_by("day", count()).run().unwrap();
+        let u = un.query("sales").group_by("day", count()).run().unwrap();
+        assert_eq!(s.rows(), u.rows());
+    }
+
+    #[test]
+    fn routing_prunes_and_explains() {
+        let db = sharded(120, RangePartitioner::int_spans(0, 39, 4).unwrap());
+        // Equality on the shard key: pruned to exactly one shard.
+        let plan = db.query("sales").filter(eq("cust", 5)).plan().unwrap();
+        assert_eq!(plan.routing.selected, vec![0]);
+        assert!(matches!(
+            plan.routing.probe_targets[0],
+            ShardTargets::Pruned(ref s) if s == &[0]
+        ));
+        let text = plan.explain();
+        assert!(text.contains("(pruned)"), "{text}");
+        assert!(text.contains("range x4"), "{text}");
+        assert!(text.contains("per-shard plan:"), "{text}");
+
+        // Range on the shard key: pruned to the overlapping shards.
+        let plan = db
+            .query("sales")
+            .filter(between("cust", 8, 22))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.routing.selected, vec![0, 1, 2]);
+
+        // A non-key filter fans everywhere.
+        let plan = db
+            .query("sales")
+            .filter(between("amount", 0, 10))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.routing.selected, vec![0, 1, 2, 3]);
+        assert!(plan.explain().contains("all shards"), "{}", plan.explain());
+
+        // Join on the inner shard key: bucketed; group gathers partials.
+        let plan = db
+            .query("sales")
+            .join("customers", on("cust", "id"))
+            .group_by("region", sum("amount"))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.routing.join, Some(JoinRouting::Bucketed));
+        let text = plan.explain();
+        assert!(text.contains("bucketed by inner shard key id"), "{text}");
+        assert!(text.contains("partial aggregates"), "{text}");
+
+        // Join on a non-key inner column: fanned.
+        let db2 = {
+            let (sales, customers) = seed_tables(30);
+            let mut db2 = ShardedDatabase::hash(3).unwrap();
+            db2.register(sales, "amount").unwrap();
+            db2.register(customers, "region").unwrap();
+            db2.create_index("customers", "id", IndexKind::FullCss)
+                .unwrap();
+            db2
+        };
+        let plan = db2
+            .query("sales")
+            .join("customers", on("cust", "id"))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.routing.join, Some(JoinRouting::Fanned));
+        assert!(
+            plan.explain().contains("fanned to all"),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn hash_and_range_results_match_the_unsharded_engine() {
+        let rows = 240;
+        let un = unsharded(rows);
+        let hash_db = sharded(rows, HashPartitioner::new(3).unwrap());
+        let range_db = sharded(rows, RangePartitioner::int_spans(0, 39, 3).unwrap());
+        for db in [&hash_db, &range_db] {
+            assert_eq!(
+                db.query("sales")
+                    .filter(eq("cust", 9))
+                    .run()
+                    .unwrap()
+                    .rows(),
+                un.query("sales")
+                    .filter(eq("cust", 9))
+                    .run()
+                    .unwrap()
+                    .rows()
+            );
+            assert_eq!(
+                db.query("sales")
+                    .filter(between("amount", 100, 400))
+                    .filter(eq("cust", 2))
+                    .run()
+                    .unwrap()
+                    .rows(),
+                un.query("sales")
+                    .filter(between("amount", 100, 400))
+                    .filter(eq("cust", 2))
+                    .run()
+                    .unwrap()
+                    .rows()
+            );
+            assert_eq!(
+                db.query("sales")
+                    .filter(between("amount", 40, 360))
+                    .join("customers", on("cust", "id"))
+                    .run()
+                    .unwrap()
+                    .rows(),
+                un.query("sales")
+                    .filter(between("amount", 40, 360))
+                    .join("customers", on("cust", "id"))
+                    .run()
+                    .unwrap()
+                    .rows()
+            );
+            assert_eq!(
+                db.query("sales")
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount"))
+                    .run()
+                    .unwrap()
+                    .rows(),
+                un.query("sales")
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount"))
+                    .run()
+                    .unwrap()
+                    .rows()
+            );
+        }
+    }
+
+    #[test]
+    fn values_decode_through_owning_shards() {
+        let rows = 90;
+        let un = unsharded(rows);
+        let db = sharded(rows, HashPartitioner::new(4).unwrap());
+        let s = db.query("sales").filter(eq("cust", 3)).run().unwrap();
+        let u = un.query("sales").filter(eq("cust", 3)).run().unwrap();
+        assert_eq!(s.values("amount").unwrap(), u.values("amount").unwrap());
+        let s = db
+            .query("sales")
+            .filter(eq("cust", 3))
+            .join("customers", on("cust", "id"))
+            .run()
+            .unwrap();
+        let u = un
+            .query("sales")
+            .filter(eq("cust", 3))
+            .join("customers", on("cust", "id"))
+            .run()
+            .unwrap();
+        assert_eq!(s.values("region").unwrap(), u.values("region").unwrap());
+        assert_eq!(s.values("amount").unwrap(), u.values("amount").unwrap());
+        let grouped = db.query("sales").group_by("day", count()).run().unwrap();
+        assert!(matches!(
+            grouped.values("day").unwrap_err(),
+            MmdbError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn replace_column_splits_updates_by_shard() {
+        let rows = 80;
+        let mut db = sharded(rows, HashPartitioner::new(4).unwrap());
+        let mut un = unsharded(rows);
+        let new_amounts: Vec<Value> = (0..rows).map(|i| Value::Int((i as i64 * 7) % 90)).collect();
+        let report = db
+            .replace_column("sales", "amount", new_amounts.clone())
+            .unwrap();
+        assert!(!report.repartitioned);
+        assert_eq!(report.per_shard.len(), 4);
+        un.replace_column("sales", "amount", new_amounts).unwrap();
+        assert_eq!(
+            db.query("sales")
+                .filter(between("amount", 10, 60))
+                .run()
+                .unwrap()
+                .rows(),
+            un.query("sales")
+                .filter(between("amount", 10, 60))
+                .run()
+                .unwrap()
+                .rows()
+        );
+    }
+
+    #[test]
+    fn replacing_the_shard_key_repartitions() {
+        let rows = 80;
+        let mut db = sharded(rows, HashPartitioner::new(4).unwrap());
+        let mut un = unsharded(rows);
+        // New keys move most rows to different shards.
+        let new_keys: Vec<Value> = (0..rows)
+            .map(|i| Value::Int((i as i64 * 13 + 5) % 40))
+            .collect();
+        let report = db
+            .replace_column("sales", "cust", new_keys.clone())
+            .unwrap();
+        assert!(report.repartitioned);
+        un.replace_column("sales", "cust", new_keys).unwrap();
+        // Queries through the re-partitioned catalog still match.
+        assert_eq!(
+            db.query("sales")
+                .filter(eq("cust", 18))
+                .run()
+                .unwrap()
+                .rows(),
+            un.query("sales")
+                .filter(eq("cust", 18))
+                .run()
+                .unwrap()
+                .rows()
+        );
+        assert_eq!(
+            db.query("sales")
+                .join("customers", on("cust", "id"))
+                .group_by("region", sum("amount"))
+                .run()
+                .unwrap()
+                .rows(),
+            un.query("sales")
+                .join("customers", on("cust", "id"))
+                .group_by("region", sum("amount"))
+                .run()
+                .unwrap()
+                .rows()
+        );
+        // Re-partitioning onto a range partitioner that cannot own the
+        // new keys is a typed error that leaves the catalog answering.
+        let mut rdb = sharded(rows, RangePartitioner::int_spans(0, 39, 2).unwrap());
+        let bad: Vec<Value> = (0..rows).map(|i| Value::Int(i as i64 * 50)).collect();
+        assert!(matches!(
+            rdb.replace_column("sales", "cust", bad).unwrap_err(),
+            MmdbError::ShardKeyOutOfRange { .. }
+        ));
+        // The failed replacement left the catalog untouched: it still
+        // answers with its original rows (compare against a fresh
+        // unsharded build, since `un` was key-replaced above).
+        assert_eq!(
+            rdb.query("sales")
+                .filter(eq("cust", 9))
+                .run()
+                .unwrap()
+                .rows(),
+            unsharded(rows)
+                .query("sales")
+                .filter(eq("cust", 9))
+                .run()
+                .unwrap()
+                .rows()
+        );
+    }
+
+    #[test]
+    fn stale_plans_fail_with_a_typed_error() {
+        // A plan compiled for one shard count indexes that catalog's
+        // shards; executing it elsewhere must fail typed, not panic.
+        let db4 = sharded(60, HashPartitioner::new(4).unwrap());
+        let db2 = sharded(60, HashPartitioner::new(2).unwrap());
+        let plan = db4.query("sales").filter(eq("cust", 1)).plan().unwrap();
+        let err = plan.execute(&db2).unwrap_err();
+        assert!(matches!(err, MmdbError::Unsupported { .. }), "{err:?}");
+        assert!(err.to_string().contains("recompile"), "{err}");
+    }
+
+    #[test]
+    fn single_shard_catalog_is_the_identity() {
+        let rows = 50;
+        let un = unsharded(rows);
+        let db = sharded(rows, HashPartitioner::new(1).unwrap());
+        assert_eq!(
+            db.query("sales").run().unwrap().rids(),
+            un.query("sales").run().unwrap().rids()
+        );
+        let plan = db.query("sales").filter(eq("cust", 1)).plan().unwrap();
+        assert_eq!(plan.routing.selected, vec![0]);
+    }
+}

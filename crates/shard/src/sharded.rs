@@ -1,0 +1,1087 @@
+//! The sharded catalog: N per-shard [`Database`] engines behind one
+//! `Database`-shaped surface, with scatter-gather query execution.
+//!
+//! [`ShardedDatabase::register`] splits every table's rows across shards
+//! by a declared **shard key** column (placement decided by the
+//! [`Partitioner`]); each shard is a complete [`Database`] catalog over
+//! its row subset, so every existing operator — batched probes,
+//! partitioned joins, grouped aggregation — runs unchanged *inside* a
+//! shard. The new work is all routing and merging:
+//!
+//! * **selections** scatter a probes-only plan to the shards the
+//!   partitioner says can match (equality on the shard key prunes to one
+//!   shard, ranges prune to the overlapping shards of a range
+//!   partitioner) and gather local RID sets back into global row order;
+//! * **joins** stream the per-shard outer RID chunks through the inner
+//!   table's per-shard indexes over the shared
+//!   [`ccindex_parallel::WorkerPool`] — bucketed by owning inner shard
+//!   when the join column *is* the inner table's shard key (each probe
+//!   batch routed, original probe order restored on merge), fanned to
+//!   every inner shard otherwise — and merge the partial outputs back
+//!   into the sequential join's `(outer, inner)` order;
+//! * **group-bys** aggregate *inside* each scatter job and merge the
+//!   per-shard partial aggregates by group value at the gather barrier,
+//!   the same commutative merge the partitioned
+//!   `group_aggregate_pairs_par` operator uses across workers.
+//!
+//! Results are **byte-identical** to the same queries on an unsharded
+//! [`Database`] for every shard count and both partitioners — the
+//! property `tests/sharded_equivalence.rs` and `figures sharded` assert.
+
+use crate::partition::Partitioner;
+use ccindex_parallel::WorkerPool;
+use mmdb::domain::Value;
+use mmdb::plan::{Plan, Probe, Side};
+use mmdb::{
+    group_aggregate_pairs, indexed_nested_loop_join_rids_par, Agg, AggFn, Column, Database,
+    ExecOptions, GroupRow, IndexKind, JoinOn, JoinRow, MmdbError, Predicate, RebuildReport, Result,
+    ResultRows, Table,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------
+// The sharded catalog
+// ---------------------------------------------------------------------
+
+/// N per-shard [`Database`] catalogs behind one engine surface.
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    partitioner: Box<dyn Partitioner>,
+    shards: Vec<Database>,
+    tables: BTreeMap<String, ShardedTable>,
+    exec: ExecOptions,
+}
+
+/// Per-table placement metadata: where every global row lives.
+#[derive(Debug)]
+struct ShardedTable {
+    shard_key: String,
+    rows: usize,
+    /// Global RID -> (owning shard, local RID there).
+    placement: Vec<(u32, u32)>,
+    /// Shard -> local RID -> global RID (ascending: rows are split in
+    /// global row order, so local order preserves global order).
+    locals: Vec<Vec<u32>>,
+    /// Indexes created through this catalog, so a re-partition can
+    /// rebuild them: column -> kinds.
+    indexes: BTreeMap<String, BTreeSet<IndexKind>>,
+}
+
+/// What one sharded [`ShardedDatabase::replace_column`] cycle did.
+#[derive(Debug)]
+pub struct ShardedRebuildReport {
+    /// True when the replaced column was the table's shard key: rows
+    /// were re-placed and every shard's tables and indexes were rebuilt
+    /// from scratch (`per_shard` is empty in that case — there is no
+    /// per-shard delta to report).
+    pub repartitioned: bool,
+    /// One rebuild report per shard, in shard order (non-key columns).
+    pub per_shard: Vec<RebuildReport>,
+}
+
+impl ShardedDatabase {
+    /// A sharded catalog partitioned by `partitioner` (one shard per
+    /// `partitioner.shards()`, each starting as an empty [`Database`]).
+    /// Execution options start from [`ExecOptions::from_env`], exactly
+    /// like [`Database::new`].
+    pub fn new<P: Partitioner + 'static>(partitioner: P) -> Result<Self> {
+        if partitioner.shards() == 0 {
+            return Err(MmdbError::InvalidPartitioner {
+                reason: "partitioner declares zero shards".into(),
+            });
+        }
+        let exec = ExecOptions::from_env();
+        let shards = (0..partitioner.shards())
+            .map(|_| {
+                let mut db = Database::new();
+                db.set_exec_options(exec);
+                db
+            })
+            .collect();
+        Ok(Self {
+            partitioner: Box::new(partitioner),
+            shards,
+            tables: BTreeMap::new(),
+            exec,
+        })
+    }
+
+    /// Hash-partitioned catalog over `shards` shards.
+    pub fn hash(shards: usize) -> Result<Self> {
+        Self::new(crate::partition::HashPartitioner::new(shards)?)
+    }
+
+    /// Hash-partitioned catalog sized by the environment:
+    /// `CCINDEX_SHARDS` (via [`ExecOptions::from_env`]), defaulting to a
+    /// single shard — so a whole test suite or service can be switched
+    /// to sharded execution without a code change.
+    pub fn from_env() -> Result<Self> {
+        Self::hash(ExecOptions::from_env().shards.max(1))
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioner's one-line description (`hash x4`, `range x2: …`).
+    pub fn partitioner(&self) -> String {
+        self.partitioner.describe()
+    }
+
+    /// One shard's catalog, for inspection.
+    pub fn shard(&self, shard: usize) -> &Database {
+        &self.shards[shard]
+    }
+
+    /// Set the catalog-wide [`ExecOptions`]; propagated to every shard
+    /// so per-shard plans inherit the same knobs.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        self.exec = options;
+        for shard in &mut self.shards {
+            shard.set_exec_options(options);
+        }
+    }
+
+    /// The catalog-wide [`ExecOptions`] new plans inherit.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Register a table, splitting its rows across shards by the values
+    /// of `shard_key`. Fails — leaving the catalog untouched — with a
+    /// typed error when the name is taken, the key column is missing, or
+    /// a key falls outside the partitioner's declared ranges
+    /// ([`MmdbError::ShardKeyOutOfRange`]).
+    pub fn register(&mut self, table: Table, shard_key: &str) -> Result<()> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(MmdbError::DuplicateTable { table: name });
+        }
+        let key_col = table
+            .column(shard_key)
+            .ok_or_else(|| MmdbError::UnknownColumn {
+                table: name.clone(),
+                column: shard_key.to_owned(),
+            })?;
+        let (placement, locals) = self.place_rows(key_col)?;
+        let split = split_table(&table, &locals);
+        for (shard, t) in split.into_iter().enumerate() {
+            self.shards[shard].register(t)?;
+        }
+        self.tables.insert(
+            name,
+            ShardedTable {
+                shard_key: shard_key.to_owned(),
+                rows: table.rows(),
+                placement,
+                locals,
+                indexes: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered table names, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total (global) row count of `table`.
+    pub fn rows(&self, table: &str) -> Result<usize> {
+        Ok(self.meta(table)?.rows)
+    }
+
+    /// The declared shard-key column of `table`.
+    pub fn shard_key(&self, table: &str) -> Result<&str> {
+        Ok(self.meta(table)?.shard_key.as_str())
+    }
+
+    /// Where a global row lives: `(shard, local RID)`.
+    pub fn placement_of(&self, table: &str, global_rid: u32) -> Result<(usize, u32)> {
+        let meta = self.meta(table)?;
+        let (s, l) = meta.placement[global_rid as usize];
+        Ok((s as usize, l))
+    }
+
+    /// Build (or rebuild) a `kind` index on `table.column` — on every
+    /// shard, so scattered probes always find their access path.
+    pub fn create_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        self.meta(table)?;
+        for shard in &mut self.shards {
+            shard.create_index(table, column, kind)?;
+        }
+        self.tables
+            .get_mut(table)
+            .expect("checked above")
+            .indexes
+            .entry(column.to_owned())
+            .or_default()
+            .insert(kind);
+        Ok(())
+    }
+
+    /// Drop the `kind` index on `table.column` from every shard.
+    pub fn drop_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        self.meta(table)?;
+        for shard in &mut self.shards {
+            shard.drop_index(table, column, kind)?;
+        }
+        let meta = self.tables.get_mut(table).expect("checked above");
+        if let Some(kinds) = meta.indexes.get_mut(column) {
+            kinds.remove(&kind);
+            if kinds.is_empty() {
+                meta.indexes.remove(column);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace a column's values wholesale (the OLAP batch-update entry
+    /// point), splitting the update by shard. Replacing an ordinary
+    /// column routes each row's new value to the shard owning the row
+    /// and runs the per-shard rebuild cycles in shard order. Replacing
+    /// the **shard key** re-partitions: rows are re-placed under the new
+    /// keys, every shard's table is rebuilt, and all registered indexes
+    /// are re-created. Every error path (length mismatch, key outside
+    /// the declared ranges) leaves the catalog untouched.
+    pub fn replace_column(
+        &mut self,
+        table: &str,
+        column: &str,
+        values: Vec<Value>,
+    ) -> Result<ShardedRebuildReport> {
+        let meta = self.meta(table)?;
+        if self.shards[0].table(table)?.column(column).is_none() {
+            return Err(MmdbError::UnknownColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        if values.len() != meta.rows {
+            return Err(MmdbError::RaggedColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+                expected: meta.rows,
+                got: values.len(),
+            });
+        }
+        if column == meta.shard_key {
+            return self.repartition(table, column, values);
+        }
+        // Route each row's new value to the shard that owns the row.
+        let locals = &self.tables[table].locals;
+        let per_shard: Vec<Vec<Value>> = locals
+            .iter()
+            .map(|l| l.iter().map(|&g| values[g as usize].clone()).collect())
+            .collect();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for (shard, vals) in self.shards.iter_mut().zip(per_shard) {
+            reports.push(shard.replace_column(table, column, vals)?);
+        }
+        Ok(ShardedRebuildReport {
+            repartitioned: false,
+            per_shard: reports,
+        })
+    }
+
+    /// Re-run the rebuild cycle for `table.column` on every shard (each
+    /// shard's per-kind rebuilds ride its own worker pool).
+    pub fn rebuild_column(&mut self, table: &str, column: &str) -> Result<Vec<RebuildReport>> {
+        self.meta(table)?;
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            reports.push(shard.rebuild_column(table, column)?);
+        }
+        Ok(reports)
+    }
+
+    /// Start a composable query over `table` — the same builder surface
+    /// as [`Database::query`], compiled into a [`ShardedPlan`] that
+    /// records its shard routing.
+    pub fn query(&self, table: impl Into<String>) -> ShardedQuery<'_> {
+        ShardedQuery {
+            db: self,
+            table: table.into(),
+            filters: Vec::new(),
+            join: None,
+            group: None,
+            forced_kind: None,
+            exec: None,
+        }
+    }
+
+    // ---- internals ----
+
+    fn meta(&self, table: &str) -> Result<&ShardedTable> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: table.to_owned(),
+            })
+    }
+
+    /// Place one row per key value; fails before any state changes.
+    #[allow(clippy::type_complexity)]
+    fn place_rows(&self, key_col: &Column) -> Result<(Vec<(u32, u32)>, Vec<Vec<u32>>)> {
+        let mut placement = Vec::with_capacity(key_col.len());
+        let mut locals: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for rid in 0..key_col.len() as u32 {
+            let shard = self.partitioner.shard_of(key_col.value(rid))?;
+            placement.push((shard as u32, locals[shard].len() as u32));
+            locals[shard].push(rid);
+        }
+        Ok((placement, locals))
+    }
+
+    /// The shard-key path of [`ShardedDatabase::replace_column`]: rows
+    /// move shards, so reassemble every column globally, re-place, and
+    /// rebuild tables and indexes on every shard.
+    fn repartition(
+        &mut self,
+        table: &str,
+        key_column: &str,
+        new_keys: Vec<Value>,
+    ) -> Result<ShardedRebuildReport> {
+        // Validate the new placement first — the catalog stays untouched
+        // when a new key has no owning shard.
+        let new_key_col = Column::from_values(&new_keys);
+        let (placement, locals) = self.place_rows(&new_key_col)?;
+
+        // Reassemble each column's global values from the current shards.
+        let meta = &self.tables[table];
+        let old_placement = meta.placement.clone();
+        let columns: Vec<String> = self.shards[0]
+            .table(table)?
+            .columns()
+            .map(|(n, _)| n.to_owned())
+            .collect();
+        let mut global = mmdb::TableBuilder::new(table);
+        for name in &columns {
+            let values: Vec<Value> = if name == key_column {
+                new_keys.clone()
+            } else {
+                // One column handle per shard, resolved once — the row
+                // loop below then runs on plain slice accesses.
+                let shard_cols: Vec<&Column> = self
+                    .shards
+                    .iter()
+                    .map(|shard| table_column(shard, table, name))
+                    .collect::<Result<_>>()?;
+                old_placement
+                    .iter()
+                    .map(|&(s, l)| shard_cols[s as usize].value(l).clone())
+                    .collect()
+            };
+            global = global.column(name, values);
+        }
+        let global = global.build()?;
+
+        // Swap in the re-split tables and re-create the indexes.
+        let split = split_table(&global, &locals);
+        for (shard, t) in split.into_iter().enumerate() {
+            self.shards[shard].drop_table(table)?;
+            self.shards[shard].register(t)?;
+        }
+        let index_spec: Vec<(String, IndexKind)> = meta
+            .indexes
+            .iter()
+            .flat_map(|(c, ks)| ks.iter().map(move |&k| (c.clone(), k)))
+            .collect();
+        for (column, kind) in &index_spec {
+            for shard in &mut self.shards {
+                shard.create_index(table, column, *kind)?;
+            }
+        }
+        let meta = self.tables.get_mut(table).expect("present");
+        meta.placement = placement;
+        meta.locals = locals;
+        Ok(ShardedRebuildReport {
+            repartitioned: true,
+            per_shard: Vec::new(),
+        })
+    }
+}
+
+/// Split `table` into one per-shard table following `locals` (shard ->
+/// global RIDs, in local order). Empty shards get an empty table of the
+/// same schema.
+fn split_table(table: &Table, locals: &[Vec<u32>]) -> Vec<Table> {
+    locals
+        .iter()
+        .map(|rows| {
+            let mut b = mmdb::TableBuilder::new(table.name());
+            for (name, col) in table.columns() {
+                let values: Vec<Value> = rows.iter().map(|&g| col.value(g).clone()).collect();
+                b = b.column(name, values);
+            }
+            b.build().expect("equal-length splits by construction")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The sharded query builder
+// ---------------------------------------------------------------------
+
+/// A composable query over a [`ShardedDatabase`] — the same surface as
+/// [`mmdb::Query`] (`filter`/`join`/`group_by`/`using`/`exec`), compiled
+/// by [`ShardedQuery::plan`] into a [`ShardedPlan`] whose routing is
+/// inspectable and whose executor scatter-gathers across the shards.
+#[derive(Debug, Clone)]
+pub struct ShardedQuery<'db> {
+    db: &'db ShardedDatabase,
+    table: String,
+    filters: Vec<Predicate>,
+    join: Option<(String, JoinOn)>,
+    group: Option<(String, Agg)>,
+    forced_kind: Option<IndexKind>,
+    exec: Option<ExecOptions>,
+}
+
+impl<'db> ShardedQuery<'db> {
+    /// Add a conjunct; multiple filters AND together. Conjuncts on the
+    /// shard-key column additionally prune the scatter set.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filters.push(predicate);
+        self
+    }
+
+    /// Indexed nested-loop join against `inner_table` (which must also
+    /// be registered in this sharded catalog).
+    pub fn join(mut self, inner_table: &str, condition: JoinOn) -> Self {
+        self.join = Some((inner_table.to_owned(), condition));
+        self
+    }
+
+    /// Group the result by `column` and aggregate each group; per-shard
+    /// partials merge at the gather barrier.
+    pub fn group_by(mut self, column: &str, agg: Agg) -> Self {
+        self.group = Some((column.to_owned(), agg));
+        self
+    }
+
+    /// Force every probe through one [`IndexKind`] (must be built via
+    /// [`ShardedDatabase::create_index`], i.e. on every shard).
+    pub fn using(mut self, kind: IndexKind) -> Self {
+        self.forced_kind = Some(kind);
+        self
+    }
+
+    /// Override the catalog's [`ExecOptions`] for this query alone.
+    pub fn exec(mut self, options: ExecOptions) -> Self {
+        self.exec = Some(options);
+        self
+    }
+
+    /// Compile: resolve names and access paths against shard 0 (every
+    /// shard has the same schema and indexes), then compute the shard
+    /// routing from the partitioner.
+    pub fn plan(&self) -> Result<ShardedPlan> {
+        let db = self.db;
+        let meta = db.meta(&self.table)?;
+        // The per-shard template: one compile is enough because every
+        // shard holds the same tables, columns and index kinds.
+        let mut q = db.shards[0].query(&self.table);
+        for f in &self.filters {
+            q = q.filter(f.clone());
+        }
+        if let Some((inner, cond)) = &self.join {
+            q = q.join(inner, cond.clone());
+        }
+        if let Some((column, agg)) = &self.group {
+            q = q.group_by(column, agg.clone());
+        }
+        if let Some(kind) = self.forced_kind {
+            q = q.using(kind);
+        }
+        if let Some(exec) = self.exec {
+            q = q.exec(exec);
+        }
+        let template = q.plan()?;
+
+        // Routing: each shard-key conjunct prunes; everything else fans.
+        let nshards = db.shards.len();
+        let mut probe_targets = Vec::with_capacity(template.probes.len());
+        let mut selected: BTreeSet<usize> = (0..nshards).collect();
+        for step in &template.probes {
+            let target = if step.column == meta.shard_key {
+                let routed = match &step.probe {
+                    Probe::Point(v) => db.partitioner.probe_shards(v),
+                    Probe::Range(lo, hi) => db.partitioner.range_shards(lo, hi),
+                };
+                if routed.len() == nshards {
+                    ShardTargets::All
+                } else {
+                    ShardTargets::Pruned(routed)
+                }
+            } else {
+                ShardTargets::All
+            };
+            if let ShardTargets::Pruned(routed) = &target {
+                let routed: BTreeSet<usize> = routed.iter().copied().collect();
+                selected = selected.intersection(&routed).copied().collect();
+            }
+            probe_targets.push(target);
+        }
+
+        let join = self.join.as_ref().map(|(inner_table, cond)| {
+            let bucketed = db
+                .meta(inner_table)
+                .map(|m| m.shard_key == cond.inner())
+                .unwrap_or(false);
+            if bucketed {
+                JoinRouting::Bucketed
+            } else {
+                JoinRouting::Fanned
+            }
+        });
+
+        Ok(ShardedPlan {
+            template,
+            routing: ShardRouting {
+                shards: nshards,
+                partitioner: db.partitioner.describe(),
+                shard_key: meta.shard_key.clone(),
+                probe_targets,
+                selected: selected.into_iter().collect(),
+                join,
+            },
+        })
+    }
+
+    /// Compile and execute.
+    pub fn run(&self) -> Result<ShardedResultSet<'db>> {
+        self.plan()?.execute(self.db)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded plan
+// ---------------------------------------------------------------------
+
+/// Which shards one probe step can touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardTargets {
+    /// No pruning possible: the probe fans to every shard.
+    All,
+    /// Pruned to the listed shards (possibly empty: no shard can match).
+    Pruned(Vec<usize>),
+}
+
+/// How a join scatters across the inner table's shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRouting {
+    /// The join column is the inner table's shard key: each outer probe
+    /// batch is bucketed to the one inner shard that can hold matches
+    /// (original probe order restored on merge).
+    Bucketed,
+    /// The join column is not the inner shard key: every outer RID chunk
+    /// fans to every inner shard.
+    Fanned,
+}
+
+/// The routing a compiled [`ShardedPlan`] recorded: which shards each
+/// stage scatters to, shown by [`ShardedPlan::explain`].
+#[derive(Debug, Clone)]
+pub struct ShardRouting {
+    /// Shard count of the catalog the plan was compiled against.
+    pub shards: usize,
+    /// The partitioner's description (`hash x4`, `range x2: …`).
+    pub partitioner: String,
+    /// The outer table's shard-key column.
+    pub shard_key: String,
+    /// Per probe step: pruned or fanned.
+    pub probe_targets: Vec<ShardTargets>,
+    /// The final scatter set (intersection of every pruning), ascending.
+    pub selected: Vec<usize>,
+    /// Join scatter mode, when the plan joins.
+    pub join: Option<JoinRouting>,
+}
+
+/// A compiled sharded plan: the per-shard physical [`Plan`] template
+/// plus the recorded [`ShardRouting`].
+#[derive(Debug, Clone)]
+pub struct ShardedPlan {
+    /// The physical plan each routed shard runs (compiled against shard
+    /// 0; every shard shares the schema, so it is valid everywhere).
+    pub template: Plan,
+    /// Which shards each stage scatters to.
+    pub routing: ShardRouting,
+}
+
+impl ShardedPlan {
+    /// Human-readable rendering: the shard routing (scatter set per
+    /// stage, pruned vs fanned join, gather mode), then the per-shard
+    /// plan indented beneath it.
+    pub fn explain(&self) -> String {
+        let r = &self.routing;
+        let fmt_set = |s: &[usize]| {
+            let items: Vec<String> = s.iter().map(|i| i.to_string()).collect();
+            format!("{{{}}}", items.join(", "))
+        };
+        let mut out = format!(
+            "scatter {} across {} shard(s) ({} on {})",
+            self.template.table, r.shards, r.partitioner, r.shard_key
+        );
+        for (step, target) in self.template.probes.iter().zip(&r.probe_targets) {
+            let where_to = match target {
+                ShardTargets::All => "all shards (fanned)".to_owned(),
+                ShardTargets::Pruned(s) => format!("shards {} (pruned)", fmt_set(s)),
+            };
+            out.push_str(&format!("\n  probe {} -> {}", step.column, where_to));
+        }
+        if r.selected.len() == r.shards {
+            out.push_str("\n  scatter set: all shards");
+        } else {
+            out.push_str(&format!("\n  scatter set: {} ", fmt_set(&r.selected)));
+        }
+        if let (Some(j), Some(mode)) = (&self.template.join, &r.join) {
+            match mode {
+                JoinRouting::Bucketed => out.push_str(&format!(
+                    "\n  join {}: outer probe batches bucketed by inner shard key {}",
+                    j.inner_table, j.inner_column
+                )),
+                JoinRouting::Fanned => out.push_str(&format!(
+                    "\n  join {}: outer RID chunks fanned to all {} inner shard(s)",
+                    j.inner_table, r.shards
+                )),
+            }
+        }
+        out.push_str(if self.template.group.is_some() {
+            "\n  gather: merge per-shard partial aggregates by group value"
+        } else if self.template.join.is_some() {
+            "\n  gather: merge join rows in (outer, inner) global order"
+        } else {
+            "\n  gather: merge RID sets in global row order"
+        });
+        out.push_str("\nper-shard plan:\n  ");
+        out.push_str(&self.template.explain().replace('\n', "\n  "));
+        out
+    }
+
+    /// Execute against `db` (normally the catalog the plan was compiled
+    /// from; names re-resolve, so a stale plan fails with a typed error).
+    pub fn execute<'db>(&self, db: &'db ShardedDatabase) -> Result<ShardedResultSet<'db>> {
+        // The recorded routing indexes shards of the compile-time
+        // catalog; running against one with a different shard count
+        // would index out of bounds, so it is a typed failure too.
+        if self.routing.shards != db.shards.len() {
+            return Err(MmdbError::Unsupported {
+                what: format!(
+                    "plan was compiled for a {}-shard catalog but executed \
+                     against {} shard(s); recompile the query",
+                    self.routing.shards,
+                    db.shards.len()
+                ),
+            });
+        }
+        let meta = db.meta(&self.template.table)?;
+        let exec = self.template.exec;
+
+        // ---- scatter: selection ----
+        // Per routed shard: the local selected RID set (None = all rows,
+        // kept symbolic like the unsharded executor does).
+        let scatter = &self.routing.selected;
+        let per_shard: Vec<(usize, Option<Vec<u32>>)> = if self.template.probes.is_empty() {
+            scatter.iter().map(|&s| (s, None)).collect()
+        } else {
+            let probes_plan = Plan {
+                table: self.template.table.clone(),
+                probes: self.template.probes.clone(),
+                join: None,
+                group: None,
+                exec,
+            };
+            // One job per routed shard; a whole per-shard selection is a
+            // fat job, so `0` here means one worker per shard (capped at
+            // the core count by the pool), not the probe-count adaptive.
+            let results = WorkerPool::new(exec.threads).run(scatter.len(), |i| {
+                probes_plan
+                    .execute(&db.shards[scatter[i]])
+                    .map(|r| r.rids().to_vec())
+            });
+            let mut v = Vec::with_capacity(scatter.len());
+            for (&s, r) in scatter.iter().zip(results) {
+                v.push((s, Some(r?)));
+            }
+            v
+        };
+
+        // ---- scatter: join (and grouped-join) jobs ----
+        if let Some(j) = &self.template.join {
+            let inner_meta = db.meta(&j.inner_table)?;
+            // (outer shard, inner shard, outer local RIDs) — bucketed by
+            // the owning inner shard when the join column is the inner
+            // shard key, fanned to every inner shard otherwise. Bucket
+            // order follows the outer stream, so no probe order is lost.
+            let mut jobs: Vec<(usize, usize, Vec<u32>)> = Vec::new();
+            for (s, sel) in &per_shard {
+                let outer_rids: Vec<u32> = match sel {
+                    Some(r) => r.clone(),
+                    None => (0..meta.locals[*s].len() as u32).collect(),
+                };
+                if outer_rids.is_empty() {
+                    continue;
+                }
+                match self.routing.join {
+                    Some(JoinRouting::Bucketed) => {
+                        let outer_col =
+                            table_column(&db.shards[*s], &self.template.table, &j.outer_column)?;
+                        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); db.shards.len()];
+                        for &rid in &outer_rids {
+                            // Placement is the bucketing function: inner
+                            // rows were placed by `shard_of`, so an outer
+                            // key it cannot place matches no inner row
+                            // (no per-row Vec like `probe_shards` makes).
+                            if let Ok(t) = db.partitioner.shard_of(outer_col.value(rid)) {
+                                buckets[t].push(rid);
+                            }
+                        }
+                        for (t, bucket) in buckets.into_iter().enumerate() {
+                            if !bucket.is_empty() && !inner_meta.locals[t].is_empty() {
+                                jobs.push((*s, t, bucket));
+                            }
+                        }
+                    }
+                    _ => {
+                        for t in 0..db.shards.len() {
+                            if !inner_meta.locals[t].is_empty() {
+                                jobs.push((*s, t, outer_rids.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            let total: usize = jobs.iter().map(|(_, _, r)| r.len()).sum();
+            let pool_threads = if exec.threads == 0 {
+                ccindex_parallel::adaptive_threads(total)
+            } else {
+                exec.threads
+            };
+            let pool = WorkerPool::new(pool_threads);
+            // When there are fewer jobs than workers (one shard, or a
+            // hard-pruned scatter), hand each job the leftover
+            // parallelism so a big join still spreads its outer RID
+            // chunks like the unsharded engine would.
+            let job_threads = (pool_threads / jobs.len().max(1)).max(1);
+
+            if let Some(g) = &self.template.group {
+                // Grouped join: aggregate inside each scatter job, merge
+                // partials by group value at the gather barrier.
+                let partials = pool.run(jobs.len(), |i| -> Result<Vec<GroupRow>> {
+                    let (s, t, rids) = &jobs[i];
+                    let rows = self.join_job(db, *s, *t, rids, job_threads)?;
+                    let pick = |r: &JoinRow, side: Side| match side {
+                        Side::Outer => r.outer_rid,
+                        Side::Inner => r.inner_rid,
+                    };
+                    let side_shard = |side: Side| match side {
+                        Side::Outer => *s,
+                        Side::Inner => *t,
+                    };
+                    let side_table = |side: Side| match side {
+                        Side::Outer => self.template.table.as_str(),
+                        Side::Inner => j.inner_table.as_str(),
+                    };
+                    let group_col = table_column(
+                        &db.shards[side_shard(g.side)],
+                        side_table(g.side),
+                        &g.column,
+                    )?;
+                    let measure_col = match &g.measure {
+                        None => None,
+                        Some((m, side)) => Some(table_column(
+                            &db.shards[side_shard(*side)],
+                            side_table(*side),
+                            m,
+                        )?),
+                    };
+                    let measure_side = g.measure.as_ref().map_or(g.side, |(_, side)| *side);
+                    Ok(group_aggregate_pairs(
+                        group_col,
+                        measure_col,
+                        rows.iter()
+                            .map(|r| (pick(r, g.side), pick(r, measure_side))),
+                        g.agg,
+                    ))
+                });
+                let mut collected = Vec::with_capacity(partials.len());
+                for p in partials {
+                    collected.push(p?);
+                }
+                return Ok(ShardedResultSet {
+                    db,
+                    outer_table: self.template.table.clone(),
+                    inner_table: Some(j.inner_table.clone()),
+                    rows: ResultRows::Groups(merge_group_partials(g.agg, collected)),
+                });
+            }
+
+            // Plain join: map each job's local pairs to global RIDs and
+            // merge back into the sequential join's (outer, inner) order.
+            let results = pool.run(jobs.len(), |i| {
+                let (s, t, rids) = &jobs[i];
+                self.join_job(db, *s, *t, rids, job_threads)
+            });
+            let mut all: Vec<JoinRow> = Vec::new();
+            for ((s, t, _), rows) in jobs.iter().zip(results) {
+                for r in rows? {
+                    all.push(JoinRow {
+                        outer_rid: meta.locals[*s][r.outer_rid as usize],
+                        inner_rid: inner_meta.locals[*t][r.inner_rid as usize],
+                    });
+                }
+            }
+            all.sort_unstable();
+            return Ok(ShardedResultSet {
+                db,
+                outer_table: self.template.table.clone(),
+                inner_table: Some(j.inner_table.clone()),
+                rows: ResultRows::Joined(all),
+            });
+        }
+
+        // ---- grouped selection (no join) ----
+        if let Some(g) = &self.template.group {
+            let partials = WorkerPool::new(exec.threads).run(per_shard.len(), |i| {
+                let (s, sel) = &per_shard[i];
+                let group_col = table_column(&db.shards[*s], &self.template.table, &g.column)?;
+                let measure_col = match &g.measure {
+                    None => None,
+                    Some((m, _)) => Some(table_column(&db.shards[*s], &self.template.table, m)?),
+                };
+                Ok::<Vec<GroupRow>, MmdbError>(match sel {
+                    Some(rids) => group_aggregate_pairs(
+                        group_col,
+                        measure_col,
+                        rids.iter().map(|&r| (r, r)),
+                        g.agg,
+                    ),
+                    None => group_aggregate_pairs(
+                        group_col,
+                        measure_col,
+                        (0..meta.locals[*s].len() as u32).map(|r| (r, r)),
+                        g.agg,
+                    ),
+                })
+            });
+            let mut collected = Vec::with_capacity(partials.len());
+            for p in partials {
+                collected.push(p?);
+            }
+            return Ok(ShardedResultSet {
+                db,
+                outer_table: self.template.table.clone(),
+                inner_table: None,
+                rows: ResultRows::Groups(merge_group_partials(g.agg, collected)),
+            });
+        }
+
+        // ---- plain selection: gather local RIDs into global order ----
+        let mut rids: Vec<u32> = Vec::new();
+        for (s, sel) in &per_shard {
+            match sel {
+                Some(local) => rids.extend(local.iter().map(|&l| meta.locals[*s][l as usize])),
+                None => rids.extend(meta.locals[*s].iter().copied()),
+            }
+        }
+        rids.sort_unstable();
+        Ok(ShardedResultSet {
+            db,
+            outer_table: self.template.table.clone(),
+            inner_table: None,
+            rows: ResultRows::Rids(rids),
+        })
+    }
+
+    /// One scatter job of the join stage: stream `outer_rids` (local to
+    /// shard `s`) through inner shard `t`'s index. `threads` is the
+    /// job's share of the pool's parallelism — 1 when there are enough
+    /// jobs to keep every worker busy, more when the scatter set is
+    /// smaller than the pool (the chunk outputs still concatenate in
+    /// outer-stream order, so the result is unchanged).
+    fn join_job(
+        &self,
+        db: &ShardedDatabase,
+        s: usize,
+        t: usize,
+        outer_rids: &[u32],
+        threads: usize,
+    ) -> Result<Vec<JoinRow>> {
+        let j = self.template.join.as_ref().expect("join jobs need a join");
+        let outer_col = table_column(&db.shards[s], &self.template.table, &j.outer_column)?;
+        let inner_col = table_column(&db.shards[t], &j.inner_table, &j.inner_column)?;
+        let inner_rids = db.shards[t].rid_list(&j.inner_table, &j.inner_column)?;
+        let handle = db.shards[t].index(&j.inner_table, &j.inner_column, j.kind)?;
+        Ok(indexed_nested_loop_join_rids_par(
+            outer_col,
+            outer_rids,
+            inner_col,
+            inner_rids,
+            handle.as_search(),
+            self.template.exec.lanes,
+            threads,
+        ))
+    }
+}
+
+/// The column itself, through the public table surface (the engine's
+/// internal resolver is crate-private).
+fn table_column<'a>(db: &'a Database, table: &str, column: &str) -> Result<&'a Column> {
+    db.table(table)?
+        .column(column)
+        .ok_or_else(|| MmdbError::UnknownColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })
+}
+
+/// Merge per-shard partial aggregates by (decoded) group value — the
+/// cross-shard form of the worker-partial merge inside
+/// `group_aggregate_pairs_par`: every aggregate is commutative and
+/// associative, and the ordered map keys groups by value, so the merged
+/// rows come out in group-value order, byte-identical to the unsharded
+/// aggregation (per-shard domains differ, but decoded values agree).
+fn merge_group_partials(agg: AggFn, partials: Vec<Vec<GroupRow>>) -> Vec<GroupRow> {
+    let mut merged: BTreeMap<Value, i64> = BTreeMap::new();
+    for partial in partials {
+        for row in partial {
+            merged
+                .entry(row.group)
+                .and_modify(|a| {
+                    *a = match agg {
+                        AggFn::Count | AggFn::Sum => *a + row.value,
+                        AggFn::Min => (*a).min(row.value),
+                        AggFn::Max => (*a).max(row.value),
+                    }
+                })
+                .or_insert(row.value);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(group, value)| GroupRow { group, value })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// A sharded query result: the gathered global rows, bound to the
+/// catalog so row values can be decoded on demand — the same surface as
+/// [`mmdb::ResultSet`], producing byte-identical [`ResultRows`].
+#[derive(Debug, Clone)]
+pub struct ShardedResultSet<'db> {
+    db: &'db ShardedDatabase,
+    outer_table: String,
+    inner_table: Option<String>,
+    rows: ResultRows,
+}
+
+impl ShardedResultSet<'_> {
+    /// The rows, whatever their shape.
+    pub fn rows(&self) -> &ResultRows {
+        &self.rows
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            ResultRows::Rids(r) => r.len(),
+            ResultRows::Joined(r) => r.len(),
+            ResultRows::Groups(r) => r.len(),
+        }
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Selected global RIDs, ascending. Panics on join/group shapes.
+    pub fn rids(&self) -> &[u32] {
+        match &self.rows {
+            ResultRows::Rids(r) => r,
+            other => panic!("rids() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Join output pairs (global RIDs), in the sequential join's order.
+    pub fn join_rows(&self) -> &[JoinRow] {
+        match &self.rows {
+            ResultRows::Joined(r) => r,
+            other => panic!("join_rows() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Aggregated groups, in group-value order.
+    pub fn groups(&self) -> &[GroupRow] {
+        match &self.rows {
+            ResultRows::Groups(r) => r,
+            other => panic!("groups() on a {} result", shape_name(other)),
+        }
+    }
+
+    /// Decoded values of `column` for every result row, resolved through
+    /// each row's owning shard (outer table binds first for joins). The
+    /// placement map and per-shard column handles resolve once up front,
+    /// so the per-row work is plain slice accesses.
+    pub fn values(&self, column: &str) -> Result<Vec<Value>> {
+        let decode_all = |table: &str, rids: &mut dyn Iterator<Item = u32>| -> Result<Vec<Value>> {
+            let meta = self.db.meta(table)?;
+            let shard_cols: Vec<&Column> = self
+                .db
+                .shards
+                .iter()
+                .map(|shard| table_column(shard, table, column))
+                .collect::<Result<_>>()?;
+            Ok(rids
+                .map(|r| {
+                    let (s, l) = meta.placement[r as usize];
+                    shard_cols[s as usize].value(l).clone()
+                })
+                .collect())
+        };
+        match &self.rows {
+            ResultRows::Rids(rids) => decode_all(&self.outer_table, &mut rids.iter().copied()),
+            ResultRows::Joined(rows) => {
+                // Outer binds first, like the unsharded resolver.
+                let outer_has = self.db.shards[0]
+                    .table(&self.outer_table)?
+                    .column(column)
+                    .is_some();
+                let table = if outer_has {
+                    &self.outer_table
+                } else {
+                    self.inner_table
+                        .as_ref()
+                        .ok_or_else(|| MmdbError::UnknownColumn {
+                            table: self.outer_table.clone(),
+                            column: column.to_owned(),
+                        })?
+                };
+                decode_all(
+                    table,
+                    &mut rows
+                        .iter()
+                        .map(|r| if outer_has { r.outer_rid } else { r.inner_rid }),
+                )
+            }
+            ResultRows::Groups(_) => Err(MmdbError::Unsupported {
+                what: "values() on a grouped result; group keys are already \
+                       decoded in groups()"
+                    .into(),
+            }),
+        }
+    }
+}
+
+fn shape_name(rows: &ResultRows) -> &'static str {
+    match rows {
+        ResultRows::Rids(_) => "selection",
+        ResultRows::Joined(_) => "join",
+        ResultRows::Groups(_) => "grouped",
+    }
+}

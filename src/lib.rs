@@ -40,6 +40,7 @@
 //! | [`sim`] | `cachesim` | Cache simulator + 1998 machine models |
 //! | [`model`] | `analysis` | §5 analytical time/space models |
 //! | [`db`] | `mmdb` | Main-memory OLAP database substrate |
+//! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution |
 //! | [`gen`] | `workload` | Key/lookup/update generators |
 //! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
@@ -49,6 +50,7 @@ pub use bst_index as bst;
 pub use cachesim as sim;
 pub use ccindex_common as common;
 pub use ccindex_parallel as parallel;
+pub use ccindex_shard as shard;
 pub use css_tree as css;
 pub use hashindex as hash;
 pub use mmdb as db;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::hash::HashIndex;
     pub use crate::model::Params;
     pub use crate::parallel::WorkerPool;
+    pub use crate::shard::{HashPartitioner, Partitioner, RangePartitioner, ShardedDatabase};
     pub use crate::sim::{CacheHierarchy, Machine, SimTracer};
     pub use crate::sorted::{BinarySearch, InterpolationSearch};
     pub use bplus::BPlusTree;

@@ -18,6 +18,7 @@ fn demo() -> Result<(), MmdbError> {
     db.set_exec_options(ExecOptions {
         threads: 8,
         lanes: 8,
+        ..ExecOptions::default()
     });
     let plan = db
         .query("sales")
