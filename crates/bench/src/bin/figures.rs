@@ -4,7 +4,8 @@
 //! figures [OPTIONS] <WHAT>...
 //!
 //! WHAT:  fig1 table1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!        fig14 warmcache interp batched engine parallel sharded ablations all
+//!        fig14 warmcache interp batched engine parallel sharded serve
+//!        ablations all
 //!
 //! OPTIONS:
 //!   --simulate <machine>   run timing figures on the cache simulator
@@ -154,9 +155,122 @@ fn main() {
     if want("sharded") {
         sharded(&opts);
     }
+    if want("serve") {
+        serve(&opts);
+    }
     if want("ablations") {
         ablations(&opts);
     }
+}
+
+/// Beyond-paper: the batch-formation serving front-end — N concurrent
+/// clients, each pipelining point probes through a `BatchServer`, swept
+/// over client counts x batch-window sizes against the one-probe-at-a-
+/// time baseline (`batch_max = 1`: every request is its own window and
+/// its own index descent). Wider windows coalesce same-column probes
+/// into single interleaved `lower_bound_batch` descents, so requests/s
+/// should climb with the window bound; every configuration's answers
+/// are asserted byte-identical to the baseline's before it is timed.
+/// The sharded rows route the same traffic through a 4-shard catalog's
+/// scatter entry points.
+fn serve(opts: &Options) {
+    use ccindex_serve::{BatchServer, Request, ServeEngine, ServeOptions};
+    use ccindex_shard::ShardedDatabase;
+    use mmdb::{Database, IndexKind, TableBuilder};
+    use std::time::Duration;
+
+    let n = opts.scaled(2_000_000);
+    let per_client = (opts.lookups / 50).clamp(64, 2_000);
+    let orders = || {
+        TableBuilder::new("orders")
+            .int_column(
+                "amount",
+                (0..n).map(|i| ((i as u64).wrapping_mul(48_271) % (n as u64 / 2)) as i64),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let mut base = Database::new();
+    base.register(orders()).expect("fresh catalog");
+    base.create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+    let mut sharded = ShardedDatabase::hash(4).expect("four shards");
+    sharded.register(orders(), "amount").expect("fresh catalog");
+    sharded
+        .create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+
+    // Each client pipelines `per_client` point probes (a mix that hits
+    // and misses) and then waits for all of them.
+    let probes_of = |client: usize| -> Vec<i64> {
+        (0..per_client)
+            .map(|k| ((client * 2_654_435_761 + k * 48_271) % n) as i64)
+            .collect()
+    };
+    let session = |engine: &dyn ServeEngine, clients: usize, batch_max: usize| {
+        let server = BatchServer::with_options(
+            engine,
+            ServeOptions {
+                batch_max,
+                batch_wait: Duration::from_micros(200),
+            },
+        );
+        server.serve_concurrent(clients, |c, client| {
+            let pending: Vec<_> = probes_of(c)
+                .into_iter()
+                .map(|v| client.submit(Request::point("orders", "amount", v)))
+                .collect();
+            pending
+                .into_iter()
+                .map(|p| p.wait().expect("served"))
+                .collect::<Vec<_>>()
+        })
+    };
+
+    println!(
+        "\n== Batch-formation serving (host): {} rows, {} probes/client, clients x batch window ==",
+        format_num(n as f64),
+        per_client
+    );
+    println!(
+        "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>9}",
+        "catalog", "clients", "batch_max", "windows", "seconds", "requests/s", "vs 1-at-a-time"
+    );
+    for (label, engine) in [
+        ("unsharded", &base as &dyn ServeEngine),
+        ("hash x4", &sharded as &dyn ServeEngine),
+    ] {
+        for clients in [1usize, 4, 16] {
+            let (reference, _) = session(engine, clients, 1);
+            let mut baseline_s = f64::INFINITY;
+            for batch_max in [1usize, 16, 64] {
+                let (answers, stats) = session(engine, clients, batch_max);
+                assert_eq!(
+                    answers, reference,
+                    "batch-formed answers must be byte-identical \
+                     ({label} clients={clients} batch_max={batch_max})"
+                );
+                let t0 = Instant::now();
+                let (_, stats_timed) = session(engine, clients, batch_max);
+                let secs = t0.elapsed().as_secs_f64();
+                if batch_max == 1 {
+                    baseline_s = secs;
+                }
+                let _ = stats;
+                println!(
+                    "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>8.2}x",
+                    label,
+                    clients,
+                    batch_max,
+                    stats_timed.windows,
+                    format_num(secs),
+                    format_num(stats_timed.requests as f64 / secs),
+                    baseline_s / secs
+                );
+            }
+        }
+    }
+    println!("  (all batch-formed answers asserted byte-identical to one-probe-at-a-time serving)");
 }
 
 /// Beyond-paper: the lookup protocol in sequential vs batched mode for

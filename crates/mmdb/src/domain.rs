@@ -136,9 +136,15 @@ impl Domain {
     }
 
     /// Inclusive ID range corresponding to the inclusive value range
-    /// `[lo, hi]`; `None` when no domain value falls inside.
+    /// `[lo, hi]`; `None` when no domain value falls inside. An inverted
+    /// range (`lo > hi`) contains no value, so it is `None` too — not a
+    /// panic: range predicates arrive from untrusted query (and, through
+    /// the serving layer, client) input, and the physical layer stays
+    /// panic-free by construction.
     pub fn id_range(&self, lo: &Value, hi: &Value) -> Option<(u32, u32)> {
-        assert!(lo <= hi, "inverted value range");
+        if lo > hi {
+            return None;
+        }
         let start = self.lower_bound_id(lo);
         let end = self.values.partition_point(|v| v <= hi) as u32;
         (start < end).then(|| (start, end - 1))
@@ -286,9 +292,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inverted value range")]
-    fn id_range_rejects_inverted() {
+    fn id_range_answers_inverted_with_none() {
+        // An inverted range contains no value — empty, never a panic
+        // (ranges arrive from untrusted query/client input).
         let d = domain();
-        let _ = d.id_range(&Value::Int(5), &Value::Int(1));
+        assert_eq!(d.id_range(&Value::Int(5), &Value::Int(1)), None);
     }
 }

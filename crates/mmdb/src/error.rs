@@ -87,6 +87,15 @@ pub enum MmdbError {
         /// What was wrong with the specification.
         reason: String,
     },
+    /// An execution knob read from the environment did not parse — a
+    /// misconfiguration (`CCINDEX_THREADS=abc`) that must fail loudly
+    /// instead of silently running with the compiled-in default.
+    InvalidExecOption {
+        /// The environment variable that failed to parse.
+        name: String,
+        /// The unparsable value it held.
+        value: String,
+    },
     /// The requested operation does not apply to this result shape.
     Unsupported {
         /// Human-readable description of what was attempted.
@@ -155,6 +164,13 @@ impl std::fmt::Display for MmdbError {
             MmdbError::InvalidPartitioner { reason } => {
                 write!(f, "invalid partitioner: {reason}")
             }
+            MmdbError::InvalidExecOption { name, value } => {
+                write!(
+                    f,
+                    "invalid execution option: {name}=`{value}` does not \
+                     parse as an unsigned integer"
+                )
+            }
             MmdbError::Unsupported { what } => write!(f, "{what}"),
         }
     }
@@ -203,6 +219,16 @@ mod tests {
             reason: "ranges overlap".into(),
         };
         assert!(e.to_string().contains("ranges overlap"));
+
+        let e = MmdbError::InvalidExecOption {
+            name: "CCINDEX_THREADS".into(),
+            value: "abc".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("CCINDEX_THREADS") && msg.contains("abc"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub mod update;
 pub use engine::{Database, RebuildReport};
 pub use error::{MmdbError, Result};
 pub use plan::{
-    between, count, eq, max, min, on, sum, Agg, ExecOptions, JoinOn, Plan, Predicate, Query,
-    ResultRows, ResultSet,
+    between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, Predicate,
+    Query, ResultRows, ResultSet,
 };
 
 // The physical layer.

@@ -111,30 +111,93 @@ impl ExecOptions {
         }
     }
 
-    /// Read the knobs from the environment: `CCINDEX_THREADS`,
-    /// `CCINDEX_LANES` and `CCINDEX_SHARDS`, each falling back to the
-    /// [`ExecOptions::default`] value when unset or unparsable. This is
-    /// what [`Database::new`] uses, so a whole test suite or service can
-    /// be switched to partitioned execution without a code change (CI
-    /// runs the tests once with `CCINDEX_THREADS=8` and once with
-    /// `CCINDEX_SHARDS=4`).
+    /// Read the knobs from the environment, failing loudly: an **unset**
+    /// variable falls back to the [`ExecOptions::default`] value, but a
+    /// set-yet-unparsable one (`CCINDEX_THREADS=abc`) is a typed
+    /// [`MmdbError::InvalidExecOption`] naming the variable and its
+    /// value — a misconfigured CI run should fail, not silently execute
+    /// with defaults. Parsed values are normalised by
+    /// [`ExecOptions::normalized`].
+    pub fn try_from_env() -> Result<Self> {
+        Ok(Self {
+            threads: env_knob("CCINDEX_THREADS")?.unwrap_or(Self::default().threads),
+            lanes: env_knob("CCINDEX_LANES")?.unwrap_or(Self::default().lanes),
+            shards: env_knob("CCINDEX_SHARDS")?.unwrap_or(Self::default().shards),
+        }
+        .normalized())
+    }
+
+    /// The infallible twin of [`ExecOptions::try_from_env`]: what
+    /// [`Database::new`] uses, so a whole test suite or service can be
+    /// switched to partitioned execution without a code change (CI runs
+    /// the tests with `CCINDEX_THREADS=8`, `CCINDEX_SHARDS=4` and
+    /// `CCINDEX_BATCH_MAX=16`). An unparsable variable no longer falls
+    /// back *silently*: the typed error is logged to stderr, and only
+    /// the offending knob takes its default — the other, correctly-set
+    /// knobs keep their configured values.
     pub fn from_env() -> Self {
-        let parse = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        };
         let default = Self::default();
         Self {
-            threads: parse("CCINDEX_THREADS").unwrap_or(default.threads),
-            lanes: parse("CCINDEX_LANES").unwrap_or(default.lanes),
-            shards: parse("CCINDEX_SHARDS").unwrap_or(default.shards).max(1),
+            threads: env_knob_lenient("CCINDEX_THREADS").unwrap_or(default.threads),
+            lanes: env_knob_lenient("CCINDEX_LANES").unwrap_or(default.lanes),
+            shards: env_knob_lenient("CCINDEX_SHARDS").unwrap_or(default.shards),
+        }
+        .normalized()
+    }
+
+    /// Apply the knobs' floors consistently: `lanes` and `shards` are
+    /// raised to at least 1 (`lanes == 0` and `lanes == 1` both mean a
+    /// sequential descent, and a catalog needs at least one shard, so
+    /// the floor is a pure normalisation). `threads` is deliberately
+    /// exempt — `0` is the documented *adaptive* sentinel, not a
+    /// degenerate value.
+    pub fn normalized(self) -> Self {
+        Self {
+            threads: self.threads,
+            lanes: self.lanes.max(1),
+            shards: self.shards.max(1),
         }
     }
 
     /// Whether this configuration partitions work across workers.
     pub fn is_parallel(&self) -> bool {
         self.threads != 1
+    }
+}
+
+/// One environment knob: `Ok(None)` when unset, `Ok(Some(v))` when it
+/// parses, and a typed [`MmdbError::InvalidExecOption`] otherwise. The
+/// env read and the parse are split so the parse rule is unit-testable
+/// without mutating process-wide environment state.
+fn env_knob(name: &'static str) -> Result<Option<usize>> {
+    parse_knob(name, std::env::var(name).ok())
+}
+
+/// [`env_knob`] for the infallible `from_env` paths: an unparsable knob
+/// logs its typed error to stderr and reads as unset, so only the
+/// offending variable falls back to its default.
+pub(crate) fn env_knob_lenient(name: &'static str) -> Option<usize> {
+    env_knob(name).unwrap_or_else(|e| {
+        eprintln!("ccindex: {e}; using the default for {name}");
+        None
+    })
+}
+
+/// Parse rule shared by every `CCINDEX_*` integer knob (including the
+/// serving layer's `CCINDEX_BATCH_*` pair): absent stays absent,
+/// surrounding whitespace is tolerated, anything else must be a base-10
+/// unsigned integer.
+pub fn parse_knob(name: &str, raw: Option<String>) -> Result<Option<usize>> {
+    match raw {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| MmdbError::InvalidExecOption {
+                name: name.to_owned(),
+                value: v,
+            }),
     }
 }
 
@@ -333,6 +396,11 @@ impl<'db> Query<'db> {
         let outer = &self.table;
         db.entry(outer)?;
         let exec = self.exec.unwrap_or_else(|| db.exec_options());
+        // The planner's upper bound on the items a chunkable node can
+        // process (the driving table's row count): what an adaptive
+        // (`threads == 0`) node's worker count resolves against when the
+        // plan is *explained* rather than executed.
+        let outer_rows = db.table(outer)?.rows();
 
         let mut probes = Vec::with_capacity(self.filters.len());
         for p in &self.filters {
@@ -364,6 +432,7 @@ impl<'db> Query<'db> {
                     inner_column: cond.inner.clone(),
                     kind,
                     threads: exec.threads,
+                    rows_hint: outer_rows,
                 })
             }
         };
@@ -406,6 +475,7 @@ impl<'db> Query<'db> {
                     agg: agg_fn,
                     measure,
                     threads: exec.threads,
+                    rows_hint: outer_rows,
                 })
             }
         };
@@ -563,6 +633,12 @@ pub struct JoinStep {
     /// (1 = sequential, 0 = adaptive: resolved from the outer RID count
     /// at execution time).
     pub threads: usize,
+    /// The planner's upper bound on the outer stream length (the driving
+    /// table's row count). Execution resolves an adaptive node against
+    /// the *actual* RID count; [`Plan::explain`] resolves against this
+    /// hint so the rendered text reports a concrete worker count instead
+    /// of the raw `0` knob.
+    pub rows_hint: usize,
 }
 
 /// A resolved grouped aggregation.
@@ -580,16 +656,28 @@ pub struct GroupStep {
     /// 0 = adaptive: resolved from the grouped row count at execution
     /// time; partials merge at the join barrier).
     pub threads: usize,
+    /// The planner's upper bound on the grouped row count (the driving
+    /// table's row count; a join can multiply it, but the hint only
+    /// feeds [`Plan::explain`]'s adaptive rendering — execution resolves
+    /// against the actual row count).
+    pub rows_hint: usize,
 }
 
 impl Plan {
     /// A human-readable rendering of the plan, one step per line
     /// (parallel stages carry a `[xN threads]` suffix so the chosen
-    /// parallelism is inspectable).
+    /// parallelism is inspectable). An adaptive node (`threads == 0`)
+    /// reports the worker count it *resolves* to for the node's
+    /// planner-estimated item count — `[x4 threads (adaptive)]`, never a
+    /// raw `x0` — via [`ccindex_parallel::adaptive_threads`], the same
+    /// function the executor applies to the actual counts.
     pub fn explain(&self) -> String {
-        let par = |threads: usize| match threads {
+        let par = |threads: usize, rows_hint: usize| match threads {
             1 => String::new(),
-            0 => " [x adaptive threads]".to_owned(),
+            0 => format!(
+                " [x{} threads (adaptive)]",
+                ccindex_parallel::adaptive_threads(rows_hint)
+            ),
             n => format!(" [x{n} threads]"),
         };
         let mut out = format!("scan {}", self.table);
@@ -604,7 +692,7 @@ impl Plan {
                         p.column,
                         v,
                         p.kind,
-                        par(p.threads)
+                        par(p.threads, 1)
                     ));
                 }
                 Probe::Range(lo, hi) => {
@@ -614,7 +702,7 @@ impl Plan {
                         lo,
                         hi,
                         p.kind,
-                        par(p.threads)
+                        par(p.threads, 1)
                     ));
                 }
             }
@@ -632,7 +720,7 @@ impl Plan {
                 j.outer_column,
                 j.inner_column,
                 j.kind,
-                par(j.threads)
+                par(j.threads, j.rows_hint)
             ));
         }
         if let Some(g) = &self.group {
@@ -645,13 +733,18 @@ impl Plan {
                 g.column,
                 g.agg,
                 measure,
-                par(g.threads)
+                par(g.threads, g.rows_hint)
             ));
         }
         if self.exec.is_parallel() {
+            let workers = if self.exec.threads == 0 {
+                "adaptive worker(s), resolved per node".to_owned()
+            } else {
+                format!("{} worker(s)", self.exec.threads)
+            };
             out.push_str(&format!(
-                "\n  exec: {} worker(s), {} interleave lane(s)",
-                self.exec.threads, self.exec.lanes
+                "\n  exec: {workers}, {} interleave lane(s)",
+                self.exec.lanes
             ));
         }
         out
@@ -871,6 +964,89 @@ impl Plan {
         };
         rids.sort_unstable();
         Ok(rids)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probes-only sub-plans: the serving front-end's batch entry points
+// ---------------------------------------------------------------------
+
+impl Database {
+    /// Answer many equality probes on one `table.column` with a single
+    /// probes-only sub-plan: one access-path resolution (the same
+    /// preference order a [`Query::filter`]`(`[`eq`]`)` compiles to),
+    /// one batched domain encoding, and one
+    /// `search_batch`/`lower_bound_batch` index descent over all the
+    /// values, partitioned across workers when the catalog's
+    /// [`ExecOptions`] allow (`threads == 0` adapts to the probe
+    /// count). Returns one ascending RID set per value, in submission
+    /// order — element `i` is byte-identical to
+    /// `query(table).filter(eq(column, values[i])).run()?.rids()`.
+    ///
+    /// This is the engine hook a batch-forming serving front-end
+    /// (`ccindex-serve`) coalesces concurrent point requests into.
+    pub fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        let kind = resolve_kind(self, table, column, false, None)?;
+        let col = self.column(table, column)?;
+        let entry = self.column_entry(table, column)?;
+        let handle = entry.indexes.get(&kind).expect("kind was just resolved");
+        let exec = self.exec_options();
+        let threads = resolve_threads(exec.threads, values.len());
+        let mut out = match handle {
+            IndexHandle::Ordered(idx) => point_select_many_ordered_par(
+                col,
+                &entry.rids,
+                idx.as_ref(),
+                values,
+                exec.lanes,
+                threads,
+            ),
+            IndexHandle::Point(idx) => {
+                point_select_many_par(col, &entry.rids, idx.as_ref(), values, exec.lanes, threads)
+            }
+        };
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    /// Answer many inclusive range probes on one `table.column` with a
+    /// single probes-only sub-plan over an ordered index (typed
+    /// [`MmdbError::NoOrderedIndex`] when only hash is built): every
+    /// range contributes its two positional bounds to one
+    /// `lower_bound_batch` descent. Returns one ascending RID set per
+    /// range, in submission order — element `i` is byte-identical to
+    /// `query(table).filter(between(column, lo, hi)).run()?.rids()`
+    /// (an inverted range matches nothing, exactly like [`between`]).
+    pub fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        let kind = resolve_kind(self, table, column, true, None)?;
+        let col = self.column(table, column)?;
+        let entry = self.column_entry(table, column)?;
+        let handle = entry.indexes.get(&kind).expect("kind was just resolved");
+        let idx = handle
+            .as_ordered()
+            .ok_or_else(|| MmdbError::NoOrderedIndex {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            })?;
+        let exec = self.exec_options();
+        let threads = resolve_threads(exec.threads, ranges.len());
+        let mut out = range_select_many_par(col, &entry.rids, idx, ranges, exec.lanes, threads);
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
     }
 }
 
@@ -1386,13 +1562,119 @@ mod tests {
         let opts = ExecOptions::default();
         assert_eq!((opts.threads, opts.shards), (1, 1));
         assert!(!opts.is_parallel());
-        // from_env clamps shards to at least 1 even when the variable is
-        // unset/garbage (it falls back to the default in those cases).
-        assert!(ExecOptions::from_env().shards >= 1);
+        // from_env clamps lanes and shards to at least 1 even when the
+        // variables are unset (falling back to the defaults), and the
+        // fallible twin agrees under the same environment.
+        let env = ExecOptions::from_env();
+        assert!(env.shards >= 1 && env.lanes >= 1);
+        assert_eq!(ExecOptions::try_from_env().expect("parsable env"), env);
         // Adaptive resolution: explicit counts pass through, 0 adapts.
         assert_eq!(resolve_threads(4, 10), 4);
         assert_eq!(resolve_threads(0, 10), 1, "tiny inputs run inline");
         assert!(resolve_threads(0, 10_000_000) >= 1);
+    }
+
+    #[test]
+    fn knob_parsing_is_strict_and_floors_are_consistent() {
+        // The parse rule behind try_from_env, tested without touching
+        // process environment state: unset falls back, whitespace is
+        // tolerated, garbage is a typed error naming the offender.
+        assert_eq!(parse_knob("CCINDEX_THREADS", None).unwrap(), None);
+        assert_eq!(
+            parse_knob("CCINDEX_THREADS", Some(" 8 ".into())).unwrap(),
+            Some(8)
+        );
+        assert_eq!(
+            parse_knob("CCINDEX_THREADS", Some("abc".into())).unwrap_err(),
+            MmdbError::InvalidExecOption {
+                name: "CCINDEX_THREADS".into(),
+                value: "abc".into()
+            }
+        );
+        assert!(parse_knob("CCINDEX_LANES", Some("-3".into())).is_err());
+        assert!(parse_knob("CCINDEX_SHARDS", Some("1.5".into())).is_err());
+        assert!(parse_knob("CCINDEX_SHARDS", Some(String::new())).is_err());
+        // The floor treatment is uniform: lanes and shards raise 0 to 1
+        // (both 0-forms are degenerate aliases of 1), while threads
+        // keeps 0 — the adaptive sentinel is meaningful, not degenerate.
+        let n = ExecOptions {
+            threads: 0,
+            lanes: 0,
+            shards: 0,
+        }
+        .normalized();
+        assert_eq!((n.threads, n.lanes, n.shards), (0, 1, 1));
+        let kept = ExecOptions {
+            threads: 4,
+            lanes: 16,
+            shards: 2,
+        };
+        assert_eq!(kept.normalized(), kept, "non-degenerate knobs pass through");
+    }
+
+    #[test]
+    fn probe_batches_match_per_request_queries() {
+        let db = db();
+        // Point probes (hash-resolved) incl. duplicates and misses.
+        let values: Vec<Value> = ["mon", "tue", "sun", "mon"]
+            .iter()
+            .map(|&d| Value::from(d))
+            .collect();
+        let batch = db.point_probe_batch("sales", "day", &values).unwrap();
+        for (v, rids) in values.iter().zip(&batch) {
+            let one = db
+                .query("sales")
+                .filter(eq("day", v.clone()))
+                .run()
+                .unwrap();
+            assert_eq!(rids, one.rids(), "value {v}");
+        }
+        // Range probes (ordered index) incl. empty and inverted ranges.
+        let ranges: Vec<(Value, Value)> = [(20i64, 50i64), (1, 5), (50, 20)]
+            .iter()
+            .map(|&(lo, hi)| (Value::Int(lo), Value::Int(hi)))
+            .collect();
+        let batch = db.range_probe_batch("sales", "amount", &ranges).unwrap();
+        for ((lo, hi), rids) in ranges.iter().zip(&batch) {
+            let one = db
+                .query("sales")
+                .filter(between("amount", lo.clone(), hi.clone()))
+                .run()
+                .unwrap();
+            assert_eq!(rids, one.rids(), "range [{lo}, {hi}]");
+        }
+        // Empty batches are empty answers, not errors.
+        assert!(db
+            .point_probe_batch("sales", "day", &[])
+            .unwrap()
+            .is_empty());
+        // Typed failures match the query path's.
+        assert_eq!(
+            db.point_probe_batch("sales", "cust", &[Value::Int(1)])
+                .unwrap_err(),
+            MmdbError::NoIndex {
+                table: "sales".into(),
+                column: "cust".into()
+            }
+        );
+        // Ranges over a hash-only column fail typed, like `between`.
+        let mut db2 = Database::new();
+        db2.register(
+            TableBuilder::new("t")
+                .int_column("v", [1, 2, 3])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db2.create_index("t", "v", IndexKind::Hash).unwrap();
+        assert_eq!(
+            db2.range_probe_batch("t", "v", &[(Value::Int(1), Value::Int(2))])
+                .unwrap_err(),
+            MmdbError::NoOrderedIndex {
+                table: "t".into(),
+                column: "v".into()
+            }
+        );
     }
 
     #[test]
@@ -1406,7 +1688,21 @@ mod tests {
             .plan()
             .unwrap();
         assert_eq!(plan.group.as_ref().unwrap().threads, 0);
-        assert!(plan.explain().contains("[x adaptive threads]"));
+        // The rendered text reports the worker count the adaptive node
+        // resolves to for the planner's row estimate — never a raw `x0`.
+        let g = plan.group.as_ref().unwrap();
+        assert_eq!(g.rows_hint, 6, "driving table rows");
+        let resolved = ccindex_parallel::adaptive_threads(g.rows_hint);
+        let text = plan.explain();
+        assert!(
+            text.contains(&format!("[x{resolved} threads (adaptive)]")),
+            "{text}"
+        );
+        assert!(!text.contains("x0"), "{text}");
+        assert!(
+            text.contains("adaptive worker(s), resolved per node"),
+            "{text}"
+        );
         // Same rows as the sequential plan.
         let adaptive = plan.execute(&db).unwrap();
         let sequential = db

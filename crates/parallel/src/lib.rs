@@ -16,8 +16,11 @@
 //! work, and each worker returns its `(job index, result)` pairs through
 //! the join handle.
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Number of worker threads the host can usefully run — the meaning of
 /// "use every core" (`threads == 0`) in [`WorkerPool::new`].
@@ -176,6 +179,139 @@ impl Default for WorkerPool {
     }
 }
 
+// ---------------------------------------------------------------------
+// Blocking hand-off
+// ---------------------------------------------------------------------
+
+/// A blocking FIFO hand-off between producers and a consumer — the
+/// accumulator side of a batch-formation window: producers [`push`]
+/// items from any thread, the consumer [`pop`]s the first item of a
+/// window (blocking until one arrives) and then drains follow-ups with
+/// [`pop_deadline`] until the window's size or time bound is hit.
+///
+/// Built on one `Mutex<VecDeque>` plus a `Condvar` — the same
+/// no-dependencies, no-unsafe diet as [`WorkerPool`]. Closing the queue
+/// ([`close`]) wakes every blocked consumer; pops then drain whatever
+/// remains and return `None`, so a consumer loop terminates cleanly
+/// without a separate shutdown protocol.
+///
+/// [`push`]: BlockingQueue::push
+/// [`pop`]: BlockingQueue::pop
+/// [`pop_deadline`]: BlockingQueue::pop_deadline
+/// [`close`]: BlockingQueue::close
+#[derive(Debug)]
+pub struct BlockingQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for BlockingQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BlockingQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Append `item` and wake one blocked consumer. A closed queue
+    /// accepts nothing: the item comes straight back as `Err` so the
+    /// producer can fail its caller instead of losing work silently.
+    pub fn push(&self, item: T) -> std::result::Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item arrives and take it; `None` once the queue is
+    /// closed **and** drained (items pushed before the close still come
+    /// out, in order).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// As [`BlockingQueue::pop`], but give up at `deadline`: `None`
+    /// means the deadline passed (or the queue closed) with nothing
+    /// available — how a batch window's *time* bound is enforced while
+    /// its *size* bound still has room.
+    pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, timeout) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock poisoned");
+            state = s;
+            if timeout.timed_out() && state.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Close the queue: reject further pushes and wake every blocked
+    /// consumer. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Whether [`BlockingQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Items currently queued (racy by nature; for tests and stats).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +401,55 @@ mod tests {
             let t = adaptive_threads(items);
             assert!((1..=cores).contains(&t), "items={items} -> {t}");
         }
+    }
+
+    #[test]
+    fn blocking_queue_is_fifo_across_threads() {
+        let q = BlockingQueue::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100u32 {
+                    q.push(i).expect("open");
+                }
+                q.close();
+            });
+            let mut got = Vec::new();
+            while let Some(i) = q.pop() {
+                got.push(i);
+            }
+            let expect: Vec<u32> = (0..100).collect();
+            assert_eq!(got, expect, "single-producer order is preserved");
+        });
+        // Closed and drained: further pops return None, pushes bounce.
+        assert!(q.pop().is_none());
+        assert!(q.is_closed());
+        assert_eq!(q.push(7), Err(7));
+    }
+
+    #[test]
+    fn blocking_queue_close_wakes_blocked_consumers() {
+        let q: BlockingQueue<u32> = BlockingQueue::new();
+        std::thread::scope(|s| {
+            let popper = s.spawn(|| q.pop());
+            // Give the popper a moment to block, then close.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(popper.join().expect("no panic"), None);
+        });
+    }
+
+    #[test]
+    fn blocking_queue_deadline_pop_times_out_empty_handed() {
+        let q: BlockingQueue<u32> = BlockingQueue::new();
+        let t0 = Instant::now();
+        let deadline = t0 + std::time::Duration::from_millis(20);
+        assert_eq!(q.pop_deadline(deadline), None);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        // An already-queued item comes back instantly, even with a
+        // deadline in the past (size bound beats time bound).
+        q.push(5).expect("open");
+        assert_eq!(q.pop_deadline(Instant::now()), Some(5));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The engine surface a [`BatchServer`](crate::BatchServer) fronts:
+//! anything that can answer coalesced probe batches and replay an owned
+//! [`QuerySpec`] — implemented for both the unsharded
+//! [`Database`](mmdb::Database) and the scatter-gather
+//! [`ShardedDatabase`](ccindex_shard::ShardedDatabase), so one serving
+//! front-end covers both catalogs.
+
+use crate::request::QuerySpec;
+use ccindex_shard::ShardedDatabase;
+use mmdb::{Database, ExecOptions, Result, ResultRows, Value};
+
+/// A query engine the batch-forming server can front. `Sync` because the
+/// server's clients run on their own threads while the serving thread
+/// executes windows against the shared engine reference.
+pub trait ServeEngine: Sync {
+    /// The engine's execution knobs — the server sizes its shared
+    /// [`WorkerPool`](ccindex_parallel::WorkerPool) from `threads`.
+    fn exec_options(&self) -> ExecOptions;
+
+    /// One batched answer for many equality probes on `table.column`:
+    /// element `i` is the ascending RID set for `values[i]`.
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>>;
+
+    /// One batched answer for many inclusive range probes on
+    /// `table.column`: element `i` is the ascending RID set for
+    /// `ranges[i]`.
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>>;
+
+    /// Replay an owned query spec through the engine's builder.
+    fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows>;
+}
+
+/// Replay a [`QuerySpec`] through either engine's builder — `Query` and
+/// `ShardedQuery` expose the same consuming surface but share no trait,
+/// so one macro keeps the two `run_spec` impls from drifting apart (a
+/// clause added to `QuerySpec` is threaded through both, or neither).
+macro_rules! replay_spec {
+    ($query:expr, $spec:expr) => {{
+        let mut q = $query;
+        for f in &$spec.filters {
+            q = q.filter(f.clone());
+        }
+        if let Some((inner, cond)) = &$spec.join {
+            q = q.join(inner, cond.clone());
+        }
+        if let Some((column, agg)) = &$spec.group {
+            q = q.group_by(column, agg.clone());
+        }
+        if let Some(kind) = $spec.forced_kind {
+            q = q.using(kind);
+        }
+        Ok(q.run()?.rows().clone())
+    }};
+}
+
+impl ServeEngine for Database {
+    fn exec_options(&self) -> ExecOptions {
+        Database::exec_options(self)
+    }
+
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        Database::point_probe_batch(self, table, column, values)
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        Database::range_probe_batch(self, table, column, ranges)
+    }
+
+    fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows> {
+        replay_spec!(self.query(spec.table.clone()), spec)
+    }
+}
+
+impl ServeEngine for ShardedDatabase {
+    fn exec_options(&self) -> ExecOptions {
+        ShardedDatabase::exec_options(self)
+    }
+
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        ShardedDatabase::point_probe_batch(self, table, column, values)
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        ShardedDatabase::range_probe_batch(self, table, column, ranges)
+    }
+
+    fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows> {
+        replay_spec!(self.query(spec.table.clone()), spec)
+    }
+}

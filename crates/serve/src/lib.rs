@@ -1,0 +1,332 @@
+//! # ccindex-serve — batch-formation serving front-end
+//!
+//! RaoR99's CSS-tree numbers assume a **batch-shaped consumer**: the
+//! interleaved multi-lane descent and the partitioned operators only pay
+//! off when many probes travel together. Inside one query that batch
+//! exists naturally (a join streams thousands of probes); across
+//! *clients* it does not — a served system sees N concurrent requests of
+//! one probe each. This crate closes that gap: it **forms** the batches,
+//! turning concurrent client traffic into the engine's native batch
+//! shapes.
+//!
+//! The pieces:
+//!
+//! * [`Request`]/[`QuerySpec`] — owned request values (point probe,
+//!   range probe, or a full query-builder plan) that cross threads
+//!   without borrowing a catalog;
+//! * [`ServeEngine`] — the front-able engine surface, implemented for
+//!   [`Database`](mmdb::Database) and
+//!   [`ShardedDatabase`](ccindex_shard::ShardedDatabase) (sharded
+//!   requests scatter through the existing routing);
+//! * [`BatchServer`] — accumulates submissions in a **batch-formation
+//!   window** (size-bound + time-bound, [`ServeOptions`] with
+//!   `CCINDEX_BATCH_MAX`/`CCINDEX_BATCH_WAIT_US` env defaults),
+//!   coalesces same-`table.column` probes into single
+//!   `search_batch`/`lower_bound_batch` engine calls, executes the
+//!   window's jobs over the shared
+//!   [`WorkerPool`](ccindex_parallel::WorkerPool), and demultiplexes
+//!   per-client answers in submission order;
+//! * [`Client`]/[`Pending`] — the cheap handles clients submit through
+//!   (synchronous [`call`](Client::call) or pipelined
+//!   [`submit`](Client::submit)).
+//!
+//! Answers are **byte-identical** to executing every request alone, for
+//! any window bounds, client count, and either engine — the property
+//! `tests/serve_equivalence.rs` asserts and `figures serve` sweeps
+//! against the one-probe-at-a-time baseline (`batch_max == 1`).
+//!
+//! ```
+//! use ccindex_serve::{BatchServer, Request, ServeOptions};
+//! use mmdb::{Database, IndexKind, ResultRows, TableBuilder};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     TableBuilder::new("sales")
+//!         .int_column("amount", [10, 40, 25, 99])
+//!         .build()?,
+//! )?;
+//! db.create_index("sales", "amount", IndexKind::FullCss)?;
+//!
+//! // 4 concurrent clients, each one point probe; compatible probes
+//! // coalesce into a single batched index descent.
+//! let server = BatchServer::with_options(&db, ServeOptions::batch_max(16));
+//! let (answers, stats) = server.serve_concurrent(4, |i, client| {
+//!     client.call(Request::point("sales", "amount", [10i64, 40, 25, 7][i]))
+//! });
+//! assert_eq!(answers[1], Ok(ResultRows::Rids(vec![1]))); // amount = 40
+//! assert_eq!(answers[3], Ok(ResultRows::Rids(vec![]))); // no row
+//! assert_eq!(stats.requests, 4);
+//! # Ok::<(), mmdb::MmdbError>(())
+//! ```
+
+mod engine;
+mod request;
+mod server;
+
+pub use engine::ServeEngine;
+pub use request::{QuerySpec, Request};
+pub use server::{BatchServer, Client, Pending, ServeOptions, ServeStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccindex_shard::ShardedDatabase;
+    use mmdb::{
+        between, count, eq, on, sum, Database, IndexKind, MmdbError, ResultRows, TableBuilder,
+        Value,
+    };
+    use std::time::Duration;
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        db.register(
+            TableBuilder::new("sales")
+                .int_column("cust", (0..60).map(|i| (i * 7) % 20))
+                .int_column("amount", (0..60).map(|i| (i * 13) % 100))
+                .build()
+                .expect("equal columns"),
+        )
+        .unwrap();
+        db.register(
+            TableBuilder::new("customers")
+                .int_column("id", 0..20i64)
+                .str_column("region", (0..20).map(|i| ["e", "w"][i % 2]))
+                .build()
+                .expect("equal columns"),
+        )
+        .unwrap();
+        db.create_index("sales", "cust", IndexKind::Hash).unwrap();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        db.create_index("customers", "id", IndexKind::LevelCss)
+            .unwrap();
+        db
+    }
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::point("sales", "cust", 3i64),
+            Request::point("sales", "cust", 14i64),
+            Request::range("sales", "amount", 20i64, 60i64),
+            Request::point("sales", "cust", 3i64), // duplicate value
+            Request::range("sales", "amount", 60i64, 20i64), // inverted
+            Request::query(
+                QuerySpec::table("sales")
+                    .filter(between("amount", 10, 90))
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount")),
+            ),
+            Request::point("sales", "cust", 999i64), // misses
+        ]
+    }
+
+    /// One answer per request, equal to running each request alone.
+    fn reference(db: &Database) -> Vec<Result<ResultRows, MmdbError>> {
+        requests()
+            .iter()
+            .map(|r| match r {
+                Request::Point {
+                    table,
+                    column,
+                    value,
+                } => db
+                    .query(table.clone())
+                    .filter(eq(column, value.clone()))
+                    .run()
+                    .map(|r| r.rows().clone()),
+                Request::Range {
+                    table,
+                    column,
+                    lo,
+                    hi,
+                } => db
+                    .query(table.clone())
+                    .filter(between(column, lo.clone(), hi.clone()))
+                    .run()
+                    .map(|r| r.rows().clone()),
+                Request::Query(_) => db
+                    .query("sales")
+                    .filter(between("amount", 10, 90))
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount"))
+                    .run()
+                    .map(|r| r.rows().clone()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_coalesces_and_demuxes_in_submission_order() {
+        let db = catalog();
+        let server = BatchServer::with_options(&db, ServeOptions::default());
+        assert_eq!(server.run_batch(&requests()), reference(&db));
+        // An empty batch answers nothing.
+        assert!(server.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn errors_fail_only_their_own_requests() {
+        let db = catalog();
+        let server = BatchServer::with_options(&db, ServeOptions::default());
+        let batch = vec![
+            Request::point("sales", "cust", 3i64),
+            Request::point("sales", "nope", 1i64), // unknown column
+            Request::range("sales", "cust", 0i64, 5i64), // hash-only: no ordered index
+            Request::point("sales", "cust", 14i64),
+        ];
+        let answers = server.run_batch(&batch);
+        assert!(answers[0].is_ok());
+        assert_eq!(
+            answers[1],
+            Err(MmdbError::UnknownColumn {
+                table: "sales".into(),
+                column: "nope".into()
+            })
+        );
+        assert_eq!(
+            answers[2],
+            Err(MmdbError::NoOrderedIndex {
+                table: "sales".into(),
+                column: "cust".into()
+            })
+        );
+        assert!(answers[3].is_ok(), "same coalesced group as request 0");
+    }
+
+    #[test]
+    fn concurrent_sessions_form_batches_and_answer_identically() {
+        let db = catalog();
+        let reference = reference(&db);
+        for batch_max in [1usize, 4, 64] {
+            let server = BatchServer::with_options(
+                &db,
+                ServeOptions {
+                    batch_max,
+                    batch_wait: Duration::from_millis(2),
+                },
+            );
+            // Each client pipelines the full request set; every answer
+            // must match the per-request reference.
+            let (answers, stats) = server.serve_concurrent(6, |_, client| {
+                let pending: Vec<_> = requests().into_iter().map(|r| client.submit(r)).collect();
+                pending.into_iter().map(Pending::wait).collect::<Vec<_>>()
+            });
+            for (client_idx, client_answers) in answers.iter().enumerate() {
+                assert_eq!(
+                    client_answers, &reference,
+                    "client {client_idx} batch_max={batch_max}"
+                );
+            }
+            assert_eq!(stats.requests, 6 * requests().len());
+            assert!(stats.windows >= 1);
+            assert!(stats.largest_window <= batch_max.max(1));
+            if batch_max == 1 {
+                assert_eq!(stats.windows, stats.requests, "no coalescing at 1");
+            }
+        }
+    }
+
+    #[test]
+    fn serves_a_sharded_engine_through_the_same_surface() {
+        let mut sdb = ShardedDatabase::hash(3).unwrap();
+        let db = catalog();
+        sdb.register(db.table("sales").unwrap().clone(), "cust")
+            .unwrap();
+        sdb.register(db.table("customers").unwrap().clone(), "id")
+            .unwrap();
+        sdb.create_index("sales", "cust", IndexKind::Hash).unwrap();
+        sdb.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        sdb.create_index("customers", "id", IndexKind::LevelCss)
+            .unwrap();
+        let server = BatchServer::with_options(&sdb, ServeOptions::batch_max(8));
+        let (answers, _) = server.serve_concurrent(4, |_, client| {
+            requests()
+                .into_iter()
+                .map(|r| client.call(r))
+                .collect::<Vec<_>>()
+        });
+        let reference = reference(&db);
+        for client_answers in &answers {
+            assert_eq!(client_answers, &reference, "sharded == unsharded");
+        }
+    }
+
+    #[test]
+    fn group_only_and_forced_kind_specs_replay() {
+        let db = catalog();
+        let server = BatchServer::with_options(&db, ServeOptions::default());
+        let spec = QuerySpec::table("sales")
+            .filter(eq("cust", 3))
+            .using(IndexKind::Hash);
+        let got = server.run_batch(&[Request::query(spec)]);
+        let want = db
+            .query("sales")
+            .filter(eq("cust", 3))
+            .using(IndexKind::Hash)
+            .run()
+            .unwrap();
+        assert_eq!(got[0], Ok(want.rows().clone()));
+        let spec = QuerySpec::table("customers").group_by("region", count());
+        let got = server.run_batch(&[spec.into()]);
+        let want = db
+            .query("customers")
+            .group_by("region", count())
+            .run()
+            .unwrap();
+        assert_eq!(got[0], Ok(want.rows().clone()));
+    }
+
+    #[test]
+    fn serve_options_env_knobs_parse_strictly() {
+        // Under a clean environment both constructors agree and floors
+        // hold (the parse rule itself is unit-tested in mmdb).
+        let opts = ServeOptions::from_env();
+        assert!(opts.batch_max >= 1);
+        assert_eq!(ServeOptions::try_from_env().expect("parsable env"), opts);
+        let floored = ServeOptions {
+            batch_max: 0,
+            batch_wait: Duration::ZERO,
+        }
+        .normalized();
+        assert_eq!(floored.batch_max, 1, "a window holds at least one request");
+        assert_eq!(
+            floored.batch_wait,
+            Duration::ZERO,
+            "zero wait is meaningful"
+        );
+    }
+
+    #[test]
+    fn zero_clients_and_zero_wait_sessions_terminate() {
+        let db = catalog();
+        let server = BatchServer::with_options(
+            &db,
+            ServeOptions {
+                batch_max: 4,
+                batch_wait: Duration::ZERO,
+            },
+        );
+        let (answers, stats) =
+            server.serve_concurrent::<(), _>(0, |_, _| unreachable!("no clients"));
+        assert!(answers.is_empty() && stats == ServeStats::default());
+        // Zero wait still answers everything (windows just close early).
+        let (answers, stats) = server.serve_concurrent(2, |_, client| {
+            client.call(Request::point("sales", "cust", 3i64))
+        });
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(stats.requests, 2);
+        let rows = answers[0].clone().unwrap();
+        assert_eq!(
+            rows,
+            ResultRows::Rids(
+                db.query("sales")
+                    .filter(eq("cust", Value::Int(3)))
+                    .run()
+                    .unwrap()
+                    .rids()
+                    .to_vec()
+            )
+        );
+    }
+}

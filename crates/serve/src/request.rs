@@ -1,0 +1,131 @@
+//! What a client asks the serving front-end: cheap, owned request
+//! values that outlive the borrow-based [`Query`](mmdb::Query) builder.
+//!
+//! The engine's builders borrow their catalog, which is exactly wrong
+//! for a request that crosses a thread boundary into a batch-formation
+//! window. [`Request`] and [`QuerySpec`] are the owned mirror: the same
+//! declarative vocabulary ([`eq`](mmdb::eq)/[`between`](mmdb::between)
+//! predicates, [`on`](mmdb::on) join conditions,
+//! [`sum`](mmdb::sum)-style aggregates), resolved against a catalog only
+//! when the window executes.
+
+use mmdb::{Agg, IndexKind, JoinOn, Predicate, Value};
+
+/// An owned, engine-agnostic query description — the
+/// [`Query`](mmdb::Query) builder surface (`filter`/`join`/`group_by`/
+/// `using`) without the catalog borrow, so it can be queued, shipped
+/// across threads, and replayed against a [`Database`](mmdb::Database)
+/// or a [`ShardedDatabase`](ccindex_shard::ShardedDatabase) alike.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub(crate) table: String,
+    pub(crate) filters: Vec<Predicate>,
+    pub(crate) join: Option<(String, JoinOn)>,
+    pub(crate) group: Option<(String, Agg)>,
+    pub(crate) forced_kind: Option<IndexKind>,
+}
+
+impl QuerySpec {
+    /// A query over `table`, initially selecting every row.
+    pub fn table(table: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            filters: Vec::new(),
+            join: None,
+            group: None,
+            forced_kind: None,
+        }
+    }
+
+    /// Add a conjunct; multiple filters AND together, exactly like
+    /// [`Query::filter`](mmdb::Query::filter).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filters.push(predicate);
+        self
+    }
+
+    /// Indexed nested-loop join against `inner_table`.
+    pub fn join(mut self, inner_table: &str, condition: JoinOn) -> Self {
+        self.join = Some((inner_table.to_owned(), condition));
+        self
+    }
+
+    /// Group the result by `column` and aggregate each group.
+    pub fn group_by(mut self, column: &str, agg: Agg) -> Self {
+        self.group = Some((column.to_owned(), agg));
+        self
+    }
+
+    /// Force every probe through one [`IndexKind`].
+    pub fn using(mut self, kind: IndexKind) -> Self {
+        self.forced_kind = Some(kind);
+        self
+    }
+}
+
+/// One client request, submitted through a [`Client`](crate::Client)
+/// handle and answered with [`ResultRows`](mmdb::ResultRows).
+///
+/// Point and range probes are the coalescible shapes: requests for the
+/// same `table.column` arriving in one batch-formation window merge into
+/// a *single* batched index descent
+/// (`search_batch`/`lower_bound_batch`). Full [`QuerySpec`]s execute as
+/// independent jobs over the shared worker pool.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Equality probe: all RIDs where `table.column == value`.
+    Point {
+        /// Probed table.
+        table: String,
+        /// Probed (indexed) column.
+        column: String,
+        /// The probe constant.
+        value: Value,
+    },
+    /// Inclusive range probe: all RIDs where `lo <= table.column <= hi`
+    /// (requires an ordered index; an inverted range matches nothing).
+    Range {
+        /// Probed table.
+        table: String,
+        /// Probed (ordered-indexed) column.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// A full query-builder plan (selection/join/group-by).
+    Query(QuerySpec),
+}
+
+impl Request {
+    /// Equality probe on `table.column`.
+    pub fn point(table: &str, column: &str, value: impl Into<Value>) -> Self {
+        Request::Point {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            value: value.into(),
+        }
+    }
+
+    /// Inclusive range probe on `table.column`.
+    pub fn range(table: &str, column: &str, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        Request::Range {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// A full composed query.
+    pub fn query(spec: QuerySpec) -> Self {
+        Request::Query(spec)
+    }
+}
+
+impl From<QuerySpec> for Request {
+    fn from(spec: QuerySpec) -> Self {
+        Request::Query(spec)
+    }
+}

@@ -1,0 +1,466 @@
+//! The batch-forming server: accumulate concurrent client requests in a
+//! size- and time-bounded window, coalesce the compatible ones into the
+//! engine's native batch shapes, execute over the shared worker pool,
+//! and demultiplex per-client answers in submission order.
+
+use crate::engine::ServeEngine;
+use crate::request::{QuerySpec, Request};
+use ccindex_parallel::{BlockingQueue, WorkerPool};
+use mmdb::{parse_knob, MmdbError, Result, ResultRows};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Window knobs
+// ---------------------------------------------------------------------
+
+/// The batch-formation window bounds, [`ExecOptions`](mmdb::ExecOptions)
+/// style: a window closes as soon as it holds [`batch_max`] requests
+/// (the size bound) **or** [`batch_wait`] has elapsed since its first
+/// request arrived (the time bound), whichever comes first. A waiting
+/// request never waits on an empty window — the first arrival opens it.
+///
+/// `batch_max == 1` disables coalescing entirely: every request is its
+/// own window, which is exactly the one-probe-at-a-time baseline the
+/// `figures serve` sweep compares against.
+///
+/// [`batch_max`]: ServeOptions::batch_max
+/// [`batch_wait`]: ServeOptions::batch_wait
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Most requests one window may hold (minimum 1).
+    pub batch_max: usize,
+    /// Longest a window stays open after its first request.
+    pub batch_wait: Duration,
+}
+
+impl Default for ServeOptions {
+    /// A 64-request window held open at most 200 µs — small enough to
+    /// stay invisible next to an index descent, large enough to coalesce
+    /// a burst of concurrent clients.
+    fn default() -> Self {
+        Self {
+            batch_max: 64,
+            batch_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// A size-only window: up to `batch_max` requests, default wait.
+    pub fn batch_max(batch_max: usize) -> Self {
+        Self {
+            batch_max,
+            ..Self::default()
+        }
+    }
+
+    /// Read the window bounds from the environment — `CCINDEX_BATCH_MAX`
+    /// (requests) and `CCINDEX_BATCH_WAIT_US` (microseconds) — failing
+    /// with a typed [`MmdbError::InvalidExecOption`] on a set-yet-
+    /// unparsable value, exactly like
+    /// [`ExecOptions::try_from_env`](mmdb::ExecOptions::try_from_env).
+    /// Unset variables fall back to [`ServeOptions::default`]; parsed
+    /// values are normalised ([`ServeOptions::normalized`]).
+    pub fn try_from_env() -> Result<Self> {
+        let default = Self::default();
+        let batch_max = env_knob("CCINDEX_BATCH_MAX")?.unwrap_or(default.batch_max);
+        let batch_wait = env_knob("CCINDEX_BATCH_WAIT_US")?
+            .map(|us| Duration::from_micros(us as u64))
+            .unwrap_or(default.batch_wait);
+        Ok(Self {
+            batch_max,
+            batch_wait,
+        }
+        .normalized())
+    }
+
+    /// The infallible twin of [`ServeOptions::try_from_env`]: what
+    /// [`BatchServer::new`] uses, so `CCINDEX_BATCH_MAX=16` switches a
+    /// whole process's serving windows without a code change (CI runs
+    /// the test suite once that way). An unparsable variable logs the
+    /// typed error to stderr and only that knob takes its default — the
+    /// other, correctly-set knob keeps its configured value.
+    pub fn from_env() -> Self {
+        let default = Self::default();
+        Self {
+            batch_max: env_knob_lenient("CCINDEX_BATCH_MAX").unwrap_or(default.batch_max),
+            batch_wait: env_knob_lenient("CCINDEX_BATCH_WAIT_US")
+                .map(|us| Duration::from_micros(us as u64))
+                .unwrap_or(default.batch_wait),
+        }
+        .normalized()
+    }
+
+    /// Apply the knobs' floors: a window must hold at least one request
+    /// (`batch_max.max(1)` — the same treatment the engine knobs get). A
+    /// zero wait is meaningful (close the window as soon as the queue
+    /// runs dry) and passes through.
+    pub fn normalized(self) -> Self {
+        Self {
+            batch_max: self.batch_max.max(1),
+            batch_wait: self.batch_wait,
+        }
+    }
+}
+
+fn env_knob(name: &'static str) -> Result<Option<usize>> {
+    parse_knob(name, std::env::var(name).ok())
+}
+
+/// [`env_knob`] for the infallible path: an unparsable knob logs its
+/// typed error to stderr and reads as unset, so only the offending
+/// variable falls back to its default.
+fn env_knob_lenient(name: &'static str) -> Option<usize> {
+    env_knob(name).unwrap_or_else(|e| {
+        eprintln!("ccindex: {e}; using the default for {name}");
+        None
+    })
+}
+
+// ---------------------------------------------------------------------
+// Client handles
+// ---------------------------------------------------------------------
+
+/// One queued request plus the slot its answer lands in.
+struct Submission {
+    request: Request,
+    slot: Arc<Slot>,
+}
+
+/// A one-shot response cell: the server fills it once, the client's
+/// [`Pending::wait`] blocks until it does.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Result<ResultRows>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<ResultRows>) {
+        let mut guard = self.result.lock().expect("slot lock poisoned");
+        *guard = Some(result);
+        drop(guard);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<ResultRows> {
+        let mut guard = self.result.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.ready.wait(guard).expect("slot lock poisoned");
+        }
+    }
+}
+
+/// A submitted request's ticket; [`Pending::wait`] blocks until the
+/// server has executed the window the request landed in.
+#[must_use = "a pending request resolves only through wait()"]
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Block until the answer arrives.
+    pub fn wait(self) -> Result<ResultRows> {
+        self.slot.wait()
+    }
+}
+
+/// A cheap client handle onto a serving session: [`Client::submit`]
+/// enqueues without blocking (pipelining — many requests in flight per
+/// client makes windows deeper than the client count),
+/// [`Client::call`] is the synchronous submit-then-wait round trip.
+#[derive(Clone, Copy)]
+pub struct Client<'q> {
+    queue: &'q BlockingQueue<Submission>,
+}
+
+impl Client<'_> {
+    /// Enqueue `request` for the next window and return its ticket.
+    pub fn submit(&self, request: Request) -> Pending {
+        let slot = Arc::new(Slot::default());
+        let pending = Pending { slot: slot.clone() };
+        if self.queue.push(Submission { request, slot }).is_err() {
+            // The session is shutting down; fail the ticket rather than
+            // leaving its owner blocked forever.
+            pending.slot.fill(Err(MmdbError::Unsupported {
+                what: "batch server session is shut down".into(),
+            }));
+        }
+        pending
+    }
+
+    /// Submit and block for the answer — one synchronous round trip.
+    pub fn call(&self, request: Request) -> Result<ResultRows> {
+        self.submit(request).wait()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// What a serving session did, for inspection: how many windows formed,
+/// how many requests they carried, and how deep the deepest window was
+/// (`largest_window > 1` is batch formation observably happening).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Windows executed.
+    pub windows: usize,
+    /// Requests answered.
+    pub requests: usize,
+    /// Requests in the deepest window.
+    pub largest_window: usize,
+}
+
+/// The batch-formation serving front-end: fronts any [`ServeEngine`]
+/// (a [`Database`](mmdb::Database) or
+/// [`ShardedDatabase`](ccindex_shard::ShardedDatabase)) and turns N
+/// concurrent client requests into the engine's native batch shapes.
+///
+/// Same-`table.column` point probes in one window merge into a single
+/// [`point_probe_batch`](ServeEngine::point_probe_batch) call (one
+/// batched `search_batch`/`lower_bound_batch` descent), range probes
+/// likewise; full [`QuerySpec`] requests run as independent jobs. The
+/// coalesced jobs execute over a shared
+/// [`WorkerPool`](ccindex_parallel::WorkerPool) sized by the engine's
+/// [`ExecOptions`](mmdb::ExecOptions), and each answer lands back in its
+/// submitter's slot — per-probe results demultiplex in submission order,
+/// byte-identical to running every request alone.
+pub struct BatchServer<'e, E: ServeEngine + ?Sized> {
+    engine: &'e E,
+    options: ServeOptions,
+}
+
+impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
+    /// A server over `engine` with window bounds from the environment
+    /// ([`ServeOptions::from_env`]).
+    pub fn new(engine: &'e E) -> Self {
+        Self::with_options(engine, ServeOptions::from_env())
+    }
+
+    /// A server over `engine` with explicit window bounds.
+    pub fn with_options(engine: &'e E, options: ServeOptions) -> Self {
+        Self {
+            engine,
+            options: options.normalized(),
+        }
+    }
+
+    /// The window bounds this server forms batches under.
+    pub fn options(&self) -> ServeOptions {
+        self.options
+    }
+
+    /// Execute one already-formed batch synchronously: coalesce, run
+    /// over the pool, and return one answer per request in submission
+    /// order. This is the windowless core — useful directly when the
+    /// caller already holds a batch (and what every formed window runs).
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Result<ResultRows>> {
+        let refs: Vec<&Request> = requests.iter().collect();
+        self.execute(&refs)
+    }
+
+    /// Run a serving session: spawn `clients` scoped client threads,
+    /// each running `f(client_index, &client)`, while this thread forms
+    /// and executes windows until every client has finished and the
+    /// queue has drained. Returns the per-client results (in client
+    /// order) and the session's [`ServeStats`].
+    ///
+    /// The hand-off is the blocking
+    /// [`BlockingQueue`](ccindex_parallel::BlockingQueue): clients push
+    /// submissions from their threads; the serving thread pops the first
+    /// request of a window, then drains follow-ups until the size or
+    /// time bound closes it.
+    pub fn serve_concurrent<R, F>(&self, clients: usize, f: F) -> (Vec<R>, ServeStats)
+    where
+        R: Send,
+        F: Fn(usize, &Client<'_>) -> R + Sync,
+    {
+        let queue: BlockingQueue<Submission> = BlockingQueue::new();
+        let remaining = AtomicUsize::new(clients);
+        if clients == 0 {
+            queue.close();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let (queue, remaining, f) = (&queue, &remaining, &f);
+                    scope.spawn(move || {
+                        // Close the queue when the last client retires —
+                        // through a drop guard, so a panicking client
+                        // still releases the serving loop below.
+                        struct Retire<'a> {
+                            remaining: &'a AtomicUsize,
+                            queue: &'a BlockingQueue<Submission>,
+                        }
+                        impl Drop for Retire<'_> {
+                            fn drop(&mut self) {
+                                if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    self.queue.close();
+                                }
+                            }
+                        }
+                        let _retire = Retire { remaining, queue };
+                        f(i, &Client { queue })
+                    })
+                })
+                .collect();
+            let stats = self.serve_loop(&queue);
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect();
+            (results, stats)
+        })
+    }
+
+    /// Form and execute windows until the queue closes and drains.
+    fn serve_loop(&self, queue: &BlockingQueue<Submission>) -> ServeStats {
+        let mut stats = ServeStats::default();
+        // The first request opens a window; the window then stays open
+        // until the size bound fills it or the time bound expires.
+        while let Some(first) = queue.pop() {
+            let deadline = Instant::now() + self.options.batch_wait;
+            let mut batch = vec![first];
+            while batch.len() < self.options.batch_max {
+                match queue.pop_deadline(deadline) {
+                    Some(next) => batch.push(next),
+                    None => break,
+                }
+            }
+            let refs: Vec<&Request> = batch.iter().map(|s| &s.request).collect();
+            let results = self.execute(&refs);
+            stats.windows += 1;
+            stats.requests += batch.len();
+            stats.largest_window = stats.largest_window.max(batch.len());
+            for (submission, result) in batch.into_iter().zip(results) {
+                submission.slot.fill(result);
+            }
+        }
+        stats
+    }
+
+    /// Coalesce one window's requests into jobs and execute them over
+    /// the shared pool. Point (and range) probes naming the same
+    /// `table.column` merge into one batched engine call whose per-value
+    /// answers demultiplex back to their submission slots; a failed
+    /// coalesced call fails every request it carried with the same typed
+    /// error.
+    fn execute(&self, requests: &[&Request]) -> Vec<Result<ResultRows>> {
+        enum Job<'r> {
+            Points {
+                table: &'r str,
+                column: &'r str,
+                slots: Vec<usize>,
+                values: Vec<mmdb::Value>,
+            },
+            Ranges {
+                table: &'r str,
+                column: &'r str,
+                slots: Vec<usize>,
+                ranges: Vec<(mmdb::Value, mmdb::Value)>,
+            },
+            Query {
+                slot: usize,
+                spec: &'r QuerySpec,
+            },
+        }
+
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut point_groups: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        let mut range_groups: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for (slot, request) in requests.iter().enumerate() {
+            match request {
+                Request::Point {
+                    table,
+                    column,
+                    value,
+                } => {
+                    let at = *point_groups.entry((table, column)).or_insert_with(|| {
+                        jobs.push(Job::Points {
+                            table,
+                            column,
+                            slots: Vec::new(),
+                            values: Vec::new(),
+                        });
+                        jobs.len() - 1
+                    });
+                    let Job::Points { slots, values, .. } = &mut jobs[at] else {
+                        unreachable!("point group indexes a Points job");
+                    };
+                    slots.push(slot);
+                    values.push(value.clone());
+                }
+                Request::Range {
+                    table,
+                    column,
+                    lo,
+                    hi,
+                } => {
+                    let at = *range_groups.entry((table, column)).or_insert_with(|| {
+                        jobs.push(Job::Ranges {
+                            table,
+                            column,
+                            slots: Vec::new(),
+                            ranges: Vec::new(),
+                        });
+                        jobs.len() - 1
+                    });
+                    let Job::Ranges { slots, ranges, .. } = &mut jobs[at] else {
+                        unreachable!("range group indexes a Ranges job");
+                    };
+                    slots.push(slot);
+                    ranges.push((lo.clone(), hi.clone()));
+                }
+                Request::Query(spec) => jobs.push(Job::Query { slot, spec }),
+            }
+        }
+
+        // One pool job per coalesced group / query. These are fat jobs
+        // (each one a whole batched descent or plan execution), so the
+        // pool is sized straight from the engine's thread knob — `0`
+        // meaning one worker per core, the same reading the sharded
+        // scatter gives it.
+        let pool = WorkerPool::new(self.engine.exec_options().threads);
+        let answered: Vec<Vec<(usize, Result<ResultRows>)>> = pool.run(jobs.len(), |i| {
+            let rids_results = |slots: &[usize], batched: Result<Vec<Vec<u32>>>| match batched {
+                Ok(per_probe) => slots
+                    .iter()
+                    .copied()
+                    .zip(per_probe.into_iter().map(|r| Ok(ResultRows::Rids(r))))
+                    .collect(),
+                Err(e) => slots.iter().map(|&s| (s, Err(e.clone()))).collect(),
+            };
+            match &jobs[i] {
+                Job::Points {
+                    table,
+                    column,
+                    slots,
+                    values,
+                } => rids_results(slots, self.engine.point_probe_batch(table, column, values)),
+                Job::Ranges {
+                    table,
+                    column,
+                    slots,
+                    ranges,
+                } => rids_results(slots, self.engine.range_probe_batch(table, column, ranges)),
+                Job::Query { slot, spec } => vec![(*slot, self.engine.run_spec(spec))],
+            }
+        });
+
+        let mut out: Vec<Option<Result<ResultRows>>> = (0..requests.len()).map(|_| None).collect();
+        for (slot, result) in answered.into_iter().flatten() {
+            debug_assert!(out[slot].is_none(), "one answer per request");
+            out[slot] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request slot answered"))
+            .collect()
+    }
+}

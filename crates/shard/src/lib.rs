@@ -478,6 +478,109 @@ mod tests {
     }
 
     #[test]
+    fn scatter_probe_batches_match_the_unsharded_engine() {
+        let rows = 150;
+        let un = unsharded(rows);
+        for db in [
+            sharded(rows, HashPartitioner::new(4).unwrap()),
+            sharded(rows, RangePartitioner::int_spans(0, 39, 4).unwrap()),
+        ] {
+            // Point probes on the shard key (pruned routing), including
+            // duplicates and a key no shard owns under range layout.
+            let values: Vec<Value> = [3i64, 17, 3, 999, 0].map(Value::Int).to_vec();
+            let got = db.point_probe_batch("sales", "cust", &values).unwrap();
+            let want = un.point_probe_batch("sales", "cust", &values).unwrap();
+            assert_eq!(got, want, "{}", db.partitioner());
+            // ... and on a non-key column (fanned routing).
+            let values: Vec<Value> = [100i64, 317, 9_999].map(Value::Int).to_vec();
+            assert_eq!(
+                db.point_probe_batch("sales", "amount", &values).unwrap(),
+                un.point_probe_batch("sales", "amount", &values).unwrap(),
+                "{}",
+                db.partitioner()
+            );
+            // Range probes on key and non-key columns, with empty and
+            // inverted ranges in the batch.
+            let ranges: Vec<(Value, Value)> = [(5i64, 20i64), (39, 10), (-5, 2)]
+                .map(|(lo, hi)| (Value::Int(lo), Value::Int(hi)))
+                .to_vec();
+            assert_eq!(
+                db.range_probe_batch("sales", "cust", &ranges).unwrap(),
+                un.range_probe_batch("sales", "cust", &ranges).unwrap(),
+                "{}",
+                db.partitioner()
+            );
+            assert_eq!(
+                db.range_probe_batch("sales", "amount", &ranges).unwrap(),
+                un.range_probe_batch("sales", "amount", &ranges).unwrap(),
+                "{}",
+                db.partitioner()
+            );
+            // Each slot also equals its per-request query.
+            for (v, rids) in values.iter().zip(
+                db.point_probe_batch("sales", "amount", &values)
+                    .unwrap()
+                    .iter(),
+            ) {
+                let one = db
+                    .query("sales")
+                    .filter(eq("amount", v.clone()))
+                    .run()
+                    .unwrap();
+                assert_eq!(rids, one.rids(), "value {v}");
+            }
+            // Typed errors surface unchanged.
+            assert!(matches!(
+                db.point_probe_batch("nope", "cust", &[Value::Int(1)])
+                    .unwrap_err(),
+                MmdbError::UnknownTable { .. }
+            ));
+            assert!(matches!(
+                db.point_probe_batch("sales", "day", &[Value::from("mon")])
+                    .unwrap_err(),
+                MmdbError::NoIndex { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn probe_batch_validation_beats_routing() {
+        // The access path resolves before routing: a misconfigured
+        // column must fail typed even when every probe routes to no
+        // shard (unowned keys, inverted ranges, or an empty batch) —
+        // exactly like the per-request query path would.
+        let (sales, customers) = seed_tables(30);
+        let mut db = ShardedDatabase::new(RangePartitioner::int_spans(0, 39, 2).unwrap()).unwrap();
+        db.register(sales, "cust").unwrap();
+        db.register(customers, "id").unwrap();
+        // No index on cust yet: every shape fails NoIndex/NoOrderedIndex.
+        assert!(matches!(
+            db.point_probe_batch("sales", "cust", &[Value::Int(999)])
+                .unwrap_err(),
+            MmdbError::NoIndex { .. }
+        ));
+        db.create_index("sales", "cust", IndexKind::Hash).unwrap();
+        // Hash-only column: ranges fail even when inverted (routes nowhere).
+        assert!(matches!(
+            db.range_probe_batch("sales", "cust", &[(Value::Int(50), Value::Int(10))])
+                .unwrap_err(),
+            MmdbError::NoOrderedIndex { .. }
+        ));
+        // Empty batches still validate their names.
+        assert!(matches!(
+            db.point_probe_batch("sales", "nocol", &[]).unwrap_err(),
+            MmdbError::UnknownColumn { .. }
+        ));
+        // A well-formed batch of only-unowned keys answers empty, not
+        // an error.
+        assert_eq!(
+            db.point_probe_batch("sales", "cust", &[Value::Int(999)])
+                .unwrap(),
+            vec![Vec::<u32>::new()]
+        );
+    }
+
+    #[test]
     fn stale_plans_fail_with_a_typed_error() {
         // A plan compiled for one shard count indexes that catalog's
         // shards; executing it elsewhere must fail typed, not panic.

@@ -216,12 +216,15 @@ impl Partitioner for RangePartitioner {
         if lo > hi {
             return Vec::new();
         }
-        (0..self.ranges.len())
-            .filter(|&i| {
-                let (slo, shi) = &self.ranges[i];
-                slo <= hi && lo <= shi
-            })
-            .collect()
+        // The declared ranges are ascending and disjoint, so the shards
+        // a probe `[lo, hi]` can touch form one contiguous span: those
+        // with `shard_hi >= lo` are a suffix, those with `shard_lo <=
+        // hi` are a prefix, and the overlap is everything between the
+        // two partition points — found in O(log shards) instead of the
+        // per-probe linear scan over every shard.
+        let start = self.ranges.partition_point(|(_, shi)| shi < lo);
+        let end = self.ranges.partition_point(|(slo, _)| slo <= hi);
+        (start..end).collect()
     }
 
     fn describe(&self) -> String {
@@ -304,6 +307,63 @@ mod tests {
         );
         assert_eq!(p.range_shards(&Value::Int(12), &Value::Int(5)), vec![]);
         assert!(p.describe().starts_with("range x3"));
+    }
+
+    #[test]
+    fn range_shards_matches_linear_reference_on_boundary_matrix() {
+        // The linear scan the partition-point span replaced: keep shard
+        // i iff its declared range intersects [lo, hi]. Routing must
+        // stay byte-identical across the full boundary matrix.
+        fn linear(p: &RangePartitioner, lo: &Value, hi: &Value) -> Vec<usize> {
+            if lo > hi {
+                return Vec::new();
+            }
+            (0..p.ranges().len())
+                .filter(|&i| {
+                    let (slo, shi) = &p.ranges()[i];
+                    slo <= hi && lo <= shi
+                })
+                .collect()
+        }
+        // Gapped layout: every boundary class is reachable (before the
+        // first range, on edges, inside gaps, past the last range).
+        let gapped = RangePartitioner::new(vec![
+            (Value::Int(0), Value::Int(9)),
+            (Value::Int(10), Value::Int(19)),
+            (Value::Int(30), Value::Int(39)),
+        ])
+        .unwrap();
+        let contiguous = RangePartitioner::int_spans(0, 39, 4).unwrap();
+        let single = RangePartitioner::new(vec![(Value::Int(5), Value::Int(5))]).unwrap();
+        let probes: Vec<i64> = vec![
+            -100, -1, 0, 1, 4, 5, 6, 9, 10, 11, 19, 20, 25, 29, 30, 35, 39, 40, 100,
+        ];
+        for p in [&gapped, &contiguous, &single] {
+            for &a in &probes {
+                for &b in &probes {
+                    // The full matrix includes inverted bounds (a > b),
+                    // which must route nowhere on both paths.
+                    let (lo, hi) = (Value::Int(a), Value::Int(b));
+                    let got = p.range_shards(&lo, &hi);
+                    assert_eq!(got, linear(p, &lo, &hi), "{} [{a}, {b}]", p.describe());
+                    // The span is contiguous and every listed shard is
+                    // in bounds, ascending.
+                    assert!(got.windows(2).all(|w| w[1] == w[0] + 1), "[{a}, {b}]");
+                    assert!(got.iter().all(|&s| s < p.shards()), "[{a}, {b}]");
+                }
+            }
+        }
+        // String-keyed ranges take the same code path.
+        let s = RangePartitioner::new(vec![
+            (Value::from("a"), Value::from("f")),
+            (Value::from("g"), Value::from("m")),
+        ])
+        .unwrap();
+        assert_eq!(
+            s.range_shards(&Value::from("e"), &Value::from("h")),
+            linear(&s, &Value::from("e"), &Value::from("h"))
+        );
+        assert_eq!(s.range_shards(&Value::from("z"), &Value::from("a")), vec![]);
     }
 
     #[test]

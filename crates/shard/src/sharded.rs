@@ -296,6 +296,134 @@ impl ShardedDatabase {
         Ok(reports)
     }
 
+    /// Answer many equality probes on one `table.column` scatter-gather:
+    /// each value routes through the partitioner when the column **is**
+    /// the table's shard key (pruning to the owning shard, or to no
+    /// shard for unowned keys) and fans to every shard otherwise; the
+    /// routed shards each answer their value subset with one local
+    /// [`Database::point_probe_batch`] (a single batched index descent)
+    /// over the shared worker pool, and local RIDs gather back to global
+    /// row order. One ascending global RID set per value, in submission
+    /// order — byte-identical to
+    /// `query(table).filter(eq(column, values[i])).run()?.rids()`.
+    ///
+    /// This is the scatter entry point the batch-forming serving
+    /// front-end (`ccindex-serve`) drives for coalesced point requests.
+    pub fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        let meta = self.meta(table)?;
+        // Resolve the access path once against shard 0 (every shard has
+        // the same schema and index kinds) so a missing table, column or
+        // index fails typed even when routing prunes every probe away —
+        // the per-request query path errors there, and batch answers
+        // must match it byte for byte.
+        self.shards[0].point_probe_batch(table, column, &[])?;
+        if column == meta.shard_key {
+            let routed = scatter_pruned(self.shards.len(), values, |v| {
+                self.partitioner.probe_shards(v)
+            });
+            self.gather_pruned(meta, values.len(), routed, |shard, vals| {
+                shard.point_probe_batch(table, column, vals)
+            })
+        } else {
+            self.gather_fanned(meta, values.len(), |shard| {
+                shard.point_probe_batch(table, column, values)
+            })
+        }
+    }
+
+    /// The range twin of [`ShardedDatabase::point_probe_batch`]: each
+    /// inclusive `[lo, hi]` range prunes to the partitioner's
+    /// [`Partitioner::range_shards`] when the column is the shard key
+    /// (an inverted range routes nowhere), fans everywhere otherwise,
+    /// and the routed shards answer with local
+    /// [`Database::range_probe_batch`] calls. One ascending global RID
+    /// set per range, in submission order.
+    pub fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        let meta = self.meta(table)?;
+        // Same upfront resolution as the point path: an unordered-only
+        // column must fail `NoOrderedIndex` even if every range routes
+        // nowhere.
+        self.shards[0].range_probe_batch(table, column, &[])?;
+        if column == meta.shard_key {
+            let routed = scatter_pruned(self.shards.len(), ranges, |(lo, hi)| {
+                self.partitioner.range_shards(lo, hi)
+            });
+            self.gather_pruned(meta, ranges.len(), routed, |shard, rs| {
+                shard.range_probe_batch(table, column, rs)
+            })
+        } else {
+            self.gather_fanned(meta, ranges.len(), |shard| {
+                shard.range_probe_batch(table, column, ranges)
+            })
+        }
+    }
+
+    /// Run the routed per-shard probe subsets over the worker pool (one
+    /// fat job per shard with work), translate local RIDs to global
+    /// through the placement map, and demultiplex each answer back to
+    /// its probe's submission slot. `slots` is the original probe count:
+    /// a probe that routed to no shard (an unowned key) still owns an
+    /// output slot and answers with the empty set.
+    fn gather_pruned<P: Sync>(
+        &self,
+        meta: &ShardedTable,
+        slots: usize,
+        routed: Vec<(Vec<P>, Vec<usize>)>,
+        answer: impl Fn(&Database, &[P]) -> Result<Vec<Vec<u32>>> + Sync,
+    ) -> Result<Vec<Vec<u32>>> {
+        let jobs: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !routed[s].0.is_empty())
+            .collect();
+        let results = ccindex_parallel::WorkerPool::new(self.exec.threads).run(jobs.len(), |i| {
+            answer(&self.shards[jobs[i]], &routed[jobs[i]].0)
+        });
+        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
+        for (&s, per_probe) in jobs.iter().zip(results) {
+            let locals = &meta.locals[s];
+            for (&slot, local_rids) in routed[s].1.iter().zip(per_probe?) {
+                out[slot].extend(local_rids.iter().map(|&l| locals[l as usize]));
+            }
+        }
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    /// The fanned gather: every shard answers the *same* full probe
+    /// batch (no per-shard subsets, so nothing is cloned), and shard
+    /// `s`'s answer for probe `i` merges straight into output slot `i`.
+    fn gather_fanned(
+        &self,
+        meta: &ShardedTable,
+        slots: usize,
+        answer: impl Fn(&Database) -> Result<Vec<Vec<u32>>> + Sync,
+    ) -> Result<Vec<Vec<u32>>> {
+        let results = ccindex_parallel::WorkerPool::new(self.exec.threads)
+            .run(self.shards.len(), |s| answer(&self.shards[s]));
+        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
+        for (s, per_probe) in results.into_iter().enumerate() {
+            let locals = &meta.locals[s];
+            for (slot, local_rids) in per_probe?.into_iter().enumerate() {
+                out[slot].extend(local_rids.into_iter().map(|l| locals[l as usize]));
+            }
+        }
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
+    }
+
     /// Start a composable query over `table` — the same builder surface
     /// as [`Database::query`], compiled into a [`ShardedPlan`] that
     /// records its shard routing.
@@ -401,6 +529,24 @@ impl ShardedDatabase {
             per_shard: Vec::new(),
         })
     }
+}
+
+/// Route each probe of a shard-key batch to its pruned target shards:
+/// per shard, the probe subset it must answer plus each probe's original
+/// submission slot (a probe routing to no shard appears in no subset).
+fn scatter_pruned<P: Clone>(
+    shards: usize,
+    probes: &[P],
+    route: impl Fn(&P) -> Vec<usize>,
+) -> Vec<(Vec<P>, Vec<usize>)> {
+    let mut routed: Vec<(Vec<P>, Vec<usize>)> = (0..shards).map(|_| Default::default()).collect();
+    for (slot, probe) in probes.iter().enumerate() {
+        for target in route(probe) {
+            routed[target].0.push(probe.clone());
+            routed[target].1.push(slot);
+        }
+    }
+    routed
 }
 
 /// Split `table` into one per-shard table following `locals` (shard ->

@@ -1,0 +1,121 @@
+//! Batch-formation serving tour: concurrent clients probing one catalog
+//! through a `BatchServer`, with the window bounds swept so the effect
+//! of coalescing is visible, then the same traffic through a 4-shard
+//! catalog — answers identical, routing sharded.
+//!
+//! Run with `cargo run --release --example batch_serving`.
+
+use ccindex::prelude::*;
+use ccindex::serve::ServeStats;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), MmdbError> {
+    let n = 400_000usize;
+    let clients = 8usize;
+    let per_client = 400usize;
+
+    let orders = || {
+        TableBuilder::new("orders")
+            .int_column(
+                "amount",
+                (0..n).map(|i| ((i as u64).wrapping_mul(48_271) % (n as u64 / 2)) as i64),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let mut db = Database::new();
+    db.register(orders())?;
+    db.create_index("orders", "amount", IndexKind::FullCss)?;
+
+    println!("== Batch-formation serving: {n} rows, {clients} clients x {per_client} probes ==");
+    let serve = |server: &BatchServer<'_, Database>| -> (Vec<Vec<ResultRows>>, ServeStats, f64) {
+        let t0 = Instant::now();
+        let (answers, stats) = server.serve_concurrent(clients, |c, client| {
+            let pending: Vec<_> = (0..per_client)
+                .map(|k| {
+                    let v = ((c * 2_654_435_761 + k * 48_271) % n) as i64;
+                    client.submit(Request::point("orders", "amount", v))
+                })
+                .collect();
+            pending
+                .into_iter()
+                .map(|p| p.wait().expect("served"))
+                .collect::<Vec<_>>()
+        });
+        (answers, stats, t0.elapsed().as_secs_f64())
+    };
+
+    let mut reference = None;
+    for batch_max in [1usize, 16, 64] {
+        let server = BatchServer::with_options(
+            &db,
+            ServeOptions {
+                batch_max,
+                batch_wait: Duration::from_micros(200),
+            },
+        );
+        let (answers, stats, secs) = serve(&server);
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(&answers, r, "coalescing must not change answers"),
+        }
+        println!(
+            "batch_max {batch_max:>3}: {:>5} windows (deepest {:>3}), {:>8} requests in {secs:.4}s",
+            stats.windows, stats.largest_window, stats.requests
+        );
+    }
+
+    // The same traffic through a sharded catalog: requests scatter
+    // through the partitioner's routing, answers stay identical.
+    let mut sharded = ShardedDatabase::hash(4)?;
+    sharded.register(orders(), "amount")?;
+    sharded.create_index("orders", "amount", IndexKind::FullCss)?;
+    let server = BatchServer::with_options(&sharded, ServeOptions::batch_max(64));
+    let t0 = Instant::now();
+    let (answers, stats) = server.serve_concurrent(clients, |c, client| {
+        let pending: Vec<_> = (0..per_client)
+            .map(|k| {
+                let v = ((c * 2_654_435_761 + k * 48_271) % n) as i64;
+                client.submit(Request::point("orders", "amount", v))
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|p| p.wait().expect("served"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        Some(answers),
+        reference,
+        "sharded serving answers byte-identically"
+    );
+    println!(
+        "hash x4      : {:>5} windows (deepest {:>3}), {:>8} requests in {:.4}s (byte-identical)",
+        stats.windows,
+        stats.largest_window,
+        stats.requests,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Mixed windows: ranges and full query plans ride alongside points.
+    let (mixed, _) = server.serve_concurrent(2, |_, client| {
+        let a = client.submit(Request::range("orders", "amount", 100, 200));
+        let b = client.submit(Request::query(
+            QuerySpec::table("orders").filter(between("amount", 0, 50)),
+        ));
+        (a.wait().expect("served"), b.wait().expect("served"))
+    });
+    let (ranged, planned) = &mixed[0];
+    println!(
+        "mixed window : range hit {} rows, plan hit {} rows",
+        match ranged {
+            ResultRows::Rids(r) => r.len(),
+            _ => unreachable!(),
+        },
+        match planned {
+            ResultRows::Rids(r) => r.len(),
+            _ => unreachable!(),
+        }
+    );
+    Ok(())
+}

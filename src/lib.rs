@@ -41,6 +41,7 @@
 //! | [`model`] | `analysis` | §5 analytical time/space models |
 //! | [`db`] | `mmdb` | Main-memory OLAP database substrate |
 //! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution |
+//! | [`serve`] | `ccindex-serve` | Batch-formation serving front-end |
 //! | [`gen`] | `workload` | Key/lookup/update generators |
 //! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
@@ -50,6 +51,7 @@ pub use bst_index as bst;
 pub use cachesim as sim;
 pub use ccindex_common as common;
 pub use ccindex_parallel as parallel;
+pub use ccindex_serve as serve;
 pub use ccindex_shard as shard;
 pub use css_tree as css;
 pub use hashindex as hash;
@@ -68,12 +70,13 @@ pub mod prelude {
     pub use crate::db::{
         between, build_index, build_ordered_index, count, eq, indexed_nested_loop_join, max, min,
         on, point_select, point_select_many, range_select, range_select_many, sum, Agg, Database,
-        Domain, ExecOptions, IndexKind, MmdbError, RidList, Table, TableBuilder,
+        Domain, ExecOptions, IndexKind, MmdbError, ResultRows, RidList, Table, TableBuilder,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;
     pub use crate::model::Params;
-    pub use crate::parallel::WorkerPool;
+    pub use crate::parallel::{BlockingQueue, WorkerPool};
+    pub use crate::serve::{BatchServer, QuerySpec, Request, ServeEngine, ServeOptions};
     pub use crate::shard::{HashPartitioner, Partitioner, RangePartitioner, ShardedDatabase};
     pub use crate::sim::{CacheHierarchy, Machine, SimTracer};
     pub use crate::sorted::{BinarySearch, InterpolationSearch};

@@ -114,6 +114,50 @@ fn engine_queries_are_identical_across_kinds_and_threads() {
     }
 }
 
+/// An adaptive plan (`threads == 0`) must *explain* the worker count it
+/// resolves to for the planner's row estimate — via the same
+/// `adaptive_threads` the executor applies — never the raw `0` knob.
+#[test]
+fn adaptive_explain_reports_resolved_worker_counts() {
+    let db = workload_db();
+    let plan = db
+        .query("orders")
+        .filter(between("amount", 100, 900))
+        .join("customers", on("cust", "id"))
+        .group_by("region", sum("amount"))
+        .exec(ExecOptions::threads(0))
+        .plan()
+        .expect("planned");
+    // The chunkable nodes keep the adaptive sentinel for execution but
+    // carry the driving table's row count as their explain hint.
+    let join = plan.join.as_ref().expect("join step");
+    let group = plan.group.as_ref().expect("group step");
+    assert_eq!((join.threads, group.threads), (0, 0));
+    let rows = db.table("orders").expect("registered").rows();
+    assert_eq!((join.rows_hint, group.rows_hint), (rows, rows));
+    let resolved = ccindex::parallel::adaptive_threads(rows);
+    let text = plan.explain();
+    let expect = format!("[x{resolved} threads (adaptive)]");
+    assert!(text.contains(&expect), "want `{expect}` in:\n{text}");
+    assert!(!text.contains("x0"), "raw 0 knob must not leak:\n{text}");
+    assert!(
+        text.contains("exec: adaptive worker(s), resolved per node"),
+        "{text}"
+    );
+    // The adaptive plan still answers identically to the sequential one.
+    let sequential = db
+        .query("orders")
+        .filter(between("amount", 100, 900))
+        .join("customers", on("cust", "id"))
+        .group_by("region", sum("amount"))
+        .run()
+        .expect("planned");
+    assert_eq!(
+        plan.execute(&db).expect("executed").rows(),
+        sequential.rows()
+    );
+}
+
 /// The raw partitioned operators against their sequential counterparts,
 /// per kind and thread count.
 #[test]
