@@ -5,7 +5,7 @@
 //!
 //! WHAT:  fig1 table1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!        fig14 warmcache interp batched engine parallel sharded serve
-//!        ablations all
+//!        concurrent ablations all
 //!
 //! OPTIONS:
 //!   --simulate <machine>   run timing figures on the cache simulator
@@ -15,6 +15,12 @@
 //!                          paper: the original sizes, n up to 25M)
 //!   --lookups <N>          probes per measurement (default 100000)
 //! ```
+//!
+//! The timing subcommands (`batched engine parallel sharded serve
+//! concurrent`) also flush their measurements as machine-readable
+//! `BENCH_<what>.json` files (name, params, ns/op, throughput) alongside
+//! the human tables, so sweeps can be tracked across commits without
+//! scraping stdout.
 //!
 //! `fig10`/`fig11` and `fig12`/`fig13` differ only in machine model, so
 //! the unsimulated run prints host measurements once and notes the
@@ -30,7 +36,7 @@ use bench::methods::{
 use bench::protocol::{
     compare_sequential_vs_batched, run_lookup_protocol, simulate_lookup_protocol, Measurement,
 };
-use bench::report::{format_num, print_series, Series};
+use bench::report::{format_num, print_series, write_bench_json, BenchRecord, Series};
 use cachesim::Machine;
 use ccindex_common::{SearchIndex, SortedArray};
 use css_tree::{CssVariant, DynCssTree, FullCssTree, LevelCssTree};
@@ -158,8 +164,21 @@ fn main() {
     if want("serve") {
         serve(&opts);
     }
+    if want("concurrent") {
+        concurrent(&opts);
+    }
     if want("ablations") {
         ablations(&opts);
+    }
+}
+
+/// Flush one subcommand's measurements as `BENCH_<figure>.json` next to
+/// its human table; a write failure is reported, never fatal (the table
+/// already printed).
+fn flush_bench(figure: &str, records: &[BenchRecord]) {
+    match write_bench_json(figure, records) {
+        Ok(path) => println!("  (machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("  could not write BENCH_{figure}.json: {e}"),
     }
 }
 
@@ -174,10 +193,8 @@ fn main() {
 /// The sharded rows route the same traffic through a 4-shard catalog's
 /// scatter entry points.
 fn serve(opts: &Options) {
-    use ccindex_serve::{BatchServer, Request, ServeEngine, ServeOptions};
     use ccindex_shard::ShardedDatabase;
     use mmdb::{Database, IndexKind, TableBuilder};
-    use std::time::Duration;
 
     let n = opts.scaled(2_000_000);
     let per_client = (opts.lookups / 50).clamp(64, 2_000);
@@ -200,6 +217,35 @@ fn serve(opts: &Options) {
         .create_index("orders", "amount", IndexKind::FullCss)
         .expect("column");
 
+    println!(
+        "\n== Batch-formation serving (host): {} rows, {} probes/client, clients x batch window ==",
+        format_num(n as f64),
+        per_client
+    );
+    println!(
+        "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>9}",
+        "catalog", "clients", "batch_max", "windows", "seconds", "requests/s", "vs 1-at-a-time"
+    );
+    let mut records = Vec::new();
+    serve_rows("unsharded", &base, n, per_client, &mut records);
+    serve_rows("hash x4", &sharded, n, per_client, &mut records);
+    println!("  (all batch-formed answers asserted byte-identical to one-probe-at-a-time serving)");
+    flush_bench("serve", &records);
+}
+
+/// One catalog's sweep of the `serve` figure — generic over the snapshot
+/// source (the server pins a fresh generation per window, so the probe
+/// path takes no locks regardless of which catalog is behind it).
+fn serve_rows<S: ccindex_serve::ServeSource>(
+    label: &str,
+    source: &S,
+    n: usize,
+    per_client: usize,
+    records: &mut Vec<BenchRecord>,
+) {
+    use ccindex_serve::{BatchServer, Request, ServeOptions};
+    use std::time::Duration;
+
     // Each client pipelines `per_client` point probes (a mix that hits
     // and misses) and then waits for all of them.
     let probes_of = |client: usize| -> Vec<i64> {
@@ -207,9 +253,9 @@ fn serve(opts: &Options) {
             .map(|k| ((client * 2_654_435_761 + k * 48_271) % n) as i64)
             .collect()
     };
-    let session = |engine: &dyn ServeEngine, clients: usize, batch_max: usize| {
+    let session = |clients: usize, batch_max: usize| {
         let server = BatchServer::with_options(
-            engine,
+            source,
             ServeOptions {
                 batch_max,
                 batch_wait: Duration::from_micros(200),
@@ -227,50 +273,328 @@ fn serve(opts: &Options) {
         })
     };
 
+    for clients in [1usize, 4, 16] {
+        let (reference, _) = session(clients, 1);
+        let mut baseline_s = f64::INFINITY;
+        for batch_max in [1usize, 16, 64] {
+            let (answers, _) = session(clients, batch_max);
+            assert_eq!(
+                answers, reference,
+                "batch-formed answers must be byte-identical \
+                 ({label} clients={clients} batch_max={batch_max})"
+            );
+            let t0 = Instant::now();
+            let (_, stats_timed) = session(clients, batch_max);
+            let secs = t0.elapsed().as_secs_f64();
+            if batch_max == 1 {
+                baseline_s = secs;
+            }
+            println!(
+                "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>8.2}x",
+                label,
+                clients,
+                batch_max,
+                stats_timed.windows,
+                format_num(secs),
+                format_num(stats_timed.requests as f64 / secs),
+                baseline_s / secs
+            );
+            records.push(
+                BenchRecord::new("served point probes")
+                    .param("catalog", label)
+                    .param("clients", clients)
+                    .param("batch_max", batch_max)
+                    .param("windows", stats_timed.windows)
+                    .timed(stats_timed.requests as f64, secs),
+            );
+        }
+    }
+}
+
+/// Beyond-paper, the tentpole measurement of the snapshot catalog: a
+/// serving session pinned to per-window snapshots while a writer thread
+/// continuously commits generations through the rebuild cycle. The
+/// sweep runs the same client traffic three times — no writer (the
+/// read-only baseline), a paced writer, and a flat-out writer — over
+/// both the unsharded and a 4-shard catalog, always through `Send`
+/// reader handles so the writer keeps `&mut` access on its own thread.
+///
+/// The writer replaces (and rebuilds the index of) a small side table in
+/// the same catalog, so generations churn at a high rate without the
+/// rebuild itself monopolising the cores the clients probe on: what the
+/// figure isolates is the cost of the commit/pin synchronisation, which
+/// should be near zero because the probe path takes no locks (readers
+/// pin an immutable generation; the writer swaps an `Arc` on commit).
+///
+/// On hosts with few cores the flat-out writer also steals CPU from the
+/// clients, which is contention the snapshot machinery cannot remove. To
+/// separate the two effects the sweep includes an *equally-loaded
+/// control*: the same flat-out commit loop run against a private scratch
+/// catalog that shares no commit slot with the served one. The tentpole
+/// claim — served-probe throughput within ~10% — is judged against that
+/// control (and against the read-only baseline directly when the host
+/// has cores to spare).
+///
+/// Host-only: the cache simulator is single-threaded, so `--simulate`
+/// is ignored here. Results are also flushed to `BENCH_concurrent.json`.
+fn concurrent(opts: &Options) {
+    use ccindex_shard::ShardedDatabase;
+    use mmdb::{Database, IndexKind, TableBuilder, Value};
+
+    if opts.simulate.is_some() {
+        println!("\n(concurrent serving is host-only; ignoring --simulate)");
+    }
+    let n = opts.scaled(2_000_000);
+    let clients = 4usize;
+    // Long enough sessions that scheduler noise averages out — the
+    // figure is a ratio of wall-clocks, so jitter shows up directly.
+    let per_client = (opts.lookups / 5).clamp(256, 20_000);
+    let feed_rows = 4_096usize;
+    let orders = || {
+        TableBuilder::new("orders")
+            .int_column(
+                "amount",
+                (0..n).map(|i| ((i as u64).wrapping_mul(48_271) % (n as u64 / 2)) as i64),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let feed = || {
+        TableBuilder::new("feed")
+            .int_column("value", (0..feed_rows).map(|i| (i as i64 * 7) % 1_000))
+            .build()
+            .expect("equal columns")
+    };
+    // The batch the writer commits over and over: same shape, same
+    // values — every commit runs the full merge+rebuild cycle and swaps
+    // a new generation in, while served answers stay byte-comparable.
+    let feed_batch: Vec<Value> = (0..feed_rows)
+        .map(|i| Value::Int((i as i64 * 7) % 1_000))
+        .collect();
+    let probes: Vec<Vec<i64>> = (0..clients)
+        .map(|client| {
+            (0..per_client)
+                .map(|k| ((client * 2_654_435_761 + k * 48_271) % n) as i64)
+                .collect()
+        })
+        .collect();
+
     println!(
-        "\n== Batch-formation serving (host): {} rows, {} probes/client, clients x batch window ==",
+        "\n== Concurrent serving vs committing writer (host): {} rows, {} clients x {} probes ==",
         format_num(n as f64),
+        clients,
         per_client
     );
     println!(
-        "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>9}",
-        "catalog", "clients", "batch_max", "windows", "seconds", "requests/s", "vs 1-at-a-time"
+        "{:>12} {:>18} {:>9} {:>12} {:>14} {:>14} {:>13}",
+        "catalog", "writer", "commits", "generation", "seconds", "requests/s", "vs read-only"
     );
-    for (label, engine) in [
-        ("unsharded", &base as &dyn ServeEngine),
-        ("hash x4", &sharded as &dyn ServeEngine),
-    ] {
-        for clients in [1usize, 4, 16] {
-            let (reference, _) = session(engine, clients, 1);
-            let mut baseline_s = f64::INFINITY;
-            for batch_max in [1usize, 16, 64] {
-                let (answers, stats) = session(engine, clients, batch_max);
-                assert_eq!(
-                    answers, reference,
-                    "batch-formed answers must be byte-identical \
-                     ({label} clients={clients} batch_max={batch_max})"
+    let mut records = Vec::new();
+
+    let mut base = Database::new();
+    base.register(orders()).expect("fresh catalog");
+    base.register(feed()).expect("fresh catalog");
+    base.create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+    base.create_index("feed", "value", IndexKind::FullCss)
+        .expect("column");
+    {
+        let handle = base.handle();
+        // The control writer's private catalog: the same feed table and
+        // index, so a commit costs the same CPU, but no shared slot.
+        let mut scratch = Database::new();
+        scratch.register(feed()).expect("fresh catalog");
+        scratch
+            .create_index("feed", "value", IndexKind::FullCss)
+            .expect("column");
+        let mut commit = |db: &mut Database| {
+            db.replace_column("feed", "value", feed_batch.clone())
+                .expect("same shape");
+        };
+        concurrent_rows(
+            "unsharded",
+            &handle,
+            &mut base,
+            &mut scratch,
+            &mut commit,
+            clients,
+            &probes,
+            &mut records,
+        );
+    }
+
+    let mut sharded = ShardedDatabase::hash(4).expect("four shards");
+    sharded.register(orders(), "amount").expect("fresh catalog");
+    sharded.register(feed(), "value").expect("fresh catalog");
+    sharded
+        .create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+    sharded
+        .create_index("feed", "value", IndexKind::FullCss)
+        .expect("column");
+    {
+        let handle = sharded.handle();
+        let mut scratch = ShardedDatabase::hash(4).expect("four shards");
+        scratch.register(feed(), "value").expect("fresh catalog");
+        scratch
+            .create_index("feed", "value", IndexKind::FullCss)
+            .expect("column");
+        let mut commit = |db: &mut ShardedDatabase| {
+            db.replace_column("feed", "value", feed_batch.clone())
+                .expect("same shape");
+        };
+        concurrent_rows(
+            "hash x4",
+            &handle,
+            &mut sharded,
+            &mut scratch,
+            &mut commit,
+            clients,
+            &probes,
+            &mut records,
+        );
+    }
+
+    println!("  (all writer-raced answers asserted byte-identical to the read-only baseline)");
+    flush_bench("concurrent", &records);
+}
+
+/// One catalog's rows of the `concurrent` figure: the read-only
+/// baseline, then the same traffic with a paced writer, the
+/// equally-loaded control (the flat-out commit loop against `scratch`,
+/// which shares no commit slot with the served catalog), and finally the
+/// flat-out writer committing into the served catalog — all on this
+/// thread while the serving session runs over the `Send + Sync` handle
+/// on another. Continuous-vs-control isolates the synchronisation cost
+/// of sharing the commit slot from plain CPU contention.
+#[allow(clippy::too_many_arguments)]
+fn concurrent_rows<S, D>(
+    label: &str,
+    handle: &S,
+    db: &mut D,
+    scratch: &mut D,
+    commit: &mut dyn FnMut(&mut D),
+    clients: usize,
+    probes: &[Vec<i64>],
+    records: &mut Vec<BenchRecord>,
+) where
+    S: ccindex_serve::ServeSource,
+{
+    use ccindex_serve::{BatchServer, Request, ServeOptions};
+    use std::time::Duration;
+
+    let mut session = |pace: Option<Option<Duration>>, db: &mut D| {
+        let mut commits = 0u64;
+        let (answers, stats, secs) = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| {
+                let server = BatchServer::with_options(
+                    handle,
+                    ServeOptions {
+                        batch_max: 64,
+                        batch_wait: Duration::from_micros(200),
+                    },
                 );
                 let t0 = Instant::now();
-                let (_, stats_timed) = session(engine, clients, batch_max);
-                let secs = t0.elapsed().as_secs_f64();
-                if batch_max == 1 {
-                    baseline_s = secs;
+                let (answers, stats) = server.serve_concurrent(clients, |c, client| {
+                    let pending: Vec<_> = probes[c]
+                        .iter()
+                        .map(|&v| client.submit(Request::point("orders", "amount", v)))
+                        .collect();
+                    pending
+                        .into_iter()
+                        .map(|p| p.wait().expect("served"))
+                        .collect::<Vec<_>>()
+                });
+                (answers, stats, t0.elapsed().as_secs_f64())
+            });
+            if let Some(gap) = pace {
+                while !server_thread.is_finished() {
+                    commit(db);
+                    commits += 1;
+                    if let Some(gap) = gap {
+                        std::thread::sleep(gap);
+                    }
                 }
-                let _ = stats;
-                println!(
-                    "{:>22} {:>8} {:>10} {:>9} {:>14} {:>14} {:>8.2}x",
-                    label,
-                    clients,
-                    batch_max,
-                    stats_timed.windows,
-                    format_num(secs),
-                    format_num(stats_timed.requests as f64 / secs),
-                    baseline_s / secs
-                );
+            }
+            server_thread.join().expect("serving thread")
+        });
+        (answers, stats, secs, commits)
+    };
+
+    let requests = (clients * probes[0].len()) as f64;
+    let mut reference = None;
+    let mut baseline = f64::INFINITY;
+    let mut control = f64::INFINITY;
+    for (writer, pace, on_scratch) in [
+        ("none", None, false),
+        ("paced 500us", Some(Some(Duration::from_micros(500))), false),
+        ("unshared control", Some(None), true),
+        ("continuous", Some(None), false),
+    ] {
+        // Best of five repetitions: one-shot timings on a loaded host
+        // are noisy and the figure is about ratios. Answers are checked
+        // on every repetition, not just the kept one.
+        let mut secs = f64::INFINITY;
+        let mut best = None;
+        for _ in 0..5 {
+            let target = if on_scratch { &mut *scratch } else { &mut *db };
+            let (answers, stats, run_secs, commits) = session(pace, target);
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(
+                    &answers, r,
+                    "writer-raced answers must be byte-identical ({label} writer={writer})"
+                ),
+            }
+            if run_secs < secs {
+                secs = run_secs;
+                best = Some((stats, commits));
             }
         }
+        let (stats, commits) = best.expect("three repetitions ran");
+        if pace.is_none() {
+            baseline = secs;
+        }
+        if on_scratch {
+            control = secs;
+        }
+        let ratio = baseline / secs;
+        println!(
+            "{:>12} {:>18} {:>9} {:>12} {:>14} {:>14} {:>12.2}x",
+            label,
+            writer,
+            commits,
+            stats.snapshot.generation,
+            format_num(secs),
+            format_num(requests / secs),
+            ratio
+        );
+        if writer == "continuous" {
+            let vs_control = control / secs;
+            println!(
+                "{:>12} {:>18} at {:.1}% of read-only, {:.1}% of the equally-loaded control ({})",
+                "",
+                "",
+                100.0 * ratio,
+                100.0 * vs_control,
+                if vs_control >= 0.9 {
+                    "within the 10% acceptance band"
+                } else {
+                    "outside the 10% acceptance band on this host"
+                }
+            );
+        }
+        records.push(
+            BenchRecord::new("served point probes vs writer")
+                .param("catalog", label)
+                .param("writer", writer)
+                .param("clients", clients)
+                .param("commits", commits)
+                .param("generation", stats.snapshot.generation)
+                .param("swaps", stats.snapshot.swaps)
+                .timed(requests, secs),
+        );
     }
-    println!("  (all batch-formed answers asserted byte-identical to one-probe-at-a-time serving)");
 }
 
 /// Beyond-paper: the lookup protocol in sequential vs batched mode for
@@ -300,6 +624,7 @@ fn batched(opts: &Options) {
         "{:>22} {:>16} {:>16} {:>9}",
         "Method", "sequential (s)", "batched (s)", "delta"
     );
+    let mut records = Vec::new();
     for r in rows {
         println!(
             "{:>22} {:>16} {:>16} {:>8.1}%",
@@ -309,7 +634,21 @@ fn batched(opts: &Options) {
             100.0 * (r.batched.total_seconds - r.sequential.total_seconds)
                 / r.sequential.total_seconds.max(1e-12)
         );
+        for (mode, secs) in [
+            ("sequential", r.sequential.total_seconds),
+            ("batched", r.batched.total_seconds),
+        ] {
+            records.push(
+                BenchRecord::new("lookup protocol")
+                    .param("method", &r.label)
+                    .param("mode", mode)
+                    .param("machine", &machine_label)
+                    .param("n", n)
+                    .timed(stream.len() as f64, secs),
+            );
+        }
     }
+    flush_bench("batched", &records);
 }
 
 /// Beyond-paper: the §2.2 index consumers as *whole queries* through the
@@ -354,6 +693,7 @@ fn engine(opts: &Options) {
         "{:>14} {:>12} {:>14} {:>14} {:>14} {:>16}",
         "access path", "build (s)", "point (s)", "conj (s)", "join (s)", "pipeline (s)"
     );
+    let mut records = Vec::new();
     for kind in [
         IndexKind::FullCss,
         IndexKind::LevelCss,
@@ -415,7 +755,23 @@ fn engine(opts: &Options) {
             format_num(t_join),
             format_num(t_pipe)
         );
+        for (query, secs) in [
+            ("build", build),
+            ("point", t_point),
+            ("conjunction", t_conj),
+            ("join", t_join),
+            ("pipeline", t_pipe),
+        ] {
+            records.push(
+                BenchRecord::new("whole query")
+                    .param("access_path", format!("{kind:?}"))
+                    .param("query", query)
+                    .param("orders", n_orders)
+                    .timed(1.0, secs),
+            );
+        }
     }
+    flush_bench("engine", &records);
 }
 
 /// Beyond-paper: partitioned parallel execution — the sequential baseline
@@ -459,6 +815,7 @@ fn parallel(opts: &Options) {
         "{:>10} {:>14} {:>18} {:>9}",
         "threads", "seconds", "probes/s", "speedup"
     );
+    let mut records = Vec::new();
     let baseline = best_of(&|| {
         std::hint::black_box(css.lower_bound_batch_lanes(probes, lanes));
     });
@@ -468,6 +825,12 @@ fn parallel(opts: &Options) {
         format_num(baseline),
         format_num(probes.len() as f64 / baseline),
         1.0
+    );
+    records.push(
+        BenchRecord::new("batched lower bounds")
+            .param("threads", "seq")
+            .param("n", n)
+            .timed(probes.len() as f64, baseline),
     );
     let reference = css.lower_bound_batch_lanes(probes, lanes);
     for threads in thread_counts {
@@ -485,6 +848,12 @@ fn parallel(opts: &Options) {
             format_num(t),
             format_num(probes.len() as f64 / t),
             baseline / t
+        );
+        records.push(
+            BenchRecord::new("batched lower bounds")
+                .param("threads", threads)
+                .param("n", n)
+                .timed(probes.len() as f64, t),
         );
     }
 
@@ -553,6 +922,12 @@ fn parallel(opts: &Options) {
         format_num(n_orders as f64 / baseline),
         1.0
     );
+    records.push(
+        BenchRecord::new("group-by pipeline")
+            .param("threads", "seq")
+            .param("orders", n_orders)
+            .timed(n_orders as f64, baseline),
+    );
     for threads in thread_counts {
         db.set_exec_options(ExecOptions {
             threads,
@@ -574,7 +949,14 @@ fn parallel(opts: &Options) {
             format_num(n_orders as f64 / t),
             baseline / t
         );
+        records.push(
+            BenchRecord::new("group-by pipeline")
+                .param("threads", threads)
+                .param("orders", n_orders)
+                .timed(n_orders as f64, t),
+        );
     }
+    flush_bench("parallel", &records);
 }
 
 /// Beyond-paper: sharded scatter-gather execution — the unsharded
@@ -711,6 +1093,10 @@ fn sharded(opts: &Options) {
         format_num(4.0 / baseline),
         1.0
     );
+    let mut records = vec![BenchRecord::new("scatter-gather queries")
+        .param("catalog", "unsharded")
+        .param("orders", n_orders)
+        .timed(4.0, baseline)];
 
     for shards in [1usize, 2, 4, 8] {
         for hash in [true, false] {
@@ -755,9 +1141,16 @@ fn sharded(opts: &Options) {
                 format_num(4.0 / t),
                 baseline / t
             );
+            records.push(
+                BenchRecord::new("scatter-gather queries")
+                    .param("catalog", &label)
+                    .param("orders", n_orders)
+                    .timed(4.0, t),
+            );
         }
     }
     println!("  (all sharded rows asserted byte-identical to the unsharded baseline)");
+    flush_bench("sharded", &records);
 }
 
 /// Beyond-figure ablations: \[LC86a\]-vs-\[LC86b\] T-tree descents (bytes

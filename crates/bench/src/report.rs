@@ -63,6 +63,119 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]
     }
 }
 
+/// One machine-readable benchmark measurement: what ran (`name` plus
+/// free-form `params`), and how fast (`ns_per_op` / `ops_per_sec`). The
+/// `figures` subcommands collect these alongside their human tables and
+/// flush them with [`write_bench_json`].
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    /// What was measured (e.g. `"served points"`, `"group-by pipeline"`).
+    pub name: String,
+    /// Configuration axes as ordered key/value pairs (client counts,
+    /// shard counts, writer modes, ...). Values are kept as strings so
+    /// one schema covers every figure.
+    pub params: Vec<(String, String)>,
+    /// Nanoseconds per operation (probe, request, query — the `name`
+    /// says which).
+    pub ns_per_op: f64,
+    /// Operations per second — `1e9 / ns_per_op`, recorded explicitly so
+    /// consumers need no arithmetic.
+    pub ops_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// A record with no parameters or timings yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Append one configuration axis.
+    pub fn param(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.params.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Fill both timing fields from `ops` operations taking `seconds`.
+    pub fn timed(mut self, ops: f64, seconds: f64) -> Self {
+        if ops > 0.0 && seconds > 0.0 {
+            self.ns_per_op = seconds * 1e9 / ops;
+            self.ops_per_sec = ops / seconds;
+        }
+        self
+    }
+}
+
+/// Write `records` as `BENCH_<figure>.json` in the working directory and
+/// return the path. The JSON is hand-rolled (the workspace takes no
+/// dependencies): an object with the figure name and one entry per
+/// record — `{"name", "params": {..}, "ns_per_op", "ops_per_sec"}`.
+pub fn write_bench_json(
+    figure: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{figure}.json"));
+    std::fs::write(&path, render_bench_json(figure, records))?;
+    Ok(path)
+}
+
+/// The JSON text [`write_bench_json`] writes, for callers (and tests)
+/// that want the bytes without the file.
+pub fn render_bench_json(figure: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"figure\": {},\n", json_string(figure)));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": {}, ", json_string(&r.name)));
+        out.push_str("\"params\": {");
+        for (j, (k, v)) in r.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_string(k), json_string(v)));
+        }
+        out.push_str("}, ");
+        out.push_str(&format!(
+            "\"ns_per_op\": {}, \"ops_per_sec\": {}",
+            json_number(r.ns_per_op),
+            json_number(r.ops_per_sec)
+        ));
+        out.push_str(if i + 1 < records.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no Infinity/NaN literals; clamp non-finite values to 0.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 fn truncate(s: &str, n: usize) -> &str {
     if s.len() <= n {
         s
@@ -126,6 +239,47 @@ mod tests {
         s.push(1.0, 2.0);
         s.push(10.0, 3.0);
         assert_eq!(s.points.len(), 2);
+    }
+
+    #[test]
+    fn bench_records_render_as_valid_json() {
+        let records = [
+            BenchRecord::new("served points")
+                .param("clients", 4)
+                .param("writer", "continuous")
+                .timed(1_000.0, 0.5),
+            BenchRecord::new("a \"quoted\"\nname").timed(0.0, 0.0),
+        ];
+        let json = render_bench_json(concat!("test_", "figure"), &records);
+        assert!(json.contains("\"figure\": \"test_figure\""));
+        assert!(json.contains("\"name\": \"served points\""));
+        assert!(json.contains("\"clients\": \"4\", \"writer\": \"continuous\""));
+        assert!(json.contains("\"ns_per_op\": 500000"));
+        assert!(json.contains("\"ops_per_sec\": 2000"));
+        // Escapes keep the output parseable; untimed records stay 0.
+        assert!(json.contains("\\\"quoted\\\"\\nname"));
+        assert!(json.contains("\"ns_per_op\": 0, \"ops_per_sec\": 0"));
+        // Balanced braces/brackets (a cheap well-formedness proxy given
+        // the workspace has no JSON parser to round-trip through).
+        let count = |c: char| json.matches(c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+
+    #[test]
+    fn non_finite_timings_clamp_to_zero() {
+        let r = BenchRecord::new("x").timed(10.0, 0.0);
+        assert_eq!(r.ns_per_op, 0.0);
+        let json = render_bench_json(
+            "clamp",
+            &[BenchRecord {
+                name: "y".into(),
+                params: Vec::new(),
+                ns_per_op: f64::INFINITY,
+                ops_per_sec: f64::NAN,
+            }],
+        );
+        assert!(json.contains("\"ns_per_op\": 0, \"ops_per_sec\": 0"));
     }
 
     #[test]

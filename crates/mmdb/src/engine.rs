@@ -41,6 +41,15 @@
 //! cycle ([`apply_batch_kinds_par`]) for every index registered on it —
 //! the independent per-kind rebuilds fanning out across the worker pool
 //! sized by the catalog's [`ExecOptions`].
+//!
+//! **Concurrency** follows the epoch/snapshot discipline in
+//! [`snapshot`](crate::snapshot): the `Database` owns a private mutable
+//! *tip* ([`CatalogState`]), and every successful mutator commits the
+//! tip as the next immutable generation of a shared [`SwapSlot`].
+//! Readers on other threads pin generations through
+//! [`Database::snapshot`]/[`Database::handle`] and keep probing them,
+//! lock-free, while the writer builds the next one off to the side —
+//! a commit is one `Arc` swap, never a data race.
 
 use crate::column::Column;
 use crate::domain::Value;
@@ -48,20 +57,30 @@ use crate::error::{MmdbError, Result};
 use crate::index_choice::{IndexHandle, IndexKind};
 use crate::plan::{ExecOptions, Query};
 use crate::rid::RidList;
+use crate::snapshot::{CatalogState, DatabaseHandle, Snapshot, SwapSlot};
 use crate::table::Table;
 use crate::update::apply_batch_kinds_par;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The engine: tables plus their access paths, behind name resolution
 /// that fails with a typed, offender-naming [`MmdbError`] instead of a
 /// panic.
+///
+/// The catalog data itself lives in an immutable-once-committed
+/// [`CatalogState`]; the `Database` is the single writer building the
+/// next generation in place and committing it on every successful
+/// mutation. All read methods answer from the tip (the writer always
+/// sees its own latest commit); concurrent readers answer from whatever
+/// generation they [`snapshot`](Database::snapshot)ted.
 #[derive(Debug)]
 pub struct Database {
-    tables: BTreeMap<String, TableEntry>,
-    /// Catalog-wide execution knobs every compiled plan inherits (unless
-    /// the query overrides them with [`Query::exec`]).
-    exec: ExecOptions,
+    /// The writer's private next generation, committed by
+    /// [`Database::publish`] at the end of every successful mutator.
+    tip: CatalogState,
+    /// The commit point shared with every reader handle and snapshot.
+    slot: Arc<SwapSlot<CatalogState>>,
 }
 
 impl Default for Database {
@@ -70,7 +89,7 @@ impl Default for Database {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct TableEntry {
     pub(crate) table: Table,
     /// Access paths, created lazily: a column gets an entry when its
@@ -79,11 +98,14 @@ pub(crate) struct TableEntry {
 }
 
 /// A column's access paths: the sorted RID list every index of the
-/// column shares, and the indexes keyed by kind.
-#[derive(Debug)]
+/// column shares, and the indexes keyed by kind. Handles sit behind
+/// [`Arc`] so an untouched index is *shared* between generations when a
+/// commit copy-on-writes its table entry, instead of being rebuilt or
+/// deep-copied.
+#[derive(Debug, Clone)]
 pub(crate) struct ColumnEntry {
     pub(crate) rids: RidList,
-    pub(crate) indexes: BTreeMap<IndexKind, IndexHandle>,
+    pub(crate) indexes: BTreeMap<IndexKind, Arc<IndexHandle>>,
 }
 
 /// What one [`Database::rebuild_column`] cycle did, per §2.3's
@@ -104,55 +126,56 @@ impl Database {
     /// query of a process to partitioned execution without code changes
     /// (the compiled-in default is sequential).
     pub fn new() -> Self {
-        Self {
+        let tip = CatalogState {
             tables: BTreeMap::new(),
             exec: ExecOptions::from_env(),
-        }
+            generation: 0,
+        };
+        let slot = SwapSlot::new(tip.clone(), 0);
+        Self { tip, slot }
     }
 
     /// Set the catalog-wide [`ExecOptions`]: worker threads for the
     /// partitioned equality/range/join/group operators and interleave
     /// lanes for batch-aware indexes. Plans compiled afterwards record
-    /// these; running plans are unaffected.
+    /// these; running plans are unaffected. Commits a generation, so
+    /// snapshots pinned afterwards inherit the new knobs.
     pub fn set_exec_options(&mut self, options: ExecOptions) {
-        self.exec = options;
+        self.tip.exec = options;
+        self.publish();
     }
 
     /// The catalog-wide [`ExecOptions`] new plans inherit.
     pub fn exec_options(&self) -> ExecOptions {
-        self.exec
+        self.tip.exec
     }
 
     /// Register a table under its own name. Fails with
     /// [`MmdbError::DuplicateTable`] if the name is taken.
     pub fn register(&mut self, table: Table) -> Result<()> {
         let name = table.name().to_owned();
-        if self.tables.contains_key(&name) {
+        if self.tip.tables.contains_key(&name) {
             return Err(MmdbError::DuplicateTable { table: name });
         }
-        self.tables.insert(
+        self.tip.tables.insert(
             name,
-            TableEntry {
+            Arc::new(TableEntry {
                 table,
                 columns: BTreeMap::new(),
-            },
+            }),
         );
+        self.publish();
         Ok(())
     }
 
     /// Registered table names, in name order.
     pub fn tables(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+        self.tip.tables()
     }
 
     /// The table registered as `name`.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(name)
-            .map(|e| &e.table)
-            .ok_or_else(|| MmdbError::UnknownTable {
-                table: name.to_owned(),
-            })
+        self.tip.table(name)
     }
 
     /// Build (or rebuild) a `kind` index on `table.column`. The column's
@@ -174,7 +197,8 @@ impl Database {
             }
         });
         let handle = IndexHandle::build(kind, col_entry.rids.keys());
-        col_entry.indexes.insert(kind, handle);
+        col_entry.indexes.insert(kind, Arc::new(handle));
+        self.publish();
         Ok(())
     }
 
@@ -206,41 +230,35 @@ impl Database {
         if col_entry.indexes.is_empty() {
             entry.columns.remove(column);
         }
+        self.publish();
         Ok(())
     }
 
     /// The sorted RID list the catalog owns for `table.column` (present
     /// once any index exists on the column).
     pub fn rid_list(&self, table: &str, column: &str) -> Result<&RidList> {
-        Ok(&self.column_entry(table, column)?.rids)
+        self.tip.rid_list(table, column)
     }
 
     /// The `kind` index on `table.column`.
     pub fn index(&self, table: &str, column: &str, kind: IndexKind) -> Result<&IndexHandle> {
-        self.column_entry(table, column)?
-            .indexes
-            .get(&kind)
-            .ok_or_else(|| MmdbError::IndexNotBuilt {
-                table: table.to_owned(),
-                column: column.to_owned(),
-                kind,
-            })
+        self.tip.index(table, column, kind)
     }
 
     /// Which kinds are built on `table.column`, in [`IndexKind`] order.
     pub fn indexed_kinds(&self, table: &str, column: &str) -> Result<Vec<IndexKind>> {
-        Ok(self
-            .column_entry(table, column)?
-            .indexes
-            .keys()
-            .copied()
-            .collect())
+        self.tip.indexed_kinds(table, column)
     }
 
     /// Replace a column's values wholesale (the OLAP batch-update entry
     /// point), then run the rebuild cycle over its indexes — an empty
     /// report if the column has none. The new values must keep the
     /// table's row count; every error path leaves the table untouched.
+    ///
+    /// The whole cycle commits **one** generation, at the end: a
+    /// concurrent snapshot sees either the old column with the old
+    /// indexes or the new column with the new indexes, never the torn
+    /// state in between.
     pub fn replace_column(
         &mut self,
         table: &str,
@@ -266,14 +284,16 @@ impl Database {
         entry
             .table
             .replace_column(column, Column::from_values(&values));
-        if indexed {
-            self.rebuild_column(table, column)
+        let report = if indexed {
+            self.rebuild_column_in_tip(table, column)?
         } else {
-            Ok(RebuildReport {
+            RebuildReport {
                 sort_time: Duration::ZERO,
                 rebuilds: Vec::new(),
-            })
-        }
+            }
+        };
+        self.publish();
+        Ok(report)
     }
 
     /// Re-derive `table.column`'s RID list from the (possibly mutated)
@@ -285,8 +305,18 @@ impl Database {
     /// (`1` rebuilds sequentially; `0` spawns one worker per kind up to
     /// the core count — each job here is a whole index build, so the
     /// kind count, not a probe estimate, is the right partition unit).
+    /// On success the rebuilt generation commits atomically.
     pub fn rebuild_column(&mut self, table: &str, column: &str) -> Result<RebuildReport> {
-        let threads = self.exec.threads;
+        let report = self.rebuild_column_in_tip(table, column)?;
+        self.publish();
+        Ok(report)
+    }
+
+    /// The rebuild cycle itself, run against the uncommitted tip — so
+    /// [`Database::replace_column`] can mutate and rebuild under a
+    /// single commit instead of exposing a column/index mismatch.
+    fn rebuild_column_in_tip(&mut self, table: &str, column: &str) -> Result<RebuildReport> {
+        let threads = self.tip.exec.threads;
         let table_name = table.to_owned();
         let entry = self.entry_mut(table)?;
         let col = entry
@@ -313,7 +343,7 @@ impl Database {
         let cycle = apply_batch_kinds_par(col_entry.rids.keys(), &[], &[], &kinds, threads);
         let mut rebuilds = Vec::with_capacity(kinds.len());
         for (kind, handle, rebuild_time) in cycle.rebuilds {
-            col_entry.indexes.insert(kind, handle);
+            col_entry.indexes.insert(kind, Arc::new(handle));
             rebuilds.push((kind, rebuild_time));
         }
         Ok(RebuildReport {
@@ -327,70 +357,91 @@ impl Database {
     /// the entry point a sharded catalog uses when re-partitioning a
     /// table whose shard-key column was replaced.
     pub fn drop_table(&mut self, table: &str) -> Result<()> {
-        if self.tables.remove(table).is_none() {
+        if self.tip.tables.remove(table).is_none() {
             return Err(MmdbError::UnknownTable {
                 table: table.to_owned(),
             });
         }
+        self.publish();
         Ok(())
     }
 
     /// Start a composable query over `table` (resolution happens at
     /// [`Query::plan`]/[`Query::run`], so an unknown name fails there
-    /// with a typed error, not here).
+    /// with a typed error, not here). Answers from the writer's tip —
+    /// concurrent readers should [`snapshot`](Database::snapshot) and
+    /// query that instead.
     pub fn query(&self, table: impl Into<String>) -> Query<'_> {
-        Query::new(self, table.into())
+        self.tip.query(table)
     }
 
-    // ---- crate-internal resolution used by the planner/executor ----
+    // ---- the epoch/snapshot surface ----
 
-    pub(crate) fn entry(&self, table: &str) -> Result<&TableEntry> {
-        self.tables
-            .get(table)
-            .ok_or_else(|| MmdbError::UnknownTable {
-                table: table.to_owned(),
-            })
+    /// Pin the current committed generation: the returned [`Snapshot`]
+    /// answers the whole read surface ([`CatalogState`]) lock-free and
+    /// is unaffected by any later mutation of this `Database`.
+    pub fn snapshot(&self) -> Snapshot {
+        self.slot.pin()
     }
 
-    fn entry_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .get_mut(table)
-            .ok_or_else(|| MmdbError::UnknownTable {
-                table: table.to_owned(),
-            })
-    }
-
-    /// The column itself (no index required).
-    pub(crate) fn column(&self, table: &str, column: &str) -> Result<&Column> {
-        self.entry(table)?
-            .table
-            .column(column)
-            .ok_or_else(|| MmdbError::UnknownColumn {
-                table: table.to_owned(),
-                column: column.to_owned(),
-            })
-    }
-
-    /// The column's access paths; [`MmdbError::NoIndex`] when the column
-    /// exists but has never been indexed.
-    pub(crate) fn column_entry(&self, table: &str, column: &str) -> Result<&ColumnEntry> {
-        let entry = self.entry(table)?;
-        if entry.table.column(column).is_none() {
-            return Err(MmdbError::UnknownColumn {
-                table: table.to_owned(),
-                column: column.to_owned(),
-            });
+    /// A cloneable, `Send + Sync` reader handle sharing this catalog's
+    /// commit slot: other threads snapshot through it while this thread
+    /// keeps `&mut` access for updates.
+    pub fn handle(&self) -> DatabaseHandle {
+        DatabaseHandle {
+            slot: Arc::clone(&self.slot),
         }
-        entry.columns.get(column).ok_or_else(|| MmdbError::NoIndex {
-            table: table.to_owned(),
-            column: column.to_owned(),
-        })
+    }
+
+    /// The writer's current (always committed-or-newer) catalog state —
+    /// what [`Database::query`] and the probe batches answer from.
+    pub fn catalog(&self) -> &CatalogState {
+        &self.tip
+    }
+
+    /// The generation number of the latest commit (0 = empty catalog).
+    pub fn generation(&self) -> u64 {
+        self.tip.generation
+    }
+
+    /// How many generations have been committed over this catalog's
+    /// lifetime.
+    pub fn swap_count(&self) -> u64 {
+        self.slot.swaps()
+    }
+
+    /// Live pinned snapshots, across all generations (racy by nature;
+    /// observability for the serving layer's stats).
+    pub fn pinned_snapshots(&self) -> usize {
+        self.slot.pinned()
+    }
+
+    /// Commit the tip as the next generation. Every mutator calls this
+    /// exactly once, after *all* of its mutations succeeded — the
+    /// invariant that makes each generation internally consistent.
+    fn publish(&mut self) {
+        self.tip.generation += 1;
+        self.slot.install(self.tip.clone(), self.tip.generation);
+    }
+
+    /// Copy-on-write access to a table entry in the tip: if the entry is
+    /// shared with a committed generation it is cloned first, so pinned
+    /// readers never observe the mutation.
+    fn entry_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
+        self.tip
+            .tables
+            .get_mut(table)
+            .map(Arc::make_mut)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: table.to_owned(),
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::eq;
     use crate::table::TableBuilder;
 
     fn sales_db() -> Database {
@@ -625,5 +676,113 @@ mod tests {
             db.table("sales").unwrap().value("region", 4),
             Some(&Value::Str("e".into()))
         );
+    }
+
+    #[test]
+    fn snapshots_pin_generations_and_commits_are_atomic() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        let g_before = db.generation();
+        let before = db.snapshot();
+        assert_eq!(before.generation(), g_before);
+        assert_eq!(db.pinned_snapshots(), 1);
+
+        // Replace + rebuild commits exactly one generation.
+        let swaps_before = db.swap_count();
+        db.replace_column(
+            "sales",
+            "amount",
+            vec![100i64, 200, 300, 400, 500]
+                .into_iter()
+                .map(Value::Int)
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(db.swap_count(), swaps_before + 1, "one commit per cycle");
+        assert_eq!(db.generation(), g_before + 1);
+
+        // The pinned snapshot still answers over the *old* column and
+        // old index; a fresh snapshot sees the new generation.
+        assert_eq!(
+            before
+                .query("sales")
+                .filter(eq("amount", 30))
+                .run()
+                .unwrap()
+                .rids(),
+            &[0, 4]
+        );
+        assert!(before
+            .query("sales")
+            .filter(eq("amount", 300))
+            .run()
+            .unwrap()
+            .is_empty());
+        let after = db.snapshot();
+        assert_eq!(
+            after
+                .query("sales")
+                .filter(eq("amount", 300))
+                .run()
+                .unwrap()
+                .rids(),
+            &[2]
+        );
+        assert_eq!(db.pinned_snapshots(), 2);
+        drop(before);
+        drop(after);
+        assert_eq!(db.pinned_snapshots(), 0);
+    }
+
+    #[test]
+    fn handle_shares_the_commit_slot_across_threads() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::Hash).unwrap();
+        let handle = db.handle();
+        let g = db.generation();
+        // A reader thread pins and answers while the owner retains &mut.
+        let rids = std::thread::scope(|scope| {
+            let reader = scope.spawn({
+                let handle = handle.clone();
+                move || {
+                    let snap = handle.snapshot();
+                    snap.query("sales")
+                        .filter(eq("amount", 10))
+                        .run()
+                        .unwrap()
+                        .rids()
+                        .to_vec()
+                }
+            });
+            reader.join().expect("reader thread")
+        });
+        assert_eq!(rids, vec![1, 3]);
+        assert_eq!(handle.generation(), g);
+        assert_eq!(handle.pinned(), 0, "reader's pin was dropped");
+        // Commits through the owner are visible through the handle.
+        db.drop_index("sales", "amount", IndexKind::Hash).unwrap();
+        assert_eq!(handle.generation(), g + 1);
+        assert!(handle.swaps() >= 1);
+    }
+
+    #[test]
+    fn unpublished_error_paths_leave_readers_on_the_old_generation() {
+        let mut db = sales_db();
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .unwrap();
+        let g = db.generation();
+        let swaps = db.swap_count();
+        // A failing mutation must not commit anything.
+        db.replace_column("sales", "amount", vec![Value::Int(1)])
+            .unwrap_err();
+        db.create_index("sales", "nope", IndexKind::Hash)
+            .unwrap_err();
+        db.drop_index("sales", "amount", IndexKind::TTree)
+            .unwrap_err();
+        db.drop_table("nope").unwrap_err();
+        assert_eq!(db.generation(), g);
+        assert_eq!(db.swap_count(), swaps);
+        assert_eq!(db.snapshot().generation(), g);
     }
 }

@@ -50,6 +50,7 @@ pub mod index_choice;
 pub mod plan;
 pub mod query;
 pub mod rid;
+pub mod snapshot;
 pub mod table;
 pub mod update;
 
@@ -60,6 +61,7 @@ pub use plan::{
     between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, Predicate,
     Query, ResultRows, ResultSet,
 };
+pub use snapshot::{CatalogState, DatabaseHandle, Pinned, Snapshot, SwapSlot};
 
 // The physical layer.
 pub use aggregate::{

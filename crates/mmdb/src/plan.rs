@@ -53,6 +53,7 @@ use crate::query::{
     indexed_nested_loop_join_rids_par, point_select_many_ordered_par, point_select_many_par,
     range_select_many_par, JoinRow,
 };
+use crate::snapshot::CatalogState;
 use ccindex_common::DEFAULT_BATCH_LANES;
 
 // ---------------------------------------------------------------------
@@ -329,7 +330,7 @@ impl Agg {
 /// freely and fail with a typed error naming the offender.
 #[derive(Debug, Clone)]
 pub struct Query<'db> {
-    db: &'db Database,
+    cat: &'db CatalogState,
     table: String,
     filters: Vec<Predicate>,
     join: Option<(String, JoinOn)>,
@@ -339,9 +340,9 @@ pub struct Query<'db> {
 }
 
 impl<'db> Query<'db> {
-    pub(crate) fn new(db: &'db Database, table: String) -> Self {
+    pub(crate) fn new(cat: &'db CatalogState, table: String) -> Self {
         Self {
-            db,
+            cat,
             table,
             filters: Vec::new(),
             join: None,
@@ -392,20 +393,20 @@ impl<'db> Query<'db> {
     /// Compile into a physical [`Plan`]: resolve every name, choose an
     /// access path per probe, and validate aggregate typing.
     pub fn plan(&self) -> Result<Plan> {
-        let db = self.db;
+        let cat = self.cat;
         let outer = &self.table;
-        db.entry(outer)?;
-        let exec = self.exec.unwrap_or_else(|| db.exec_options());
+        cat.entry(outer)?;
+        let exec = self.exec.unwrap_or_else(|| cat.exec_options());
         // The planner's upper bound on the items a chunkable node can
         // process (the driving table's row count): what an adaptive
         // (`threads == 0`) node's worker count resolves against when the
         // plan is *explained* rather than executed.
-        let outer_rows = db.table(outer)?.rows();
+        let outer_rows = cat.table(outer)?.rows();
 
         let mut probes = Vec::with_capacity(self.filters.len());
         for p in &self.filters {
             let ordered_required = matches!(p.op, PredOp::Between(..));
-            let kind = resolve_kind(db, outer, &p.column, ordered_required, self.forced_kind)?;
+            let kind = resolve_kind(cat, outer, &p.column, ordered_required, self.forced_kind)?;
             probes.push(ProbeStep {
                 column: p.column.clone(),
                 kind,
@@ -423,9 +424,9 @@ impl<'db> Query<'db> {
         let join = match &self.join {
             None => None,
             Some((inner_table, cond)) => {
-                db.column(outer, &cond.outer)?;
-                db.column(inner_table, &cond.inner)?;
-                let kind = resolve_kind(db, inner_table, &cond.inner, false, self.forced_kind)?;
+                cat.column(outer, &cond.outer)?;
+                cat.column(inner_table, &cond.inner)?;
+                let kind = resolve_kind(cat, inner_table, &cond.inner, false, self.forced_kind)?;
                 Some(JoinStep {
                     inner_table: inner_table.clone(),
                     outer_column: cond.outer.clone(),
@@ -441,12 +442,12 @@ impl<'db> Query<'db> {
             None => None,
             Some((column, agg)) => {
                 let inner = join.as_ref().map(|j| j.inner_table.as_str());
-                let (side, _) = resolve_side(db, outer, inner, column)?;
+                let (side, _) = resolve_side(cat, outer, inner, column)?;
                 let (agg_fn, measure) = agg.fn_and_measure();
                 let measure = match measure {
                     None => None,
                     Some(m) => {
-                        let (m_side, m_col) = resolve_side(db, outer, inner, m)?;
+                        let (m_side, m_col) = resolve_side(cat, outer, inner, m)?;
                         let all_int = m_col
                             .domain()
                             .values()
@@ -491,7 +492,7 @@ impl<'db> Query<'db> {
 
     /// Compile and execute.
     pub fn run(&self) -> Result<ResultSet<'db>> {
-        self.plan()?.execute(self.db)
+        self.plan()?.execute_on(self.cat)
     }
 }
 
@@ -499,13 +500,13 @@ impl<'db> Query<'db> {
 /// any (validated), else the first registered kind in the applicable
 /// preference order.
 fn resolve_kind(
-    db: &Database,
+    cat: &CatalogState,
     table: &str,
     column: &str,
     ordered_required: bool,
     forced: Option<IndexKind>,
 ) -> Result<IndexKind> {
-    let entry = db.column_entry(table, column)?;
+    let entry = cat.column_entry(table, column)?;
     if let Some(kind) = forced {
         if ordered_required && !kind.is_ordered() {
             return Err(MmdbError::NoOrderedIndex {
@@ -553,16 +554,16 @@ pub enum Side {
 }
 
 fn resolve_side<'db>(
-    db: &'db Database,
+    cat: &'db CatalogState,
     outer: &str,
     inner: Option<&str>,
     column: &str,
 ) -> Result<(Side, &'db Column)> {
-    if let Ok(col) = db.column(outer, column) {
+    if let Ok(col) = cat.column(outer, column) {
         return Ok((Side::Outer, col));
     }
     if let Some(inner) = inner {
-        if let Ok(col) = db.column(inner, column) {
+        if let Ok(col) = cat.column(inner, column) {
             return Ok((Side::Inner, col));
         }
     }
@@ -752,15 +753,24 @@ impl Plan {
 
     /// Execute against `db` (normally the database the plan was compiled
     /// from; names re-resolve, so a stale plan fails with a typed error
-    /// rather than undefined behaviour).
+    /// rather than undefined behaviour). Answers from the writer's
+    /// current tip — equivalent to `execute_on(db.catalog())`.
     pub fn execute<'db>(&self, db: &'db Database) -> Result<ResultSet<'db>> {
+        self.execute_on(db.catalog())
+    }
+
+    /// Execute against one immutable catalog generation — the form a
+    /// pinned [`Snapshot`](crate::snapshot::Snapshot) (or any
+    /// [`CatalogState`]) serves without locks. Same re-resolution
+    /// semantics as [`Plan::execute`].
+    pub fn execute_on<'c>(&self, cat: &'c CatalogState) -> Result<ResultSet<'c>> {
         // 1. Selection: evaluate each probe to a sorted RID set and
         //    intersect. `None` means "all rows" (no filters), kept
         //    symbolic so group-only queries iterate 0..n without an
         //    allocation; a join or a bare selection materialises it once.
         let mut selected: Option<Vec<u32>> = None;
         for step in &self.probes {
-            let rids = self.eval_probe(db, step)?;
+            let rids = self.eval_probe(cat, step)?;
             selected = Some(match selected {
                 None => rids,
                 Some(prev) => intersect_sorted(&prev, &rids),
@@ -772,9 +782,9 @@ impl Plan {
         let joined: Option<Vec<JoinRow>> = match &self.join {
             None => None,
             Some(j) => {
-                let outer_col = db.column(&self.table, &j.outer_column)?;
-                let inner_col = db.column(&j.inner_table, &j.inner_column)?;
-                let entry = db.column_entry(&j.inner_table, &j.inner_column)?;
+                let outer_col = cat.column(&self.table, &j.outer_column)?;
+                let inner_col = cat.column(&j.inner_table, &j.inner_column)?;
+                let entry = cat.column_entry(&j.inner_table, &j.inner_column)?;
                 let handle =
                     entry
                         .indexes
@@ -788,7 +798,7 @@ impl Plan {
                 let outer_rids: &[u32] = match &selected {
                     Some(rids) => rids,
                     None => {
-                        all_rids = (0..db.table(&self.table)?.rows() as u32).collect();
+                        all_rids = (0..cat.table(&self.table)?.rows() as u32).collect();
                         &all_rids
                     }
                 };
@@ -807,10 +817,10 @@ impl Plan {
         // 3. Grouped aggregation over whichever rows survived.
         if let Some(g) = &self.group {
             let inner = self.join.as_ref().map(|j| j.inner_table.as_str());
-            let group_col = side_column(db, &self.table, inner, &g.column, g.side)?;
+            let group_col = side_column(cat, &self.table, inner, &g.column, g.side)?;
             let measure_col = match &g.measure {
                 None => None,
-                Some((m, side)) => Some(side_column(db, &self.table, inner, m, *side)?),
+                Some((m, side)) => Some(side_column(cat, &self.table, inner, m, *side)?),
             };
             let pick = |row: &JoinRow, side: Side| match side {
                 Side::Outer => row.outer_rid,
@@ -866,7 +876,7 @@ impl Plan {
                         }
                     }
                     None => {
-                        let rows = db.table(&self.table)?.rows() as u32;
+                        let rows = cat.table(&self.table)?.rows() as u32;
                         let threads = resolve_threads(g.threads, rows as usize);
                         if threads != 1 {
                             group_aggregate_rows_par(group_col, measure_col, rows, g.agg, threads)
@@ -882,7 +892,7 @@ impl Plan {
                 },
             };
             return Ok(ResultSet {
-                db,
+                cat,
                 outer_table: self.table.clone(),
                 inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
                 rows: ResultRows::Groups(groups),
@@ -893,11 +903,11 @@ impl Plan {
             Some(rows) => ResultRows::Joined(rows),
             None => ResultRows::Rids(match selected {
                 Some(rids) => rids,
-                None => (0..db.table(&self.table)?.rows() as u32).collect(),
+                None => (0..cat.table(&self.table)?.rows() as u32).collect(),
             }),
         };
         Ok(ResultSet {
-            db,
+            cat,
             outer_table: self.table.clone(),
             inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
             rows,
@@ -910,9 +920,9 @@ impl Plan {
     /// recorded `threads` is always 1 — one probe constant cannot chunk —
     /// so the `_par` entry points run their inline sequential path while
     /// still honouring the plan's `lanes`.
-    fn eval_probe(&self, db: &Database, step: &ProbeStep) -> Result<Vec<u32>> {
-        let col = db.column(&self.table, &step.column)?;
-        let entry = db.column_entry(&self.table, &step.column)?;
+    fn eval_probe(&self, cat: &CatalogState, step: &ProbeStep) -> Result<Vec<u32>> {
+        let col = cat.column(&self.table, &step.column)?;
+        let entry = cat.column_entry(&self.table, &step.column)?;
         let handle = entry
             .indexes
             .get(&step.kind)
@@ -922,7 +932,7 @@ impl Plan {
                 kind: step.kind,
             })?;
         let lanes = self.exec.lanes;
-        let mut rids = match (&step.probe, handle) {
+        let mut rids = match (&step.probe, &**handle) {
             (Probe::Point(v), IndexHandle::Ordered(idx)) => point_select_many_ordered_par(
                 col,
                 &entry.rids,
@@ -973,6 +983,32 @@ impl Plan {
 
 impl Database {
     /// Answer many equality probes on one `table.column` with a single
+    /// probes-only sub-plan — [`CatalogState::point_probe_batch`]
+    /// against the writer's current tip.
+    pub fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        self.catalog().point_probe_batch(table, column, values)
+    }
+
+    /// Answer many inclusive range probes on one `table.column` —
+    /// [`CatalogState::range_probe_batch`] against the writer's current
+    /// tip.
+    pub fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        self.catalog().range_probe_batch(table, column, ranges)
+    }
+}
+
+impl CatalogState {
+    /// Answer many equality probes on one `table.column` with a single
     /// probes-only sub-plan: one access-path resolution (the same
     /// preference order a [`Query::filter`]`(`[`eq`]`)` compiles to),
     /// one batched domain encoding, and one
@@ -984,7 +1020,10 @@ impl Database {
     /// `query(table).filter(eq(column, values[i])).run()?.rids()`.
     ///
     /// This is the engine hook a batch-forming serving front-end
-    /// (`ccindex-serve`) coalesces concurrent point requests into.
+    /// (`ccindex-serve`) coalesces concurrent point requests into —
+    /// usually through a pinned [`Snapshot`](crate::snapshot::Snapshot),
+    /// so a whole batch-formation window answers from one generation
+    /// with zero locks on the probe path.
     pub fn point_probe_batch(
         &self,
         table: &str,
@@ -997,7 +1036,7 @@ impl Database {
         let handle = entry.indexes.get(&kind).expect("kind was just resolved");
         let exec = self.exec_options();
         let threads = resolve_threads(exec.threads, values.len());
-        let mut out = match handle {
+        let mut out = match &**handle {
             IndexHandle::Ordered(idx) => point_select_many_ordered_par(
                 col,
                 &entry.rids,
@@ -1034,7 +1073,7 @@ impl Database {
         let col = self.column(table, column)?;
         let entry = self.column_entry(table, column)?;
         let handle = entry.indexes.get(&kind).expect("kind was just resolved");
-        let idx = handle
+        let idx = (**handle)
             .as_ordered()
             .ok_or_else(|| MmdbError::NoOrderedIndex {
                 table: table.to_owned(),
@@ -1051,20 +1090,20 @@ impl Database {
 }
 
 fn side_column<'db>(
-    db: &'db Database,
+    cat: &'db CatalogState,
     outer: &str,
     inner: Option<&str>,
     column: &str,
     side: Side,
 ) -> Result<&'db Column> {
     match side {
-        Side::Outer => db.column(outer, column),
+        Side::Outer => cat.column(outer, column),
         Side::Inner => {
             let inner = inner.ok_or_else(|| MmdbError::UnknownColumn {
                 table: outer.to_owned(),
                 column: column.to_owned(),
             })?;
-            db.column(inner, column)
+            cat.column(inner, column)
         }
     }
 }
@@ -1105,12 +1144,13 @@ pub enum ResultRows {
     Groups(Vec<GroupRow>),
 }
 
-/// A query result bound to its database, so row values can be decoded
-/// on demand (one batched
-/// [`decode_batch`](crate::domain::Domain::decode_batch) per column).
+/// A query result bound to the catalog generation it ran against, so
+/// row values can be decoded on demand (one batched
+/// [`decode_batch`](crate::domain::Domain::decode_batch) per column) —
+/// even if the live catalog has committed newer generations since.
 #[derive(Debug, Clone)]
 pub struct ResultSet<'db> {
-    db: &'db Database,
+    cat: &'db CatalogState,
     outer_table: String,
     inner_table: Option<String>,
     rows: ResultRows,
@@ -1169,13 +1209,13 @@ impl ResultSet<'_> {
     pub fn values(&self, column: &str) -> Result<Vec<Value>> {
         match &self.rows {
             ResultRows::Rids(rids) => {
-                let col = self.db.column(&self.outer_table, column)?;
+                let col = self.cat.column(&self.outer_table, column)?;
                 let ids: Vec<u32> = rids.iter().map(|&r| col.id(r)).collect();
                 Ok(col.domain().decode_batch(&ids))
             }
             ResultRows::Joined(rows) => {
                 let (side, col) = resolve_side(
-                    self.db,
+                    self.cat,
                     &self.outer_table,
                     self.inner_table.as_deref(),
                     column,

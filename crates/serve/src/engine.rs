@@ -1,13 +1,20 @@
 //! The engine surface a [`BatchServer`](crate::BatchServer) fronts:
 //! anything that can answer coalesced probe batches and replay an owned
-//! [`QuerySpec`] — implemented for both the unsharded
-//! [`Database`](mmdb::Database) and the scatter-gather
-//! [`ShardedDatabase`](ccindex_shard::ShardedDatabase), so one serving
-//! front-end covers both catalogs.
+//! [`QuerySpec`] — implemented for the unsharded
+//! [`Database`](mmdb::Database), the scatter-gather
+//! [`ShardedDatabase`](ccindex_shard::ShardedDatabase), and their pinned
+//! [`Snapshot`]/[`ShardedSnapshot`] generations, so one serving
+//! front-end covers both catalogs, live or pinned.
+//!
+//! [`ServeSource`] is how the server gets those snapshots: a source
+//! hands out one pinned generation per batch-formation window
+//! ([`ServeSource::pin`]) and reports the commit-slot counters
+//! ([`ServeSource::observe`]) that
+//! [`ServeStats`](crate::ServeStats) surfaces.
 
 use crate::request::QuerySpec;
-use ccindex_shard::ShardedDatabase;
-use mmdb::{Database, ExecOptions, Result, ResultRows, Value};
+use ccindex_shard::{ShardedDatabase, ShardedHandle, ShardedSnapshot, ShardedState};
+use mmdb::{CatalogState, Database, DatabaseHandle, ExecOptions, Result, ResultRows, Value};
 
 /// A query engine the batch-forming server can front. `Sync` because the
 /// server's clients run on their own threads while the serving thread
@@ -91,6 +98,68 @@ impl ServeEngine for Database {
     }
 }
 
+// The snapshot impls below call through the state type explicitly
+// (`CatalogState::point_probe_batch(self, ..)` rather than
+// `self.point_probe_batch(..)`): a pinned guard `Deref`s to its state,
+// so the explicit path coerces to the inherent method — the unqualified
+// call would resolve to this trait method and recurse forever.
+
+impl ServeEngine for mmdb::Snapshot {
+    fn exec_options(&self) -> ExecOptions {
+        CatalogState::exec_options(self)
+    }
+
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        CatalogState::point_probe_batch(self, table, column, values)
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        CatalogState::range_probe_batch(self, table, column, ranges)
+    }
+
+    fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows> {
+        replay_spec!(CatalogState::query(self, spec.table.clone()), spec)
+    }
+}
+
+impl ServeEngine for ShardedSnapshot {
+    fn exec_options(&self) -> ExecOptions {
+        ShardedState::exec_options(self)
+    }
+
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        ShardedState::point_probe_batch(self, table, column, values)
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        ShardedState::range_probe_batch(self, table, column, ranges)
+    }
+
+    fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows> {
+        replay_spec!(ShardedState::query(self, spec.table.clone()), spec)
+    }
+}
+
 impl ServeEngine for ShardedDatabase {
     fn exec_options(&self) -> ExecOptions {
         ShardedDatabase::exec_options(self)
@@ -116,5 +185,109 @@ impl ServeEngine for ShardedDatabase {
 
     fn run_spec(&self, spec: &QuerySpec) -> Result<ResultRows> {
         replay_spec!(self.query(spec.table.clone()), spec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot sources
+// ---------------------------------------------------------------------
+
+/// The commit-slot counters of a [`ServeSource`], read at one instant:
+/// the observability [`ServeStats`](crate::ServeStats) carries out of a
+/// serving session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Generation number of the currently committed catalog state.
+    pub generation: u64,
+    /// Generations committed since the catalog was created.
+    pub swaps: u64,
+    /// Pinned snapshots alive right now, across all generations.
+    pub pinned: usize,
+}
+
+/// Where a [`BatchServer`](crate::BatchServer) gets the immutable
+/// catalog generation each batch-formation window executes against.
+///
+/// A source pins one snapshot per window ([`ServeSource::pin`]); the
+/// window's coalesced probes then run entirely against that pinned
+/// generation — zero locks on the probe path, and a writer committing
+/// mid-window never changes (or tears) the window's answers. Implemented
+/// for the live catalogs ([`Database`], [`ShardedDatabase`]) and for
+/// their `Send + Sync` reader handles ([`DatabaseHandle`],
+/// [`ShardedHandle`]) — the handle impls are what let a serving session
+/// run on one thread while the catalog's owner keeps `&mut` access for
+/// commits on another.
+pub trait ServeSource: Sync {
+    /// The pinned generation type a window executes against.
+    type Pinned: ServeEngine;
+
+    /// Pin the current committed generation.
+    fn pin(&self) -> Self::Pinned;
+
+    /// The commit slot's counters right now.
+    fn observe(&self) -> SnapshotInfo;
+}
+
+impl ServeSource for Database {
+    type Pinned = mmdb::Snapshot;
+
+    fn pin(&self) -> mmdb::Snapshot {
+        self.snapshot()
+    }
+
+    fn observe(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            generation: self.generation(),
+            swaps: self.swap_count(),
+            pinned: self.pinned_snapshots(),
+        }
+    }
+}
+
+impl ServeSource for DatabaseHandle {
+    type Pinned = mmdb::Snapshot;
+
+    fn pin(&self) -> mmdb::Snapshot {
+        self.snapshot()
+    }
+
+    fn observe(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            generation: self.generation(),
+            swaps: self.swaps(),
+            pinned: self.pinned(),
+        }
+    }
+}
+
+impl ServeSource for ShardedDatabase {
+    type Pinned = ShardedSnapshot;
+
+    fn pin(&self) -> ShardedSnapshot {
+        self.snapshot()
+    }
+
+    fn observe(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            generation: self.generation(),
+            swaps: self.swap_count(),
+            pinned: self.pinned_snapshots(),
+        }
+    }
+}
+
+impl ServeSource for ShardedHandle {
+    type Pinned = ShardedSnapshot;
+
+    fn pin(&self) -> ShardedSnapshot {
+        self.snapshot()
+    }
+
+    fn observe(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            generation: self.generation(),
+            swaps: self.swaps(),
+            pinned: self.pinned(),
+        }
     }
 }

@@ -63,7 +63,7 @@ mod engine;
 mod request;
 mod server;
 
-pub use engine::ServeEngine;
+pub use engine::{ServeEngine, ServeSource, SnapshotInfo};
 pub use request::{QuerySpec, Request};
 pub use server::{BatchServer, Client, Pending, ServeOptions, ServeStats};
 
@@ -309,7 +309,15 @@ mod tests {
         );
         let (answers, stats) =
             server.serve_concurrent::<(), _>(0, |_, _| unreachable!("no clients"));
-        assert!(answers.is_empty() && stats == ServeStats::default());
+        assert!(answers.is_empty());
+        assert_eq!(
+            (stats.windows, stats.requests, stats.largest_window),
+            (0, 0, 0)
+        );
+        // The snapshot counters still report the catalog's state: the
+        // test catalog committed one generation per register/index call.
+        assert_eq!(stats.snapshot.generation, 5);
+        assert_eq!(stats.snapshot.pinned, 0, "no window pinned anything");
         // Zero wait still answers everything (windows just close early).
         let (answers, stats) = server.serve_concurrent(2, |_, client| {
             client.call(Request::point("sales", "cust", 3i64))
@@ -328,5 +336,117 @@ mod tests {
                     .to_vec()
             )
         );
+    }
+
+    #[test]
+    fn shutdown_flushes_every_queued_request() {
+        // Clients pipeline a burst of submissions and retire immediately
+        // — the queue closes while (almost) all of them are still
+        // queued. The serving loop must flush the backlog through its
+        // windows, answering every ticket; none may be dropped.
+        let db = catalog();
+        let per_client = 50;
+        let clients = 2;
+        let server = BatchServer::with_options(
+            &db,
+            ServeOptions {
+                batch_max: 8,
+                batch_wait: Duration::ZERO,
+            },
+        );
+        let (answers, stats) = server.serve_concurrent(clients, |_, client| {
+            // Submit everything before waiting on anything: when this
+            // closure returns the client retires, and the last client
+            // closes the queue with requests still in flight.
+            let pending: Vec<_> = (0..per_client)
+                .map(|i| client.submit(Request::point("sales", "cust", (i % 20) as i64)))
+                .collect();
+            pending.into_iter().map(Pending::wait).collect::<Vec<_>>()
+        });
+        assert_eq!(stats.requests, clients * per_client, "nothing dropped");
+        let want: Vec<_> = (0..per_client)
+            .map(|i| {
+                db.query("sales")
+                    .filter(eq("cust", (i % 20) as i64))
+                    .run()
+                    .map(|r| r.rows().clone())
+            })
+            .collect();
+        for client_answers in &answers {
+            assert_eq!(client_answers, &want);
+        }
+    }
+
+    #[test]
+    fn windows_serve_pinned_snapshots_while_a_writer_commits() {
+        // The tentpole shape: the serving session runs over a reader
+        // handle on one thread while the catalog owner keeps committing
+        // replace_column cycles. Every answer must equal the probe's
+        // result against *some* committed generation — and since 'cust'
+        // never changes, answers here must be byte-stable throughout.
+        let mut db = catalog();
+        let handle = db.handle();
+        let want = db.query("sales").filter(eq("cust", 3)).run().unwrap();
+        let want = ResultRows::Rids(want.rids().to_vec());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| {
+                let server = BatchServer::with_options(&handle, ServeOptions::batch_max(8));
+                server.serve_concurrent(4, |_, client| {
+                    (0..100)
+                        .map(|_| client.call(Request::point("sales", "cust", 3i64)))
+                        .collect::<Vec<_>>()
+                })
+            });
+            // Writer: keep committing new 'amount' generations until the
+            // serving session finishes.
+            let mut toggle = 0i64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                toggle += 1;
+                let values: Vec<Value> = (0..60).map(|i| Value::Int((i + toggle) % 100)).collect();
+                db.replace_column("sales", "amount", values).unwrap();
+                if server_thread.is_finished() {
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                }
+            }
+            let (answers, stats) = server_thread.join().expect("serving thread");
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            for client_answers in &answers {
+                for a in client_answers {
+                    assert_eq!(a.as_ref().unwrap(), &want, "torn or stale read");
+                }
+            }
+            assert_eq!(stats.requests, 400);
+            assert!(
+                stats.snapshot.generation > 5,
+                "the writer committed generations during the session: {}",
+                stats.snapshot.generation
+            );
+            assert_eq!(stats.snapshot.pinned, 0, "window snapshots all dropped");
+        });
+    }
+
+    #[test]
+    fn stats_explain_surfaces_snapshot_observability() {
+        let mut db = catalog();
+        db.replace_column(
+            "sales",
+            "amount",
+            (0..60).map(|i| Value::Int(i % 7)).collect(),
+        )
+        .unwrap();
+        let server = BatchServer::with_options(&db, ServeOptions::batch_max(4));
+        let (_, stats) = server.serve_concurrent(2, |_, client| {
+            client.call(Request::point("sales", "cust", 3i64))
+        });
+        assert_eq!(stats.snapshot.generation, db.generation());
+        assert_eq!(stats.snapshot.swaps, db.swap_count());
+        let text = stats.explain();
+        assert!(text.contains("served 2 request(s)"), "{text}");
+        assert!(
+            text.contains(&format!("catalog generation {}", db.generation())),
+            "{text}"
+        );
+        assert!(text.contains("0 pinned snapshot(s)"), "{text}");
     }
 }

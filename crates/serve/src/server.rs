@@ -3,7 +3,7 @@
 //! engine's native batch shapes, execute over the shared worker pool,
 //! and demultiplex per-client answers in submission order.
 
-use crate::engine::ServeEngine;
+use crate::engine::{ServeEngine, ServeSource, SnapshotInfo};
 use crate::request::{QuerySpec, Request};
 use ccindex_parallel::{BlockingQueue, WorkerPool};
 use mmdb::{parse_knob, MmdbError, Result, ResultRows};
@@ -206,8 +206,10 @@ impl Client<'_> {
 // ---------------------------------------------------------------------
 
 /// What a serving session did, for inspection: how many windows formed,
-/// how many requests they carried, and how deep the deepest window was
-/// (`largest_window > 1` is batch formation observably happening).
+/// how many requests they carried, how deep the deepest window was
+/// (`largest_window > 1` is batch formation observably happening), and
+/// the source's commit-slot counters at session end — generation number,
+/// total swaps, and still-pinned snapshots ([`SnapshotInfo`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Windows executed.
@@ -216,12 +218,32 @@ pub struct ServeStats {
     pub requests: usize,
     /// Requests in the deepest window.
     pub largest_window: usize,
+    /// The source's snapshot counters, observed when the session ended.
+    pub snapshot: SnapshotInfo,
 }
 
-/// The batch-formation serving front-end: fronts any [`ServeEngine`]
-/// (a [`Database`](mmdb::Database) or
-/// [`ShardedDatabase`](ccindex_shard::ShardedDatabase)) and turns N
-/// concurrent client requests into the engine's native batch shapes.
+impl ServeStats {
+    /// Human-readable rendering, `explain()` style: the window shape on
+    /// one line, the snapshot observability on the next.
+    pub fn explain(&self) -> String {
+        format!(
+            "served {} request(s) in {} window(s), largest {}\n\
+             catalog generation {}, {} swap(s), {} pinned snapshot(s)",
+            self.requests,
+            self.windows,
+            self.largest_window,
+            self.snapshot.generation,
+            self.snapshot.swaps,
+            self.snapshot.pinned,
+        )
+    }
+}
+
+/// The batch-formation serving front-end: fronts any [`ServeSource`]
+/// (a [`Database`](mmdb::Database), a
+/// [`ShardedDatabase`](ccindex_shard::ShardedDatabase), or one of their
+/// reader handles) and turns N concurrent client requests into the
+/// engine's native batch shapes.
 ///
 /// Same-`table.column` point probes in one window merge into a single
 /// [`point_probe_batch`](ServeEngine::point_probe_batch) call (one
@@ -232,22 +254,31 @@ pub struct ServeStats {
 /// [`ExecOptions`](mmdb::ExecOptions), and each answer lands back in its
 /// submitter's slot — per-probe results demultiplex in submission order,
 /// byte-identical to running every request alone.
-pub struct BatchServer<'e, E: ServeEngine + ?Sized> {
-    engine: &'e E,
+///
+/// Every window executes against **one pinned snapshot** of the source,
+/// taken when the window closes: the probe path holds no lock and takes
+/// no `&mut`, concurrent commits never tear a window's answers (all of
+/// a window sees one generation), and serving over a
+/// [`DatabaseHandle`](mmdb::DatabaseHandle)/
+/// [`ShardedHandle`](ccindex_shard::ShardedHandle) lets a writer thread
+/// keep committing batch-rebuild cycles at full speed while this server
+/// answers probes against the latest committed generation.
+pub struct BatchServer<'e, S: ServeSource + ?Sized> {
+    source: &'e S,
     options: ServeOptions,
 }
 
-impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
-    /// A server over `engine` with window bounds from the environment
+impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
+    /// A server over `source` with window bounds from the environment
     /// ([`ServeOptions::from_env`]).
-    pub fn new(engine: &'e E) -> Self {
-        Self::with_options(engine, ServeOptions::from_env())
+    pub fn new(source: &'e S) -> Self {
+        Self::with_options(source, ServeOptions::from_env())
     }
 
-    /// A server over `engine` with explicit window bounds.
-    pub fn with_options(engine: &'e E, options: ServeOptions) -> Self {
+    /// A server over `source` with explicit window bounds.
+    pub fn with_options(source: &'e S, options: ServeOptions) -> Self {
         Self {
-            engine,
+            source,
             options: options.normalized(),
         }
     }
@@ -257,13 +288,14 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
         self.options
     }
 
-    /// Execute one already-formed batch synchronously: coalesce, run
-    /// over the pool, and return one answer per request in submission
-    /// order. This is the windowless core — useful directly when the
-    /// caller already holds a batch (and what every formed window runs).
+    /// Execute one already-formed batch synchronously: pin the current
+    /// generation, coalesce, run over the pool, and return one answer
+    /// per request in submission order. This is the windowless core —
+    /// useful directly when the caller already holds a batch (and what
+    /// every formed window runs).
     pub fn run_batch(&self, requests: &[Request]) -> Vec<Result<ResultRows>> {
         let refs: Vec<&Request> = requests.iter().collect();
-        self.execute(&refs)
+        self.execute(&self.source.pin(), &refs)
     }
 
     /// Run a serving session: spawn `clients` scoped client threads,
@@ -311,7 +343,8 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
                     })
                 })
                 .collect();
-            let stats = self.serve_loop(&queue);
+            let mut stats = self.serve_loop(&queue);
+            stats.snapshot = self.source.observe();
             let results = handles
                 .into_iter()
                 .map(|h| h.join().expect("client thread panicked"))
@@ -320,7 +353,10 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
         })
     }
 
-    /// Form and execute windows until the queue closes and drains.
+    /// Form and execute windows until the queue closes **and drains**:
+    /// `BlockingQueue::pop` keeps returning queued submissions after
+    /// close, so requests pipelined just before shutdown are flushed
+    /// through their windows, never dropped.
     fn serve_loop(&self, queue: &BlockingQueue<Submission>) -> ServeStats {
         let mut stats = ServeStats::default();
         // The first request opens a window; the window then stays open
@@ -334,8 +370,11 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
                     None => break,
                 }
             }
+            // One pinned generation per window: the whole window answers
+            // from it, lock-free, whatever a writer commits meanwhile.
+            let snapshot = self.source.pin();
             let refs: Vec<&Request> = batch.iter().map(|s| &s.request).collect();
-            let results = self.execute(&refs);
+            let results = self.execute(&snapshot, &refs);
             stats.windows += 1;
             stats.requests += batch.len();
             stats.largest_window = stats.largest_window.max(batch.len());
@@ -352,7 +391,7 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
     /// answers demultiplex back to their submission slots; a failed
     /// coalesced call fails every request it carried with the same typed
     /// error.
-    fn execute(&self, requests: &[&Request]) -> Vec<Result<ResultRows>> {
+    fn execute(&self, engine: &S::Pinned, requests: &[&Request]) -> Vec<Result<ResultRows>> {
         enum Job<'r> {
             Points {
                 table: &'r str,
@@ -427,7 +466,7 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
         // pool is sized straight from the engine's thread knob — `0`
         // meaning one worker per core, the same reading the sharded
         // scatter gives it.
-        let pool = WorkerPool::new(self.engine.exec_options().threads);
+        let pool = WorkerPool::new(engine.exec_options().threads);
         let answered: Vec<Vec<(usize, Result<ResultRows>)>> = pool.run(jobs.len(), |i| {
             let rids_results = |slots: &[usize], batched: Result<Vec<Vec<u32>>>| match batched {
                 Ok(per_probe) => slots
@@ -443,14 +482,14 @@ impl<'e, E: ServeEngine + ?Sized> BatchServer<'e, E> {
                     column,
                     slots,
                     values,
-                } => rids_results(slots, self.engine.point_probe_batch(table, column, values)),
+                } => rids_results(slots, engine.point_probe_batch(table, column, values)),
                 Job::Ranges {
                     table,
                     column,
                     slots,
                     ranges,
-                } => rids_results(slots, self.engine.range_probe_batch(table, column, ranges)),
-                Job::Query { slot, spec } => vec![(*slot, self.engine.run_spec(spec))],
+                } => rids_results(slots, engine.range_probe_batch(table, column, ranges)),
+                Job::Query { slot, spec } => vec![(*slot, engine.run_spec(spec))],
             }
         });
 

@@ -44,8 +44,8 @@ mod sharded;
 
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
 pub use sharded::{
-    JoinRouting, ShardRouting, ShardTargets, ShardedDatabase, ShardedPlan, ShardedQuery,
-    ShardedRebuildReport, ShardedResultSet,
+    JoinRouting, ShardRouting, ShardTargets, ShardedDatabase, ShardedHandle, ShardedPlan,
+    ShardedQuery, ShardedRebuildReport, ShardedResultSet, ShardedSnapshot, ShardedState,
 };
 
 #[cfg(test)]
@@ -603,5 +603,161 @@ mod tests {
         );
         let plan = db.query("sales").filter(eq("cust", 1)).plan().unwrap();
         assert_eq!(plan.routing.selected, vec![0]);
+    }
+
+    #[test]
+    fn snapshots_pin_composed_generations_across_commits() {
+        let rows = 80;
+        let mut db = sharded(rows, HashPartitioner::new(4).unwrap());
+        let before = db.snapshot();
+        assert_eq!(before.generation(), db.generation());
+        let old_rids = before
+            .query("sales")
+            .filter(eq("cust", 3))
+            .run()
+            .unwrap()
+            .rids()
+            .to_vec();
+
+        // Commit a non-key replacement; the pinned snapshot keeps
+        // answering from its generation while new snapshots see the new
+        // values.
+        let gen_before = db.generation();
+        let new_amounts: Vec<Value> = (0..rows).map(|i| Value::Int((i as i64 * 7) % 90)).collect();
+        db.replace_column("sales", "amount", new_amounts).unwrap();
+        assert_eq!(db.generation(), gen_before + 1, "one commit per cycle");
+        let after = db.snapshot();
+        assert_eq!(
+            before
+                .query("sales")
+                .filter(eq("cust", 3))
+                .run()
+                .unwrap()
+                .rids(),
+            &old_rids[..],
+            "pinned snapshot is immutable"
+        );
+        assert_ne!(
+            before
+                .query("sales")
+                .filter(between("amount", 10, 60))
+                .run()
+                .unwrap()
+                .rows(),
+            after
+                .query("sales")
+                .filter(between("amount", 10, 60))
+                .run()
+                .unwrap()
+                .rows(),
+            "new snapshot sees the replacement"
+        );
+        assert_eq!(db.pinned_snapshots(), 2);
+        drop(before);
+        drop(after);
+        assert_eq!(db.pinned_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshots_survive_a_repartition_whole() {
+        // A shard-key replacement moves rows between shards; a snapshot
+        // pinned before the move must keep the *old* placement and the
+        // old per-shard tables together — never a mix.
+        let rows = 80;
+        let mut db = sharded(rows, HashPartitioner::new(4).unwrap());
+        let before = db.snapshot();
+        let old = before
+            .query("sales")
+            .filter(eq("cust", 18))
+            .run()
+            .unwrap()
+            .rids()
+            .to_vec();
+        let new_keys: Vec<Value> = (0..rows)
+            .map(|i| Value::Int((i as i64 * 13 + 5) % 40))
+            .collect();
+        db.replace_column("sales", "cust", new_keys.clone())
+            .unwrap();
+        assert_eq!(
+            before
+                .query("sales")
+                .filter(eq("cust", 18))
+                .run()
+                .unwrap()
+                .rids(),
+            &old[..]
+        );
+        // Probe batches through the old snapshot agree with an unsharded
+        // catalog that never saw the update.
+        let un = unsharded(rows);
+        let values: Vec<Value> = [3i64, 18, 999].map(Value::Int).to_vec();
+        assert_eq!(
+            before.point_probe_batch("sales", "cust", &values).unwrap(),
+            un.point_probe_batch("sales", "cust", &values).unwrap()
+        );
+        // And the new snapshot agrees with an unsharded catalog that did.
+        let mut un2 = unsharded(rows);
+        un2.replace_column("sales", "cust", new_keys).unwrap();
+        assert_eq!(
+            db.snapshot()
+                .point_probe_batch("sales", "cust", &values)
+                .unwrap(),
+            un2.point_probe_batch("sales", "cust", &values).unwrap()
+        );
+    }
+
+    #[test]
+    fn handles_share_the_commit_slot_across_threads() {
+        let rows = 60;
+        let mut db = sharded(rows, HashPartitioner::new(2).unwrap());
+        let handle = db.handle();
+        let want = db
+            .query("sales")
+            .filter(eq("cust", 9))
+            .run()
+            .unwrap()
+            .rids()
+            .to_vec();
+        std::thread::scope(|scope| {
+            let reader = scope.spawn({
+                let handle = handle.clone();
+                move || {
+                    let snap = handle.snapshot();
+                    snap.query("sales")
+                        .filter(eq("cust", 9))
+                        .run()
+                        .unwrap()
+                        .rids()
+                        .to_vec()
+                }
+            });
+            assert_eq!(reader.join().expect("reader"), want);
+        });
+        let gen = handle.generation();
+        db.create_index("sales", "day", IndexKind::Hash).unwrap();
+        assert_eq!(handle.generation(), gen + 1);
+        assert!(handle.swaps() > 0);
+        // The new generation serves the new index.
+        assert_eq!(
+            handle
+                .snapshot()
+                .point_probe_batch("sales", "day", &[Value::from("mon")])
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_mutations_do_not_commit_a_generation() {
+        let mut db = sharded(40, HashPartitioner::new(2).unwrap());
+        let (gen, swaps) = (db.generation(), db.swap_count());
+        assert!(db
+            .replace_column("sales", "amount", vec![Value::Int(1)])
+            .is_err());
+        assert!(db.create_index("sales", "nocol", IndexKind::Hash).is_err());
+        let (sales, _) = seed_tables(10);
+        assert!(db.register(sales, "cust").is_err());
+        assert_eq!((db.generation(), db.swap_count()), (gen, swaps));
     }
 }

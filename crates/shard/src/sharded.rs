@@ -33,27 +33,39 @@ use ccindex_parallel::WorkerPool;
 use mmdb::domain::Value;
 use mmdb::plan::{Plan, Probe, Side};
 use mmdb::{
-    group_aggregate_pairs, indexed_nested_loop_join_rids_par, Agg, AggFn, Column, Database,
-    ExecOptions, GroupRow, IndexKind, JoinOn, JoinRow, MmdbError, Predicate, RebuildReport, Result,
-    ResultRows, Table,
+    group_aggregate_pairs, indexed_nested_loop_join_rids_par, Agg, AggFn, CatalogState, Column,
+    Database, ExecOptions, GroupRow, IndexKind, JoinOn, JoinRow, MmdbError, Pinned, Predicate,
+    RebuildReport, Result, ResultRows, SwapSlot, Table,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The sharded catalog
 // ---------------------------------------------------------------------
 
 /// N per-shard [`Database`] catalogs behind one engine surface.
+///
+/// Follows the same epoch/snapshot discipline as [`Database`]: every
+/// successful mutation commits a composed [`ShardedState`] — built from
+/// per-shard catalog generations updated under the *same* mutation — to
+/// a shared [`SwapSlot`], so a pinned [`ShardedSnapshot`] always sees
+/// every shard at one consistent commit (never a half-re-partitioned
+/// table or a column/index mix across shards).
 #[derive(Debug)]
 pub struct ShardedDatabase {
-    partitioner: Box<dyn Partitioner>,
+    partitioner: Arc<dyn Partitioner>,
     shards: Vec<Database>,
-    tables: BTreeMap<String, ShardedTable>,
+    tables: BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
+    /// Monotonic commit counter for the *composed* catalog.
+    generation: u64,
+    /// The commit point shared with every reader handle and snapshot.
+    slot: Arc<SwapSlot<ShardedState>>,
 }
 
 /// Per-table placement metadata: where every global row lives.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardedTable {
     shard_key: String,
     rows: usize,
@@ -65,6 +77,75 @@ struct ShardedTable {
     /// Indexes created through this catalog, so a re-partition can
     /// rebuild them: column -> kinds.
     indexes: BTreeMap<String, BTreeSet<IndexKind>>,
+}
+
+/// One immutable generation of the *composed* sharded catalog: a
+/// [`CatalogState`] per shard (all captured under the same commit), the
+/// placement metadata that routes global rows to shards, and the
+/// partitioner — everything scatter-gather execution needs, nothing a
+/// writer can touch. The sharded twin of [`mmdb::CatalogState`].
+///
+/// Cloning is cheap: per-shard states are `BTreeMap`s of `Arc`ed table
+/// entries and the placement tables sit behind `Arc` too, so a
+/// generation clone is pointer bumps all the way down.
+#[derive(Debug, Clone)]
+pub struct ShardedState {
+    partitioner: Arc<dyn Partitioner>,
+    shards: Vec<CatalogState>,
+    tables: BTreeMap<String, Arc<ShardedTable>>,
+    exec: ExecOptions,
+    generation: u64,
+}
+
+/// The sharded catalog's pinned-generation guard:
+/// [`ShardedDatabase::snapshot`] hands these out, and every read API of
+/// [`ShardedState`] is available through `Deref`. Holds no lock — the
+/// guard is an `Arc` plus a pin counter, exactly like [`mmdb::Snapshot`].
+pub type ShardedSnapshot = Pinned<ShardedState>;
+
+/// A cloneable, `Send + Sync` reader handle onto a live
+/// [`ShardedDatabase`]: readers on other threads call
+/// [`snapshot`](ShardedHandle::snapshot) to pin the current composed
+/// generation while the owning thread keeps `&mut` access for commits.
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    slot: Arc<SwapSlot<ShardedState>>,
+}
+
+impl ShardedHandle {
+    /// Pin the current composed generation (identical to
+    /// [`ShardedDatabase::snapshot`]).
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        self.slot.pin()
+    }
+
+    /// The generation number of the current committed state.
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// How many composed generations have been committed so far.
+    pub fn swaps(&self) -> u64 {
+        self.slot.swaps()
+    }
+
+    /// Live pinned snapshots, across all generations.
+    pub fn pinned(&self) -> usize {
+        self.slot.pinned()
+    }
+}
+
+/// The borrowed read surface the scatter-gather executor runs against —
+/// buildable from both a live [`ShardedDatabase`] (whose shards expose
+/// their current tip via [`Database::catalog`]) and an immutable
+/// [`ShardedState`], so the same routing/merging code serves mutable
+/// callers and pinned snapshots.
+#[derive(Debug, Clone)]
+struct ShardView<'a> {
+    partitioner: &'a dyn Partitioner,
+    shards: Vec<&'a CatalogState>,
+    tables: &'a BTreeMap<String, Arc<ShardedTable>>,
+    exec: ExecOptions,
 }
 
 /// What one sharded [`ShardedDatabase::replace_column`] cycle did.
@@ -91,18 +172,28 @@ impl ShardedDatabase {
             });
         }
         let exec = ExecOptions::from_env();
-        let shards = (0..partitioner.shards())
+        let shards: Vec<Database> = (0..partitioner.shards())
             .map(|_| {
                 let mut db = Database::new();
                 db.set_exec_options(exec);
                 db
             })
             .collect();
+        let partitioner: Arc<dyn Partitioner> = Arc::new(partitioner);
+        let initial = ShardedState {
+            partitioner: Arc::clone(&partitioner),
+            shards: shards.iter().map(|d| d.catalog().clone()).collect(),
+            tables: BTreeMap::new(),
+            exec,
+            generation: 0,
+        };
         Ok(Self {
-            partitioner: Box::new(partitioner),
+            partitioner,
             shards,
             tables: BTreeMap::new(),
             exec,
+            generation: 0,
+            slot: SwapSlot::new(initial, 0),
         })
     }
 
@@ -135,12 +226,45 @@ impl ShardedDatabase {
     }
 
     /// Set the catalog-wide [`ExecOptions`]; propagated to every shard
-    /// so per-shard plans inherit the same knobs.
+    /// so per-shard plans inherit the same knobs. Commits a generation:
+    /// snapshots pinned afterwards plan with the new options.
     pub fn set_exec_options(&mut self, options: ExecOptions) {
         self.exec = options;
         for shard in &mut self.shards {
             shard.set_exec_options(options);
         }
+        self.publish();
+    }
+
+    /// Pin the current composed generation: the returned snapshot serves
+    /// the full read surface ([`ShardedState::query`], the probe
+    /// batches) lock-free, and concurrent commits never move data out
+    /// from under it.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        self.slot.pin()
+    }
+
+    /// A cloneable reader handle sharing this catalog's commit slot, for
+    /// pinning snapshots from other threads.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
+    /// The commit counter of the composed catalog (0 = empty).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many composed generations have been committed.
+    pub fn swap_count(&self) -> u64 {
+        self.slot.swaps()
+    }
+
+    /// Live pinned snapshots, across all generations.
+    pub fn pinned_snapshots(&self) -> usize {
+        self.slot.pinned()
     }
 
     /// The catalog-wide [`ExecOptions`] new plans inherit.
@@ -171,14 +295,15 @@ impl ShardedDatabase {
         }
         self.tables.insert(
             name,
-            ShardedTable {
+            Arc::new(ShardedTable {
                 shard_key: shard_key.to_owned(),
                 rows: table.rows(),
                 placement,
                 locals,
                 indexes: BTreeMap::new(),
-            },
+            }),
         );
+        self.publish();
         Ok(())
     }
 
@@ -211,13 +336,12 @@ impl ShardedDatabase {
         for shard in &mut self.shards {
             shard.create_index(table, column, kind)?;
         }
-        self.tables
-            .get_mut(table)
-            .expect("checked above")
+        Arc::make_mut(self.tables.get_mut(table).expect("checked above"))
             .indexes
             .entry(column.to_owned())
             .or_default()
             .insert(kind);
+        self.publish();
         Ok(())
     }
 
@@ -227,13 +351,14 @@ impl ShardedDatabase {
         for shard in &mut self.shards {
             shard.drop_index(table, column, kind)?;
         }
-        let meta = self.tables.get_mut(table).expect("checked above");
+        let meta = Arc::make_mut(self.tables.get_mut(table).expect("checked above"));
         if let Some(kinds) = meta.indexes.get_mut(column) {
             kinds.remove(&kind);
             if kinds.is_empty() {
                 meta.indexes.remove(column);
             }
         }
+        self.publish();
         Ok(())
     }
 
@@ -279,6 +404,9 @@ impl ShardedDatabase {
         for (shard, vals) in self.shards.iter_mut().zip(per_shard) {
             reports.push(shard.replace_column(table, column, vals)?);
         }
+        // One composed commit after every shard finished its cycle:
+        // snapshots see either no shard updated or all of them.
+        self.publish();
         Ok(ShardedRebuildReport {
             repartitioned: false,
             per_shard: reports,
@@ -293,6 +421,7 @@ impl ShardedDatabase {
         for shard in &mut self.shards {
             reports.push(shard.rebuild_column(table, column)?);
         }
+        self.publish();
         Ok(reports)
     }
 
@@ -315,25 +444,7 @@ impl ShardedDatabase {
         column: &str,
         values: &[Value],
     ) -> Result<Vec<Vec<u32>>> {
-        let meta = self.meta(table)?;
-        // Resolve the access path once against shard 0 (every shard has
-        // the same schema and index kinds) so a missing table, column or
-        // index fails typed even when routing prunes every probe away —
-        // the per-request query path errors there, and batch answers
-        // must match it byte for byte.
-        self.shards[0].point_probe_batch(table, column, &[])?;
-        if column == meta.shard_key {
-            let routed = scatter_pruned(self.shards.len(), values, |v| {
-                self.partitioner.probe_shards(v)
-            });
-            self.gather_pruned(meta, values.len(), routed, |shard, vals| {
-                shard.point_probe_batch(table, column, vals)
-            })
-        } else {
-            self.gather_fanned(meta, values.len(), |shard| {
-                shard.point_probe_batch(table, column, values)
-            })
-        }
+        self.view().point_probe_batch(table, column, values)
     }
 
     /// The range twin of [`ShardedDatabase::point_probe_batch`]: each
@@ -349,94 +460,14 @@ impl ShardedDatabase {
         column: &str,
         ranges: &[(Value, Value)],
     ) -> Result<Vec<Vec<u32>>> {
-        let meta = self.meta(table)?;
-        // Same upfront resolution as the point path: an unordered-only
-        // column must fail `NoOrderedIndex` even if every range routes
-        // nowhere.
-        self.shards[0].range_probe_batch(table, column, &[])?;
-        if column == meta.shard_key {
-            let routed = scatter_pruned(self.shards.len(), ranges, |(lo, hi)| {
-                self.partitioner.range_shards(lo, hi)
-            });
-            self.gather_pruned(meta, ranges.len(), routed, |shard, rs| {
-                shard.range_probe_batch(table, column, rs)
-            })
-        } else {
-            self.gather_fanned(meta, ranges.len(), |shard| {
-                shard.range_probe_batch(table, column, ranges)
-            })
-        }
-    }
-
-    /// Run the routed per-shard probe subsets over the worker pool (one
-    /// fat job per shard with work), translate local RIDs to global
-    /// through the placement map, and demultiplex each answer back to
-    /// its probe's submission slot. `slots` is the original probe count:
-    /// a probe that routed to no shard (an unowned key) still owns an
-    /// output slot and answers with the empty set.
-    fn gather_pruned<P: Sync>(
-        &self,
-        meta: &ShardedTable,
-        slots: usize,
-        routed: Vec<(Vec<P>, Vec<usize>)>,
-        answer: impl Fn(&Database, &[P]) -> Result<Vec<Vec<u32>>> + Sync,
-    ) -> Result<Vec<Vec<u32>>> {
-        let jobs: Vec<usize> = (0..self.shards.len())
-            .filter(|&s| !routed[s].0.is_empty())
-            .collect();
-        let results = ccindex_parallel::WorkerPool::new(self.exec.threads).run(jobs.len(), |i| {
-            answer(&self.shards[jobs[i]], &routed[jobs[i]].0)
-        });
-        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
-        for (&s, per_probe) in jobs.iter().zip(results) {
-            let locals = &meta.locals[s];
-            for (&slot, local_rids) in routed[s].1.iter().zip(per_probe?) {
-                out[slot].extend(local_rids.iter().map(|&l| locals[l as usize]));
-            }
-        }
-        for rids in &mut out {
-            rids.sort_unstable();
-        }
-        Ok(out)
-    }
-
-    /// The fanned gather: every shard answers the *same* full probe
-    /// batch (no per-shard subsets, so nothing is cloned), and shard
-    /// `s`'s answer for probe `i` merges straight into output slot `i`.
-    fn gather_fanned(
-        &self,
-        meta: &ShardedTable,
-        slots: usize,
-        answer: impl Fn(&Database) -> Result<Vec<Vec<u32>>> + Sync,
-    ) -> Result<Vec<Vec<u32>>> {
-        let results = ccindex_parallel::WorkerPool::new(self.exec.threads)
-            .run(self.shards.len(), |s| answer(&self.shards[s]));
-        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
-        for (s, per_probe) in results.into_iter().enumerate() {
-            let locals = &meta.locals[s];
-            for (slot, local_rids) in per_probe?.into_iter().enumerate() {
-                out[slot].extend(local_rids.into_iter().map(|l| locals[l as usize]));
-            }
-        }
-        for rids in &mut out {
-            rids.sort_unstable();
-        }
-        Ok(out)
+        self.view().range_probe_batch(table, column, ranges)
     }
 
     /// Start a composable query over `table` — the same builder surface
     /// as [`Database::query`], compiled into a [`ShardedPlan`] that
     /// records its shard routing.
     pub fn query(&self, table: impl Into<String>) -> ShardedQuery<'_> {
-        ShardedQuery {
-            db: self,
-            table: table.into(),
-            filters: Vec::new(),
-            join: None,
-            group: None,
-            forced_kind: None,
-            exec: None,
-        }
+        self.view().query(table)
     }
 
     // ---- internals ----
@@ -444,9 +475,39 @@ impl ShardedDatabase {
     fn meta(&self, table: &str) -> Result<&ShardedTable> {
         self.tables
             .get(table)
+            .map(|t| &**t)
             .ok_or_else(|| MmdbError::UnknownTable {
                 table: table.to_owned(),
             })
+    }
+
+    /// The borrowed executor view over the shards' *current* tips.
+    fn view(&self) -> ShardView<'_> {
+        ShardView {
+            partitioner: &*self.partitioner,
+            shards: self.shards.iter().map(|d| d.catalog()).collect(),
+            tables: &self.tables,
+            exec: self.exec,
+        }
+    }
+
+    /// Commit the composed catalog: capture every shard's current tip
+    /// plus the placement metadata as one immutable [`ShardedState`] and
+    /// install it. Called exactly once at the end of every successful
+    /// mutation, *after* all shards updated — a pinned snapshot never
+    /// observes half a cross-shard mutation.
+    fn publish(&mut self) {
+        self.generation += 1;
+        self.slot.install(
+            ShardedState {
+                partitioner: Arc::clone(&self.partitioner),
+                shards: self.shards.iter().map(|d| d.catalog().clone()).collect(),
+                tables: self.tables.clone(),
+                exec: self.exec,
+                generation: self.generation,
+            },
+            self.generation,
+        );
     }
 
     /// Place one row per key value; fails before any state changes.
@@ -494,7 +555,7 @@ impl ShardedDatabase {
                 let shard_cols: Vec<&Column> = self
                     .shards
                     .iter()
-                    .map(|shard| table_column(shard, table, name))
+                    .map(|shard| table_column(shard.catalog(), table, name))
                     .collect::<Result<_>>()?;
                 old_placement
                     .iter()
@@ -521,13 +582,225 @@ impl ShardedDatabase {
                 shard.create_index(table, column, *kind)?;
             }
         }
-        let meta = self.tables.get_mut(table).expect("present");
+        let meta = Arc::make_mut(self.tables.get_mut(table).expect("present"));
         meta.placement = placement;
         meta.locals = locals;
+        self.publish();
         Ok(ShardedRebuildReport {
             repartitioned: true,
             per_shard: Vec::new(),
         })
+    }
+}
+
+impl ShardedState {
+    /// The commit counter of this composed generation (0 = empty).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The [`ExecOptions`] in force when this generation committed.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's pinned catalog generation, for inspection.
+    pub fn shard(&self, shard: usize) -> &CatalogState {
+        &self.shards[shard]
+    }
+
+    /// The partitioner's one-line description.
+    pub fn partitioner(&self) -> String {
+        self.partitioner.describe()
+    }
+
+    /// Registered table names, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total (global) row count of `table` in this generation.
+    pub fn rows(&self, table: &str) -> Result<usize> {
+        Ok(self.view().meta(table)?.rows)
+    }
+
+    /// The declared shard-key column of `table`.
+    pub fn shard_key(&self, table: &str) -> Result<&str> {
+        Ok(self.view().meta(table)?.shard_key.as_str())
+    }
+
+    /// The batched point-probe surface of this generation — identical
+    /// semantics to [`ShardedDatabase::point_probe_batch`], but against
+    /// the pinned shards, so it runs lock-free under concurrent commits.
+    pub fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        self.view().point_probe_batch(table, column, values)
+    }
+
+    /// The batched range-probe surface of this generation — identical
+    /// semantics to [`ShardedDatabase::range_probe_batch`].
+    pub fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        self.view().range_probe_batch(table, column, ranges)
+    }
+
+    /// Start a composable query over `table` against this generation —
+    /// the same builder [`ShardedDatabase::query`] returns.
+    pub fn query(&self, table: impl Into<String>) -> ShardedQuery<'_> {
+        self.view().query(table)
+    }
+
+    fn view(&self) -> ShardView<'_> {
+        ShardView {
+            partitioner: &*self.partitioner,
+            shards: self.shards.iter().collect(),
+            tables: &self.tables,
+            exec: self.exec,
+        }
+    }
+}
+
+impl<'a> ShardView<'a> {
+    fn meta(&self, table: &str) -> Result<&'a ShardedTable> {
+        self.tables
+            .get(table)
+            .map(|t| &**t)
+            .ok_or_else(|| MmdbError::UnknownTable {
+                table: table.to_owned(),
+            })
+    }
+
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        let meta = self.meta(table)?;
+        // Resolve the access path once against shard 0 (every shard has
+        // the same schema and index kinds) so a missing table, column or
+        // index fails typed even when routing prunes every probe away —
+        // the per-request query path errors there, and batch answers
+        // must match it byte for byte.
+        self.shards[0].point_probe_batch(table, column, &[])?;
+        if column == meta.shard_key {
+            let routed = scatter_pruned(self.shards.len(), values, |v| {
+                self.partitioner.probe_shards(v)
+            });
+            self.gather_pruned(meta, values.len(), routed, |shard, vals| {
+                shard.point_probe_batch(table, column, vals)
+            })
+        } else {
+            self.gather_fanned(meta, values.len(), |shard| {
+                shard.point_probe_batch(table, column, values)
+            })
+        }
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        let meta = self.meta(table)?;
+        // Same upfront resolution as the point path: an unordered-only
+        // column must fail `NoOrderedIndex` even if every range routes
+        // nowhere.
+        self.shards[0].range_probe_batch(table, column, &[])?;
+        if column == meta.shard_key {
+            let routed = scatter_pruned(self.shards.len(), ranges, |(lo, hi)| {
+                self.partitioner.range_shards(lo, hi)
+            });
+            self.gather_pruned(meta, ranges.len(), routed, |shard, rs| {
+                shard.range_probe_batch(table, column, rs)
+            })
+        } else {
+            self.gather_fanned(meta, ranges.len(), |shard| {
+                shard.range_probe_batch(table, column, ranges)
+            })
+        }
+    }
+
+    /// Run the routed per-shard probe subsets over the worker pool (one
+    /// fat job per shard with work), translate local RIDs to global
+    /// through the placement map, and demultiplex each answer back to
+    /// its probe's submission slot. `slots` is the original probe count:
+    /// a probe that routed to no shard (an unowned key) still owns an
+    /// output slot and answers with the empty set.
+    fn gather_pruned<P: Sync>(
+        &self,
+        meta: &ShardedTable,
+        slots: usize,
+        routed: Vec<(Vec<P>, Vec<usize>)>,
+        answer: impl Fn(&CatalogState, &[P]) -> Result<Vec<Vec<u32>>> + Sync,
+    ) -> Result<Vec<Vec<u32>>> {
+        let jobs: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !routed[s].0.is_empty())
+            .collect();
+        let results = ccindex_parallel::WorkerPool::new(self.exec.threads).run(jobs.len(), |i| {
+            answer(self.shards[jobs[i]], &routed[jobs[i]].0)
+        });
+        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
+        for (&s, per_probe) in jobs.iter().zip(results) {
+            let locals = &meta.locals[s];
+            for (&slot, local_rids) in routed[s].1.iter().zip(per_probe?) {
+                out[slot].extend(local_rids.iter().map(|&l| locals[l as usize]));
+            }
+        }
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    /// The fanned gather: every shard answers the *same* full probe
+    /// batch (no per-shard subsets, so nothing is cloned), and shard
+    /// `s`'s answer for probe `i` merges straight into output slot `i`.
+    fn gather_fanned(
+        &self,
+        meta: &ShardedTable,
+        slots: usize,
+        answer: impl Fn(&CatalogState) -> Result<Vec<Vec<u32>>> + Sync,
+    ) -> Result<Vec<Vec<u32>>> {
+        let results = ccindex_parallel::WorkerPool::new(self.exec.threads)
+            .run(self.shards.len(), |s| answer(self.shards[s]));
+        let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
+        for (s, per_probe) in results.into_iter().enumerate() {
+            let locals = &meta.locals[s];
+            for (slot, local_rids) in per_probe?.into_iter().enumerate() {
+                out[slot].extend(local_rids.into_iter().map(|l| locals[l as usize]));
+            }
+        }
+        for rids in &mut out {
+            rids.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    fn query(self, table: impl Into<String>) -> ShardedQuery<'a> {
+        ShardedQuery {
+            view: self,
+            table: table.into(),
+            filters: Vec::new(),
+            join: None,
+            group: None,
+            forced_kind: None,
+            exec: None,
+        }
     }
 }
 
@@ -570,13 +843,14 @@ fn split_table(table: &Table, locals: &[Vec<u32>]) -> Vec<Table> {
 // The sharded query builder
 // ---------------------------------------------------------------------
 
-/// A composable query over a [`ShardedDatabase`] — the same surface as
-/// [`mmdb::Query`] (`filter`/`join`/`group_by`/`using`/`exec`), compiled
-/// by [`ShardedQuery::plan`] into a [`ShardedPlan`] whose routing is
+/// A composable query over a [`ShardedDatabase`] or a pinned
+/// [`ShardedSnapshot`] — the same surface as [`mmdb::Query`]
+/// (`filter`/`join`/`group_by`/`using`/`exec`), compiled by
+/// [`ShardedQuery::plan`] into a [`ShardedPlan`] whose routing is
 /// inspectable and whose executor scatter-gathers across the shards.
 #[derive(Debug, Clone)]
 pub struct ShardedQuery<'db> {
-    db: &'db ShardedDatabase,
+    view: ShardView<'db>,
     table: String,
     filters: Vec<Predicate>,
     join: Option<(String, JoinOn)>,
@@ -624,11 +898,11 @@ impl<'db> ShardedQuery<'db> {
     /// shard has the same schema and indexes), then compute the shard
     /// routing from the partitioner.
     pub fn plan(&self) -> Result<ShardedPlan> {
-        let db = self.db;
-        let meta = db.meta(&self.table)?;
+        let view = &self.view;
+        let meta = view.meta(&self.table)?;
         // The per-shard template: one compile is enough because every
         // shard holds the same tables, columns and index kinds.
-        let mut q = db.shards[0].query(&self.table);
+        let mut q = view.shards[0].query(&self.table);
         for f in &self.filters {
             q = q.filter(f.clone());
         }
@@ -647,14 +921,14 @@ impl<'db> ShardedQuery<'db> {
         let template = q.plan()?;
 
         // Routing: each shard-key conjunct prunes; everything else fans.
-        let nshards = db.shards.len();
+        let nshards = view.shards.len();
         let mut probe_targets = Vec::with_capacity(template.probes.len());
         let mut selected: BTreeSet<usize> = (0..nshards).collect();
         for step in &template.probes {
             let target = if step.column == meta.shard_key {
                 let routed = match &step.probe {
-                    Probe::Point(v) => db.partitioner.probe_shards(v),
-                    Probe::Range(lo, hi) => db.partitioner.range_shards(lo, hi),
+                    Probe::Point(v) => view.partitioner.probe_shards(v),
+                    Probe::Range(lo, hi) => view.partitioner.range_shards(lo, hi),
                 };
                 if routed.len() == nshards {
                     ShardTargets::All
@@ -672,7 +946,7 @@ impl<'db> ShardedQuery<'db> {
         }
 
         let join = self.join.as_ref().map(|(inner_table, cond)| {
-            let bucketed = db
+            let bucketed = view
                 .meta(inner_table)
                 .map(|m| m.shard_key == cond.inner())
                 .unwrap_or(false);
@@ -687,7 +961,7 @@ impl<'db> ShardedQuery<'db> {
             template,
             routing: ShardRouting {
                 shards: nshards,
-                partitioner: db.partitioner.describe(),
+                partitioner: view.partitioner.describe(),
                 shard_key: meta.shard_key.clone(),
                 probe_targets,
                 selected: selected.into_iter().collect(),
@@ -698,7 +972,7 @@ impl<'db> ShardedQuery<'db> {
 
     /// Compile and execute.
     pub fn run(&self) -> Result<ShardedResultSet<'db>> {
-        self.plan()?.execute(self.db)
+        self.plan()?.execute_view(self.view.clone())
     }
 }
 
@@ -809,20 +1083,32 @@ impl ShardedPlan {
     /// Execute against `db` (normally the catalog the plan was compiled
     /// from; names re-resolve, so a stale plan fails with a typed error).
     pub fn execute<'db>(&self, db: &'db ShardedDatabase) -> Result<ShardedResultSet<'db>> {
+        self.execute_view(db.view())
+    }
+
+    /// Execute against a pinned composed generation — the snapshot twin
+    /// of [`ShardedPlan::execute`], byte-identical output. The shard
+    /// count re-validates exactly like the live path, so a plan compiled
+    /// against a different catalog shape fails typed, not out of bounds.
+    pub fn execute_on<'s>(&self, state: &'s ShardedState) -> Result<ShardedResultSet<'s>> {
+        self.execute_view(state.view())
+    }
+
+    fn execute_view<'v>(&self, view: ShardView<'v>) -> Result<ShardedResultSet<'v>> {
         // The recorded routing indexes shards of the compile-time
         // catalog; running against one with a different shard count
         // would index out of bounds, so it is a typed failure too.
-        if self.routing.shards != db.shards.len() {
+        if self.routing.shards != view.shards.len() {
             return Err(MmdbError::Unsupported {
                 what: format!(
                     "plan was compiled for a {}-shard catalog but executed \
                      against {} shard(s); recompile the query",
                     self.routing.shards,
-                    db.shards.len()
+                    view.shards.len()
                 ),
             });
         }
-        let meta = db.meta(&self.template.table)?;
+        let meta = view.meta(&self.template.table)?;
         let exec = self.template.exec;
 
         // ---- scatter: selection ----
@@ -844,7 +1130,7 @@ impl ShardedPlan {
             // the core count by the pool), not the probe-count adaptive.
             let results = WorkerPool::new(exec.threads).run(scatter.len(), |i| {
                 probes_plan
-                    .execute(&db.shards[scatter[i]])
+                    .execute_on(view.shards[scatter[i]])
                     .map(|r| r.rids().to_vec())
             });
             let mut v = Vec::with_capacity(scatter.len());
@@ -856,7 +1142,7 @@ impl ShardedPlan {
 
         // ---- scatter: join (and grouped-join) jobs ----
         if let Some(j) = &self.template.join {
-            let inner_meta = db.meta(&j.inner_table)?;
+            let inner_meta = view.meta(&j.inner_table)?;
             // (outer shard, inner shard, outer local RIDs) — bucketed by
             // the owning inner shard when the join column is the inner
             // shard key, fanned to every inner shard otherwise. Bucket
@@ -873,14 +1159,14 @@ impl ShardedPlan {
                 match self.routing.join {
                     Some(JoinRouting::Bucketed) => {
                         let outer_col =
-                            table_column(&db.shards[*s], &self.template.table, &j.outer_column)?;
-                        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); db.shards.len()];
+                            table_column(view.shards[*s], &self.template.table, &j.outer_column)?;
+                        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); view.shards.len()];
                         for &rid in &outer_rids {
                             // Placement is the bucketing function: inner
                             // rows were placed by `shard_of`, so an outer
                             // key it cannot place matches no inner row
                             // (no per-row Vec like `probe_shards` makes).
-                            if let Ok(t) = db.partitioner.shard_of(outer_col.value(rid)) {
+                            if let Ok(t) = view.partitioner.shard_of(outer_col.value(rid)) {
                                 buckets[t].push(rid);
                             }
                         }
@@ -891,7 +1177,7 @@ impl ShardedPlan {
                         }
                     }
                     _ => {
-                        for t in 0..db.shards.len() {
+                        for t in 0..view.shards.len() {
                             if !inner_meta.locals[t].is_empty() {
                                 jobs.push((*s, t, outer_rids.clone()));
                             }
@@ -917,7 +1203,7 @@ impl ShardedPlan {
                 // partials by group value at the gather barrier.
                 let partials = pool.run(jobs.len(), |i| -> Result<Vec<GroupRow>> {
                     let (s, t, rids) = &jobs[i];
-                    let rows = self.join_job(db, *s, *t, rids, job_threads)?;
+                    let rows = self.join_job(&view, *s, *t, rids, job_threads)?;
                     let pick = |r: &JoinRow, side: Side| match side {
                         Side::Outer => r.outer_rid,
                         Side::Inner => r.inner_rid,
@@ -931,14 +1217,14 @@ impl ShardedPlan {
                         Side::Inner => j.inner_table.as_str(),
                     };
                     let group_col = table_column(
-                        &db.shards[side_shard(g.side)],
+                        view.shards[side_shard(g.side)],
                         side_table(g.side),
                         &g.column,
                     )?;
                     let measure_col = match &g.measure {
                         None => None,
                         Some((m, side)) => Some(table_column(
-                            &db.shards[side_shard(*side)],
+                            view.shards[side_shard(*side)],
                             side_table(*side),
                             m,
                         )?),
@@ -957,7 +1243,7 @@ impl ShardedPlan {
                     collected.push(p?);
                 }
                 return Ok(ShardedResultSet {
-                    db,
+                    view,
                     outer_table: self.template.table.clone(),
                     inner_table: Some(j.inner_table.clone()),
                     rows: ResultRows::Groups(merge_group_partials(g.agg, collected)),
@@ -968,7 +1254,7 @@ impl ShardedPlan {
             // merge back into the sequential join's (outer, inner) order.
             let results = pool.run(jobs.len(), |i| {
                 let (s, t, rids) = &jobs[i];
-                self.join_job(db, *s, *t, rids, job_threads)
+                self.join_job(&view, *s, *t, rids, job_threads)
             });
             let mut all: Vec<JoinRow> = Vec::new();
             for ((s, t, _), rows) in jobs.iter().zip(results) {
@@ -981,7 +1267,7 @@ impl ShardedPlan {
             }
             all.sort_unstable();
             return Ok(ShardedResultSet {
-                db,
+                view,
                 outer_table: self.template.table.clone(),
                 inner_table: Some(j.inner_table.clone()),
                 rows: ResultRows::Joined(all),
@@ -992,10 +1278,10 @@ impl ShardedPlan {
         if let Some(g) = &self.template.group {
             let partials = WorkerPool::new(exec.threads).run(per_shard.len(), |i| {
                 let (s, sel) = &per_shard[i];
-                let group_col = table_column(&db.shards[*s], &self.template.table, &g.column)?;
+                let group_col = table_column(view.shards[*s], &self.template.table, &g.column)?;
                 let measure_col = match &g.measure {
                     None => None,
-                    Some((m, _)) => Some(table_column(&db.shards[*s], &self.template.table, m)?),
+                    Some((m, _)) => Some(table_column(view.shards[*s], &self.template.table, m)?),
                 };
                 Ok::<Vec<GroupRow>, MmdbError>(match sel {
                     Some(rids) => group_aggregate_pairs(
@@ -1017,7 +1303,7 @@ impl ShardedPlan {
                 collected.push(p?);
             }
             return Ok(ShardedResultSet {
-                db,
+                view,
                 outer_table: self.template.table.clone(),
                 inner_table: None,
                 rows: ResultRows::Groups(merge_group_partials(g.agg, collected)),
@@ -1034,7 +1320,7 @@ impl ShardedPlan {
         }
         rids.sort_unstable();
         Ok(ShardedResultSet {
-            db,
+            view,
             outer_table: self.template.table.clone(),
             inner_table: None,
             rows: ResultRows::Rids(rids),
@@ -1049,17 +1335,17 @@ impl ShardedPlan {
     /// outer-stream order, so the result is unchanged).
     fn join_job(
         &self,
-        db: &ShardedDatabase,
+        view: &ShardView<'_>,
         s: usize,
         t: usize,
         outer_rids: &[u32],
         threads: usize,
     ) -> Result<Vec<JoinRow>> {
         let j = self.template.join.as_ref().expect("join jobs need a join");
-        let outer_col = table_column(&db.shards[s], &self.template.table, &j.outer_column)?;
-        let inner_col = table_column(&db.shards[t], &j.inner_table, &j.inner_column)?;
-        let inner_rids = db.shards[t].rid_list(&j.inner_table, &j.inner_column)?;
-        let handle = db.shards[t].index(&j.inner_table, &j.inner_column, j.kind)?;
+        let outer_col = table_column(view.shards[s], &self.template.table, &j.outer_column)?;
+        let inner_col = table_column(view.shards[t], &j.inner_table, &j.inner_column)?;
+        let inner_rids = view.shards[t].rid_list(&j.inner_table, &j.inner_column)?;
+        let handle = view.shards[t].index(&j.inner_table, &j.inner_column, j.kind)?;
         Ok(indexed_nested_loop_join_rids_par(
             outer_col,
             outer_rids,
@@ -1072,10 +1358,11 @@ impl ShardedPlan {
     }
 }
 
-/// The column itself, through the public table surface (the engine's
-/// internal resolver is crate-private).
-fn table_column<'a>(db: &'a Database, table: &str, column: &str) -> Result<&'a Column> {
-    db.table(table)?
+/// The column itself, through the public catalog surface (the engine's
+/// internal resolver is crate-private). Taking [`CatalogState`] lets the
+/// same resolution serve a live shard's tip and a pinned generation.
+fn table_column<'a>(cat: &'a CatalogState, table: &str, column: &str) -> Result<&'a Column> {
+    cat.table(table)?
         .column(column)
         .ok_or_else(|| MmdbError::UnknownColumn {
             table: table.to_owned(),
@@ -1120,7 +1407,7 @@ fn merge_group_partials(agg: AggFn, partials: Vec<Vec<GroupRow>>) -> Vec<GroupRo
 /// [`mmdb::ResultSet`], producing byte-identical [`ResultRows`].
 #[derive(Debug, Clone)]
 pub struct ShardedResultSet<'db> {
-    db: &'db ShardedDatabase,
+    view: ShardView<'db>,
     outer_table: String,
     inner_table: Option<String>,
     rows: ResultRows,
@@ -1176,12 +1463,12 @@ impl ShardedResultSet<'_> {
     /// so the per-row work is plain slice accesses.
     pub fn values(&self, column: &str) -> Result<Vec<Value>> {
         let decode_all = |table: &str, rids: &mut dyn Iterator<Item = u32>| -> Result<Vec<Value>> {
-            let meta = self.db.meta(table)?;
+            let meta = self.view.meta(table)?;
             let shard_cols: Vec<&Column> = self
-                .db
+                .view
                 .shards
                 .iter()
-                .map(|shard| table_column(shard, table, column))
+                .map(|&shard| table_column(shard, table, column))
                 .collect::<Result<_>>()?;
             Ok(rids
                 .map(|r| {
@@ -1194,7 +1481,7 @@ impl ShardedResultSet<'_> {
             ResultRows::Rids(rids) => decode_all(&self.outer_table, &mut rids.iter().copied()),
             ResultRows::Joined(rows) => {
                 // Outer binds first, like the unsharded resolver.
-                let outer_has = self.db.shards[0]
+                let outer_has = self.view.shards[0]
                     .table(&self.outer_table)?
                     .column(column)
                     .is_some();

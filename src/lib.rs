@@ -70,13 +70,16 @@ pub mod prelude {
     pub use crate::db::{
         between, build_index, build_ordered_index, count, eq, indexed_nested_loop_join, max, min,
         on, point_select, point_select_many, range_select, range_select_many, sum, Agg, Database,
-        Domain, ExecOptions, IndexKind, MmdbError, ResultRows, RidList, Table, TableBuilder,
+        DatabaseHandle, Domain, ExecOptions, IndexKind, MmdbError, ResultRows, RidList, Snapshot,
+        Table, TableBuilder, Value,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;
     pub use crate::model::Params;
     pub use crate::parallel::{BlockingQueue, WorkerPool};
-    pub use crate::serve::{BatchServer, QuerySpec, Request, ServeEngine, ServeOptions};
+    pub use crate::serve::{
+        BatchServer, QuerySpec, Request, ServeEngine, ServeOptions, ServeSource, SnapshotInfo,
+    };
     pub use crate::shard::{HashPartitioner, Partitioner, RangePartitioner, ShardedDatabase};
     pub use crate::sim::{CacheHierarchy, Machine, SimTracer};
     pub use crate::sorted::{BinarySearch, InterpolationSearch};

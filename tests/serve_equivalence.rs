@@ -8,7 +8,9 @@
 
 use ccindex::db::domain::Value;
 use ccindex::db::{between, eq, on, sum, Database, IndexKind, MmdbError, ResultRows, TableBuilder};
-use ccindex::serve::{BatchServer, Pending, QuerySpec, Request, ServeEngine, ServeOptions};
+use ccindex::serve::{
+    BatchServer, Pending, QuerySpec, Request, ServeEngine, ServeOptions, ServeSource,
+};
 use ccindex::shard::{HashPartitioner, Partitioner, RangePartitioner, ShardedDatabase};
 use std::time::Duration;
 
@@ -119,8 +121,8 @@ fn sequential_reference(db: &Database) -> Vec<Result<ResultRows, MmdbError>> {
 
 /// Serve the mix from `clients` concurrent clients and assert every
 /// client's answers equal the sequential reference.
-fn assert_serves_identically<E: ServeEngine>(
-    engine: &E,
+fn assert_serves_identically<S: ServeSource>(
+    engine: &S,
     reference: &[Result<ResultRows, MmdbError>],
     label: &str,
 ) {
