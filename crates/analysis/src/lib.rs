@@ -13,6 +13,8 @@
 //! * [`csstree_ratios`] — Fig. 5: comparison and cache-access ratios of
 //!   level vs full CSS-trees as a function of `m`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod csstree_ratios;
 pub mod params;
 pub mod space_model;

@@ -8,6 +8,8 @@
 //! running the paper's 100 k-lookup protocol, measuring wall-clock and
 //! simulated time, and formatting the output.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod methods;
 pub mod protocol;
 pub mod report;

@@ -21,6 +21,8 @@
 //!   packed 100% full ("In an OLAP environment, we can use all the slots in
 //!   a B+-tree node and rebuild the tree when batch updates arrive").
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod node;
 pub mod search;

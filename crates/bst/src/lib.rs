@@ -13,6 +13,8 @@
 //! lines near the root of each subtree, but the accesses of a random probe
 //! still spread across Θ(log n) distinct lines.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod tree;
 
 pub use tree::BinaryTreeIndex;

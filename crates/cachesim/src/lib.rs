@@ -13,6 +13,8 @@
 //! Machine presets for the paper's two platforms (and a modern reference
 //! machine) live in [`machine`].
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod hierarchy;
 pub mod machine;

@@ -1,0 +1,33 @@
+//! Workspace lint runner: `cargo run -p check --bin lint [root]`.
+//!
+//! Walks every crate's `src/` under the workspace root (default: the
+//! workspace this binary was built from), applies the rules documented
+//! in [`check::lint`], prints each violation as `file:line: [rule]
+//! message`, and exits non-zero when any rule is broken — which is what
+//! makes it enforceable as a required CI job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    let violations = match check::lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("lint: workspace clean under rules S1/O1/F1/H1");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

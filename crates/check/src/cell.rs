@@ -1,0 +1,59 @@
+//! [`RaceCell`]: plain (non-atomic) shared memory whose accesses are
+//! checked against the happens-before order.
+//!
+//! Models use it to stand in for the data a synchronisation protocol
+//! protects: reads and writes go through the vector-clock race detector
+//! (`rt::cell_access`), so if two threads touch the cell
+//! without an ordering edge between them the checker reports a data
+//! race — with both source locations — instead of the silent memory
+//! corruption real hardware would eventually produce.
+//!
+//! The value itself lives behind a real `Mutex` so the *process* stays
+//! memory-safe even on racy schedules; the detector reports the race
+//! the model has, the cell just refuses to make it undefined behavior.
+
+use crate::rt;
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Shared plain memory with happens-before-checked access.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    id: OnceLock<usize>,
+    value: StdMutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// A new cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            value: StdMutex::new(value),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(rt::new_cell)
+    }
+
+    /// A checked plain read (a schedule point).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        rt::cell_access(self.id(), false, true, Location::caller());
+        *self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A checked plain write (a schedule point).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        rt::cell_access(self.id(), true, true, Location::caller());
+        *self.value.lock().unwrap_or_else(|e| e.into_inner()) = value;
+    }
+}
+
+// SAFETY: the payload sits behind a std Mutex, so concurrent access is
+// synchronised at the process level regardless of what the model does;
+// T: Send suffices exactly as it does for Mutex<T>.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above — all shared access routes through the inner Mutex.
+unsafe impl<T: Send> Sync for RaceCell<T> {}

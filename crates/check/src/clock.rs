@@ -1,0 +1,141 @@
+//! Vector clocks: the partial order behind the happens-before race
+//! detector.
+//!
+//! Every model thread carries a [`VClock`]; component `t` is the number
+//! of events thread `t` had performed the last time its knowledge
+//! reached this clock. The detector's entire memory-model story reduces
+//! to moves on these clocks:
+//!
+//! * a thread **ticks** its own component at every event it performs;
+//! * an *Acquire* load (or mutex acquire, or join) **joins** the
+//!   released clock of the thing it synchronised with;
+//! * a *Release* store (or mutex release, or thread exit) publishes a
+//!   copy of the releasing thread's clock for a later acquirer to join;
+//! * a *Relaxed* access moves no clocks at all — which is exactly how
+//!   an ordering downgraded too far becomes visible as a race.
+//!
+//! Two accesses are ordered (happened-before) iff the earlier access's
+//! timestamp is ≤ the later thread's component for the earlier thread.
+//! Anything else is concurrent, and concurrent conflicting plain
+//! accesses are a data race.
+
+/// A vector clock over the (dense, per-execution) model thread ids.
+///
+/// Missing components are zero, so clocks grow lazily as threads spawn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The all-zero clock (knows of no events).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This clock's component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance thread `tid`'s own component by one event.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other`
+    /// knew. This is the acquire side of every synchronises-with edge.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Record that thread `tid` performed an access at its current time
+    /// `time` (used for the per-variable read/write access clocks).
+    pub fn set(&mut self, tid: usize, time: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = time;
+    }
+
+    /// The first thread whose recorded access in `self` is **not**
+    /// happened-before `observer`'s clock — i.e. a concurrent access —
+    /// or `None` when every recorded access is ordered before the
+    /// observer. `skip` is the observing thread itself (its own earlier
+    /// accesses are always ordered by program order).
+    pub fn first_concurrent(&self, observer: &VClock, skip: usize) -> Option<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .find(|&(t, &time)| t != skip && time > 0 && time > observer.get(t))
+            .map(|(t, _)| t)
+    }
+
+    /// Reset every component to zero (a *Relaxed* store publishing no
+    /// ordering resets the variable's release clock with this).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        c.tick(0);
+        assert_eq!((c.get(0), c.get(1), c.get(3)), (1, 0, 2));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1)), (2, 1));
+        b.join(&a);
+        assert_eq!((b.get(0), b.get(1)), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        // Thread 1 wrote at time 1; an observer that never joined
+        // thread 1's clock sees that write as concurrent.
+        let mut writes = VClock::new();
+        writes.set(1, 1);
+        let mut observer = VClock::new();
+        observer.tick(0);
+        assert_eq!(writes.first_concurrent(&observer, 0), Some(1));
+        // After the observer learns of thread 1's first event, the
+        // write is ordered.
+        let mut released = VClock::new();
+        released.tick(1);
+        observer.join(&released);
+        assert_eq!(writes.first_concurrent(&observer, 0), None);
+        // A thread never races with its own accesses.
+        assert_eq!(writes.first_concurrent(&VClock::new(), 1), None);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut c = VClock::new();
+        c.tick(2);
+        c.clear();
+        assert_eq!(c.get(2), 0);
+        assert_eq!(c, VClock::new());
+    }
+}

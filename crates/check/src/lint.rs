@@ -1,0 +1,526 @@
+//! The workspace source lint: rules the compiler can't enforce,
+//! checked mechanically so they hold by construction instead of by
+//! review vigilance. Run as `cargo run -p check --bin lint` (a required
+//! CI job).
+//!
+//! | rule | requirement |
+//! |------|-------------|
+//! | S1   | every `unsafe` block / impl / fn carries a `// SAFETY:` comment on the same line or just above |
+//! | O1   | every explicit non-`SeqCst` atomic ordering at an atomic call site carries a `// ORDERING:` justification |
+//! | F1   | no `static mut`, no `transmute` |
+//! | H1   | every `lib.rs` opens with `//!` docs and declares `#![deny(unsafe_op_in_unsafe_fn)]` |
+//!
+//! O1 exists because of exactly the bug class PR 7 is about: a
+//! lifetime-guarding counter (a pin count, a refcount) downgraded to
+//! `Relaxed` still passes every test and still races. The lint can't
+//! know which counters guard lifetimes, so it demands the human
+//! argument — the `// ORDERING:` comment — at every site where the
+//! choice was made explicitly, and the model checker then tests the
+//! argument. `SeqCst` needs no justification (it is the conservative
+//! default), and `#[cfg(test)]` code is exempt.
+//!
+//! The scanner is deliberately line-based and dependency-free: string
+//! literals and comments are blanked by a small state machine before
+//! pattern checks, `#[cfg(test)]` items are skipped by brace counting.
+//! It is a lint, not a parser — it prefers a rare false positive (fix:
+//! write the comment) over a dependency on a Rust parser crate.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One broken rule at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path of the offending file (as walked, workspace-relative when
+    /// the walk root was relative).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`S1`, `O1`, `F1`, `H1`).
+    pub rule: &'static str,
+    /// What to fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lint every `.rs` file under `<root>/crates/*/src` and `<root>/src`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)?;
+        violations.extend(lint_source(&file, &text));
+    }
+    Ok(violations)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file's source text (the unit-testable core).
+pub fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
+    let raw: Vec<&str> = text.lines().collect();
+    let code = strip(text);
+    debug_assert_eq!(code.len(), raw.len());
+    let in_test = test_regions(&code);
+    let mut out = Vec::new();
+
+    for (i, code_line) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let lineno = i + 1;
+
+        // F1: forbidden constructs, justification impossible.
+        if contains_word(code_line, "static") && contains_word(code_line, "mut") {
+            // Only flag the actual `static mut` sequence, not e.g.
+            // `static X: Mutex<...>` or `&'static mut` in a type.
+            if code_line.contains("static mut") {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: lineno,
+                    rule: "F1",
+                    message: "`static mut` is forbidden; use an atomic, a lock, or OnceLock"
+                        .to_owned(),
+                });
+            }
+        }
+        if code_line.contains("transmute") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: "F1",
+                message: "`transmute` is forbidden; use safe conversions or raw-pointer casts \
+                          with a SAFETY argument"
+                    .to_owned(),
+            });
+        }
+
+        // S1: unsafe needs a SAFETY comment.
+        if needs_safety(code_line) && !commented_nearby(&raw, i, "SAFETY:") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: "S1",
+                message: "`unsafe` without a `// SAFETY:` comment on the line or just above"
+                    .to_owned(),
+            });
+        }
+
+        // O1: explicit weak ordering at an atomic call site needs an
+        // ORDERING justification.
+        if weak_ordering_at_atomic_op(code_line) && !commented_nearby(&raw, i, "ORDERING:") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: "O1",
+                message: "non-SeqCst atomic ordering without a `// ORDERING:` justification \
+                          on the line or just above"
+                    .to_owned(),
+            });
+        }
+    }
+
+    // H1: lib.rs hygiene.
+    if file.file_name().is_some_and(|n| n == "lib.rs") {
+        if !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: 1,
+                rule: "H1",
+                message: "lib.rs must declare #![deny(unsafe_op_in_unsafe_fn)]".to_owned(),
+            });
+        }
+        let first = raw.iter().find(|l| !l.trim().is_empty());
+        if !first.is_some_and(|l| l.trim_start().starts_with("//!")) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: 1,
+                rule: "H1",
+                message: "lib.rs must open with `//!` crate-level docs".to_owned(),
+            });
+        }
+    }
+
+    out
+}
+
+/// Whether a stripped line introduces an unsafe block/impl/fn.
+fn needs_safety(code_line: &str) -> bool {
+    let mut rest = code_line;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+/// Whether a stripped line both names a weak `Ordering::` variant and
+/// performs an atomic operation — the site where the choice matters.
+fn weak_ordering_at_atomic_op(code_line: &str) -> bool {
+    let weak = [
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+    ];
+    if !weak.iter().any(|w| code_line.contains(w)) {
+        return false;
+    }
+    let ops = [
+        ".load(",
+        ".store(",
+        ".fetch_",
+        ".compare_exchange",
+        ".swap(",
+    ];
+    ops.iter().any(|op| code_line.contains(op))
+}
+
+/// Whether `needle` appears in a `//` comment on line `i` or anywhere
+/// in the contiguous comment block directly above it (blank lines and
+/// attribute lines don't break the association; a code line does, so a
+/// justification can't drift away from its site).
+fn commented_nearby(raw: &[&str], i: usize, needle: &str) -> bool {
+    if line_comment_contains(raw[i], needle) {
+        return true;
+    }
+    // Bound the scan so a pathological megacomment can't make the pass
+    // quadratic; no real justification block approaches this.
+    let mut remaining = 64;
+    let mut j = i;
+    while remaining > 0 && j > 0 {
+        j -= 1;
+        let line = raw[j].trim_start();
+        if line.is_empty() || line.starts_with("#[") || line.starts_with("#!") {
+            continue; // doesn't consume the look-back budget
+        }
+        if line_comment_contains(raw[j], needle) {
+            return true;
+        }
+        if !line.starts_with("//") {
+            return false; // a code line in between breaks the association
+        }
+        remaining -= 1;
+    }
+    false
+}
+
+fn line_comment_contains(raw_line: &str, needle: &str) -> bool {
+    raw_line
+        .find("//")
+        .is_some_and(|pos| raw_line[pos..].contains(needle))
+}
+
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut rest = haystack;
+    while let Some(pos) = rest.find(word) {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + word.len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + word.len()..];
+    }
+    false
+}
+
+/// Blank out comments and string/char-literal contents, preserving the
+/// line structure, so pattern checks only see code.
+fn strip(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(usize), // nesting depth
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let bytes = line.as_bytes();
+        let mut stripped = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                State::Block(depth) => {
+                    if bytes[i..].starts_with(b"*/") {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if bytes[i..].starts_with(b"/*") {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                State::Code => {}
+            }
+            if bytes[i..].starts_with(b"//") {
+                break; // rest of the line is a comment
+            }
+            if bytes[i..].starts_with(b"/*") {
+                state = State::Block(1);
+                i += 2;
+                continue;
+            }
+            match bytes[i] {
+                b'"' => {
+                    // Skip the string literal body (escapes included);
+                    // an unterminated literal (raw string spanning
+                    // lines — not used in this workspace) blanks the
+                    // rest of the line.
+                    stripped.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == b'\\' {
+                            i += 2;
+                        } else if bytes[i] == b'"' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    stripped.push('"');
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal closes within
+                    // a few bytes; a lifetime has no closing quote.
+                    let close = if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                        bytes
+                            .get(i + 2..)
+                            .and_then(|r| r.iter().position(|&b| b == b'\''))
+                            .map(|p| i + 2 + p)
+                    } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    if let Some(close) = close {
+                        stripped.push_str("' '");
+                        i = close + 1;
+                    } else {
+                        stripped.push('\'');
+                        i += 1;
+                    }
+                }
+                b => {
+                    stripped.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+        out.push(stripped);
+    }
+    if text.is_empty() {
+        out.push(String::new());
+    }
+    out
+}
+
+/// Which lines sit inside a `#[cfg(test)]` item (computed on stripped
+/// lines by brace counting from the attribute).
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i].trim_start();
+        let is_test_attr = t.starts_with("#[cfg(test)]")
+            || t.starts_with("#[cfg(all(test")
+            || t.starts_with("#[cfg(any(test");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Skip forward over the attributed item, tracking brace depth
+        // from its first `{`.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < code.len() {
+            in_test[j] = true;
+            for b in code[j].bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    b'}' => depth -= 1,
+                    b';' if !seen_open && depth == 0 => {
+                        // An item without a body (e.g. `mod tests;`).
+                        seen_open = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+            if seen_open && depth <= 0 {
+                break;
+            }
+        }
+        i = j;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Vec<Violation> {
+        lint_source(Path::new("x.rs"), text)
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let v = lint("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "S1");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_passes() {
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(lint(ok).is_empty());
+        let same_line = "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: p valid\n}\n";
+        assert!(lint(same_line).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_does_not_reach_past_code() {
+        let v = lint(
+            "// SAFETY: this comment is about g, not f\nfn g() {}\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn weak_ordering_without_justification_flagged() {
+        let v = lint("fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "O1");
+    }
+
+    #[test]
+    fn seqcst_and_justified_weak_orderings_pass() {
+        assert!(lint("fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::SeqCst); }\n").is_empty());
+        assert!(lint(
+            "fn f(a: &AtomicUsize) {\n    // ORDERING: observability counter only.\n    a.fetch_add(1, Ordering::Relaxed);\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn match_arms_on_cmp_ordering_not_flagged() {
+        // `std::cmp::Ordering` pattern matches have no atomic call on
+        // the line, so O1 ignores them.
+        assert!(lint("match a.cmp(&b) {\n    Ordering::Less => {}\n    _ => {}\n}\n").is_empty());
+    }
+
+    #[test]
+    fn forbidden_constructs_flagged() {
+        let v = lint("static mut COUNTER: u32 = 0;\n");
+        assert_eq!(v[0].rule, "F1");
+        let v = lint("fn f(x: u64) -> f64 { unsafe { std::mem::transmute(x) } }\n");
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "F1" && v.message.contains("transmute")));
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        assert!(lint("fn f() { let s = \"unsafe { transmute }\"; }\n").is_empty());
+        assert!(lint("// a note that mentions unsafe { } and static mut\nfn f() {}\n").is_empty());
+        assert!(lint("/* unsafe {\n   transmute across lines\n*/\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_exempt() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    fn t(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn lib_rs_hygiene() {
+        let v = lint_source(Path::new("lib.rs"), "pub fn f() {}\n");
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "H1" && v.message.contains("deny")));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "H1" && v.message.contains("//!")));
+        let ok = "//! Docs.\n#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
+        assert!(lint_source(Path::new("lib.rs"), ok).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_stripper() {
+        let src =
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let v = lint(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("S1", 2));
+    }
+}

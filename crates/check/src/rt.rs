@@ -1,0 +1,1228 @@
+//! The deterministic cooperative scheduler and DFS schedule explorer.
+//!
+//! # How an execution runs
+//!
+//! Model threads are real OS threads, but **exactly one is ever
+//! runnable**: every shim operation (atomic access, mutex lock/unlock,
+//! condvar wait/notify, spawn/join, tracked cell access) funnels through
+//! [`Execution::switch`], which consults the current schedule, picks the
+//! next thread to run, wakes it through its [`Gate`], and parks the
+//! yielding thread. Because all scheduling decisions flow through one
+//! place, an execution is fully determined by the sequence of branch
+//! choices it consumed — so it can be replayed, and the space of
+//! executions can be enumerated.
+//!
+//! # How the space is explored
+//!
+//! Every nondeterministic decision — which thread runs next, which
+//! condvar waiter a `notify_one` wakes, whether a timed wait returns an
+//! item, a timeout, or a spurious wakeup — is a call to
+//! [`Schedule::choose`]`(width)`. The explorer runs the model once
+//! taking the first alternative at every fresh branch, then backtracks:
+//! the deepest branch with an untried alternative is advanced and the
+//! model re-run, replaying the shared prefix. The walk terminates when
+//! the tree is exhausted (or a configured iteration cap trips, which is
+//! reported as an incomplete search, never as a pass).
+//!
+//! Two standard reductions keep the tree tractable:
+//!
+//! * **bounded preemption** (CHESS-style): a context switch away from a
+//!   thread that could have continued is a preemption; executions with
+//!   more than the configured budget are not generated. Switches at
+//!   blocking points are free, so every schedule a blocking protocol
+//!   forces is still explored.
+//! * **single-branch collapsing**: points with one enabled thread
+//!   consume no branch.
+//!
+//! # What is checked
+//!
+//! * **Assertions** in model code (and panics anywhere in it) fail the
+//!   execution that produced them, reported with its schedule.
+//! * **Deadlock**: no thread enabled while some are blocked.
+//! * **Data races**: every tracked plain access (see
+//!   [`crate::cell::RaceCell`] and [`crate::sync::Arc`]) is checked
+//!   against the vector-clock order; conflicting concurrent accesses
+//!   are reported with both locations. Acquire/Release edges move
+//!   clocks; `Relaxed` moves none — see [`crate::clock`].
+//!
+//! Executions are sequentially consistent interleavings (there is no
+//! store-buffer simulation); weak-memory mistakes surface through the
+//! happens-before detector rather than through value reordering.
+
+use crate::clock::VClock;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Message used when the runtime unwinds a thread of a failed execution
+/// so that the process can make progress; never reported as the finding.
+pub(crate) const POISON_MSG: &str = "ccindex-check: execution poisoned (secondary unwind)";
+
+// ---------------------------------------------------------------------
+// Configuration and findings
+// ---------------------------------------------------------------------
+
+/// Exploration limits and features; see [`crate::Checker`] for the
+/// builder surface.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Max context switches away from a runnable thread per execution
+    /// (`None` = unbounded). Blocking switches are always free.
+    pub preemption_bound: Option<usize>,
+    /// Max executions to run before declaring the search incomplete.
+    pub max_iterations: usize,
+    /// Max branch points in one execution (runaway-model guard).
+    pub max_branches: usize,
+    /// Inject spurious condvar wakeups as schedule choices.
+    pub spurious_wakeups: bool,
+    /// Spurious wakeups injected per thread per execution. Per-thread
+    /// (not per-wait) deliberately: a per-wait budget would renew
+    /// itself on every re-wait of a predicate loop, making the
+    /// schedule tree infinite.
+    pub max_spurious_per_thread: usize,
+    /// Trailing shim events kept for failure reports.
+    pub trace_limit: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(2),
+            max_iterations: 100_000,
+            max_branches: 20_000,
+            spurious_wakeups: true,
+            max_spurious_per_thread: 1,
+            trace_limit: 60,
+        }
+    }
+}
+
+/// What kind of defect a failed exploration found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Concurrent conflicting plain accesses with no happens-before
+    /// edge between them.
+    DataRace,
+    /// No thread enabled while at least one was blocked.
+    Deadlock,
+    /// An assertion (or any panic) fired inside the model.
+    Panic,
+    /// The schedule tree was not exhausted within the configured caps.
+    Incomplete,
+}
+
+/// A defect found by exploration: the kind, a message naming the
+/// involved accesses, and the schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The defect class.
+    pub kind: FindingKind,
+    /// Human-readable description (includes source locations).
+    pub message: String,
+    /// The branch choices of the failing execution.
+    pub schedule: Vec<usize>,
+    /// The trailing shim events of the failing execution.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ccindex-check {:?}: {}", self.kind, self.message)?;
+        writeln!(f, "  schedule: {:?}", self.schedule)?;
+        for line in &self.trace {
+            writeln!(f, "  trace: {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a completed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Executions run.
+    pub iterations: usize,
+    /// Whether the schedule tree was exhausted (within the preemption
+    /// bound) rather than cut off by `max_iterations`.
+    pub complete: bool,
+}
+
+// ---------------------------------------------------------------------
+// Schedule: the DFS path through the branch tree
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    width: usize,
+    picked: usize,
+}
+
+#[derive(Default, Debug)]
+pub(crate) struct Schedule {
+    path: Vec<Branch>,
+    cursor: usize,
+}
+
+impl Schedule {
+    /// Take the next decision with `width` alternatives: replay the
+    /// recorded pick while inside the prefix, otherwise extend the path
+    /// with alternative 0.
+    fn choose(&mut self, width: usize) -> usize {
+        debug_assert!(width >= 2, "width-1 choices must not consume branches");
+        if let Some(b) = self.path.get(self.cursor) {
+            assert_eq!(
+                b.width, width,
+                "nondeterministic model: branch width changed on replay \
+                 (model code must not read real time, randomness, or \
+                 anything else that varies between runs)"
+            );
+            self.cursor += 1;
+            return b.picked;
+        }
+        self.path.push(Branch { width, picked: 0 });
+        self.cursor += 1;
+        0
+    }
+
+    /// Advance to the next unexplored schedule; `false` when the tree
+    /// is exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some(b) = self.path.pop() {
+            if b.picked + 1 < b.width {
+                self.path.push(Branch {
+                    width: b.width,
+                    picked: b.picked + 1,
+                });
+                self.cursor = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn picks(&self) -> Vec<usize> {
+        self.path.iter().map(|b| b.picked).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread gate: the park/unpark handshake
+// ---------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct Gate {
+    flag: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Gate {
+    fn park(&self) {
+        let mut flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flag {
+            flag = self.cv.wait(flag).unwrap_or_else(|e| e.into_inner());
+        }
+        *flag = false;
+    }
+
+    fn unpark(&self) {
+        *self.flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum BlockKind {
+    /// Waiting to acquire shim mutex `lock`.
+    Lock { lock: usize },
+    /// Waiting on shim condvar `cv` (absolute virtual-ns deadline for
+    /// timed waits).
+    CondWait {
+        cv: usize,
+        deadline: Option<u64>,
+        notified: bool,
+    },
+    /// Waiting for thread `target` to finish.
+    Join { target: usize },
+}
+
+#[derive(Debug)]
+enum Status {
+    /// Runnable (scheduled or parked awaiting its turn).
+    Ready,
+    Blocked(BlockKind),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Thread {
+    gate: StdArc<Gate>,
+    status: Status,
+    clock: VClock,
+    /// Spurious wakeups left for this thread in this execution.
+    spurious_left: usize,
+    /// Set by the scheduler when it wakes a blocked thread: how/why.
+    pending_wake: Option<BlockKind>,
+}
+
+/// How a condvar wait returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notified,
+    Timeout,
+    Spurious,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    owner: Option<usize>,
+    /// Clock released by the last unlock; joined by the next acquire.
+    sync: VClock,
+}
+
+#[derive(Debug)]
+struct AtomicState {
+    value: u64,
+    /// Release clock carried by the current value (C++ "release
+    /// sequence", approximated: release stores replace it, RMWs of any
+    /// ordering extend it, relaxed stores clear it).
+    sync: VClock,
+}
+
+/// Read/write access history of one tracked plain-memory object.
+#[derive(Debug, Default)]
+struct AccessState {
+    writes: VClock,
+    reads: VClock,
+    last_loc: HashMap<usize, &'static Location<'static>>,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    schedule: Schedule,
+    threads: Vec<Thread>,
+    running: usize,
+    preemptions: usize,
+    branches: usize,
+    now_ns: u64,
+    poisoned: bool,
+    failure: Option<(FindingKind, String)>,
+    locks: Vec<LockState>,
+    condvars: usize,
+    atomics: Vec<AtomicState>,
+    cells: Vec<AccessState>,
+    trace: Vec<String>,
+}
+
+/// One model execution: shared by every OS thread participating in it.
+pub(crate) struct Execution {
+    config: Config,
+    state: StdMutex<ExecState>,
+    /// Threads registered minus threads exited; the explorer waits for
+    /// zero before starting the next iteration, so a failed iteration
+    /// can never leak a thread into the next one.
+    live: StdMutex<usize>,
+    all_done: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(StdArc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current() -> (StdArc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("ccindex-check shim type used outside a Checker::check model run")
+    })
+}
+
+/// Whether the calling OS thread is inside a model execution (shim
+/// types use this to give a crisp panic rather than a `None` unwrap).
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl ExecState {
+    fn record(&mut self, limit: usize, tid: usize, what: &str, loc: &'static Location<'static>) {
+        if self.trace.len() >= limit.max(1) {
+            self.trace.remove(0);
+        }
+        self.trace
+            .push(format!("T{tid} {what} @ {}:{}", loc.file(), loc.line()));
+    }
+
+    fn enabled(&self, spurious_cfg: bool) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| match &t.status {
+                Status::Finished => false,
+                Status::Ready => true,
+                Status::Blocked(kind) => match kind {
+                    BlockKind::Lock { lock } => self.locks[*lock].owner.is_none(),
+                    BlockKind::Join { target } => {
+                        matches!(self.threads[*target].status, Status::Finished)
+                    }
+                    BlockKind::CondWait {
+                        notified, deadline, ..
+                    } => {
+                        *notified
+                            || deadline.is_some()
+                            || (spurious_cfg && self.threads[*i].spurious_left > 0)
+                    }
+                },
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fail(&mut self, kind: FindingKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some((kind, message));
+        }
+        self.poison();
+    }
+
+    fn poison(&mut self) {
+        self.poisoned = true;
+        // Wake everything: parked threads free-run to completion (shim
+        // ops stop branching once poisoned).
+        for t in &self.threads {
+            t.gate.unpark();
+        }
+    }
+}
+
+impl Execution {
+    fn new(config: Config, schedule: Schedule) -> StdArc<Self> {
+        StdArc::new(Self {
+            config,
+            state: StdMutex::new(ExecState {
+                schedule,
+                threads: Vec::new(),
+                running: 0,
+                preemptions: 0,
+                branches: 0,
+                now_ns: 0,
+                poisoned: false,
+                failure: None,
+                locks: Vec::new(),
+                condvars: 0,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                trace: Vec::new(),
+            }),
+            live: StdMutex::new(0),
+            all_done: StdCondvar::new(),
+        })
+    }
+
+    fn st(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pick who runs next from `enabled` (non-empty). `me` is the
+    /// yielding thread when it could itself continue (preemption
+    /// accounting applies only then).
+    fn pick(&self, st: &mut ExecState, enabled: &[usize], me: Option<usize>) -> usize {
+        if let (Some(m), Some(bound)) = (me, self.config.preemption_bound) {
+            if st.preemptions >= bound && enabled.contains(&m) {
+                return m;
+            }
+        }
+        if enabled.len() == 1 {
+            return enabled[0];
+        }
+        let idx = st.schedule.choose(enabled.len());
+        enabled[idx]
+    }
+
+    /// Transfer control to `next`: mark it running (stashing its block
+    /// reason for its wake handler) and return its gate for unparking
+    /// once the state lock is released.
+    fn hand_to(&self, st: &mut ExecState, next: usize) -> StdArc<Gate> {
+        let prev = std::mem::replace(&mut st.threads[next].status, Status::Ready);
+        if let Status::Blocked(kind) = prev {
+            st.threads[next].pending_wake = Some(kind);
+        }
+        st.running = next;
+        StdArc::clone(&st.threads[next].gate)
+    }
+
+    /// A plain schedule point: the running thread offers a context
+    /// switch. No-op once poisoned or while unwinding (so guard drops
+    /// during a failing execution never park or double-panic).
+    fn switch(self: &StdArc<Self>, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let gate = {
+            let mut st = self.st();
+            if st.poisoned {
+                return;
+            }
+            st.branches += 1;
+            if st.branches > self.config.max_branches {
+                st.fail(
+                    FindingKind::Incomplete,
+                    format!(
+                        "execution exceeded max_branches={} (model too large or unbounded loop)",
+                        self.config.max_branches
+                    ),
+                );
+                return;
+            }
+            let enabled = st.enabled(self.config.spurious_wakeups);
+            debug_assert!(enabled.contains(&me), "running thread must be enabled");
+            let next = self.pick(&mut st, &enabled, Some(me));
+            if next == me {
+                return;
+            }
+            st.preemptions += 1;
+            self.hand_to(&mut st, next)
+        };
+        gate.unpark();
+        self.park(me);
+    }
+
+    /// Block the running thread with `kind`, hand control elsewhere,
+    /// and park until rescheduled. Returns the stashed wake reason
+    /// (`None` when woken by poison).
+    fn block(self: &StdArc<Self>, me: usize, kind: BlockKind) -> Option<BlockKind> {
+        {
+            let mut st = self.st();
+            if st.poisoned {
+                return None;
+            }
+            st.threads[me].status = Status::Blocked(kind);
+            let enabled = st.enabled(self.config.spurious_wakeups);
+            if enabled.is_empty() {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match &t.status {
+                        Status::Blocked(k) => Some(format!("T{i} blocked on {k:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                st.fail(
+                    FindingKind::Deadlock,
+                    format!("deadlock: no thread can run ({})", blocked.join("; ")),
+                );
+                // Fall through: poison unparked everyone including us.
+            } else {
+                let next = self.pick(&mut st, &enabled, None);
+                let gate = self.hand_to(&mut st, next);
+                drop(st);
+                gate.unpark();
+            }
+        }
+        self.park(me);
+        let mut st = self.st();
+        if st.poisoned {
+            // Ensure we count as runnable again for bookkeeping.
+            st.threads[me].status = Status::Ready;
+            return None;
+        }
+        debug_assert_eq!(st.running, me);
+        st.threads[me].pending_wake.take()
+    }
+
+    /// Park until scheduled (or the execution is poisoned). The wait is
+    /// predicate-based — a stale unpark token (e.g. from a wakeup that
+    /// arrived before the thread ever parked) can wake the OS thread
+    /// early, but it just re-checks and parks again.
+    fn park(&self, me: usize) {
+        loop {
+            let gate = {
+                let st = self.st();
+                if st.poisoned || st.running == me {
+                    return;
+                }
+                StdArc::clone(&st.threads[me].gate)
+            };
+            gate.park();
+        }
+    }
+
+    fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = self.st();
+        let tid = st.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                st.threads[p].clock.tick(p);
+                st.threads[p].clock.clone()
+            }
+            None => VClock::new(),
+        };
+        clock.tick(tid);
+        let spurious_left = if self.config.spurious_wakeups {
+            self.config.max_spurious_per_thread
+        } else {
+            0
+        };
+        st.threads.push(Thread {
+            gate: StdArc::new(Gate::default()),
+            status: Status::Ready,
+            clock,
+            spurious_left,
+            pending_wake: None,
+        });
+        drop(st);
+        *self.live.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        tid
+    }
+
+    fn thread_exited(&self) {
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live -= 1;
+        if *live == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_all_exited(&self) {
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        while *live > 0 {
+            live = self.all_done.wait(live).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shim entry points (called by crate::sync / crate::thread / crate::cell)
+// ---------------------------------------------------------------------
+
+pub(crate) fn new_lock() -> usize {
+    let (exec, _) = current();
+    let mut st = exec.st();
+    st.locks.push(LockState::default());
+    st.locks.len() - 1
+}
+
+pub(crate) fn new_condvar() -> usize {
+    let (exec, _) = current();
+    let mut st = exec.st();
+    st.condvars += 1;
+    st.condvars - 1
+}
+
+pub(crate) fn new_atomic(value: u64) -> usize {
+    let (exec, _) = current();
+    let mut st = exec.st();
+    st.atomics.push(AtomicState {
+        value,
+        sync: VClock::new(),
+    });
+    st.atomics.len() - 1
+}
+
+pub(crate) fn new_cell() -> usize {
+    let (exec, _) = current();
+    let mut st = exec.st();
+    st.cells.push(AccessState::default());
+    st.cells.len() - 1
+}
+
+/// Cooperatively acquire shim mutex `lock` (blocking as needed); the
+/// caller then takes the real `std` lock, which is uncontended except
+/// while a failed execution free-runs.
+pub(crate) fn lock_acquire(lock: usize, loc: &'static Location<'static>) {
+    let (exec, me) = current();
+    exec.switch(me);
+    loop {
+        {
+            let mut st = exec.st();
+            if st.poisoned {
+                return;
+            }
+            if st.locks[lock].owner.is_none() {
+                st.locks[lock].owner = Some(me);
+                let sync = st.locks[lock].sync.clone();
+                let limit = exec.config.trace_limit;
+                let t = &mut st.threads[me];
+                t.clock.join(&sync);
+                t.clock.tick(me);
+                st.record(limit, me, "lock", loc);
+                return;
+            }
+        }
+        exec.block(me, BlockKind::Lock { lock });
+    }
+}
+
+/// Release shim mutex `lock` (no schedule point; pair with
+/// [`unlock_point`] after the real guard drops).
+pub(crate) fn lock_release(lock: usize, loc: &'static Location<'static>) {
+    let (exec, me) = current();
+    let mut st = exec.st();
+    if st.locks[lock].owner != Some(me) {
+        // Free-running after a failure: ownership bookkeeping lapsed.
+        return;
+    }
+    st.locks[lock].owner = None;
+    st.threads[me].clock.tick(me);
+    let clock = st.threads[me].clock.clone();
+    st.locks[lock].sync.join(&clock);
+    let limit = exec.config.trace_limit;
+    st.record(limit, me, "unlock", loc);
+}
+
+/// The schedule point after an unlock.
+pub(crate) fn unlock_point() {
+    let (exec, me) = current();
+    exec.switch(me);
+}
+
+/// Condvar wait: atomically release `lock` and block on `cv`;
+/// `release_std` drops the real mutex guard at the correct moment.
+/// Re-acquiring the mutex is the caller's job.
+pub(crate) fn cond_wait(
+    cv: usize,
+    lock: usize,
+    timeout: Option<Duration>,
+    release_std: impl FnOnce(),
+    loc: &'static Location<'static>,
+) -> Wake {
+    let (exec, me) = current();
+    let deadline;
+    {
+        let mut st = exec.st();
+        if st.poisoned {
+            drop(st);
+            release_std();
+            return poisoned_wake(&exec, timeout);
+        }
+        // Release the mutex and register as a waiter in one step: a
+        // notify between the two can therefore never be lost.
+        if st.locks[lock].owner == Some(me) {
+            st.locks[lock].owner = None;
+            st.threads[me].clock.tick(me);
+            let clock = st.threads[me].clock.clone();
+            st.locks[lock].sync.join(&clock);
+        }
+        deadline = timeout.map(|d| st.now_ns.saturating_add(d.as_nanos() as u64));
+        let limit = exec.config.trace_limit;
+        st.record(limit, me, "cond wait", loc);
+    }
+    release_std();
+    let woken = exec.block(
+        me,
+        BlockKind::CondWait {
+            cv,
+            deadline,
+            notified: false,
+        },
+    );
+    let Some(BlockKind::CondWait { notified, .. }) = woken else {
+        // Poisoned.
+        return poisoned_wake(&exec, timeout);
+    };
+    // Decide how this wake presents: the scheduler picked us, so at
+    // least one of the wake reasons is viable; when several are, that
+    // is itself a branch. A spurious presentation returns to the caller
+    // like any other — that is what spurious *means*; re-waiting is the
+    // caller's predicate loop's job.
+    let mut st = exec.st();
+    if st.poisoned {
+        drop(st);
+        return poisoned_wake(&exec, timeout);
+    }
+    let mut viable: Vec<Wake> = Vec::new();
+    if notified {
+        viable.push(Wake::Notified);
+    }
+    if deadline.is_some() {
+        viable.push(Wake::Timeout);
+    }
+    if exec.config.spurious_wakeups && st.threads[me].spurious_left > 0 {
+        viable.push(Wake::Spurious);
+    }
+    debug_assert!(
+        !viable.is_empty(),
+        "scheduled waiter must have a wake reason"
+    );
+    let wake = if viable.len() == 1 {
+        viable[0]
+    } else {
+        let idx = st.schedule.choose(viable.len());
+        viable[idx]
+    };
+    match wake {
+        Wake::Timeout => {
+            st.now_ns = st
+                .now_ns
+                .max(deadline.expect("timed wake without deadline"));
+        }
+        Wake::Spurious => {
+            st.threads[me].spurious_left -= 1;
+        }
+        Wake::Notified => {}
+    }
+    st.threads[me].clock.tick(me);
+    wake
+}
+
+fn poisoned_wake(exec: &StdArc<Execution>, timeout: Option<Duration>) -> Wake {
+    match timeout {
+        Some(_) => {
+            // Let timed waits run out so free-running deadline loops
+            // terminate: virtual time jumps far past any deadline.
+            let mut st = exec.st();
+            st.now_ns = st.now_ns.saturating_add(u64::MAX / 2);
+            Wake::Timeout
+        }
+        // An untimed wait has nothing left to wait for on a failed
+        // execution: unwind this thread (caught by the explorer; never
+        // reported over the primary finding).
+        None => panic!("{POISON_MSG}"),
+    }
+}
+
+/// Notify one (`all = false`) or every (`all = true`) waiter of `cv`.
+pub(crate) fn notify(cv: usize, all: bool, loc: &'static Location<'static>) {
+    let (exec, me) = current();
+    exec.switch(me);
+    let mut st = exec.st();
+    if st.poisoned {
+        return;
+    }
+    let waiters: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            matches!(
+                t.status,
+                Status::Blocked(BlockKind::CondWait {
+                    cv: c,
+                    notified: false,
+                    ..
+                }) if c == cv
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let targets: Vec<usize> = if all {
+        waiters
+    } else if waiters.is_empty() {
+        Vec::new()
+    } else if waiters.len() == 1 {
+        vec![waiters[0]]
+    } else {
+        // Which waiter a notify_one reaches is nondeterministic.
+        let idx = st.schedule.choose(waiters.len());
+        vec![waiters[idx]]
+    };
+    for t in targets {
+        if let Status::Blocked(BlockKind::CondWait { notified, .. }) = &mut st.threads[t].status {
+            *notified = true;
+        }
+    }
+    st.threads[me].clock.tick(me);
+    let limit = exec.config.trace_limit;
+    st.record(
+        limit,
+        me,
+        if all { "notify_all" } else { "notify_one" },
+        loc,
+    );
+}
+
+/// Which side(s) of a synchronises-with edge an atomic op's `Ordering`
+/// provides under the model.
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// An atomic load.
+pub(crate) fn atomic_load(id: usize, ordering: Ordering, loc: &'static Location<'static>) -> u64 {
+    let (exec, me) = current();
+    exec.switch(me);
+    let mut st = exec.st();
+    let value = st.atomics[id].value;
+    if acquires(ordering) {
+        let sync = st.atomics[id].sync.clone();
+        st.threads[me].clock.join(&sync);
+    }
+    st.threads[me].clock.tick(me);
+    let limit = exec.config.trace_limit;
+    st.record(limit, me, "atomic load", loc);
+    value
+}
+
+/// An atomic store.
+pub(crate) fn atomic_store(
+    id: usize,
+    value: u64,
+    ordering: Ordering,
+    loc: &'static Location<'static>,
+) {
+    let (exec, me) = current();
+    exec.switch(me);
+    let mut st = exec.st();
+    st.threads[me].clock.tick(me);
+    if releases(ordering) {
+        let clock = st.threads[me].clock.clone();
+        st.atomics[id].sync = clock;
+    } else {
+        // A relaxed store heads a new (empty) release sequence: it
+        // publishes no ordering, and it severs the one the previous
+        // value carried.
+        st.atomics[id].sync.clear();
+    }
+    st.atomics[id].value = value;
+    let limit = exec.config.trace_limit;
+    st.record(limit, me, "atomic store", loc);
+}
+
+/// An atomic read-modify-write; returns the previous value.
+pub(crate) fn atomic_rmw(
+    id: usize,
+    ordering: Ordering,
+    f: impl FnOnce(u64) -> u64,
+    loc: &'static Location<'static>,
+) -> u64 {
+    let (exec, me) = current();
+    exec.switch(me);
+    let mut st = exec.st();
+    let prev = st.atomics[id].value;
+    st.atomics[id].value = f(prev);
+    if acquires(ordering) {
+        let sync = st.atomics[id].sync.clone();
+        st.threads[me].clock.join(&sync);
+    }
+    st.threads[me].clock.tick(me);
+    if releases(ordering) {
+        let clock = st.threads[me].clock.clone();
+        st.atomics[id].sync.join(&clock);
+    }
+    // A relaxed RMW neither acquires nor releases, but it *continues*
+    // the release sequence of the value it replaces, so the variable's
+    // sync clock is deliberately left in place.
+    let limit = exec.config.trace_limit;
+    st.record(limit, me, "atomic rmw", loc);
+    prev
+}
+
+/// An atomic compare-exchange; `Ok(prev)` when the swap happened.
+pub(crate) fn atomic_cas(
+    id: usize,
+    expect: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+    loc: &'static Location<'static>,
+) -> Result<u64, u64> {
+    let (exec, me) = current();
+    exec.switch(me);
+    let mut st = exec.st();
+    let prev = st.atomics[id].value;
+    let (hit, ordering) = if prev == expect {
+        st.atomics[id].value = new;
+        (true, success)
+    } else {
+        (false, failure)
+    };
+    if acquires(ordering) {
+        let sync = st.atomics[id].sync.clone();
+        st.threads[me].clock.join(&sync);
+    }
+    st.threads[me].clock.tick(me);
+    if hit && releases(ordering) {
+        let clock = st.threads[me].clock.clone();
+        st.atomics[id].sync.join(&clock);
+    }
+    let limit = exec.config.trace_limit;
+    st.record(limit, me, "atomic cas", loc);
+    if hit {
+        Ok(prev)
+    } else {
+        Err(prev)
+    }
+}
+
+/// A tracked plain read (`write = false`) or write (`write = true`) of
+/// cell `id`: the happens-before race check.
+pub(crate) fn cell_access(
+    id: usize,
+    write: bool,
+    yield_point: bool,
+    loc: &'static Location<'static>,
+) {
+    let (exec, me) = current();
+    if yield_point {
+        exec.switch(me);
+    }
+    let mut st = exec.st();
+    if st.poisoned {
+        return;
+    }
+    let observer = st.threads[me].clock.clone();
+    let conflict = {
+        let cell = &st.cells[id];
+        cell.writes.first_concurrent(&observer, me).or_else(|| {
+            if write {
+                cell.reads.first_concurrent(&observer, me)
+            } else {
+                None
+            }
+        })
+    };
+    if let Some(other) = conflict {
+        let other_loc = st.cells[id]
+            .last_loc
+            .get(&other)
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "<unknown>".to_owned());
+        let msg = format!(
+            "data race: T{me} {} at {}:{} is concurrent with T{other}'s access at {} \
+             (no happens-before edge — is an ordering weaker than the protocol needs?)",
+            if write { "write" } else { "read" },
+            loc.file(),
+            loc.line(),
+            other_loc,
+        );
+        st.fail(FindingKind::DataRace, msg);
+        return;
+    }
+    st.threads[me].clock.tick(me);
+    let time = st.threads[me].clock.get(me);
+    let cell = &mut st.cells[id];
+    if write {
+        cell.writes.set(me, time);
+    } else {
+        cell.reads.set(me, time);
+    }
+    cell.last_loc.insert(me, loc);
+    let limit = exec.config.trace_limit;
+    st.record(
+        limit,
+        me,
+        if write { "plain write" } else { "plain read" },
+        loc,
+    );
+}
+
+/// The current virtual time (monotonic within one execution).
+pub(crate) fn now_ns() -> u64 {
+    let (exec, _) = current();
+    let st = exec.st();
+    st.now_ns
+}
+
+/// Register a child thread about to be spawned; returns its model tid.
+pub(crate) fn register_child() -> usize {
+    let (exec, me) = current();
+    exec.register_thread(Some(me))
+}
+
+/// The schedule point after a spawn. MUST be called after the real OS
+/// thread exists: yielding to the child before `std::thread::spawn`
+/// ran would park the spawner with nobody to create the child.
+pub(crate) fn spawn_point() {
+    let (exec, me) = current();
+    exec.switch(me);
+}
+
+/// Handle to the current execution, for moving into a spawned closure.
+pub(crate) fn current_execution() -> StdArc<Execution> {
+    current().0
+}
+
+/// Body wrapper for every model child thread: parks until first
+/// scheduled, runs `f`, records panics, reschedules, and propagates.
+pub(crate) fn run_child<T>(exec: StdArc<Execution>, tid: usize, f: impl FnOnce() -> T) -> T {
+    struct LiveGuard(StdArc<Execution>);
+    impl Drop for LiveGuard {
+        fn drop(&mut self) {
+            self.0.thread_exited();
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec), tid)));
+    let _live = LiveGuard(StdArc::clone(&exec));
+    // Wait to be scheduled for the first time (park is predicate-based,
+    // so an unpark that raced ahead of us is not lost).
+    exec.park(tid);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    finish_thread(&exec, tid, result.as_ref().err().map(|e| panic_message(e)));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn finish_thread(exec: &StdArc<Execution>, tid: usize, panicked: Option<String>) {
+    let gate = {
+        let mut st = exec.st();
+        st.threads[tid].status = Status::Finished;
+        st.threads[tid].clock.tick(tid);
+        if let Some(msg) = panicked {
+            if msg != POISON_MSG {
+                st.fail(
+                    FindingKind::Panic,
+                    format!("model thread T{tid} panicked: {msg}"),
+                );
+            } else {
+                st.poison();
+            }
+        }
+        if st.poisoned {
+            None
+        } else {
+            let enabled = st.enabled(exec.config.spurious_wakeups);
+            if enabled.is_empty() {
+                let any_blocked = st
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.status, Status::Blocked(_)));
+                if any_blocked {
+                    st.fail(
+                        FindingKind::Deadlock,
+                        format!("deadlock: T{tid} finished and no remaining thread can run"),
+                    );
+                }
+                None
+            } else {
+                let next = exec.pick(&mut st, &enabled, None);
+                Some(exec.hand_to(&mut st, next))
+            }
+        }
+    };
+    if let Some(gate) = gate {
+        gate.unpark();
+    }
+}
+
+/// Cooperatively join thread `target` (then the caller does the real
+/// `std` join, which returns promptly).
+pub(crate) fn join(target: usize) {
+    let (exec, me) = current();
+    loop {
+        {
+            let mut st = exec.st();
+            if st.poisoned {
+                return;
+            }
+            if matches!(st.threads[target].status, Status::Finished) {
+                let child = st.threads[target].clock.clone();
+                let t = &mut st.threads[me];
+                t.clock.join(&child);
+                t.clock.tick(me);
+                return;
+            }
+        }
+        exec.block(me, BlockKind::Join { target });
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+/// Exhaustively explore `f` under `config`; `Ok` carries exploration
+/// stats, `Err` the first finding.
+pub(crate) fn explore<F>(config: Config, f: F) -> Result<Stats, Finding>
+where
+    F: Fn() + Send + Sync,
+{
+    let mut schedule = Schedule::default();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let exec = Execution::new(config.clone(), schedule);
+        let main_tid = exec.register_thread(None);
+        debug_assert_eq!(main_tid, 0);
+        CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec), main_tid)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        // Main is done; drive any threads it failed to join (normally
+        // none — scope/join do this — but a panicking model unwinds
+        // past its joins).
+        {
+            let mut st = exec.st();
+            st.threads[main_tid].status = Status::Finished;
+            if outcome.is_err() || st.failure.is_some() {
+                st.poison();
+            } else {
+                let unfinished: Vec<usize> = (0..st.threads.len())
+                    .filter(|&t| !matches!(st.threads[t].status, Status::Finished))
+                    .collect();
+                drop(st);
+                if !unfinished.is_empty() {
+                    // Threads spawned but never joined: join them now so
+                    // the execution drains deterministically.
+                    let mut stp = exec.st();
+                    stp.threads[main_tid].status = Status::Ready;
+                    drop(stp);
+                    for t in unfinished {
+                        join(t);
+                    }
+                    exec.st().threads[main_tid].status = Status::Finished;
+                }
+            }
+        }
+        exec.thread_exited();
+        exec.wait_all_exited();
+        CURRENT.with(|c| *c.borrow_mut() = None);
+
+        let mut st = exec.st();
+        if let Some((kind, message)) = st.failure.take() {
+            return Err(Finding {
+                kind,
+                message,
+                schedule: st.schedule.picks(),
+                trace: std::mem::take(&mut st.trace),
+            });
+        }
+        if let Err(payload) = outcome {
+            // A panic with no recorded failure: surface it as a model
+            // panic (e.g. an assertion outside any shim op).
+            return Err(Finding {
+                kind: FindingKind::Panic,
+                message: format!("model panicked: {}", panic_message(&*payload)),
+                schedule: st.schedule.picks(),
+                trace: std::mem::take(&mut st.trace),
+            });
+        }
+        schedule = std::mem::take(&mut st.schedule);
+        drop(st);
+        if !schedule.backtrack() {
+            return Ok(Stats {
+                iterations,
+                complete: true,
+            });
+        }
+        if iterations >= config.max_iterations {
+            return Err(Finding {
+                kind: FindingKind::Incomplete,
+                message: format!(
+                    "schedule space not exhausted after {iterations} executions \
+                     (raise max_iterations or shrink the model)"
+                ),
+                schedule: Vec::new(),
+                trace: Vec::new(),
+            });
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Shim synchronisation types: drop-in stand-ins for the `std::sync`
+//! types the serving stack uses, instrumented so every operation is a
+//! schedule point of the cooperative scheduler (`src/rt.rs`) and a
+//! move on the vector clocks ([`crate::clock`]).
+//!
+//! Production code never names these directly — it imports from
+//! `ccindex_parallel::sync`, a facade that re-exports `std::sync` in
+//! normal builds and this module under `--cfg ccindex_check`. The shim
+//! surface therefore mirrors the std signatures exactly (including
+//! returning `LockResult`, always `Ok`, so `.expect(...)` call sites
+//! compile unchanged).
+//!
+//! Semantics worth knowing when writing models:
+//!
+//! * [`Mutex`]/[`Condvar`] behave like std's, plus `Condvar` waits can
+//!   wake spuriously when the scheduler injects one (a real-OS behavior
+//!   std permits and this checker makes reliably explorable).
+//! * Atomics store their value in the model state; `Acquire`/`Release`
+//!   move clocks, `Relaxed` moves none, `SeqCst` is modeled as `AcqRel`
+//!   (exploration is over sequentially-consistent interleavings, so the
+//!   extra total-order guarantee of `SeqCst` is implicit).
+//! * [`Arc`] mirrors std's refcount protocol — `Relaxed` clone,
+//!   release-decrement/acquire-reclaim drop — and its final-drop
+//!   reclaim is a *tracked write* against every `deref`-read, so a
+//!   protocol that lets a reader hold `&T` across the last drop is
+//!   reported as a data race.
+
+use crate::rt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock,
+};
+use std::time::Duration;
+
+pub use std::sync::atomic;
+
+fn lazy_id(slot: &OnceLock<usize>, make: fn() -> usize) -> usize {
+    *slot.get_or_init(make)
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+macro_rules! shim_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Shim atomic: value and ordering effects live in the model
+        /// state; see the module docs for the memory-model mapping.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            id: OnceLock<usize>,
+            init: $ty,
+        }
+
+        impl $name {
+            /// Mirror of the std constructor.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    id: OnceLock::new(),
+                    init: v,
+                }
+            }
+
+            fn id(&self) -> usize {
+                *self.id.get_or_init(|| rt::new_atomic(self.init as u64))
+            }
+
+            /// Mirror of the std `load`.
+            #[track_caller]
+            pub fn load(&self, ordering: Ordering) -> $ty {
+                rt::atomic_load(self.id(), ordering, Location::caller()) as $ty
+            }
+
+            /// Mirror of the std `store`.
+            #[track_caller]
+            pub fn store(&self, value: $ty, ordering: Ordering) {
+                rt::atomic_store(self.id(), value as u64, ordering, Location::caller())
+            }
+
+            /// Mirror of the std `fetch_add` (wrapping).
+            #[track_caller]
+            pub fn fetch_add(&self, value: $ty, ordering: Ordering) -> $ty {
+                rt::atomic_rmw(
+                    self.id(),
+                    ordering,
+                    |prev| (prev as $ty).wrapping_add(value) as u64,
+                    Location::caller(),
+                ) as $ty
+            }
+
+            /// Mirror of the std `fetch_sub` (wrapping).
+            #[track_caller]
+            pub fn fetch_sub(&self, value: $ty, ordering: Ordering) -> $ty {
+                rt::atomic_rmw(
+                    self.id(),
+                    ordering,
+                    |prev| (prev as $ty).wrapping_sub(value) as u64,
+                    Location::caller(),
+                ) as $ty
+            }
+
+            /// Mirror of the std `swap`.
+            #[track_caller]
+            pub fn swap(&self, value: $ty, ordering: Ordering) -> $ty {
+                rt::atomic_rmw(self.id(), ordering, |_| value as u64, Location::caller()) as $ty
+            }
+
+            /// Mirror of the std `compare_exchange`.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                rt::atomic_cas(
+                    self.id(),
+                    current as u64,
+                    new as u64,
+                    success,
+                    failure,
+                    Location::caller(),
+                )
+                .map(|v| v as $ty)
+                .map_err(|v| v as $ty)
+            }
+
+            /// Mirror of the std `compare_exchange_weak` (the model has
+            /// no spurious CAS failures, so it is the strong form).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicU64, u64);
+shim_atomic!(AtomicUsize, usize);
+
+/// Shim `AtomicBool` (stored as 0/1 in the model state).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    id: OnceLock<usize>,
+    init: bool,
+}
+
+impl AtomicBool {
+    /// Mirror of the std constructor.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            id: OnceLock::new(),
+            init: v,
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| rt::new_atomic(self.init as u64))
+    }
+
+    /// Mirror of the std `load`.
+    #[track_caller]
+    pub fn load(&self, ordering: Ordering) -> bool {
+        rt::atomic_load(self.id(), ordering, Location::caller()) != 0
+    }
+
+    /// Mirror of the std `store`.
+    #[track_caller]
+    pub fn store(&self, value: bool, ordering: Ordering) {
+        rt::atomic_store(self.id(), value as u64, ordering, Location::caller())
+    }
+
+    /// Mirror of the std `swap`.
+    #[track_caller]
+    pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+        rt::atomic_rmw(self.id(), ordering, |_| value as u64, Location::caller()) != 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Shim `Mutex`: acquisition order is a schedule choice; lock/unlock
+/// are the synchronises-with edges std's mutex provides. Data lives in
+/// a real `std::sync::Mutex` so `&mut` access is genuinely exclusive
+/// even while a failed execution free-runs.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Mirror of the std constructor.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            data: StdMutex::new(value),
+        }
+    }
+
+    pub(crate) fn id(&self) -> usize {
+        lazy_id(&self.id, rt::new_lock)
+    }
+
+    /// Mirror of the std `lock`; never returns `Err` (the shim treats
+    /// a poisoned inner lock as recovered, because execution-failure
+    /// unwinding is the checker's business, not the model's).
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::lock_acquire(self.id(), Location::caller());
+        let std = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            mutex: self,
+            std: Some(std),
+            defused: std::cell::Cell::new(false),
+        })
+    }
+
+    /// Mirror of the std `into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mirror of the std `get_mut`.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Guard for a [`Mutex`]: releases the shim lock (a release edge plus a
+/// schedule point) when dropped.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    std: Option<StdMutexGuard<'a, T>>,
+    /// Set while [`Condvar::wait`] hands the release to the runtime
+    /// itself (wait must release-and-block atomically).
+    defused: std::cell::Cell<bool>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std
+            .as_ref()
+            .expect("guard accessed after condvar handoff")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std
+            .as_mut()
+            .expect("guard accessed after condvar handoff")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if self.defused.get() {
+            // Condvar wait already released the shim lock and dropped
+            // the std guard; nothing left to do.
+            return;
+        }
+        rt::lock_release(self.mutex.id(), Location::caller());
+        self.std = None;
+        rt::unlock_point();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Result of a shim timed wait; mirrors `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the (virtual) timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shim `Condvar`: which waiter `notify_one` reaches, and whether a
+/// wait additionally wakes spuriously, are schedule choices.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+    /// Unused at runtime; keeps the std type alive for Debug parity.
+    _std: StdCondvar,
+}
+
+impl Condvar {
+    /// Mirror of the std constructor.
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+            _std: StdCondvar::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        lazy_id(&self.id, rt::new_condvar)
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+        loc: &'static Location<'static>,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let mutex = guard.mutex;
+        // Hand the release to the runtime: it must drop the shim
+        // ownership and register us as a waiter in one atomic step (a
+        // guard Drop here would instead release, yield, and only then
+        // wait — losing notifies in the gap).
+        guard.defused.set(true);
+        let guard_cell = std::cell::Cell::new(Some(guard));
+        let wake = rt::cond_wait(
+            self.id(),
+            mutex.id(),
+            timeout,
+            || drop(guard_cell.take()),
+            loc,
+        );
+        let reacquired = mutex.lock().unwrap_or_else(|_| unreachable!());
+        (reacquired, wake == rt::Wake::Timeout)
+    }
+
+    /// Mirror of the std `wait` (may wake spuriously, by design).
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (guard, _) = self.wait_inner(guard, None, Location::caller());
+        Ok(guard)
+    }
+
+    /// Mirror of the std `wait_timeout`; the timeout elapses in virtual
+    /// time (the model clock jumps to the deadline when the scheduler
+    /// explores the timeout branch).
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (guard, timed_out) = self.wait_inner(guard, Some(dur), Location::caller());
+        Ok((guard, WaitTimeoutResult(timed_out)))
+    }
+
+    /// Mirror of the std `notify_one`.
+    #[track_caller]
+    pub fn notify_one(&self) {
+        rt::notify(self.id(), false, Location::caller());
+    }
+
+    /// Mirror of the std `notify_all`.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        rt::notify(self.id(), true, Location::caller());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arc
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ArcInner<T: ?Sized> {
+    ids: OnceLock<(usize, usize)>,
+    value: T,
+}
+
+impl<T: ?Sized> ArcInner<T> {
+    /// `(refcount atomic id, reclaim-tracking cell id)`.
+    fn ids(&self) -> (usize, usize) {
+        *self.ids.get_or_init(|| (rt::new_atomic(1), rt::new_cell()))
+    }
+}
+
+/// Shim `Arc`, modeling the std refcount protocol explicitly: clone is
+/// a `Relaxed` increment, drop is a `Release` decrement whose last
+/// holder does an `Acquire` fence and reclaims. Reclaim is a tracked
+/// write and every `deref` a tracked read, so use-after-last-drop
+/// shapes surface as data races. The payload's real lifetime is
+/// managed by an inner `std::sync::Arc`, mirrored 1:1 by the model
+/// count.
+#[derive(Debug)]
+pub struct Arc<T: ?Sized> {
+    inner: std::sync::Arc<ArcInner<T>>,
+}
+
+impl<T> Arc<T> {
+    /// Mirror of the std constructor.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Arc::new(ArcInner {
+                ids: OnceLock::new(),
+                value,
+            }),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    #[track_caller]
+    fn deref(&self) -> &T {
+        // A non-yielding tracked read: dereferencing is not a schedule
+        // point (std's isn't), but it must be ordered after the value's
+        // construction and before its reclaim.
+        if rt::in_model() {
+            let (_, cell) = self.inner.ids();
+            rt::cell_access(cell, false, false, Location::caller());
+        }
+        &self.inner.value
+    }
+
+    type Target = T;
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    #[track_caller]
+    fn clone(&self) -> Self {
+        let (count, _) = self.inner.ids();
+        // ORDERING: Relaxed, mirroring std::sync::Arc::clone — the
+        // clone already holds a reference, so no ordering is needed to
+        // keep the value alive.
+        rt::atomic_rmw(count, Ordering::Relaxed, |c| c + 1, Location::caller());
+        Self {
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if !rt::in_model() || std::thread::panicking() {
+            // Outside an execution (or unwinding one): let the real Arc
+            // do the real work without shim bookkeeping.
+            return;
+        }
+        let (count, cell) = self.inner.ids();
+        // ORDERING: Release on the decrement, mirroring std — every
+        // use of the value happens-before the decrement that might
+        // free it...
+        let prev = rt::atomic_rmw(count, Ordering::Release, |c| c - 1, Location::caller());
+        if prev == 1 {
+            // ...and Acquire on the reclaiming side, so the last holder
+            // observes all of them before dropping the payload.
+            rt::atomic_load(count, Ordering::Acquire, Location::caller());
+            rt::cell_access(cell, true, false, Location::caller());
+        }
+    }
+}
+
+// SAFETY: the shim Arc adds only a OnceLock of plain ids around the
+// payload; sharing it across model threads is exactly as safe as
+// sharing std::sync::Arc<T>, which requires T: Send + Sync.
+unsafe impl<T: ?Sized + Send + Sync> Send for Arc<T> {}
+// SAFETY: as above — &Arc<T> exposes only &T plus internally-
+// synchronised bookkeeping.
+unsafe impl<T: ?Sized + Send + Sync> Sync for Arc<T> {}

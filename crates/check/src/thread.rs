@@ -1,0 +1,112 @@
+//! Shim threads: model threads are real OS threads whose turns are
+//! arbitrated by the cooperative scheduler. Spawn/join mirror the
+//! `std::thread` signatures the workspace uses (`spawn` and scoped
+//! `scope`/`Scope::spawn`), and both establish the same happens-before
+//! edges std guarantees: spawn publishes the parent's clock to the
+//! child, join acquires the child's final clock.
+
+use crate::rt;
+use std::thread as std_thread;
+
+/// Mirror of `std::thread::spawn` for `'static` closures.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let exec = rt::current_execution();
+    let tid = rt::register_child();
+    let inner = std_thread::spawn(move || rt::run_child(exec, tid, f));
+    // Creation is a schedule point (the child may run before the
+    // spawner's next step) — taken only now that the OS thread exists.
+    rt::spawn_point();
+    JoinHandle { tid, inner }
+}
+
+/// Mirror of `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    inner: std_thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Mirror of the std `join`: blocks (cooperatively) until the child
+    /// finishes, then joins its clock.
+    pub fn join(self) -> std_thread::Result<T> {
+        rt::join(self.tid);
+        self.inner.join()
+    }
+}
+
+/// Mirror of `std::thread::scope`. The model joins every spawned child
+/// before the scope returns (as std does), so borrowed data outlives
+/// all children on every explored schedule.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std_thread::scope(|std_scope| {
+        let scope = Scope {
+            std: std_scope,
+            tids: std::sync::Mutex::new(Vec::new()),
+        };
+        let result = f(&scope);
+        // Cooperatively join every child BEFORE std::thread::scope's
+        // implicit join: the real join would otherwise wait on an OS
+        // thread that is parked waiting to be scheduled.
+        let tids = std::mem::take(&mut *scope.tids.lock().unwrap_or_else(|e| e.into_inner()));
+        for tid in tids {
+            rt::join(tid);
+        }
+        result
+    })
+}
+
+/// Mirror of `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std_thread::Scope<'scope, 'env>,
+    /// Children spawned through this scope, for the pre-exit join.
+    tids: std::sync::Mutex<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Mirror of the std scoped `spawn` (taking `&self` with any
+    /// borrow lifetime — the `'scope` capture bound is what matters).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let exec = rt::current_execution();
+        let tid = rt::register_child();
+        self.tids
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tid);
+        let inner = self.std.spawn(move || rt::run_child(exec, tid, f));
+        // As in `spawn`: yield only once the OS thread exists.
+        rt::spawn_point();
+        ScopedJoinHandle { tid, inner }
+    }
+}
+
+/// Mirror of `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    tid: usize,
+    inner: std_thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Mirror of the std `join` (idempotent at the model level: the
+    /// scope's own pre-exit join tolerates already-joined children).
+    pub fn join(self) -> std_thread::Result<T> {
+        rt::join(self.tid);
+        self.inner.join()
+    }
+}
+
+/// Check-mode stand-in for `std::thread::available_parallelism`:
+/// returns a fixed 2 so models are deterministic and small.
+pub fn available_parallelism() -> usize {
+    2
+}

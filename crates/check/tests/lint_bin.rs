@@ -1,0 +1,77 @@
+//! End-to-end tests for the `lint` binary: exit code 0 on a clean tree
+//! (including this workspace itself), non-zero when a seeded violation
+//! is planted — the contract the CI `check-lint` job relies on.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A throwaway `crates/<name>/src/` tree under the system temp dir.
+fn scratch_workspace(name: &str, lib_rs: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("ccindex-lint-bin-test")
+        .join(format!("{}-{}", name, std::process::id()));
+    let src = root.join("crates").join(name).join("src");
+    fs::create_dir_all(&src).expect("create scratch workspace");
+    fs::write(src.join("lib.rs"), lib_rs).expect("write seeded lib.rs");
+    root
+}
+
+fn run_lint(root: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg(root)
+        .output()
+        .expect("run lint binary")
+}
+
+#[test]
+fn clean_seeded_workspace_exits_zero() {
+    let root = scratch_workspace(
+        "clean",
+        "//! A clean crate.\n\n#![deny(unsafe_op_in_unsafe_fn)]\n\npub fn ok() {}\n",
+    );
+    let out = run_lint(&root);
+    assert!(
+        out.status.success(),
+        "clean tree flagged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn seeded_violations_exit_nonzero_and_name_each_rule() {
+    let root = scratch_workspace(
+        "seeded",
+        concat!(
+            "//! A crate with one of everything the lint rejects.\n\n",
+            "#![deny(unsafe_op_in_unsafe_fn)]\n\n",
+            "use std::sync::atomic::{AtomicU64, Ordering};\n\n",
+            "static mut GLOBAL: u64 = 0;\n\n",
+            "pub fn naked_unsafe() -> u64 {\n",
+            "    unsafe { GLOBAL }\n",
+            "}\n\n",
+            "pub fn unexplained_ordering(a: &AtomicU64) -> u64 {\n",
+            "    a.load(Ordering::Relaxed)\n",
+            "}\n",
+        ),
+    );
+    let out = run_lint(&root);
+    assert!(!out.status.success(), "seeded violations not flagged");
+    let report = String::from_utf8_lossy(&out.stdout);
+    for rule in ["[S1]", "[O1]", "[F1]"] {
+        assert!(report.contains(rule), "missing {rule} in:\n{report}");
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn this_workspace_is_clean() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let out = run_lint(&root);
+    assert!(
+        out.status.success(),
+        "workspace lint regressed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,107 @@
+//! Model-check suite for the real
+//! [`ccindex_parallel::BlockingQueue`] — the batch-formation window's
+//! hand-off. Compiled only under `RUSTFLAGS="--cfg ccindex_check"`,
+//! where the queue's mutex, condvar, and `Instant` resolve to the
+//! checker's shims: condvar waits get spurious wakeups injected, timed
+//! waits run on the virtual clock, and a consumer asleep with nobody
+//! left to wake it is reported as a deadlock (which is exactly how a
+//! close that forgot its `notify_all` fails — see
+//! `tests/mutants.rs::close_without_notify_is_reported_as_deadlock`).
+#![cfg(ccindex_check)]
+
+use ccindex_parallel::sync::Instant;
+use ccindex_parallel::BlockingQueue;
+use check::Checker;
+use std::sync::Arc as StdArc;
+use std::time::Duration;
+
+fn quick() -> Checker {
+    Checker::new().max_iterations(50_000)
+}
+
+/// `close` wakes **every** blocked consumer, on every schedule: both
+/// consumers may be asleep on the condvar when close fires, and each
+/// must come back with `None`. A missed wakeup would surface as a
+/// deadlock finding.
+#[test]
+fn close_wakes_every_blocked_consumer() {
+    let stats = quick().check(|| {
+        let queue: StdArc<BlockingQueue<u64>> = StdArc::new(BlockingQueue::new());
+        let (q1, q2) = (StdArc::clone(&queue), StdArc::clone(&queue));
+        let c1 = check::thread::spawn(move || q1.pop());
+        let c2 = check::thread::spawn(move || q2.pop());
+        queue.close();
+        assert_eq!(c1.join().unwrap(), None);
+        assert_eq!(c2.join().unwrap(), None);
+    });
+    assert!(stats.complete, "exploration was cut off");
+    assert!(stats.iterations >= 2);
+}
+
+/// Items pushed before the close drain out FIFO after it; only then
+/// does `pop` report the close. Nothing pipelined at shutdown is lost.
+#[test]
+fn close_drains_queued_items_in_order() {
+    let stats = quick().check(|| {
+        let queue: StdArc<BlockingQueue<u64>> = StdArc::new(BlockingQueue::new());
+        let q2 = StdArc::clone(&queue);
+        let producer = check::thread::spawn(move || {
+            q2.push(1).unwrap();
+            q2.push(2).unwrap();
+            q2.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = queue.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![1, 2]);
+        assert!(queue.push(3).is_err(), "closed queue accepted a push");
+    });
+    assert!(stats.complete);
+}
+
+/// The window's time bound, under injected spurious wakeups: when a
+/// producer is racing the deadline, `pop_deadline` either returns the
+/// item or returns `None` only once the (virtual) clock truly reached
+/// the deadline — a spurious wake near the bound is never mistaken for
+/// expiry, and a timeout that lands together with a push still takes
+/// the item. This is the schedule space the `timed_out()`-flag bug
+/// class lives in.
+#[test]
+fn pop_deadline_honors_window_bound() {
+    let stats = quick().check(|| {
+        let queue: StdArc<BlockingQueue<u64>> = StdArc::new(BlockingQueue::new());
+        let q2 = StdArc::clone(&queue);
+        let producer = check::thread::spawn(move || {
+            let _ = q2.push(7);
+        });
+        let deadline = Instant::now() + Duration::from_millis(5);
+        match queue.pop_deadline(deadline) {
+            Some(v) => assert_eq!(v, 7),
+            None => assert!(
+                Instant::now() >= deadline,
+                "pop_deadline gave up before the deadline"
+            ),
+        }
+        producer.join().unwrap();
+    });
+    assert!(stats.complete);
+    assert!(stats.iterations >= 2);
+}
+
+/// With no producer at all, `pop_deadline` must ride out every spurious
+/// wake (re-waiting with the remaining window each time) and return
+/// `None` exactly at the bound on the virtual clock.
+#[test]
+fn pop_deadline_times_out_empty() {
+    let stats = quick().check(|| {
+        let queue: BlockingQueue<u64> = BlockingQueue::new();
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(5);
+        assert_eq!(queue.pop_deadline(deadline), None);
+        assert!(Instant::now() >= deadline);
+        assert!(Instant::now() - start >= Duration::from_millis(5));
+    });
+    assert!(stats.complete);
+}

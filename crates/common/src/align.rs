@@ -33,6 +33,8 @@ pub struct AlignedBuf<T> {
 
 // SAFETY: AlignedBuf owns its allocation exclusively, like Box<[T]>.
 unsafe impl<T: Send> Send for AlignedBuf<T> {}
+// SAFETY: shared access only hands out &T into the owned allocation,
+// so AlignedBuf is as Sync as its element type.
 unsafe impl<T: Sync> Sync for AlignedBuf<T> {}
 
 impl<T: Copy + Default> AlignedBuf<T> {
@@ -58,8 +60,6 @@ impl<T: Copy + Default> AlignedBuf<T> {
             .checked_mul(len)
             .expect("allocation size overflow");
         let layout = Layout::from_size_align(bytes, align).expect("bad layout");
-        // SAFETY: layout has non-zero size (len > 0, and zero-sized T is
-        // rejected by the size computation producing bytes == 0 below).
         if bytes == 0 {
             return Self {
                 ptr: NonNull::dangling(),
@@ -68,6 +68,9 @@ impl<T: Copy + Default> AlignedBuf<T> {
                 _marker: PhantomData,
             };
         }
+        // SAFETY: layout has non-zero size — the zero-sized case (ZST
+        // element or len rounding to 0 bytes) returned a dangling
+        // buffer just above and never reaches the allocator.
         let raw = unsafe { alloc_zeroed(layout) };
         let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
             handle_alloc_error(layout)

@@ -15,6 +15,8 @@
 //!   seven competing methods implement, including the space accounting used
 //!   for the space/time trade-off study (Figs. 2, 7, 8, 14).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod align;
 pub mod array;
 pub mod index;

@@ -29,6 +29,8 @@
 //! for parameter sweeps, and [`generic_search`] keeps the deliberately
 //! *unspecialised* variant as an ablation target.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod batch;
 pub mod dynamic;
 pub mod full;

@@ -12,6 +12,8 @@
 //! RID-ordered column), and sensitive to skew and to the directory-size
 //! choice (the hash sweep in Fig. 12).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bucket;
 pub mod hashfn;
 pub mod table;

@@ -41,6 +41,8 @@
 //!   rebuild affected indexes from scratch (§2.3: "it may be relatively
 //!   cheap to rebuild an index from scratch after a batch of updates").
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod aggregate;
 pub mod column;
 pub mod domain;

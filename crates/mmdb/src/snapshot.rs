@@ -24,6 +24,17 @@
 //! [`CatalogState`] runs with zero locks — the acceptance bar the
 //! serving layer is held to.
 //!
+//! The slot's mutex and atomics come from the `ccindex_parallel::sync`
+//! facade, so the pin/install/reclaim protocol is explored under
+//! exhaustive scheduling by `crates/check/tests/model_snapshot.rs`
+//! (production builds compile to the plain std types). Two ordering
+//! regimes coexist on the pin counter, each carrying its own
+//! justification below: the counter as *observability* (any ordering
+//! will do) and the counter as *quiescence signal* — a writer taking
+//! `pinned() == 0` as license to tear down shared state — which needs
+//! the unpin-Release / read-Acquire pair to order the last reader's
+//! probes before the teardown.
+//!
 //! [`install`]: SwapSlot::install
 //! [`pin`]: SwapSlot::pin
 
@@ -34,11 +45,12 @@ use crate::index_choice::{IndexHandle, IndexKind};
 use crate::plan::{ExecOptions, Query};
 use crate::rid::RidList;
 use crate::table::Table;
+use ccindex_parallel::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use ccindex_parallel::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The generic slot + pin machinery
@@ -85,7 +97,14 @@ impl<T> SwapSlot<T> {
     pub fn install(&self, state: T, generation: u64) {
         let state = Arc::new(state);
         *self.current.lock().expect("slot lock poisoned") = state;
+        // ORDERING: Release — pairs with the Acquire in `generation()`,
+        // so a reader that observes the new number also observes the
+        // fully-built generation it names. (Pinning itself is ordered
+        // by the slot mutex, not by this store.)
         self.generation.store(generation, Ordering::Release);
+        // ORDERING: Relaxed — `swaps` is an observability counter
+        // (stats, tests); nothing reads it to justify touching shared
+        // memory, so the RMW's atomicity alone suffices.
         self.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -93,8 +112,21 @@ impl<T> SwapSlot<T> {
     /// (and readable without locks) until dropped, however many commits
     /// happen in the meantime.
     pub fn pin(&self) -> Pinned<T> {
-        let state = self.current.lock().expect("slot lock poisoned").clone();
+        let guard = self.current.lock().expect("slot lock poisoned");
+        let state = guard.clone();
+        // ORDERING: Relaxed — registration is ordered by the slot
+        // mutex, not by this RMW: it must stay inside the critical
+        // section (the guard is still live) so that a pin is either
+        // visible to a writer's post-`install` quiescence check or the
+        // pin observed that writer's generation — never neither. (An
+        // earlier version incremented after the guard dropped, leaving
+        // a window where a freshly-cloned old generation was invisible
+        // to the count; the model suite in
+        // crates/check/tests/model_snapshot.rs explores that exact
+        // interleaving.) A writer that reads a non-zero count merely
+        // refrains from teardown, so no edge is needed on the way up.
         self.pins.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
         Pinned {
             state,
             pins: Arc::clone(&self.pins),
@@ -103,19 +135,32 @@ impl<T> SwapSlot<T> {
 
     /// The generation number of the currently installed state.
     pub fn generation(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the Release in `install`; see
+        // there.
         self.generation.load(Ordering::Acquire)
     }
 
     /// How many generations have been committed through
     /// [`install`](SwapSlot::install) since the slot was created.
     pub fn swaps(&self) -> u64 {
+        // ORDERING: Relaxed — observability counter; see `install`.
         self.swaps.load(Ordering::Relaxed)
     }
 
-    /// Live pinned guards, across all generations (racy by nature; for
-    /// stats and tests).
+    /// Live pinned guards, across all generations. A `0` is a
+    /// *quiescence certificate*: every probe through any guard that was
+    /// ever pinned happens-before this call returns, so a writer may
+    /// tear down or repurpose state the guards were reading. (A
+    /// non-zero value is only a statistic — more pins may appear the
+    /// instant it returns.)
     pub fn pinned(&self) -> usize {
-        self.pins.load(Ordering::Relaxed)
+        // ORDERING: Acquire — pairs with the Release decrement in
+        // `Pinned::drop`. This load was once Relaxed, which the model
+        // checker's race detector flags the moment a writer acts on the
+        // zero (crates/check/tests/model_snapshot.rs has the mutant):
+        // without the edge, the last reader's probes could still be in
+        // flight while the writer reclaims.
+        self.pins.load(Ordering::Acquire)
     }
 }
 
@@ -141,6 +186,10 @@ impl<T> Deref for Pinned<T> {
 
 impl<T> Clone for Pinned<T> {
     fn clone(&self) -> Self {
+        // ORDERING: Relaxed — while this guard exists the count is
+        // already non-zero, so a cloned pin can never be the one that
+        // takes the count from 0; no writer decision changes on the
+        // 1→2 edge, only on 0 vs non-zero.
         self.pins.fetch_add(1, Ordering::Relaxed);
         Self {
             state: Arc::clone(&self.state),
@@ -151,7 +200,15 @@ impl<T> Clone for Pinned<T> {
 
 impl<T> Drop for Pinned<T> {
     fn drop(&mut self) {
-        self.pins.fetch_sub(1, Ordering::Relaxed);
+        // ORDERING: Release — pairs with the Acquire in
+        // `SwapSlot::pinned`: every probe through this guard
+        // happens-before the decrement, so a writer that observes the
+        // count hit 0 also observes all of the reader's accesses as
+        // completed. This was Ordering::Relaxed until the model checker
+        // flagged the reclaim-while-pinned race that allows (the
+        // PR's ordering audit; mutant preserved in
+        // crates/check/tests/model_snapshot.rs).
+        self.pins.fetch_sub(1, Ordering::Release);
     }
 }
 

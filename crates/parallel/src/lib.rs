@@ -15,19 +15,25 @@
 //! channels: the scope guarantees worker lifetimes, the counter hands out
 //! work, and each worker returns its `(job index, result)` pairs through
 //! the join handle.
+//!
+//! Every primitive here is named through the [`sync`] facade rather than
+//! `std::sync` directly, so the model-check suites in `crates/check`
+//! explore this exact code under exhaustive scheduling (see the facade
+//! docs); production builds still compile to the plain std types.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod sync;
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{thread, Condvar, Instant, Mutex};
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
 
 /// Number of worker threads the host can usefully run — the meaning of
 /// "use every core" (`threads == 0`) in [`WorkerPool::new`].
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    thread::available_parallelism()
 }
 
 /// Fewest items a worker must receive for the pool's per-call spawn
@@ -119,6 +125,11 @@ impl WorkerPool {
         let worker = || {
             let mut done: Vec<(usize, R)> = Vec::new();
             loop {
+                // ORDERING: Relaxed — the counter only hands out unique
+                // job indexes (the RMW's atomicity does that alone); the
+                // results travel through the scope join, which is the
+                // synchronising edge. Verified by the model-check suite
+                // (crates/check/tests/model_pool.rs).
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
@@ -127,7 +138,7 @@ impl WorkerPool {
             }
             done
         };
-        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let mut tagged: Vec<(usize, R)> = thread::scope(|scope| {
             let handles: Vec<_> = (1..workers).map(|_| scope.spawn(worker)).collect();
             let mut all = worker();
             for h in handles {
@@ -263,6 +274,15 @@ impl<T> BlockingQueue<T> {
     /// means the deadline passed (or the queue closed) with nothing
     /// available — how a batch window's *time* bound is enforced while
     /// its *size* bound still has room.
+    ///
+    /// Spurious-wakeup hardened: every wake — notified, timed out, or
+    /// spurious — re-runs the full predicate (item? closed? time
+    /// remaining?) and re-waits with the *remaining* window, never the
+    /// original one. The `timed_out()` flag is deliberately ignored: a
+    /// wait can time out just as an item lands (the item must still be
+    /// taken), and a spurious wake near the deadline must not be
+    /// mistaken for expiry. Explored under injected spurious wakeups by
+    /// crates/check/tests/model_queue.rs.
     pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         loop {
@@ -276,14 +296,11 @@ impl<T> BlockingQueue<T> {
             if now >= deadline {
                 return None;
             }
-            let (s, timeout) = self
+            let (s, _) = self
                 .available
                 .wait_timeout(state, deadline - now)
                 .expect("queue lock poisoned");
             state = s;
-            if timeout.timed_out() && state.items.is_empty() {
-                return None;
-            }
         }
     }
 

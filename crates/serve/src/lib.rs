@@ -59,6 +59,8 @@
 //! # Ok::<(), mmdb::MmdbError>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod engine;
 mod request;
 mod server;

@@ -5,12 +5,12 @@
 
 use crate::engine::{ServeEngine, ServeSource, SnapshotInfo};
 use crate::request::{QuerySpec, Request};
+use ccindex_parallel::sync::atomic::{AtomicUsize, Ordering};
+use ccindex_parallel::sync::{thread, Arc, Condvar, Instant, Mutex};
 use ccindex_parallel::{BlockingQueue, WorkerPool};
 use mmdb::{parse_knob, MmdbError, Result, ResultRows};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 // ---------------------------------------------------------------------
 // Window knobs
@@ -319,7 +319,7 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
         if clients == 0 {
             queue.close();
         }
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|i| {
                     let (queue, remaining, f) = (&queue, &remaining, &f);
@@ -333,6 +333,12 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
                         }
                         impl Drop for Retire<'_> {
                             fn drop(&mut self) {
+                                // ORDERING: AcqRel — each retiring
+                                // client Releases its session work into
+                                // the counter; the last one (who sees
+                                // 1) Acquires all of it before closing
+                                // the queue, so the serving loop's
+                                // drain observes every push.
                                 if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                                     self.queue.close();
                                 }

@@ -39,6 +39,8 @@
 //! # Ok::<(), mmdb::MmdbError>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod partition;
 mod sharded;
 

@@ -14,6 +14,8 @@
 //! the searching range is small enough, we simply perform the equality test
 //! sequentially on each key").
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod binary;
 pub mod interpolation;
 

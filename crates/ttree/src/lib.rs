@@ -16,6 +16,8 @@
 //! a record-pointer slot, so half of every node is RID storage (the 2× space
 //! column of Fig. 7).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod node;
 pub mod search;

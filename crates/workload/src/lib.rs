@@ -16,6 +16,8 @@
 //!   (§2.3, §4.1.1),
 //! * [`zipf`] — a small exact Zipf sampler (kept dependency-free).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod keys;
 pub mod lookups;
 pub mod updates;

@@ -46,6 +46,8 @@
 //! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use analysis as model;
 pub use bst_index as bst;
 pub use cachesim as sim;
