@@ -161,6 +161,9 @@ fn main() {
     if want("sharded") {
         sharded(&opts);
     }
+    if want("distributed") {
+        distributed(&opts);
+    }
     if want("serve") {
         serve(&opts);
     }
@@ -1151,6 +1154,196 @@ fn sharded(opts: &Options) {
     }
     println!("  (all sharded rows asserted byte-identical to the unsharded baseline)");
     flush_bench("sharded", &records);
+}
+
+/// Beyond-paper: the transport-generic scatter-gather — the *same*
+/// coordinator running its shards in-process (`LocalShard`) versus as
+/// remote `ShardServer` processes behind loopback TCP (`RemoteShard`),
+/// at shard counts 1/2/4/8 on the acceptance pipelines. Every
+/// distributed run is asserted byte-identical to its in-process twin
+/// before it is timed. The printed factor is the wire tax: framing +
+/// checksum + syscalls + value shipping for the join/group paths, which
+/// loopback pays without any of a real network's latency — so it is the
+/// *floor* of distribution overhead, and the capacity story (shards on
+/// separate machines) is what buying it back looks like.
+fn distributed(opts: &Options) {
+    use ccindex_serve::ShardServer;
+    use ccindex_shard::ShardedDatabase;
+    use mmdb::{between, eq, on, sum, Database, IndexKind, ResultRows, TableBuilder};
+
+    let n_orders = opts.scaled(200_000);
+    let n_customers = (n_orders / 20).max(100);
+    let regions = ["north", "south", "east", "west"];
+    let orders = || {
+        TableBuilder::new("orders")
+            .int_column(
+                "cust",
+                (0..n_orders)
+                    .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % n_customers as u64) as i64),
+            )
+            .int_column(
+                "amount",
+                (0..n_orders).map(|i| ((i as u64).wrapping_mul(48_271) % 10_000) as i64),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let customers = || {
+        TableBuilder::new("customers")
+            .int_column("id", 0..n_customers as i64)
+            .str_column(
+                "region",
+                (0..n_customers).map(|i| regions[i % regions.len()]),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let index_all = |create: &mut dyn FnMut(&str, &str, IndexKind)| {
+        create("orders", "cust", IndexKind::Hash);
+        create("orders", "cust", IndexKind::FullCss);
+        create("orders", "amount", IndexKind::FullCss);
+        create("customers", "id", IndexKind::FullCss);
+    };
+
+    macro_rules! run_pipeline {
+        ($db:expr, $q:expr) => {
+            match $q {
+                0 => $db
+                    .query("orders")
+                    .filter(eq("cust", 17))
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+                1 => $db
+                    .query("orders")
+                    .filter(between("cust", 100, 900))
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+                2 => $db
+                    .query("orders")
+                    .filter(between("amount", 2_000, 4_000))
+                    .join("customers", on("cust", "id"))
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+                _ => $db
+                    .query("orders")
+                    .filter(between("amount", 2_000, 8_000))
+                    .join("customers", on("cust", "id"))
+                    .group_by("region", sum("amount"))
+                    .run()
+                    .expect("planned")
+                    .rows()
+                    .clone(),
+            }
+        };
+    }
+
+    let repeats = 3usize;
+    let best_of = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    println!(
+        "\n== Distributed scatter-gather (loopback TCP): {} orders x {} customers, point/range/join/group ==",
+        format_num(n_orders as f64),
+        format_num(n_customers as f64)
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>18} {:>11}",
+        "shards", "transport", "seconds", "queries/s", "wire tax"
+    );
+    let mut records = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        // In-process coordinator: the LocalShard baseline.
+        let mut local = ShardedDatabase::hash(shards).expect("at least one shard");
+        local.register(orders(), "cust").expect("fresh catalog");
+        local.register(customers(), "id").expect("fresh catalog");
+        index_all(&mut |t, c, k| local.create_index(t, c, k).expect("column"));
+        let local_run = |q: usize| -> ResultRows { run_pipeline!(local, q) };
+        let reference: Vec<ResultRows> = (0..4).map(local_run).collect();
+
+        // The same coordinator over RemoteShard clients: one ShardServer
+        // per shard, every operation crossing loopback TCP.
+        let servers: Vec<ShardServer> = (0..shards)
+            .map(|_| ShardServer::spawn(Database::new()).expect("loopback bind"))
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(ShardServer::addr).collect();
+        let mut remote = ShardedDatabase::connect(
+            ccindex_shard::HashPartitioner::new(shards).expect("at least one shard"),
+            &addrs,
+        )
+        .expect("handshake");
+        remote.register(orders(), "cust").expect("fresh catalog");
+        remote.register(customers(), "id").expect("fresh catalog");
+        index_all(&mut |t, c, k| remote.create_index(t, c, k).expect("column"));
+        let remote_run = |q: usize| -> ResultRows { run_pipeline!(remote, q) };
+
+        // The acceptance gate: distributed answers are byte-identical.
+        let got: Vec<ResultRows> = (0..4).map(remote_run).collect();
+        assert_eq!(
+            got, reference,
+            "distributed results must be byte-identical (shards={shards})"
+        );
+
+        let t_local = best_of(&|| {
+            std::hint::black_box((0..4).map(local_run).collect::<Vec<_>>());
+        });
+        let t_remote = best_of(&|| {
+            std::hint::black_box((0..4).map(remote_run).collect::<Vec<_>>());
+        });
+        let factor = t_remote / t_local;
+        println!(
+            "{:>12} {:>14} {:>14} {:>18} {:>10.2}x",
+            shards,
+            "in-process",
+            format_num(t_local),
+            format_num(4.0 / t_local),
+            1.0
+        );
+        println!(
+            "{:>12} {:>14} {:>14} {:>18} {:>10.2}x",
+            shards,
+            "loopback tcp",
+            format_num(t_remote),
+            format_num(4.0 / t_remote),
+            factor
+        );
+        records.push(
+            BenchRecord::new("distributed scatter-gather queries")
+                .param("shards", shards)
+                .param("transport", "in-process")
+                .param("orders", n_orders)
+                .timed(4.0, t_local),
+        );
+        records.push(
+            BenchRecord::new("distributed scatter-gather queries")
+                .param("shards", shards)
+                .param("transport", "loopback-tcp")
+                .param("orders", n_orders)
+                .param("wire_tax_vs_in_process", format!("{factor:.2}"))
+                .timed(4.0, t_remote),
+        );
+        for server in servers {
+            server.shutdown();
+        }
+    }
+    println!(
+        "  (all distributed rows asserted byte-identical to the in-process coordinator;\n   \
+         the wire-tax factor is loopback framing/checksum/syscall overhead — the floor of\n   \
+         distribution cost, bought back as capacity when shards span machines)"
+    );
+    flush_bench("distributed", &records);
 }
 
 /// Beyond-figure ablations: \[LC86a\]-vs-\[LC86b\] T-tree descents (bytes

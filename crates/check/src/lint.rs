@@ -9,6 +9,7 @@
 //! | O1   | every explicit non-`SeqCst` atomic ordering at an atomic call site carries a `// ORDERING:` justification |
 //! | F1   | no `static mut`, no `transmute` |
 //! | H1   | every `lib.rs` opens with `//!` docs and declares `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | W1   | no `.unwrap()` / `.expect(` on socket-I/O lines — transport faults must map to typed errors |
 //!
 //! O1 exists because of exactly the bug class PR 7 is about: a
 //! lifetime-guarding counter (a pin count, a refcount) downgraded to
@@ -18,6 +19,15 @@
 //! choice was made explicitly, and the model checker then tests the
 //! argument. `SeqCst` needs no justification (it is the conservative
 //! default), and `#[cfg(test)]` code is exempt.
+//!
+//! W1 exists because the distributed layer's whole contract is that a
+//! dead or misbehaving peer surfaces as a typed
+//! `MmdbError::Transport`, never a panic: one stray `.unwrap()` on a
+//! socket read turns a killed shard into a crashed coordinator. The
+//! lint recognizes socket-I/O lines by token (`TcpStream`,
+//! `read_frame`, `.accept()`, …) so unrelated `unwrap`s on the same
+//! code path — a `Mutex::lock` poison recovery, a thread join — don't
+//! false-positive.
 //!
 //! The scanner is deliberately line-based and dependency-free: string
 //! literals and comments are blanked by a small state machine before
@@ -36,7 +46,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`S1`, `O1`, `F1`, `H1`).
+    /// Rule id (`S1`, `O1`, `F1`, `H1`, `W1`).
     pub rule: &'static str,
     /// What to fix.
     pub message: String,
@@ -154,6 +164,21 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
                     .to_owned(),
             });
         }
+
+        // W1: socket I/O never panics — a dead peer must become a
+        // typed transport error, not a crash.
+        if socket_io_line(code_line)
+            && (code_line.contains(".unwrap()") || code_line.contains(".expect("))
+        {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: "W1",
+                message: "`.unwrap()`/`.expect()` on a socket-I/O line; map the failure to a \
+                          typed transport error instead"
+                    .to_owned(),
+            });
+        }
     }
 
     // H1: lib.rs hygiene.
@@ -222,6 +247,33 @@ fn weak_ordering_at_atomic_op(code_line: &str) -> bool {
         ".swap(",
     ];
     ops.iter().any(|op| code_line.contains(op))
+}
+
+/// Whether a stripped line performs socket I/O. Token-based on
+/// purpose: the socket types and the wire crate's framing/stream
+/// helpers name the operations that can fail because a *peer*
+/// misbehaved, which is exactly the failure class that must stay
+/// typed. Lines that merely sit near sockets (`Mutex::lock` poison
+/// recovery, `JoinHandle::join`) carry none of these tokens.
+fn socket_io_line(code_line: &str) -> bool {
+    const TOKENS: [&str; 15] = [
+        "TcpStream",
+        "TcpListener",
+        "UdpSocket",
+        ".accept()",
+        "::connect(",
+        "read_frame",
+        "write_frame",
+        "read_request",
+        "write_request",
+        "read_response",
+        "write_response",
+        "set_read_timeout",
+        "set_write_timeout",
+        "set_nodelay",
+        "peer_addr",
+    ];
+    TOKENS.iter().any(|t| code_line.contains(t))
 }
 
 /// Whether `needle` appears in a `//` comment on line `i` or anywhere
@@ -513,6 +565,50 @@ mod tests {
             .any(|v| v.rule == "H1" && v.message.contains("//!")));
         let ok = "//! Docs.\n#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
         assert!(lint_source(Path::new("lib.rs"), ok).is_empty());
+    }
+
+    #[test]
+    fn socket_unwrap_flagged() {
+        let v = lint("fn f() { let s = TcpStream::connect(\"a:1\").unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+        let v = lint("fn f(l: &TcpListener) { let (s, _) = l.accept().expect(\"peer\"); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+        let v = lint("fn f(r: &mut impl Read) { let p = read_frame(r, \"e\").unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+    }
+
+    #[test]
+    fn socket_io_mapped_to_typed_errors_passes() {
+        assert!(
+            lint("fn f() -> Result<TcpStream> { TcpStream::connect(a).map_err(conn)? }\n")
+                .is_empty()
+        );
+        assert!(
+            lint("fn f(s: &TcpStream) { let e = s.peer_addr().map(|a| a.to_string()); }\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn non_socket_unwraps_near_sockets_not_flagged() {
+        // Poison recovery and thread joins have no socket token; they
+        // may panic without violating the transport contract.
+        assert!(lint(
+            "fn f(m: &Mutex<Vec<u8>>) { let g = m.lock().unwrap_or_else(PoisonError::into_inner); }\n"
+        )
+        .is_empty());
+        assert!(
+            lint("fn f(h: JoinHandle<()>) { h.join().expect(\"thread panicked\"); }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn socket_unwrap_in_tests_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let s = TcpStream::connect(\"a:1\").unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

@@ -101,6 +101,40 @@ pub enum MmdbError {
         /// Human-readable description of what was attempted.
         what: String,
     },
+    /// A remote shard could not be reached, or the wire conversation
+    /// with it failed. A dropped shard surfaces as this error on the
+    /// affected requests — never a panic or an indefinite hang.
+    Transport {
+        /// The socket address (or description) of the peer.
+        endpoint: String,
+        /// Which stage of the conversation failed.
+        fault: TransportFault,
+        /// Human-readable detail (the underlying I/O error, the bad
+        /// frame field, ...).
+        detail: String,
+    },
+}
+
+/// Which stage of a wire conversation a [`MmdbError::Transport`] failure
+/// happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Establishing the TCP connection failed (after bounded retries).
+    Connect,
+    /// Reading or writing an established connection failed or timed out.
+    Io,
+    /// A frame arrived but its payload did not decode (bad tag, short
+    /// buffer, invalid UTF-8).
+    Decode,
+    /// The frame checksum did not match — bytes were corrupted in
+    /// flight.
+    Checksum,
+    /// The peer speaks a different protocol version (or is not a shard
+    /// server at all — bad magic).
+    Version,
+    /// The peer answered with a well-formed message of the wrong shape
+    /// for the request.
+    Protocol,
 }
 
 /// Crate-wide result alias.
@@ -172,6 +206,21 @@ impl std::fmt::Display for MmdbError {
                 )
             }
             MmdbError::Unsupported { what } => write!(f, "{what}"),
+            MmdbError::Transport {
+                endpoint,
+                fault,
+                detail,
+            } => {
+                let stage = match fault {
+                    TransportFault::Connect => "connect failed",
+                    TransportFault::Io => "I/O failed",
+                    TransportFault::Decode => "frame did not decode",
+                    TransportFault::Checksum => "frame checksum mismatch",
+                    TransportFault::Version => "protocol version mismatch",
+                    TransportFault::Protocol => "unexpected response shape",
+                };
+                write!(f, "shard `{endpoint}`: {stage}: {detail}")
+            }
         }
     }
 }
@@ -229,6 +278,24 @@ mod tests {
             msg.contains("CCINDEX_THREADS") && msg.contains("abc"),
             "{msg}"
         );
+
+        let e = MmdbError::Transport {
+            endpoint: "127.0.0.1:7070".into(),
+            fault: TransportFault::Connect,
+            detail: "connection refused".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("127.0.0.1:7070") && msg.contains("connection refused"),
+            "{msg}"
+        );
+
+        let e = MmdbError::Transport {
+            endpoint: "peer".into(),
+            fault: TransportFault::Version,
+            detail: "peer speaks v9, this build speaks v1".into(),
+        };
+        assert!(e.to_string().contains("version"), "{e}");
     }
 
     #[test]

@@ -58,10 +58,10 @@ pub mod update;
 
 // The engine surface.
 pub use engine::{Database, RebuildReport};
-pub use error::{MmdbError, Result};
+pub use error::{MmdbError, Result, TransportFault};
 pub use plan::{
     between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, Predicate,
-    Query, ResultRows, ResultSet,
+    PredicateOp, Query, ResultRows, ResultSet,
 };
 pub use snapshot::{CatalogState, DatabaseHandle, Pinned, Snapshot, SwapSlot};
 

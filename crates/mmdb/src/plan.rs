@@ -274,6 +274,32 @@ enum PredOp {
     Between(Value, Value),
 }
 
+/// A borrowed view of a predicate's shape, for layers that need to
+/// inspect or re-encode one (shard routing, the wire format) without
+/// reaching into the private representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredicateOp<'a> {
+    /// `column = value`.
+    Eq(&'a Value),
+    /// `lo <= column <= hi`, inclusive.
+    Between(&'a Value, &'a Value),
+}
+
+impl Predicate {
+    /// The column this conjunct constrains.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The comparison this conjunct applies, as a borrowed view.
+    pub fn op(&self) -> PredicateOp<'_> {
+        match &self.op {
+            PredOp::Eq(v) => PredicateOp::Eq(v),
+            PredOp::Between(lo, hi) => PredicateOp::Between(lo, hi),
+        }
+    }
+}
+
 /// An equi-join condition (built by [`on`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinOn {
@@ -611,7 +637,7 @@ pub struct ProbeStep {
 }
 
 /// What a [`ProbeStep`] asks its index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Probe {
     /// Equality probe.
     Point(Value),

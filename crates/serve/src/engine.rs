@@ -66,6 +66,9 @@ macro_rules! replay_spec {
         if let Some(kind) = $spec.forced_kind {
             q = q.using(kind);
         }
+        if let Some(exec) = $spec.exec {
+            q = q.exec(exec);
+        }
         Ok(q.run()?.rows().clone())
     }};
 }

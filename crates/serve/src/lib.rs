@@ -28,7 +28,12 @@
 //!   per-client answers in submission order;
 //! * [`Client`]/[`Pending`] — the cheap handles clients submit through
 //!   (synchronous [`call`](Client::call) or pipelined
-//!   [`submit`](Client::submit)).
+//!   [`submit`](Client::submit));
+//! * [`ShardServer`] — the network entry point: one shard's catalog
+//!   behind a `TcpListener` speaking the `ccindex-wire` protocol, the
+//!   server half of the remote shards a
+//!   [`ShardedDatabase::connect`](ccindex_shard::ShardedDatabase::connect)
+//!   coordinator scatters to.
 //!
 //! Answers are **byte-identical** to executing every request alone, for
 //! any window bounds, client count, and either engine — the property
@@ -62,10 +67,12 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod engine;
+mod net;
 mod request;
 mod server;
 
 pub use engine::{ServeEngine, ServeSource, SnapshotInfo};
+pub use net::ShardServer;
 pub use request::{QuerySpec, Request};
 pub use server::{BatchServer, Client, Pending, ServeOptions, ServeStats};
 
@@ -450,5 +457,48 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("0 pinned snapshot(s)"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "queue depth {} at last close, high-water {}",
+                stats.queue_depth, stats.queue_depth_high_water
+            )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_backlog() {
+        // One client floods 200 pipelined submissions before waiting on
+        // any of them; the serving thread must execute a full window
+        // (snapshot pin + pool dispatch) per pop, so the queue backs up
+        // and the high-water gauge observes it. By the final window the
+        // backlog has fully drained.
+        let db = catalog();
+        let server = BatchServer::with_options(
+            &db,
+            ServeOptions {
+                batch_max: 4,
+                batch_wait: Duration::ZERO,
+            },
+        );
+        let (answers, stats) = server.serve_concurrent(1, |_, client| {
+            let pending: Vec<_> = (0..200)
+                .map(|i| client.submit(Request::point("sales", "cust", (i % 20) as i64)))
+                .collect();
+            pending.into_iter().map(Pending::wait).collect::<Vec<_>>()
+        });
+        assert!(answers[0].iter().all(Result::is_ok));
+        assert_eq!(stats.requests, 200);
+        assert!(
+            stats.queue_depth_high_water >= 1,
+            "a flood of pipelined submissions must back the queue up: {stats:?}"
+        );
+        assert_eq!(
+            stats.queue_depth, 0,
+            "the last window drains the backlog: {stats:?}"
+        );
+        // The windowless core never touches a queue.
+        let direct = BatchServer::with_options(&db, ServeOptions::default());
+        direct.run_batch(&requests());
     }
 }

@@ -1,0 +1,527 @@
+//! The network entry point: [`ShardServer`] fronts **one** shard — a
+//! whole [`Database`] — behind a [`TcpListener`] speaking the
+//! `ccindex-wire` protocol, so a `ShardedDatabase` coordinator can run
+//! its scatter-gather over `RemoteShard` clients instead of in-process
+//! catalogs.
+//!
+//! The serving discipline mirrors the in-process split the engine
+//! already has:
+//!
+//! * **reads** (probe batches, selections, join fan-out, group
+//!   partials, value decodes, plan compilation) run against a pinned
+//!   [`Snapshot`](mmdb::Snapshot) from a lock-free
+//!   [`DatabaseHandle`](mmdb::DatabaseHandle) — every request answers
+//!   from one committed generation and never waits on a writer;
+//! * **mutations** (register/drop, index admin, column replacement)
+//!   serialize through a `Mutex<Database>` and publish a new generation
+//!   through the same commit slot the handle reads.
+//!
+//! Both sides dispatch through the *same* `catalog_*` helpers the
+//! in-process `LocalShard` uses (see `ccindex_shard`), which is what
+//! makes distributed answers byte-identical by construction. One thread
+//! per connection, blocking `std::net` I/O, no async runtime. Every
+//! socket failure is contained to its connection; a request that fails
+//! engine-side answers with the same typed
+//! [`MmdbError`](mmdb::MmdbError) the operation would have raised
+//! in-process, carried in [`ShardResponse::Err`].
+
+use crate::request::{QuerySpec, Request};
+use crate::server::BatchServer;
+use ccindex_shard::{
+    catalog_column_values, catalog_columns, catalog_compile, catalog_group_partial,
+    catalog_join_probe_batch, catalog_select,
+};
+use ccindex_wire::{self as wire, OneRequest, ShardRequest, ShardResponse, Spec};
+use mmdb::plan::{Plan, ProbeStep};
+use mmdb::{Database, DatabaseHandle, MmdbError, Result, TableBuilder};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// State shared between the owning [`ShardServer`], the accept loop,
+/// and every connection thread.
+struct Shared {
+    /// The mutation side: one writer at a time, commits publish through
+    /// the engine's commit slot.
+    db: Mutex<Database>,
+    /// The read side: lock-free pinned snapshots of the committed tip.
+    handle: DatabaseHandle,
+    /// Set once; the accept loop and shutdown paths observe it.
+    stop: AtomicBool,
+    /// The bound address, for the shutdown self-connect.
+    addr: SocketAddr,
+    /// One tracked clone per live connection, so shutdown/kill can
+    /// sever blocked readers.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Connection threads, joined on shutdown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Ask the accept loop to exit: raise the flag, then self-connect so
+    /// a blocked `accept` returns and observes it.
+    fn begin_stop(&self) {
+        // ORDERING: Release pairs with the accept loop's Acquire load so
+        // everything written before the stop request is visible there;
+        // the flag itself is a one-way latch, so no stronger order is
+        // needed.
+        self.stop.store(true, Ordering::Release);
+        // A failed self-connect means the listener is already gone —
+        // the accept loop has nothing left to unblock.
+        drop(TcpStream::connect(self.addr));
+    }
+
+    /// Sever every tracked connection so blocked `read_request` calls
+    /// return errors and their threads exit.
+    fn sever(&self) {
+        let conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        for conn in conns.iter() {
+            // An already-closed peer is fine; severing is idempotent.
+            drop(conn.shutdown(Shutdown::Both));
+        }
+    }
+}
+
+/// A TCP server fronting one shard's [`Database`]: the remote half of
+/// the transport-generic scatter-gather (`RemoteShard` is the client
+/// half). Binds loopback by default; [`ShardServer::addr`] is what a
+/// coordinator passes to `ShardedDatabase::connect`.
+///
+/// ```
+/// use ccindex_serve::ShardServer;
+/// use ccindex_shard::{HashPartitioner, ShardedDatabase};
+/// use mmdb::{eq, Database, IndexKind, TableBuilder};
+///
+/// // Two shard servers, each fronting an (initially empty) catalog.
+/// let servers: Vec<ShardServer> = (0..2)
+///     .map(|_| ShardServer::spawn(Database::new()))
+///     .collect::<Result<_, _>>()?;
+/// let addrs: Vec<String> = servers.iter().map(ShardServer::addr).collect();
+///
+/// // The coordinator registers through the same surface as in-process.
+/// let mut db = ShardedDatabase::connect(HashPartitioner::new(2)?, &addrs)?;
+/// db.register(
+///     TableBuilder::new("sales")
+///         .int_column("cust", [1, 2, 1, 3])
+///         .build()?,
+///     "cust",
+/// )?;
+/// db.create_index("sales", "cust", IndexKind::Hash)?;
+/// assert_eq!(
+///     db.query("sales").filter(eq("cust", 1)).run()?.rids(),
+///     &[0, 2]
+/// );
+/// for server in servers {
+///     server.shutdown();
+/// }
+/// # Ok::<(), mmdb::MmdbError>(())
+/// ```
+pub struct ShardServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Serve `db` on an OS-assigned loopback port.
+    pub fn spawn(db: Database) -> Result<Self> {
+        Self::bind(db, "127.0.0.1:0")
+    }
+
+    /// Serve `db` on an explicit address.
+    pub fn bind(db: Database, bind_addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(bind_addr).map_err(|e| MmdbError::Transport {
+            endpoint: bind_addr.to_owned(),
+            fault: mmdb::TransportFault::Connect,
+            detail: format!("bind: {e}"),
+        })?;
+        let addr = listener.local_addr().map_err(|e| MmdbError::Transport {
+            endpoint: bind_addr.to_owned(),
+            fault: mmdb::TransportFault::Connect,
+            detail: format!("local_addr: {e}"),
+        })?;
+        let shared = Arc::new(Shared {
+            handle: db.handle(),
+            db: Mutex::new(db),
+            stop: AtomicBool::new(false),
+            addr,
+            conns: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || accept_loop(&listener, &shared)
+        });
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The served address, `host:port` — what `RemoteShard::connect`
+    /// and `ShardedDatabase::connect` take.
+    pub fn addr(&self) -> String {
+        self.shared.addr.to_string()
+    }
+
+    /// The served socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stop serving: no new connections, existing connections severed,
+    /// every server thread joined. In-flight requests either finish
+    /// their response write or their client sees a typed transport
+    /// error — never a hang.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Abruptly sever the server mid-flight — the failure-injection
+    /// twin of [`ShardServer::shutdown`], for exercising the
+    /// coordinator's typed [`MmdbError::Transport`] path. (Over
+    /// loopback both paths sever the same way; the distinct name keeps
+    /// call sites honest about intent.)
+    pub fn kill(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.begin_stop();
+        self.shared.sever();
+        if let Some(accept) = self.accept.take() {
+            // A panicked server thread is a bug, but the caller is
+            // already tearing down; swallowing the panic here would
+            // hide it, so propagate.
+            accept.join().expect("shard server accept thread panicked");
+        }
+        let workers = std::mem::take(
+            &mut *self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for worker in workers {
+            worker
+                .join()
+                .expect("shard server connection thread panicked");
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Accept until stopped. Each accepted connection gets its own thread;
+/// a failed accept is retried unless the stop flag is up (the shutdown
+/// self-connect lands here too, and is discarded by the stop check).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let accepted = listener.accept();
+        // ORDERING: Acquire pairs with begin_stop's Release store; after
+        // observing the latch this thread only returns, so Acquire is
+        // already more than it strictly needs.
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            continue;
+        };
+        // Best-effort: probes are small request/response pairs.
+        drop(stream.set_nodelay(true));
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(clone);
+        }
+        let worker = std::thread::spawn({
+            let shared = Arc::clone(shared);
+            move || serve_conn(&stream, &shared)
+        });
+        shared
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(worker);
+    }
+}
+
+/// One connection's request/response loop. A read error means the
+/// client hung up (or shutdown severed us) — the thread exits quietly;
+/// the connection carries no state a coordinator could lose. A write
+/// error likewise ends the connection: the client's own read fails
+/// typed on its side.
+fn serve_conn(stream: &TcpStream, shared: &Arc<Shared>) {
+    let endpoint = match stream.peer_addr() {
+        Ok(peer) => peer.to_string(),
+        Err(_) => "peer".to_owned(),
+    };
+    loop {
+        let request = match wire::read_request(&mut &*stream, &endpoint) {
+            Ok(request) => request,
+            Err(_) => return,
+        };
+        let stopping = matches!(request, ShardRequest::Shutdown);
+        let response = respond(shared, request);
+        if wire::write_response(&mut &*stream, &endpoint, &response).is_err() {
+            return;
+        }
+        if stopping {
+            shared.begin_stop();
+            return;
+        }
+    }
+}
+
+/// `Ok` maps through `f`; `Err` becomes the typed wire error.
+fn reply<T>(result: Result<T>, f: impl FnOnce(T) -> ShardResponse) -> ShardResponse {
+    match result {
+        Ok(value) => f(value),
+        Err(e) => ShardResponse::Err(e),
+    }
+}
+
+/// Execute one request against the shard. Reads pin a snapshot from the
+/// lock-free handle and dispatch through the shared `catalog_*`
+/// helpers; mutations serialize through the database mutex.
+fn respond(shared: &Arc<Shared>, request: ShardRequest) -> ShardResponse {
+    use ShardResponse as A;
+    match request {
+        ShardRequest::Hello => A::Info {
+            generation: shared.handle.generation(),
+            swaps: shared.handle.swaps(),
+            pinned: shared.handle.pinned() as u64,
+            exec: shared.handle.snapshot().exec_options(),
+        },
+        ShardRequest::PointProbeBatch {
+            table,
+            column,
+            values,
+        } => reply(
+            shared
+                .handle
+                .snapshot()
+                .point_probe_batch(&table, &column, &values),
+            A::RidSets,
+        ),
+        ShardRequest::RangeProbeBatch {
+            table,
+            column,
+            ranges,
+        } => reply(
+            shared
+                .handle
+                .snapshot()
+                .range_probe_batch(&table, &column, &ranges),
+            A::RidSets,
+        ),
+        ShardRequest::Select {
+            table,
+            probes,
+            exec,
+        } => {
+            // Rebuild the probes-only plan the coordinator compiled.
+            // `ProbeStep::threads` is not carried on the wire; it never
+            // changes results, only partitioning, so the shard re-derives
+            // it from the plan-wide exec options.
+            let plan = Plan {
+                table,
+                probes: probes
+                    .into_iter()
+                    .map(|(column, kind, probe)| ProbeStep {
+                        column,
+                        kind,
+                        probe,
+                        threads: exec.threads,
+                    })
+                    .collect(),
+                join: None,
+                group: None,
+                exec,
+            };
+            reply(catalog_select(&shared.handle.snapshot(), &plan), A::Rids)
+        }
+        ShardRequest::JoinProbeBatch {
+            table,
+            column,
+            kind,
+            values,
+            lanes,
+            threads,
+        } => reply(
+            catalog_join_probe_batch(
+                &shared.handle.snapshot(),
+                &table,
+                &column,
+                kind,
+                &values,
+                lanes,
+                threads,
+            ),
+            A::RidSets,
+        ),
+        ShardRequest::GroupPartial {
+            table,
+            group_column,
+            measure,
+            agg,
+            rids,
+        } => reply(
+            catalog_group_partial(
+                &shared.handle.snapshot(),
+                &table,
+                &group_column,
+                measure.as_deref(),
+                agg,
+                rids.as_deref(),
+            ),
+            A::Groups,
+        ),
+        ShardRequest::ColumnValues {
+            table,
+            column,
+            rids,
+        } => reply(
+            catalog_column_values(&shared.handle.snapshot(), &table, &column, rids.as_deref()),
+            A::Values,
+        ),
+        ShardRequest::Columns { table } => {
+            reply(catalog_columns(&shared.handle.snapshot(), &table), A::Names)
+        }
+        ShardRequest::Rows { table } => reply(
+            shared.handle.snapshot().table(&table).map(|t| t.rows()),
+            |rows| A::Count(rows as u64),
+        ),
+        ShardRequest::Compile { spec } => {
+            reply(catalog_compile(&shared.handle.snapshot(), &spec), A::Plan)
+        }
+        ShardRequest::RunSpec { spec } => {
+            let snapshot = shared.handle.snapshot();
+            reply(
+                catalog_compile(&snapshot, &spec)
+                    .and_then(|plan| Ok(plan.execute_on(&snapshot)?.rows().clone())),
+                A::Rows,
+            )
+        }
+        ShardRequest::ExecuteBatch { requests } => {
+            let requests: Vec<Request> = requests.into_iter().map(owned_request).collect();
+            A::Batch(BatchServer::new(&shared.handle).run_batch(&requests))
+        }
+        ShardRequest::Register { table, columns } => {
+            let mut builder = TableBuilder::new(&table);
+            for (name, values) in columns {
+                builder = builder.column(&name, values);
+            }
+            reply(
+                builder.build().and_then(|t| lock_db(shared).register(t)),
+                |()| A::Unit,
+            )
+        }
+        ShardRequest::DropTable { table } => {
+            reply(lock_db(shared).drop_table(&table), |()| A::Unit)
+        }
+        ShardRequest::CreateIndex {
+            table,
+            column,
+            kind,
+        } => reply(lock_db(shared).create_index(&table, &column, kind), |()| {
+            A::Unit
+        }),
+        ShardRequest::DropIndex {
+            table,
+            column,
+            kind,
+        } => reply(lock_db(shared).drop_index(&table, &column, kind), |()| {
+            A::Unit
+        }),
+        ShardRequest::ReplaceColumn {
+            table,
+            column,
+            values,
+        } => reply(
+            lock_db(shared).replace_column(&table, &column, values),
+            |r| rebuilt(&r),
+        ),
+        ShardRequest::RebuildColumn { table, column } => {
+            reply(lock_db(shared).rebuild_column(&table, &column), |r| {
+                rebuilt(&r)
+            })
+        }
+        ShardRequest::SetExecOptions { exec } => {
+            lock_db(shared).set_exec_options(exec);
+            A::Unit
+        }
+        // The connection loop raises the stop flag after this response
+        // is on the wire.
+        ShardRequest::Shutdown => A::Unit,
+    }
+}
+
+fn lock_db(shared: &Shared) -> std::sync::MutexGuard<'_, Database> {
+    shared.db.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn rebuilt(report: &mmdb::RebuildReport) -> ShardResponse {
+    ShardResponse::Rebuilt {
+        sort_ns: report.sort_time.as_nanos() as u64,
+        rebuilds: report
+            .rebuilds
+            .iter()
+            .map(|(kind, d)| (*kind, d.as_nanos() as u64))
+            .collect(),
+    }
+}
+
+/// Lift a wire request into the serving front-end's owned vocabulary.
+fn owned_request(request: OneRequest) -> Request {
+    match request {
+        OneRequest::Point {
+            table,
+            column,
+            value,
+        } => Request::Point {
+            table,
+            column,
+            value,
+        },
+        OneRequest::Range {
+            table,
+            column,
+            lo,
+            hi,
+        } => Request::Range {
+            table,
+            column,
+            lo,
+            hi,
+        },
+        OneRequest::Query(spec) => Request::Query(owned_spec(spec)),
+    }
+}
+
+fn owned_spec(spec: Spec) -> QuerySpec {
+    QuerySpec {
+        table: spec.table,
+        filters: spec.filters,
+        join: spec.join,
+        group: spec.group,
+        forced_kind: spec.forced_kind,
+        exec: spec.exec,
+    }
+}

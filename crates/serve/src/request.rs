@@ -9,7 +9,7 @@
 //! [`sum`](mmdb::sum)-style aggregates), resolved against a catalog only
 //! when the window executes.
 
-use mmdb::{Agg, IndexKind, JoinOn, Predicate, Value};
+use mmdb::{Agg, ExecOptions, IndexKind, JoinOn, Predicate, Value};
 
 /// An owned, engine-agnostic query description — the
 /// [`Query`](mmdb::Query) builder surface (`filter`/`join`/`group_by`/
@@ -23,6 +23,7 @@ pub struct QuerySpec {
     pub(crate) join: Option<(String, JoinOn)>,
     pub(crate) group: Option<(String, Agg)>,
     pub(crate) forced_kind: Option<IndexKind>,
+    pub(crate) exec: Option<ExecOptions>,
 }
 
 impl QuerySpec {
@@ -34,6 +35,7 @@ impl QuerySpec {
             join: None,
             group: None,
             forced_kind: None,
+            exec: None,
         }
     }
 
@@ -59,6 +61,13 @@ impl QuerySpec {
     /// Force every probe through one [`IndexKind`].
     pub fn using(mut self, kind: IndexKind) -> Self {
         self.forced_kind = Some(kind);
+        self
+    }
+
+    /// Override the execution options for this request only, exactly
+    /// like [`Query::exec`](mmdb::Query::exec).
+    pub fn exec(mut self, options: ExecOptions) -> Self {
+        self.exec = Some(options);
         self
     }
 }

@@ -218,6 +218,14 @@ pub struct ServeStats {
     pub requests: usize,
     /// Requests in the deepest window.
     pub largest_window: usize,
+    /// Requests still queued when the last window closed — the
+    /// session-end reading of the backlog gauge.
+    pub queue_depth: usize,
+    /// The deepest backlog observed at any window close: clients
+    /// submitting faster than windows drain show up here, so a
+    /// persistently high value means the window bounds (or the engine)
+    /// are the bottleneck, not the clients.
+    pub queue_depth_high_water: usize,
     /// The source's snapshot counters, observed when the session ended.
     pub snapshot: SnapshotInfo,
 }
@@ -228,10 +236,13 @@ impl ServeStats {
     pub fn explain(&self) -> String {
         format!(
             "served {} request(s) in {} window(s), largest {}\n\
+             queue depth {} at last close, high-water {}\n\
              catalog generation {}, {} swap(s), {} pinned snapshot(s)",
             self.requests,
             self.windows,
             self.largest_window,
+            self.queue_depth,
+            self.queue_depth_high_water,
             self.snapshot.generation,
             self.snapshot.swaps,
             self.snapshot.pinned,
@@ -376,6 +387,10 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
                     None => break,
                 }
             }
+            // The backlog gauge reads at window close: everything queued
+            // here waited a full window without being admitted.
+            stats.queue_depth = queue.len();
+            stats.queue_depth_high_water = stats.queue_depth_high_water.max(stats.queue_depth);
             // One pinned generation per window: the whole window answers
             // from it, lock-free, whatever a writer commits meanwhile.
             let snapshot = self.source.pin();

@@ -41,10 +41,17 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod backend;
 mod partition;
+mod remote;
 mod sharded;
 
+pub use backend::{
+    catalog_column_values, catalog_columns, catalog_compile, catalog_group_partial,
+    catalog_join_probe_batch, catalog_select, LocalShard, ShardBackend, ShardInfo, ShardPin,
+};
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use remote::{RemoteShard, SHARD_TIMEOUT_KNOB};
 pub use sharded::{
     JoinRouting, ShardRouting, ShardTargets, ShardedDatabase, ShardedHandle, ShardedPlan,
     ShardedQuery, ShardedRebuildReport, ShardedResultSet, ShardedSnapshot, ShardedState,

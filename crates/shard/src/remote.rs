@@ -1,0 +1,486 @@
+//! The remote shard client: a [`ShardBackend`] that speaks the
+//! `ccindex-wire` protocol to a `ShardServer` over plain blocking TCP.
+//!
+//! One request, one response, one frame each — the serving layer's
+//! batch-formation windows (PR 5) already amortise per-request costs,
+//! so the transport stays synchronous and dependency-free. Connection
+//! handling:
+//!
+//! * [`RemoteShard::connect`] dials with **bounded retry** (5 attempts,
+//!   doubling backoff from 10 ms) and performs a `Hello` handshake, so
+//!   a version-skewed or absent server is a typed
+//!   [`MmdbError::Transport`] at construction, not a hang at first
+//!   query.
+//! * Every request carries the **deadline** from
+//!   `CCINDEX_SHARD_TIMEOUT_MS` (default 30 000; `0` disables) as the
+//!   socket's read/write timeout. The knob is parsed by the shared
+//!   [`parse_knob`] rule and fails loudly on garbage.
+//! * The client caches one connection behind a mutex (scatter jobs
+//!   target distinct shards, so cross-shard fan-out still runs fully in
+//!   parallel); any I/O or framing error invalidates the cached
+//!   connection so the next call redials — the failed request itself is
+//!   **not** retried, because the server may have applied a mutation
+//!   before the connection died.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ccindex_wire::{self as wire, OneRequest, ShardRequest, ShardResponse, Spec};
+use mmdb::plan::{parse_knob, Plan};
+use mmdb::{
+    AggFn, ExecOptions, GroupRow, IndexKind, MmdbError, RebuildReport, Result, ResultRows, Table,
+    TransportFault, Value,
+};
+
+use crate::backend::{ShardBackend, ShardInfo, ShardPin};
+
+/// Request deadline knob, in milliseconds. `0` disables the deadline.
+pub const SHARD_TIMEOUT_KNOB: &str = "CCINDEX_SHARD_TIMEOUT_MS";
+
+/// Default request deadline when the knob is unset.
+const DEFAULT_TIMEOUT: Duration = Duration::from_millis(30_000);
+
+/// Connect attempts before giving up (the first try plus retries).
+const CONNECT_ATTEMPTS: u32 = 5;
+
+/// Backoff before the second connect attempt; doubles per retry.
+const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+
+fn transport(endpoint: &str, fault: TransportFault, detail: String) -> MmdbError {
+    MmdbError::Transport {
+        endpoint: endpoint.to_owned(),
+        fault,
+        detail,
+    }
+}
+
+/// A shard that lives behind a socket: the remote implementation of
+/// [`ShardBackend`]. Cloning yields an independent client to the same
+/// server (with its own connection), which is how a remote shard is
+/// pinned into a composed snapshot.
+#[derive(Debug)]
+pub struct RemoteShard {
+    addr: String,
+    timeout: Option<Duration>,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl Clone for RemoteShard {
+    fn clone(&self) -> Self {
+        Self {
+            addr: self.addr.clone(),
+            timeout: self.timeout,
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+impl RemoteShard {
+    /// Connect to a shard server, with bounded retry and a `Hello`
+    /// handshake. The deadline comes from `CCINDEX_SHARD_TIMEOUT_MS`
+    /// (milliseconds; `0` disables; garbage is a typed
+    /// [`MmdbError::InvalidExecOption`]).
+    pub fn connect(addr: impl Into<String>) -> Result<Self> {
+        let timeout = match parse_knob(SHARD_TIMEOUT_KNOB, std::env::var(SHARD_TIMEOUT_KNOB).ok())?
+        {
+            None => Some(DEFAULT_TIMEOUT),
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms as u64)),
+        };
+        let shard = Self {
+            addr: addr.into(),
+            timeout,
+            conn: Mutex::new(None),
+        };
+        // Validate liveness and protocol version up front: a skewed
+        // server answers with a different frame version, which
+        // `read_frame` rejects as a typed Transport error here rather
+        // than mid-query.
+        shard.observe()?;
+        Ok(shard)
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn dial(&self) -> Result<TcpStream> {
+        let mut delay = INITIAL_BACKOFF;
+        let mut last = String::from("no attempt made");
+        for attempt in 1..=CONNECT_ATTEMPTS {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    // Latency over throughput: frames are small.
+                    let _ = stream.set_nodelay(true);
+                    stream
+                        .set_read_timeout(self.timeout)
+                        .and_then(|()| stream.set_write_timeout(self.timeout))
+                        .map_err(|e| {
+                            transport(
+                                &self.addr,
+                                TransportFault::Connect,
+                                format!("configuring deadline: {e}"),
+                            )
+                        })?;
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    if attempt < CONNECT_ATTEMPTS {
+                        std::thread::sleep(delay);
+                        delay = delay.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        Err(transport(
+            &self.addr,
+            TransportFault::Connect,
+            format!("after {CONNECT_ATTEMPTS} attempts: {last}"),
+        ))
+    }
+
+    fn call(&self, req: &ShardRequest) -> Result<ShardResponse> {
+        let mut guard = match self.conn.lock() {
+            Ok(g) => g,
+            // A poisoned lock means a panic elsewhere; the connection
+            // state itself is still just an Option we are about to
+            // validate, so keep serving.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        let stream = match guard.as_mut() {
+            Some(s) => s,
+            None => {
+                return Err(transport(
+                    &self.addr,
+                    TransportFault::Connect,
+                    "connection vanished before use".to_owned(),
+                ))
+            }
+        };
+        let outcome = wire::write_request(stream, &self.addr, req)
+            .and_then(|()| wire::read_response(stream, &self.addr));
+        match outcome {
+            // A typed server-side error is a *successful* exchange —
+            // keep the connection.
+            Ok(ShardResponse::Err(e)) => Err(e),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // The stream may hold a half-written request or a
+                // half-read reply; drop it so the next call redials
+                // instead of desynchronising. The failed request is not
+                // replayed (it may not be idempotent).
+                *guard = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn bad_reply(&self, got: &ShardResponse) -> MmdbError {
+        transport(
+            &self.addr,
+            TransportFault::Protocol,
+            format!("unexpected reply variant `{}`", variant_name(got)),
+        )
+    }
+
+    /// Compile and execute a query description on the server, returning
+    /// its result rows. Used by the serving layer to front a whole
+    /// remote engine.
+    pub fn run_spec(&self, spec: &Spec) -> Result<ResultRows> {
+        match self.call(&ShardRequest::RunSpec { spec: spec.clone() })? {
+            ShardResponse::Rows(rows) => Ok(rows),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    /// Run a whole window of serving requests through the server's
+    /// `BatchServer`, one result per request in submission order.
+    pub fn execute_batch(
+        &self,
+        requests: Vec<OneRequest>,
+    ) -> Result<Vec<std::result::Result<ResultRows, MmdbError>>> {
+        match self.call(&ShardRequest::ExecuteBatch { requests })? {
+            ShardResponse::Batch(results) => Ok(results),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    /// Ask the server to finish in-flight connections and exit its
+    /// accept loop.
+    pub fn shutdown(&self) -> Result<()> {
+        match self.call(&ShardRequest::Shutdown)? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+}
+
+fn variant_name(resp: &ShardResponse) -> &'static str {
+    match resp {
+        ShardResponse::RidSets(_) => "RidSets",
+        ShardResponse::Rids(_) => "Rids",
+        ShardResponse::Values(_) => "Values",
+        ShardResponse::Groups(_) => "Groups",
+        ShardResponse::Rows(_) => "Rows",
+        ShardResponse::Batch(_) => "Batch",
+        ShardResponse::Plan(_) => "Plan",
+        ShardResponse::Names(_) => "Names",
+        ShardResponse::Count(_) => "Count",
+        ShardResponse::Rebuilt { .. } => "Rebuilt",
+        ShardResponse::Info { .. } => "Info",
+        ShardResponse::Unit => "Unit",
+        ShardResponse::Err(_) => "Err",
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn point_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[Value],
+    ) -> Result<Vec<Vec<u32>>> {
+        match self.call(&ShardRequest::PointProbeBatch {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            values: values.to_vec(),
+        })? {
+            ShardResponse::RidSets(sets) => Ok(sets),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn range_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        ranges: &[(Value, Value)],
+    ) -> Result<Vec<Vec<u32>>> {
+        match self.call(&ShardRequest::RangeProbeBatch {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            ranges: ranges.to_vec(),
+        })? {
+            ShardResponse::RidSets(sets) => Ok(sets),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn select(&self, plan: &Plan) -> Result<Vec<u32>> {
+        let probes = plan
+            .probes
+            .iter()
+            .map(|step| (step.column.clone(), step.kind, step.probe.clone()))
+            .collect();
+        match self.call(&ShardRequest::Select {
+            table: plan.table.clone(),
+            probes,
+            exec: plan.exec,
+        })? {
+            ShardResponse::Rids(rids) => Ok(rids),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn join_probe_batch(
+        &self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+        values: &[Value],
+        lanes: usize,
+        threads: usize,
+    ) -> Result<Vec<Vec<u32>>> {
+        match self.call(&ShardRequest::JoinProbeBatch {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            kind,
+            values: values.to_vec(),
+            lanes,
+            threads,
+        })? {
+            ShardResponse::RidSets(sets) => Ok(sets),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn group_partial(
+        &self,
+        table: &str,
+        group_column: &str,
+        measure: Option<&str>,
+        agg: AggFn,
+        rids: Option<&[u32]>,
+    ) -> Result<Vec<GroupRow>> {
+        match self.call(&ShardRequest::GroupPartial {
+            table: table.to_owned(),
+            group_column: group_column.to_owned(),
+            measure: measure.map(str::to_owned),
+            agg,
+            rids: rids.map(<[u32]>::to_vec),
+        })? {
+            ShardResponse::Groups(groups) => Ok(groups),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn column_values(&self, table: &str, column: &str, rids: Option<&[u32]>) -> Result<Vec<Value>> {
+        match self.call(&ShardRequest::ColumnValues {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            rids: rids.map(<[u32]>::to_vec),
+        })? {
+            ShardResponse::Values(values) => Ok(values),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn compile(&self, spec: &Spec) -> Result<Plan> {
+        match self.call(&ShardRequest::Compile { spec: spec.clone() })? {
+            ShardResponse::Plan(plan) => Ok(plan),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn columns(&self, table: &str) -> Result<Vec<String>> {
+        match self.call(&ShardRequest::Columns {
+            table: table.to_owned(),
+        })? {
+            ShardResponse::Names(names) => Ok(names),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn rows(&self, table: &str) -> Result<usize> {
+        match self.call(&ShardRequest::Rows {
+            table: table.to_owned(),
+        })? {
+            ShardResponse::Count(n) => Ok(n as usize),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn register(&mut self, table: Table) -> Result<()> {
+        let columns = table
+            .columns()
+            .map(|(name, col)| {
+                let values = (0..col.len() as u32)
+                    .map(|r| col.value(r).clone())
+                    .collect();
+                (name.to_owned(), values)
+            })
+            .collect();
+        match self.call(&ShardRequest::Register {
+            table: table.name().to_owned(),
+            columns,
+        })? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn drop_table(&mut self, table: &str) -> Result<()> {
+        match self.call(&ShardRequest::DropTable {
+            table: table.to_owned(),
+        })? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn create_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        match self.call(&ShardRequest::CreateIndex {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            kind,
+        })? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn drop_index(&mut self, table: &str, column: &str, kind: IndexKind) -> Result<()> {
+        match self.call(&ShardRequest::DropIndex {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            kind,
+        })? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn replace_column(
+        &mut self,
+        table: &str,
+        column: &str,
+        values: Vec<Value>,
+    ) -> Result<RebuildReport> {
+        match self.call(&ShardRequest::ReplaceColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            values,
+        })? {
+            ShardResponse::Rebuilt { sort_ns, rebuilds } => Ok(rebuild_report(sort_ns, rebuilds)),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn rebuild_column(&mut self, table: &str, column: &str) -> Result<RebuildReport> {
+        match self.call(&ShardRequest::RebuildColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })? {
+            ShardResponse::Rebuilt { sort_ns, rebuilds } => Ok(rebuild_report(sort_ns, rebuilds)),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn set_exec_options(&mut self, exec: ExecOptions) -> Result<()> {
+        match self.call(&ShardRequest::SetExecOptions { exec })? {
+            ShardResponse::Unit => Ok(()),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn pin(&self) -> ShardPin {
+        ShardPin::Remote(self.clone())
+    }
+
+    fn observe(&self) -> Result<ShardInfo> {
+        match self.call(&ShardRequest::Hello)? {
+            ShardResponse::Info {
+                generation,
+                swaps,
+                pinned,
+                exec,
+            } => Ok(ShardInfo {
+                generation,
+                swaps,
+                pinned,
+                exec,
+            }),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("remote {}", self.addr)
+    }
+}
+
+fn rebuild_report(sort_ns: u64, rebuilds: Vec<(IndexKind, u64)>) -> RebuildReport {
+    RebuildReport {
+        sort_time: Duration::from_nanos(sort_ns),
+        rebuilds: rebuilds
+            .into_iter()
+            .map(|(kind, ns)| (kind, Duration::from_nanos(ns)))
+            .collect(),
+    }
+}

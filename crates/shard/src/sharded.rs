@@ -28,14 +28,16 @@
 //! [`Database`] for every shard count and both partitioners — the
 //! property `tests/sharded_equivalence.rs` and `figures sharded` assert.
 
+use crate::backend::{LocalShard, ShardBackend, ShardPin};
 use crate::partition::Partitioner;
+use crate::remote::RemoteShard;
 use ccindex_parallel::WorkerPool;
+use ccindex_wire::Spec;
 use mmdb::domain::Value;
 use mmdb::plan::{Plan, Probe, Side};
 use mmdb::{
-    group_aggregate_pairs, indexed_nested_loop_join_rids_par, Agg, AggFn, CatalogState, Column,
-    Database, ExecOptions, GroupRow, IndexKind, JoinOn, JoinRow, MmdbError, Pinned, Predicate,
-    RebuildReport, Result, ResultRows, SwapSlot, Table,
+    Agg, AggFn, Column, Database, ExecOptions, GroupRow, IndexKind, JoinOn, JoinRow, MmdbError,
+    Pinned, Predicate, RebuildReport, Result, ResultRows, SwapSlot, Table,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -55,7 +57,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct ShardedDatabase {
     partitioner: Arc<dyn Partitioner>,
-    shards: Vec<Database>,
+    shards: Vec<Box<dyn ShardBackend>>,
     tables: BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
     /// Monotonic commit counter for the *composed* catalog.
@@ -80,10 +82,12 @@ struct ShardedTable {
 }
 
 /// One immutable generation of the *composed* sharded catalog: a
-/// [`CatalogState`] per shard (all captured under the same commit), the
-/// placement metadata that routes global rows to shards, and the
-/// partitioner — everything scatter-gather execution needs, nothing a
-/// writer can touch. The sharded twin of [`mmdb::CatalogState`].
+/// [`ShardPin`] per shard (all captured under the same commit — a local
+/// shard pins its [`mmdb::CatalogState`], a remote shard pins a client
+/// onto its server's committed tip), the placement metadata that routes
+/// global rows to shards, and the partitioner — everything
+/// scatter-gather execution needs, nothing a writer can touch. The
+/// sharded twin of [`mmdb::CatalogState`].
 ///
 /// Cloning is cheap: per-shard states are `BTreeMap`s of `Arc`ed table
 /// entries and the placement tables sit behind `Arc` too, so a
@@ -91,7 +95,7 @@ struct ShardedTable {
 #[derive(Debug, Clone)]
 pub struct ShardedState {
     partitioner: Arc<dyn Partitioner>,
-    shards: Vec<CatalogState>,
+    shards: Vec<ShardPin>,
     tables: BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
     generation: u64,
@@ -136,14 +140,14 @@ impl ShardedHandle {
 }
 
 /// The borrowed read surface the scatter-gather executor runs against —
-/// buildable from both a live [`ShardedDatabase`] (whose shards expose
-/// their current tip via [`Database::catalog`]) and an immutable
-/// [`ShardedState`], so the same routing/merging code serves mutable
-/// callers and pinned snapshots.
+/// a [`ShardBackend`] reference per shard, buildable from both a live
+/// [`ShardedDatabase`] and an immutable [`ShardedState`], so the same
+/// routing/merging code serves mutable callers, pinned snapshots, and
+/// any local/remote shard mix.
 #[derive(Debug, Clone)]
 struct ShardView<'a> {
     partitioner: &'a dyn Partitioner,
-    shards: Vec<&'a CatalogState>,
+    shards: Vec<&'a dyn ShardBackend>,
     tables: &'a BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
 }
@@ -166,23 +170,47 @@ impl ShardedDatabase {
     /// Execution options start from [`ExecOptions::from_env`], exactly
     /// like [`Database::new`].
     pub fn new<P: Partitioner + 'static>(partitioner: P) -> Result<Self> {
+        let shards = (0..partitioner.shards())
+            .map(|_| Box::new(LocalShard::new(Database::new())) as Box<dyn ShardBackend>)
+            .collect();
+        Self::with_backends(partitioner, shards)
+    }
+
+    /// A sharded catalog over caller-supplied [`ShardBackend`]s — the
+    /// transport-generic constructor behind [`ShardedDatabase::new`]
+    /// (all in-process) and [`ShardedDatabase::connect`] (all remote);
+    /// mixes are equally valid. One backend per partitioner shard, in
+    /// shard order. The catalog's [`ExecOptions`] (from the
+    /// environment) are installed on every backend up front, so a shard
+    /// that is already unreachable fails construction with a typed
+    /// error instead of failing the first query.
+    pub fn with_backends<P: Partitioner + 'static>(
+        partitioner: P,
+        backends: Vec<Box<dyn ShardBackend>>,
+    ) -> Result<Self> {
         if partitioner.shards() == 0 {
             return Err(MmdbError::InvalidPartitioner {
                 reason: "partitioner declares zero shards".into(),
             });
         }
+        if backends.len() != partitioner.shards() {
+            return Err(MmdbError::InvalidPartitioner {
+                reason: format!(
+                    "partitioner declares {} shard(s) but {} backend(s) were supplied",
+                    partitioner.shards(),
+                    backends.len()
+                ),
+            });
+        }
         let exec = ExecOptions::from_env();
-        let shards: Vec<Database> = (0..partitioner.shards())
-            .map(|_| {
-                let mut db = Database::new();
-                db.set_exec_options(exec);
-                db
-            })
-            .collect();
+        let mut shards = backends;
+        for shard in &mut shards {
+            shard.set_exec_options(exec)?;
+        }
         let partitioner: Arc<dyn Partitioner> = Arc::new(partitioner);
         let initial = ShardedState {
             partitioner: Arc::clone(&partitioner),
-            shards: shards.iter().map(|d| d.catalog().clone()).collect(),
+            shards: shards.iter().map(|b| b.pin()).collect(),
             tables: BTreeMap::new(),
             exec,
             generation: 0,
@@ -195,6 +223,22 @@ impl ShardedDatabase {
             generation: 0,
             slot: SwapSlot::new(initial, 0),
         })
+    }
+
+    /// A sharded catalog whose shards are **remote** `ShardServer`s:
+    /// one address per partitioner shard, dialed with bounded retry and
+    /// a protocol handshake (see [`RemoteShard::connect`]). Every
+    /// scatter-gather operation then runs over the wire, byte-identical
+    /// to the same catalog in-process — same executor, different
+    /// transport.
+    pub fn connect<P: Partitioner + 'static>(partitioner: P, addrs: &[String]) -> Result<Self> {
+        let backends = addrs
+            .iter()
+            .map(|addr| {
+                RemoteShard::connect(addr.as_str()).map(|r| Box::new(r) as Box<dyn ShardBackend>)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::with_backends(partitioner, backends)
     }
 
     /// Hash-partitioned catalog over `shards` shards.
@@ -220,20 +264,36 @@ impl ShardedDatabase {
         self.partitioner.describe()
     }
 
-    /// One shard's catalog, for inspection.
+    /// One shard's in-process engine, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shard `shard` is remote — its engine lives across
+    /// the wire. Use [`ShardedDatabase::backend`] for transport-generic
+    /// access.
     pub fn shard(&self, shard: usize) -> &Database {
-        &self.shards[shard]
+        self.shards[shard]
+            .as_database()
+            .expect("shard() inspects in-process shards; use backend() for remote shards")
+    }
+
+    /// One shard's transport-generic backend, for inspection.
+    pub fn backend(&self, shard: usize) -> &dyn ShardBackend {
+        &*self.shards[shard]
     }
 
     /// Set the catalog-wide [`ExecOptions`]; propagated to every shard
     /// so per-shard plans inherit the same knobs. Commits a generation:
-    /// snapshots pinned afterwards plan with the new options.
-    pub fn set_exec_options(&mut self, options: ExecOptions) {
-        self.exec = options;
+    /// snapshots pinned afterwards plan with the new options. Fails
+    /// typed — without committing — when a remote shard cannot be
+    /// reached (local shards are infallible here).
+    pub fn set_exec_options(&mut self, options: ExecOptions) -> Result<()> {
         for shard in &mut self.shards {
-            shard.set_exec_options(options);
+            shard.set_exec_options(options)?;
         }
+        self.exec = options;
         self.publish();
+        Ok(())
     }
 
     /// Pin the current composed generation: the returned snapshot serves
@@ -377,7 +437,7 @@ impl ShardedDatabase {
         values: Vec<Value>,
     ) -> Result<ShardedRebuildReport> {
         let meta = self.meta(table)?;
-        if self.shards[0].table(table)?.column(column).is_none() {
+        if !self.shards[0].columns(table)?.iter().any(|c| c == column) {
             return Err(MmdbError::UnknownColumn {
                 table: table.to_owned(),
                 column: column.to_owned(),
@@ -485,7 +545,7 @@ impl ShardedDatabase {
     fn view(&self) -> ShardView<'_> {
         ShardView {
             partitioner: &*self.partitioner,
-            shards: self.shards.iter().map(|d| d.catalog()).collect(),
+            shards: self.shards.iter().map(|b| &**b).collect(),
             tables: &self.tables,
             exec: self.exec,
         }
@@ -501,7 +561,7 @@ impl ShardedDatabase {
         self.slot.install(
             ShardedState {
                 partitioner: Arc::clone(&self.partitioner),
-                shards: self.shards.iter().map(|d| d.catalog().clone()).collect(),
+                shards: self.shards.iter().map(|b| b.pin()).collect(),
                 tables: self.tables.clone(),
                 exec: self.exec,
                 generation: self.generation,
@@ -540,26 +600,23 @@ impl ShardedDatabase {
         // Reassemble each column's global values from the current shards.
         let meta = &self.tables[table];
         let old_placement = meta.placement.clone();
-        let columns: Vec<String> = self.shards[0]
-            .table(table)?
-            .columns()
-            .map(|(n, _)| n.to_owned())
-            .collect();
+        let columns: Vec<String> = self.shards[0].columns(table)?;
         let mut global = mmdb::TableBuilder::new(table);
         for name in &columns {
             let values: Vec<Value> = if name == key_column {
                 new_keys.clone()
             } else {
-                // One column handle per shard, resolved once — the row
-                // loop below then runs on plain slice accesses.
-                let shard_cols: Vec<&Column> = self
+                // One batched fetch per shard (a single round trip for
+                // a remote shard) — the row loop below then runs on
+                // plain slice accesses.
+                let shard_vals: Vec<Vec<Value>> = self
                     .shards
                     .iter()
-                    .map(|shard| table_column(shard.catalog(), table, name))
+                    .map(|shard| shard.column_values(table, name, None))
                     .collect::<Result<_>>()?;
                 old_placement
                     .iter()
-                    .map(|&(s, l)| shard_cols[s as usize].value(l).clone())
+                    .map(|&(s, l)| shard_vals[s as usize][l as usize].clone())
                     .collect()
             };
             global = global.column(name, values);
@@ -609,8 +666,10 @@ impl ShardedState {
         self.shards.len()
     }
 
-    /// One shard's pinned catalog generation, for inspection.
-    pub fn shard(&self, shard: usize) -> &CatalogState {
+    /// One shard's pinned backend, for inspection: a frozen
+    /// [`mmdb::CatalogState`] for local shards, a client onto the
+    /// server's committed tip for remote ones.
+    pub fn shard(&self, shard: usize) -> &ShardPin {
         &self.shards[shard]
     }
 
@@ -666,7 +725,7 @@ impl ShardedState {
     fn view(&self) -> ShardView<'_> {
         ShardView {
             partitioner: &*self.partitioner,
-            shards: self.shards.iter().collect(),
+            shards: self.shards.iter().map(|p| p as &dyn ShardBackend).collect(),
             tables: &self.tables,
             exec: self.exec,
         }
@@ -746,7 +805,7 @@ impl<'a> ShardView<'a> {
         meta: &ShardedTable,
         slots: usize,
         routed: Vec<(Vec<P>, Vec<usize>)>,
-        answer: impl Fn(&CatalogState, &[P]) -> Result<Vec<Vec<u32>>> + Sync,
+        answer: impl Fn(&dyn ShardBackend, &[P]) -> Result<Vec<Vec<u32>>> + Sync,
     ) -> Result<Vec<Vec<u32>>> {
         let jobs: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !routed[s].0.is_empty())
@@ -774,7 +833,7 @@ impl<'a> ShardView<'a> {
         &self,
         meta: &ShardedTable,
         slots: usize,
-        answer: impl Fn(&CatalogState) -> Result<Vec<Vec<u32>>> + Sync,
+        answer: impl Fn(&dyn ShardBackend) -> Result<Vec<Vec<u32>>> + Sync,
     ) -> Result<Vec<Vec<u32>>> {
         let results = ccindex_parallel::WorkerPool::new(self.exec.threads)
             .run(self.shards.len(), |s| answer(self.shards[s]));
@@ -901,24 +960,18 @@ impl<'db> ShardedQuery<'db> {
         let view = &self.view;
         let meta = view.meta(&self.table)?;
         // The per-shard template: one compile is enough because every
-        // shard holds the same tables, columns and index kinds.
-        let mut q = view.shards[0].query(&self.table);
-        for f in &self.filters {
-            q = q.filter(f.clone());
-        }
-        if let Some((inner, cond)) = &self.join {
-            q = q.join(inner, cond.clone());
-        }
-        if let Some((column, agg)) = &self.group {
-            q = q.group_by(column, agg.clone());
-        }
-        if let Some(kind) = self.forced_kind {
-            q = q.using(kind);
-        }
-        if let Some(exec) = self.exec {
-            q = q.exec(exec);
-        }
-        let template = q.plan()?;
+        // shard holds the same tables, columns and index kinds. Shard 0
+        // compiles it — through its local planner or across the wire —
+        // so local and remote catalogs produce the same template.
+        let spec = Spec {
+            table: self.table.clone(),
+            filters: self.filters.clone(),
+            join: self.join.clone(),
+            group: self.group.clone(),
+            forced_kind: self.forced_kind,
+            exec: self.exec,
+        };
+        let template = view.shards[0].compile(&spec)?;
 
         // Routing: each shard-key conjunct prunes; everything else fans.
         let nshards = view.shards.len();
@@ -1129,9 +1182,7 @@ impl ShardedPlan {
             // fat job, so `0` here means one worker per shard (capped at
             // the core count by the pool), not the probe-count adaptive.
             let results = WorkerPool::new(exec.threads).run(scatter.len(), |i| {
-                probes_plan
-                    .execute_on(view.shards[scatter[i]])
-                    .map(|r| r.rids().to_vec())
+                view.shards[scatter[i]].select(&probes_plan)
             });
             let mut v = Vec::with_capacity(scatter.len());
             for (&s, r) in scatter.iter().zip(results) {
@@ -1158,15 +1209,18 @@ impl ShardedPlan {
                 }
                 match self.routing.join {
                     Some(JoinRouting::Bucketed) => {
-                        let outer_col =
-                            table_column(view.shards[*s], &self.template.table, &j.outer_column)?;
+                        let keys = view.shards[*s].column_values(
+                            &self.template.table,
+                            &j.outer_column,
+                            Some(&outer_rids),
+                        )?;
                         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); view.shards.len()];
-                        for &rid in &outer_rids {
+                        for (&rid, key) in outer_rids.iter().zip(&keys) {
                             // Placement is the bucketing function: inner
                             // rows were placed by `shard_of`, so an outer
                             // key it cannot place matches no inner row
                             // (no per-row Vec like `probe_shards` makes).
-                            if let Ok(t) = view.partitioner.shard_of(outer_col.value(rid)) {
+                            if let Ok(t) = view.partitioner.shard_of(key) {
                                 buckets[t].push(rid);
                             }
                         }
@@ -1200,7 +1254,13 @@ impl ShardedPlan {
 
             if let Some(g) = &self.template.group {
                 // Grouped join: aggregate inside each scatter job, merge
-                // partials by group value at the gather barrier.
+                // partials by group value at the gather barrier. The
+                // group and measure columns can live on *different*
+                // backends (outer vs inner side), so the job fetches
+                // each side's decoded values through its owning backend
+                // and folds the pairs coordinator-side — by decoded
+                // value, the same ordered-map discipline
+                // `group_aggregate_pairs` applies to domain IDs.
                 let partials = pool.run(jobs.len(), |i| -> Result<Vec<GroupRow>> {
                     let (s, t, rids) = &jobs[i];
                     let rows = self.join_job(&view, *s, *t, rids, job_threads)?;
@@ -1216,27 +1276,25 @@ impl ShardedPlan {
                         Side::Outer => self.template.table.as_str(),
                         Side::Inner => j.inner_table.as_str(),
                     };
-                    let group_col = table_column(
-                        view.shards[side_shard(g.side)],
+                    let group_rids: Vec<u32> = rows.iter().map(|r| pick(r, g.side)).collect();
+                    let group_vals = view.shards[side_shard(g.side)].column_values(
                         side_table(g.side),
                         &g.column,
+                        Some(&group_rids),
                     )?;
-                    let measure_col = match &g.measure {
+                    let measure_vals = match &g.measure {
                         None => None,
-                        Some((m, side)) => Some(table_column(
-                            view.shards[side_shard(*side)],
-                            side_table(*side),
-                            m,
-                        )?),
+                        Some((m, side)) => {
+                            let m_rids: Vec<u32> = rows.iter().map(|r| pick(r, *side)).collect();
+                            let vals = view.shards[side_shard(*side)].column_values(
+                                side_table(*side),
+                                m,
+                                Some(&m_rids),
+                            )?;
+                            Some((side_table(*side), m.as_str(), vals))
+                        }
                     };
-                    let measure_side = g.measure.as_ref().map_or(g.side, |(_, side)| *side);
-                    Ok(group_aggregate_pairs(
-                        group_col,
-                        measure_col,
-                        rows.iter()
-                            .map(|r| (pick(r, g.side), pick(r, measure_side))),
-                        g.agg,
-                    ))
+                    group_decoded_pairs(group_vals, measure_vals, g.agg)
                 });
                 let mut collected = Vec::with_capacity(partials.len());
                 for p in partials {
@@ -1278,25 +1336,14 @@ impl ShardedPlan {
         if let Some(g) = &self.template.group {
             let partials = WorkerPool::new(exec.threads).run(per_shard.len(), |i| {
                 let (s, sel) = &per_shard[i];
-                let group_col = table_column(view.shards[*s], &self.template.table, &g.column)?;
-                let measure_col = match &g.measure {
-                    None => None,
-                    Some((m, _)) => Some(table_column(view.shards[*s], &self.template.table, m)?),
-                };
-                Ok::<Vec<GroupRow>, MmdbError>(match sel {
-                    Some(rids) => group_aggregate_pairs(
-                        group_col,
-                        measure_col,
-                        rids.iter().map(|&r| (r, r)),
-                        g.agg,
-                    ),
-                    None => group_aggregate_pairs(
-                        group_col,
-                        measure_col,
-                        (0..meta.locals[*s].len() as u32).map(|r| (r, r)),
-                        g.agg,
-                    ),
-                })
+                let measure = g.measure.as_ref().map(|(m, _)| m.as_str());
+                view.shards[*s].group_partial(
+                    &self.template.table,
+                    &g.column,
+                    measure,
+                    g.agg,
+                    sel.as_deref(),
+                )
             });
             let mut collected = Vec::with_capacity(partials.len());
             for p in partials {
@@ -1327,12 +1374,16 @@ impl ShardedPlan {
         })
     }
 
-    /// One scatter job of the join stage: stream `outer_rids` (local to
-    /// shard `s`) through inner shard `t`'s index. `threads` is the
-    /// job's share of the pool's parallelism — 1 when there are enough
-    /// jobs to keep every worker busy, more when the scatter set is
-    /// smaller than the pool (the chunk outputs still concatenate in
-    /// outer-stream order, so the result is unchanged).
+    /// One scatter job of the join stage: fetch the outer join-key
+    /// values from shard `s`'s backend, probe inner shard `t`'s index
+    /// with them ([`ShardBackend::join_probe_batch`] — the same
+    /// partitioned indexed nested-loop operator whichever side of the
+    /// wire it runs on), and pair each outer RID with its matches in
+    /// probe order. `threads` is the job's share of the pool's
+    /// parallelism — 1 when there are enough jobs to keep every worker
+    /// busy, more when the scatter set is smaller than the pool (the
+    /// chunk outputs still concatenate in outer-stream order, so the
+    /// result is unchanged).
     fn join_job(
         &self,
         view: &ShardView<'_>,
@@ -1342,32 +1393,81 @@ impl ShardedPlan {
         threads: usize,
     ) -> Result<Vec<JoinRow>> {
         let j = self.template.join.as_ref().expect("join jobs need a join");
-        let outer_col = table_column(view.shards[s], &self.template.table, &j.outer_column)?;
-        let inner_col = table_column(view.shards[t], &j.inner_table, &j.inner_column)?;
-        let inner_rids = view.shards[t].rid_list(&j.inner_table, &j.inner_column)?;
-        let handle = view.shards[t].index(&j.inner_table, &j.inner_column, j.kind)?;
-        Ok(indexed_nested_loop_join_rids_par(
-            outer_col,
-            outer_rids,
-            inner_col,
-            inner_rids,
-            handle.as_search(),
+        let values = view.shards[s].column_values(
+            &self.template.table,
+            &j.outer_column,
+            Some(outer_rids),
+        )?;
+        let matches = view.shards[t].join_probe_batch(
+            &j.inner_table,
+            &j.inner_column,
+            j.kind,
+            &values,
             self.template.exec.lanes,
             threads,
-        ))
+        )?;
+        let mut rows = Vec::new();
+        for (&outer_rid, inner) in outer_rids.iter().zip(matches) {
+            rows.extend(inner.into_iter().map(|inner_rid| JoinRow {
+                outer_rid,
+                inner_rid,
+            }));
+        }
+        Ok(rows)
     }
 }
 
-/// The column itself, through the public catalog surface (the engine's
-/// internal resolver is crate-private). Taking [`CatalogState`] lets the
-/// same resolution serve a live shard's tip and a pinned generation.
-fn table_column<'a>(cat: &'a CatalogState, table: &str, column: &str) -> Result<&'a Column> {
-    cat.table(table)?
-        .column(column)
-        .ok_or_else(|| MmdbError::UnknownColumn {
-            table: table.to_owned(),
-            column: column.to_owned(),
-        })
+/// Fold decoded `(group, measure)` pairs into per-group aggregates, in
+/// group-value order — the coordinator-side form of
+/// `group_aggregate_pairs` for grouped joins, whose group and measure
+/// columns may live on different backends. Keying the ordered map by
+/// decoded [`Value`] instead of a shard-local domain ID produces the
+/// same rows in the same order (domains sort by value).
+fn group_decoded_pairs(
+    groups: Vec<Value>,
+    // `(table, column, values)` — the names make the typed error.
+    measures: Option<(&str, &str, Vec<Value>)>,
+    agg: AggFn,
+) -> Result<Vec<GroupRow>> {
+    let mut acc: BTreeMap<Value, i64> = BTreeMap::new();
+    match (agg, measures) {
+        (AggFn::Count, _) => {
+            for group in groups {
+                *acc.entry(group).or_insert(0) += 1;
+            }
+        }
+        (_, None) => {
+            return Err(MmdbError::Unsupported {
+                what: format!("aggregate {agg:?} needs a measure column"),
+            })
+        }
+        (_, Some((table, column, values))) => {
+            for (group, measure) in groups.into_iter().zip(values) {
+                let v = match measure {
+                    Value::Int(v) => v,
+                    Value::Str(_) => {
+                        return Err(MmdbError::NonIntegerMeasure {
+                            table: table.to_owned(),
+                            column: column.to_owned(),
+                        })
+                    }
+                };
+                acc.entry(group)
+                    .and_modify(|a| {
+                        *a = match agg {
+                            AggFn::Count | AggFn::Sum => *a + v,
+                            AggFn::Min => (*a).min(v),
+                            AggFn::Max => (*a).max(v),
+                        }
+                    })
+                    .or_insert(v);
+            }
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .map(|(group, value)| GroupRow { group, value })
+        .collect())
 }
 
 /// Merge per-shard partial aggregates by (decoded) group value — the
@@ -1459,22 +1559,31 @@ impl ShardedResultSet<'_> {
 
     /// Decoded values of `column` for every result row, resolved through
     /// each row's owning shard (outer table binds first for joins). The
-    /// placement map and per-shard column handles resolve once up front,
-    /// so the per-row work is plain slice accesses.
+    /// result rows bucket by owning shard so each backend answers one
+    /// batched fetch (a single round trip for a remote shard), then the
+    /// answers reassemble in result order. The column resolves on
+    /// *every* shard — including shards owning no result row — so a
+    /// schema drift fails typed exactly like the in-process resolver.
     pub fn values(&self, column: &str) -> Result<Vec<Value>> {
         let decode_all = |table: &str, rids: &mut dyn Iterator<Item = u32>| -> Result<Vec<Value>> {
             let meta = self.view.meta(table)?;
-            let shard_cols: Vec<&Column> = self
+            let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.view.shards.len()];
+            let mut order: Vec<(u32, u32)> = Vec::new();
+            for r in rids {
+                let (s, l) = meta.placement[r as usize];
+                order.push((s, per_shard[s as usize].len() as u32));
+                per_shard[s as usize].push(l);
+            }
+            let fetched: Vec<Vec<Value>> = self
                 .view
                 .shards
                 .iter()
-                .map(|&shard| table_column(shard, table, column))
+                .zip(&per_shard)
+                .map(|(&shard, locals)| shard.column_values(table, column, Some(locals)))
                 .collect::<Result<_>>()?;
-            Ok(rids
-                .map(|r| {
-                    let (s, l) = meta.placement[r as usize];
-                    shard_cols[s as usize].value(l).clone()
-                })
+            Ok(order
+                .into_iter()
+                .map(|(s, i)| fetched[s as usize][i as usize].clone())
                 .collect())
         };
         match &self.rows {
@@ -1482,9 +1591,9 @@ impl ShardedResultSet<'_> {
             ResultRows::Joined(rows) => {
                 // Outer binds first, like the unsharded resolver.
                 let outer_has = self.view.shards[0]
-                    .table(&self.outer_table)?
-                    .column(column)
-                    .is_some();
+                    .columns(&self.outer_table)?
+                    .iter()
+                    .any(|c| c == column);
                 let table = if outer_has {
                     &self.outer_table
                 } else {

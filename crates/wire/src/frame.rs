@@ -1,0 +1,206 @@
+//! Frame layer: magic, version, length prefix, CRC-32 checksum.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +------+---------+---------+--------+-----------------+
+//! | CCWX | version | length  | crc32  | payload ...     |
+//! | 4 B  | u16 LE  | u32 LE  | u32 LE | `length` bytes  |
+//! +------+---------+---------+--------+-----------------+
+//! ```
+//!
+//! The reader validates magic, version, a length cap, and the payload
+//! checksum before handing bytes to the codec — so a corrupted,
+//! truncated, or foreign-protocol stream surfaces as a typed
+//! [`MmdbError::Transport`], never a panic or a wild allocation.
+
+use std::io::{Read, Write};
+
+use mmdb::{MmdbError, Result, TransportFault};
+
+/// Frame magic — identifies a ccindex wire peer.
+pub const MAGIC: [u8; 4] = *b"CCWX";
+
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload (guards allocation against a
+/// corrupted or hostile length field).
+pub const MAX_FRAME_LEN: usize = 1 << 28; // 256 MiB
+
+const HEADER_LEN: usize = 14;
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (the polynomial gzip and zlib use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn io_err(endpoint: &str, what: &str, e: &std::io::Error) -> MmdbError {
+    MmdbError::Transport {
+        endpoint: endpoint.to_owned(),
+        fault: TransportFault::Io,
+        detail: format!("{what}: {e}"),
+    }
+}
+
+/// Write one frame (header + payload) and flush it.
+pub fn write_frame(w: &mut impl Write, endpoint: &str, payload: &[u8]) -> Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[10..14].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)
+        .map_err(|e| io_err(endpoint, "writing frame header", &e))?;
+    w.write_all(payload)
+        .map_err(|e| io_err(endpoint, "writing frame payload", &e))?;
+    w.flush()
+        .map_err(|e| io_err(endpoint, "flushing frame", &e))
+}
+
+/// Read one frame, validating magic, version, length, and checksum.
+/// Returns the payload bytes; every failure is a typed
+/// [`MmdbError::Transport`] naming `endpoint`.
+pub fn read_frame(r: &mut impl Read, endpoint: &str) -> Result<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| io_err(endpoint, "reading frame header", &e))?;
+    if header[..4] != MAGIC {
+        return Err(MmdbError::Transport {
+            endpoint: endpoint.to_owned(),
+            fault: TransportFault::Version,
+            detail: format!(
+                "bad magic {:02x}{:02x}{:02x}{:02x} (peer is not a ccindex shard server)",
+                header[0], header[1], header[2], header[3]
+            ),
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(MmdbError::Transport {
+            endpoint: endpoint.to_owned(),
+            fault: TransportFault::Version,
+            detail: format!("peer speaks protocol v{version}, this build speaks v{VERSION}"),
+        });
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(MmdbError::Transport {
+            endpoint: endpoint.to_owned(),
+            fault: TransportFault::Decode,
+            detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        });
+    }
+    let expected_crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_err(endpoint, "reading frame payload", &e))?;
+    let got_crc = crc32(&payload);
+    if got_crc != expected_crc {
+        return Err(MmdbError::Transport {
+            endpoint: endpoint.to_owned(),
+            fault: TransportFault::Checksum,
+            detail: format!("payload crc {got_crc:08x}, header says {expected_crc:08x}"),
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"hello shard").expect("vec write");
+        let mut cursor = &buf[..];
+        let payload = read_frame(&mut cursor, "test").expect("roundtrip");
+        assert_eq!(payload, b"hello shard");
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"hello shard").expect("vec write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let err = read_frame(&mut &buf[..], "test").expect_err("corruption must fail");
+        assert!(matches!(
+            err,
+            MmdbError::Transport {
+                fault: TransportFault::Checksum,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_a_version_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"x").expect("vec write");
+        buf[4] = 99;
+        let err = read_frame(&mut &buf[..], "test").expect_err("version must fail");
+        match err {
+            MmdbError::Transport {
+                fault: TransportFault::Version,
+                detail,
+                ..
+            } => assert!(detail.contains("v99"), "{detail}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"hello shard").expect("vec write");
+        buf.truncate(buf.len() - 4);
+        let err = read_frame(&mut &buf[..], "test").expect_err("truncation must fail");
+        assert!(matches!(
+            err,
+            MmdbError::Transport {
+                fault: TransportFault::Io,
+                ..
+            }
+        ));
+    }
+}

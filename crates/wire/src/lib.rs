@@ -1,0 +1,46 @@
+//! # ccindex-wire — the shard wire protocol
+//!
+//! A dependency-free, versioned, length-prefixed, checksummed encoding
+//! for everything that crosses the coordinator ↔ shard-server boundary:
+//! query specs, probe batches, result rows, and shard admin — the
+//! transport that lets `ShardedDatabase` run its shards as remote
+//! `BatchServer`s behind plain blocking TCP (ROADMAP item 1; the
+//! batch-formation window design of PR 5 is what makes `std::net`
+//! sufficient — no async runtime).
+//!
+//! Three layers:
+//!
+//! * [`frame`] — magic + version + length + CRC-32 framing; corrupt,
+//!   truncated, or foreign-protocol bytes surface as typed
+//!   [`MmdbError::Transport`](mmdb::MmdbError) errors, never panics;
+//! * [`codec`] — hand-rolled little-endian codecs for the `mmdb` types
+//!   on the wire (in the same no-serializer spirit as `bench/report.rs`'s
+//!   hand-rolled JSON);
+//! * [`message`] — [`ShardRequest`]/[`ShardResponse`], the complete
+//!   `ShardBackend` conversation.
+//!
+//! ```
+//! use ccindex_wire::{ShardRequest, ShardResponse};
+//! use mmdb::Value;
+//!
+//! let req = ShardRequest::PointProbeBatch {
+//!     table: "sales".into(),
+//!     column: "cust".into(),
+//!     values: vec![Value::Int(7)],
+//! };
+//! let bytes = req.encode();
+//! assert_eq!(ShardRequest::decode(&bytes, "peer")?, req);
+//! # Ok::<(), mmdb::MmdbError>(())
+//! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod codec;
+pub mod frame;
+pub mod message;
+
+pub use frame::{crc32, read_frame, write_frame, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use message::{
+    read_request, read_response, write_request, write_response, OneRequest, ShardRequest,
+    ShardResponse, Spec,
+};

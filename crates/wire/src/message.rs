@@ -1,0 +1,803 @@
+//! The shard protocol: every request a coordinator sends a shard
+//! server, and every response that comes back. One frame carries one
+//! message.
+//!
+//! [`Spec`] is the wire-level query description (the transport twin of
+//! `ccindex-serve`'s `QuerySpec`); [`ShardRequest`] covers the full
+//! `ShardBackend` surface — probe batches, probes-only selections,
+//! join-probe fan-out, group-by partials, value fetches, plan
+//! compilation, table admin — plus [`ShardRequest::ExecuteBatch`],
+//! which fronts the remote `BatchServer` directly with a whole window
+//! of requests.
+
+use std::io::{Read, Write};
+
+use mmdb::plan::{Plan, Probe};
+use mmdb::{
+    Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinOn, MmdbError, Predicate, Result, ResultRows,
+    Value,
+};
+
+use crate::codec::{
+    get_agg, get_agg_fn, get_error, get_exec, get_group_row, get_join_on, get_kind, get_plan,
+    get_predicate, get_probe, get_result_rows, get_value, put_agg, put_agg_fn, put_error, put_exec,
+    put_group_row, put_join_on, put_kind, put_plan, put_predicate, put_probe, put_result_rows,
+    put_value, Reader, Writer,
+};
+use crate::frame::{read_frame, write_frame};
+
+/// A query description in wire form: what `ccindex-serve`'s
+/// `QuerySpec` captures, owned and encodable. A shard server replays
+/// it through its local planner ([`ShardRequest::Compile`] /
+/// [`ShardRequest::RunSpec`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// The driving table.
+    pub table: String,
+    /// WHERE conjuncts, in call order.
+    pub filters: Vec<Predicate>,
+    /// Optional join: inner table and the equi-join condition.
+    pub join: Option<(String, JoinOn)>,
+    /// Optional grouped aggregation: group column and aggregate.
+    pub group: Option<(String, Agg)>,
+    /// Optional forced index kind (`using`).
+    pub forced_kind: Option<IndexKind>,
+    /// Optional execution-option override for the compile.
+    pub exec: Option<ExecOptions>,
+}
+
+/// One serving request in wire form — the transport twin of
+/// `ccindex-serve::Request`, batched by
+/// [`ShardRequest::ExecuteBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OneRequest {
+    /// A single equality probe.
+    Point {
+        /// Table to probe.
+        table: String,
+        /// Column to probe.
+        column: String,
+        /// The probe value.
+        value: Value,
+    },
+    /// A single inclusive range probe.
+    Range {
+        /// Table to probe.
+        table: String,
+        /// Column to probe.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// A full query pipeline.
+    Query(Spec),
+}
+
+/// Everything a coordinator can ask a shard server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRequest {
+    /// Handshake/health probe; answered with [`ShardResponse::Info`].
+    Hello,
+    /// Batched equality probes on one `table.column`.
+    PointProbeBatch {
+        /// Table to probe.
+        table: String,
+        /// Column to probe.
+        column: String,
+        /// One probe per value.
+        values: Vec<Value>,
+    },
+    /// Batched inclusive range probes on one `table.column`.
+    RangeProbeBatch {
+        /// Table to probe.
+        table: String,
+        /// Column to probe.
+        column: String,
+        /// One probe per `(lo, hi)` pair.
+        ranges: Vec<(Value, Value)>,
+    },
+    /// Execute a probes-only selection (the already-compiled probe
+    /// steps of a scatter plan) and return matching local RIDs.
+    Select {
+        /// Table to select from.
+        table: String,
+        /// `(column, kind, probe)` steps, ANDed.
+        probes: Vec<(String, IndexKind, Probe)>,
+        /// Execution options for the partitioned operators.
+        exec: ExecOptions,
+    },
+    /// Probe the `kind` index on `table.column` once per outer value;
+    /// the inner half of a distributed indexed nested-loop join.
+    JoinProbeBatch {
+        /// Inner table.
+        table: String,
+        /// Inner join column.
+        column: String,
+        /// Index kind the plan resolved.
+        kind: IndexKind,
+        /// Outer-side join values, one probe each.
+        values: Vec<Value>,
+        /// Interleave lanes per batched descent.
+        lanes: usize,
+        /// Worker threads for the probe partitioning.
+        threads: usize,
+    },
+    /// Grouped partial aggregate over this shard's rows.
+    GroupPartial {
+        /// Table holding the group (and measure) columns.
+        table: String,
+        /// Group-key column.
+        group_column: String,
+        /// Measure column (`None` for `Count`).
+        measure: Option<String>,
+        /// The aggregate function.
+        agg: AggFn,
+        /// Restrict to these local RIDs (`None` = all rows).
+        rids: Option<Vec<u32>>,
+    },
+    /// Decode column values for the given local RIDs (`None` = all
+    /// rows, in RID order).
+    ColumnValues {
+        /// Table holding the column.
+        table: String,
+        /// Column to decode.
+        column: String,
+        /// Local RIDs to decode (`None` = every row).
+        rids: Option<Vec<u32>>,
+    },
+    /// Column names of a table, in declaration order.
+    Columns {
+        /// The table.
+        table: String,
+    },
+    /// Row count of a table.
+    Rows {
+        /// The table.
+        table: String,
+    },
+    /// Compile `spec` through the shard's planner and return the
+    /// physical plan (the coordinator's scatter template).
+    Compile {
+        /// The query description.
+        spec: Spec,
+    },
+    /// Compile and execute `spec`, returning the result rows.
+    RunSpec {
+        /// The query description.
+        spec: Spec,
+    },
+    /// Run a whole window of serving requests through the shard's
+    /// `BatchServer` — one result per request, in submission order.
+    ExecuteBatch {
+        /// The window's requests.
+        requests: Vec<OneRequest>,
+    },
+    /// Register a table (name plus columns in declaration order).
+    Register {
+        /// Table name.
+        table: String,
+        /// `(column name, values)` in declaration order.
+        columns: Vec<(String, Vec<Value>)>,
+    },
+    /// Drop a table and everything built on it.
+    DropTable {
+        /// The table.
+        table: String,
+    },
+    /// Build an index.
+    CreateIndex {
+        /// Table holding the column.
+        table: String,
+        /// Column to index.
+        column: String,
+        /// Index kind to build.
+        kind: IndexKind,
+    },
+    /// Drop an index.
+    DropIndex {
+        /// Table holding the column.
+        table: String,
+        /// The indexed column.
+        column: String,
+        /// Index kind to drop.
+        kind: IndexKind,
+    },
+    /// Replace a column's values wholesale and rebuild its indexes.
+    ReplaceColumn {
+        /// Table holding the column.
+        table: String,
+        /// Column to replace.
+        column: String,
+        /// The new values (must match the table's row count).
+        values: Vec<Value>,
+    },
+    /// Rebuild a column's RID list and indexes from current values.
+    RebuildColumn {
+        /// Table holding the column.
+        table: String,
+        /// Column to rebuild.
+        column: String,
+    },
+    /// Install new execution options.
+    SetExecOptions {
+        /// The options to install.
+        exec: ExecOptions,
+    },
+    /// Ask the server to finish in-flight work and exit its accept
+    /// loop.
+    Shutdown,
+}
+
+/// Everything a shard server can answer.
+#[derive(Debug, Clone)]
+pub enum ShardResponse {
+    /// One ascending RID set per probe, in submission order.
+    RidSets(Vec<Vec<u32>>),
+    /// One ascending RID set (probes-only selection).
+    Rids(Vec<u32>),
+    /// Decoded column values.
+    Values(Vec<Value>),
+    /// Grouped partial-aggregate rows, in group-value order.
+    Groups(Vec<GroupRow>),
+    /// Full query result rows.
+    Rows(ResultRows),
+    /// One result per request of an [`ShardRequest::ExecuteBatch`]
+    /// window, in submission order.
+    Batch(Vec<std::result::Result<ResultRows, MmdbError>>),
+    /// A compiled physical plan.
+    Plan(Plan),
+    /// Column names.
+    Names(Vec<String>),
+    /// A scalar count.
+    Count(u64),
+    /// Index-rebuild timings (nanoseconds) from a replace/rebuild.
+    Rebuilt {
+        /// Time re-sorting the RID list, in nanoseconds.
+        sort_ns: u64,
+        /// Per-kind rebuild times, in nanoseconds.
+        rebuilds: Vec<(IndexKind, u64)>,
+    },
+    /// Catalog generation info (the handshake answer).
+    Info {
+        /// Committed catalog generation.
+        generation: u64,
+        /// Generations committed so far.
+        swaps: u64,
+        /// Snapshots currently pinned.
+        pinned: u64,
+        /// The execution options in force.
+        exec: ExecOptions,
+    },
+    /// Success with nothing to return.
+    Unit,
+    /// The request failed; the same typed error the operation would
+    /// have raised in-process.
+    Err(MmdbError),
+}
+
+impl PartialEq for ShardResponse {
+    fn eq(&self, other: &Self) -> bool {
+        use ShardResponse::*;
+        match (self, other) {
+            (RidSets(a), RidSets(b)) => a == b,
+            (Rids(a), Rids(b)) => a == b,
+            (Values(a), Values(b)) => a == b,
+            (Groups(a), Groups(b)) => a == b,
+            (Rows(a), Rows(b)) => a == b,
+            (Batch(a), Batch(b)) => a == b,
+            // `Plan` does not implement `PartialEq`; its debug form is
+            // total over every field, so this is exact.
+            (Plan(a), Plan(b)) => format!("{a:?}") == format!("{b:?}"),
+            (Names(a), Names(b)) => a == b,
+            (Count(a), Count(b)) => a == b,
+            (
+                Rebuilt {
+                    sort_ns: a,
+                    rebuilds: ar,
+                },
+                Rebuilt {
+                    sort_ns: b,
+                    rebuilds: br,
+                },
+            ) => a == b && ar == br,
+            (
+                Info {
+                    generation: g1,
+                    swaps: s1,
+                    pinned: p1,
+                    exec: e1,
+                },
+                Info {
+                    generation: g2,
+                    swaps: s2,
+                    pinned: p2,
+                    exec: e2,
+                },
+            ) => g1 == g2 && s1 == s2 && p1 == p2 && e1 == e2,
+            (Unit, Unit) => true,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec / OneRequest codecs
+// ---------------------------------------------------------------------
+
+fn put_spec(w: &mut Writer, spec: &Spec) {
+    w.str(&spec.table);
+    w.seq(&spec.filters, put_predicate);
+    w.option(spec.join.as_ref(), |w, (inner, cond)| {
+        w.str(inner);
+        put_join_on(w, cond);
+    });
+    w.option(spec.group.as_ref(), |w, (column, agg)| {
+        w.str(column);
+        put_agg(w, agg);
+    });
+    w.option(spec.forced_kind.as_ref(), |w, k| put_kind(w, *k));
+    w.option(spec.exec.as_ref(), |w, e| put_exec(w, *e));
+}
+
+fn get_spec(r: &mut Reader<'_>) -> Result<Spec> {
+    Ok(Spec {
+        table: r.str()?,
+        filters: r.seq(get_predicate)?,
+        join: r.option(|r| Ok((r.str()?, get_join_on(r)?)))?,
+        group: r.option(|r| Ok((r.str()?, get_agg(r)?)))?,
+        forced_kind: r.option(get_kind)?,
+        exec: r.option(get_exec)?,
+    })
+}
+
+fn put_one_request(w: &mut Writer, req: &OneRequest) {
+    match req {
+        OneRequest::Point {
+            table,
+            column,
+            value,
+        } => {
+            w.u8(0);
+            w.str(table);
+            w.str(column);
+            put_value(w, value);
+        }
+        OneRequest::Range {
+            table,
+            column,
+            lo,
+            hi,
+        } => {
+            w.u8(1);
+            w.str(table);
+            w.str(column);
+            put_value(w, lo);
+            put_value(w, hi);
+        }
+        OneRequest::Query(spec) => {
+            w.u8(2);
+            put_spec(w, spec);
+        }
+    }
+}
+
+fn get_one_request(r: &mut Reader<'_>) -> Result<OneRequest> {
+    Ok(match r.u8()? {
+        0 => OneRequest::Point {
+            table: r.str()?,
+            column: r.str()?,
+            value: get_value(r)?,
+        },
+        1 => OneRequest::Range {
+            table: r.str()?,
+            column: r.str()?,
+            lo: get_value(r)?,
+            hi: get_value(r)?,
+        },
+        2 => OneRequest::Query(get_spec(r)?),
+        other => return Err(r.fail(format!("bad OneRequest tag {other}"))),
+    })
+}
+
+fn put_opt_rids(w: &mut Writer, rids: Option<&Vec<u32>>) {
+    w.option(rids, |w, rids| w.seq(rids, |w, r| w.u32(*r)));
+}
+
+fn get_opt_rids(r: &mut Reader<'_>) -> Result<Option<Vec<u32>>> {
+    r.option(|r| r.seq(|r| r.u32()))
+}
+
+// ---------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------
+
+impl ShardRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ShardRequest::Hello => w.u8(0),
+            ShardRequest::PointProbeBatch {
+                table,
+                column,
+                values,
+            } => {
+                w.u8(1);
+                w.str(table);
+                w.str(column);
+                w.seq(values, put_value);
+            }
+            ShardRequest::RangeProbeBatch {
+                table,
+                column,
+                ranges,
+            } => {
+                w.u8(2);
+                w.str(table);
+                w.str(column);
+                w.seq(ranges, |w, (lo, hi)| {
+                    put_value(w, lo);
+                    put_value(w, hi);
+                });
+            }
+            ShardRequest::Select {
+                table,
+                probes,
+                exec,
+            } => {
+                w.u8(3);
+                w.str(table);
+                w.seq(probes, |w, (column, kind, probe)| {
+                    w.str(column);
+                    put_kind(w, *kind);
+                    put_probe(w, probe);
+                });
+                put_exec(&mut w, *exec);
+            }
+            ShardRequest::JoinProbeBatch {
+                table,
+                column,
+                kind,
+                values,
+                lanes,
+                threads,
+            } => {
+                w.u8(4);
+                w.str(table);
+                w.str(column);
+                put_kind(&mut w, *kind);
+                w.seq(values, put_value);
+                w.usize(*lanes);
+                w.usize(*threads);
+            }
+            ShardRequest::GroupPartial {
+                table,
+                group_column,
+                measure,
+                agg,
+                rids,
+            } => {
+                w.u8(5);
+                w.str(table);
+                w.str(group_column);
+                w.option(measure.as_ref(), |w, m| w.str(m));
+                put_agg_fn(&mut w, *agg);
+                put_opt_rids(&mut w, rids.as_ref());
+            }
+            ShardRequest::ColumnValues {
+                table,
+                column,
+                rids,
+            } => {
+                w.u8(6);
+                w.str(table);
+                w.str(column);
+                put_opt_rids(&mut w, rids.as_ref());
+            }
+            ShardRequest::Columns { table } => {
+                w.u8(7);
+                w.str(table);
+            }
+            ShardRequest::Rows { table } => {
+                w.u8(8);
+                w.str(table);
+            }
+            ShardRequest::Compile { spec } => {
+                w.u8(9);
+                put_spec(&mut w, spec);
+            }
+            ShardRequest::RunSpec { spec } => {
+                w.u8(10);
+                put_spec(&mut w, spec);
+            }
+            ShardRequest::ExecuteBatch { requests } => {
+                w.u8(11);
+                w.seq(requests, put_one_request);
+            }
+            ShardRequest::Register { table, columns } => {
+                w.u8(12);
+                w.str(table);
+                w.seq(columns, |w, (name, values)| {
+                    w.str(name);
+                    w.seq(values, put_value);
+                });
+            }
+            ShardRequest::DropTable { table } => {
+                w.u8(13);
+                w.str(table);
+            }
+            ShardRequest::CreateIndex {
+                table,
+                column,
+                kind,
+            } => {
+                w.u8(14);
+                w.str(table);
+                w.str(column);
+                put_kind(&mut w, *kind);
+            }
+            ShardRequest::DropIndex {
+                table,
+                column,
+                kind,
+            } => {
+                w.u8(15);
+                w.str(table);
+                w.str(column);
+                put_kind(&mut w, *kind);
+            }
+            ShardRequest::ReplaceColumn {
+                table,
+                column,
+                values,
+            } => {
+                w.u8(16);
+                w.str(table);
+                w.str(column);
+                w.seq(values, put_value);
+            }
+            ShardRequest::RebuildColumn { table, column } => {
+                w.u8(17);
+                w.str(table);
+                w.str(column);
+            }
+            ShardRequest::SetExecOptions { exec } => {
+                w.u8(18);
+                put_exec(&mut w, *exec);
+            }
+            ShardRequest::Shutdown => w.u8(19),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload received from `endpoint`.
+    pub fn decode(bytes: &[u8], endpoint: &str) -> Result<Self> {
+        let mut r = Reader::new(bytes, endpoint);
+        let req = match r.u8()? {
+            0 => ShardRequest::Hello,
+            1 => ShardRequest::PointProbeBatch {
+                table: r.str()?,
+                column: r.str()?,
+                values: r.seq(get_value)?,
+            },
+            2 => ShardRequest::RangeProbeBatch {
+                table: r.str()?,
+                column: r.str()?,
+                ranges: r.seq(|r| Ok((get_value(r)?, get_value(r)?)))?,
+            },
+            3 => ShardRequest::Select {
+                table: r.str()?,
+                probes: r.seq(|r| Ok((r.str()?, get_kind(r)?, get_probe(r)?)))?,
+                exec: get_exec(&mut r)?,
+            },
+            4 => ShardRequest::JoinProbeBatch {
+                table: r.str()?,
+                column: r.str()?,
+                kind: get_kind(&mut r)?,
+                values: r.seq(get_value)?,
+                lanes: r.usize()?,
+                threads: r.usize()?,
+            },
+            5 => ShardRequest::GroupPartial {
+                table: r.str()?,
+                group_column: r.str()?,
+                measure: r.option(|r| r.str())?,
+                agg: get_agg_fn(&mut r)?,
+                rids: get_opt_rids(&mut r)?,
+            },
+            6 => ShardRequest::ColumnValues {
+                table: r.str()?,
+                column: r.str()?,
+                rids: get_opt_rids(&mut r)?,
+            },
+            7 => ShardRequest::Columns { table: r.str()? },
+            8 => ShardRequest::Rows { table: r.str()? },
+            9 => ShardRequest::Compile {
+                spec: get_spec(&mut r)?,
+            },
+            10 => ShardRequest::RunSpec {
+                spec: get_spec(&mut r)?,
+            },
+            11 => ShardRequest::ExecuteBatch {
+                requests: r.seq(get_one_request)?,
+            },
+            12 => ShardRequest::Register {
+                table: r.str()?,
+                columns: r.seq(|r| Ok((r.str()?, r.seq(get_value)?)))?,
+            },
+            13 => ShardRequest::DropTable { table: r.str()? },
+            14 => ShardRequest::CreateIndex {
+                table: r.str()?,
+                column: r.str()?,
+                kind: get_kind(&mut r)?,
+            },
+            15 => ShardRequest::DropIndex {
+                table: r.str()?,
+                column: r.str()?,
+                kind: get_kind(&mut r)?,
+            },
+            16 => ShardRequest::ReplaceColumn {
+                table: r.str()?,
+                column: r.str()?,
+                values: r.seq(get_value)?,
+            },
+            17 => ShardRequest::RebuildColumn {
+                table: r.str()?,
+                column: r.str()?,
+            },
+            18 => ShardRequest::SetExecOptions {
+                exec: get_exec(&mut r)?,
+            },
+            19 => ShardRequest::Shutdown,
+            other => return Err(r.fail(format!("bad ShardRequest tag {other}"))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl ShardResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ShardResponse::RidSets(sets) => {
+                w.u8(0);
+                w.seq(sets, |w, rids| w.seq(rids, |w, r| w.u32(*r)));
+            }
+            ShardResponse::Rids(rids) => {
+                w.u8(1);
+                w.seq(rids, |w, r| w.u32(*r));
+            }
+            ShardResponse::Values(values) => {
+                w.u8(2);
+                w.seq(values, put_value);
+            }
+            ShardResponse::Groups(groups) => {
+                w.u8(3);
+                w.seq(groups, put_group_row);
+            }
+            ShardResponse::Rows(rows) => {
+                w.u8(4);
+                put_result_rows(&mut w, rows);
+            }
+            ShardResponse::Batch(results) => {
+                w.u8(5);
+                w.seq(results, |w, res| match res {
+                    Ok(rows) => {
+                        w.u8(0);
+                        put_result_rows(w, rows);
+                    }
+                    Err(e) => {
+                        w.u8(1);
+                        put_error(w, e);
+                    }
+                });
+            }
+            ShardResponse::Plan(plan) => {
+                w.u8(6);
+                put_plan(&mut w, plan);
+            }
+            ShardResponse::Names(names) => {
+                w.u8(7);
+                w.seq(names, |w, n| w.str(n));
+            }
+            ShardResponse::Count(n) => {
+                w.u8(8);
+                w.u64(*n);
+            }
+            ShardResponse::Rebuilt { sort_ns, rebuilds } => {
+                w.u8(9);
+                w.u64(*sort_ns);
+                w.seq(rebuilds, |w, (kind, ns)| {
+                    put_kind(w, *kind);
+                    w.u64(*ns);
+                });
+            }
+            ShardResponse::Info {
+                generation,
+                swaps,
+                pinned,
+                exec,
+            } => {
+                w.u8(10);
+                w.u64(*generation);
+                w.u64(*swaps);
+                w.u64(*pinned);
+                put_exec(&mut w, *exec);
+            }
+            ShardResponse::Unit => w.u8(11),
+            ShardResponse::Err(e) => {
+                w.u8(12);
+                put_error(&mut w, e);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload received from `endpoint`.
+    pub fn decode(bytes: &[u8], endpoint: &str) -> Result<Self> {
+        let mut r = Reader::new(bytes, endpoint);
+        let resp = match r.u8()? {
+            0 => ShardResponse::RidSets(r.seq(|r| r.seq(|r| r.u32()))?),
+            1 => ShardResponse::Rids(r.seq(|r| r.u32())?),
+            2 => ShardResponse::Values(r.seq(get_value)?),
+            3 => ShardResponse::Groups(r.seq(get_group_row)?),
+            4 => ShardResponse::Rows(get_result_rows(&mut r)?),
+            5 => ShardResponse::Batch(r.seq(|r| {
+                Ok(match r.u8()? {
+                    0 => Ok(get_result_rows(r)?),
+                    1 => Err(get_error(r)?),
+                    other => return Err(r.fail(format!("bad result tag {other}"))),
+                })
+            })?),
+            6 => ShardResponse::Plan(get_plan(&mut r)?),
+            7 => ShardResponse::Names(r.seq(|r| r.str())?),
+            8 => ShardResponse::Count(r.u64()?),
+            9 => ShardResponse::Rebuilt {
+                sort_ns: r.u64()?,
+                rebuilds: r.seq(|r| Ok((get_kind(r)?, r.u64()?)))?,
+            },
+            10 => ShardResponse::Info {
+                generation: r.u64()?,
+                swaps: r.u64()?,
+                pinned: r.u64()?,
+                exec: get_exec(&mut r)?,
+            },
+            11 => ShardResponse::Unit,
+            12 => ShardResponse::Err(get_error(&mut r)?),
+            other => return Err(r.fail(format!("bad ShardResponse tag {other}"))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed stream helpers
+// ---------------------------------------------------------------------
+
+/// Frame and send one request.
+pub fn write_request(w: &mut impl Write, endpoint: &str, req: &ShardRequest) -> Result<()> {
+    write_frame(w, endpoint, &req.encode())
+}
+
+/// Receive and decode one request.
+pub fn read_request(r: &mut impl Read, endpoint: &str) -> Result<ShardRequest> {
+    let payload = read_frame(r, endpoint)?;
+    ShardRequest::decode(&payload, endpoint)
+}
+
+/// Frame and send one response.
+pub fn write_response(w: &mut impl Write, endpoint: &str, resp: &ShardResponse) -> Result<()> {
+    write_frame(w, endpoint, &resp.encode())
+}
+
+/// Receive and decode one response.
+pub fn read_response(r: &mut impl Read, endpoint: &str) -> Result<ShardResponse> {
+    let payload = read_frame(r, endpoint)?;
+    ShardResponse::decode(&payload, endpoint)
+}

@@ -1,0 +1,531 @@
+//! Wire-format property tests: encode→decode identity for every
+//! message type, and corrupted / truncated / wrong-version frames
+//! decode to typed errors — never panics.
+
+use ccindex_wire::{
+    read_frame, write_frame, OneRequest, ShardRequest, ShardResponse, Spec, VERSION,
+};
+use mmdb::plan::{GroupStep, JoinStep, Plan, Probe, ProbeStep, Side};
+use mmdb::{
+    between, count, eq, max, on, sum, Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinRow,
+    MmdbError, ResultRows, TransportFault, Value,
+};
+use proptest::prelude::*;
+
+/// SplitMix64 — a tiny deterministic generator so one proptest-drawn
+/// seed fans out into arbitrarily many field choices.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn string(&mut self) -> String {
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| char::from(b'a' + self.below(26) as u8))
+            .collect()
+    }
+
+    fn value(&mut self) -> Value {
+        if self.below(2) == 0 {
+            Value::Int(self.next() as i64)
+        } else {
+            Value::Str(self.string())
+        }
+    }
+
+    fn values(&mut self) -> Vec<Value> {
+        let len = self.below(8) as usize;
+        (0..len).map(|_| self.value()).collect()
+    }
+
+    fn rids(&mut self) -> Vec<u32> {
+        let len = self.below(16) as usize;
+        (0..len).map(|_| self.next() as u32).collect()
+    }
+
+    fn kind(&mut self) -> IndexKind {
+        IndexKind::ALL[self.below(8) as usize]
+    }
+
+    fn exec(&mut self) -> ExecOptions {
+        ExecOptions {
+            threads: self.below(16) as usize,
+            lanes: 1 + self.below(8) as usize,
+            shards: 1 + self.below(8) as usize,
+        }
+    }
+
+    fn probe(&mut self) -> Probe {
+        if self.below(2) == 0 {
+            Probe::Point(self.value())
+        } else {
+            Probe::Range(self.value(), self.value())
+        }
+    }
+
+    fn agg(&mut self) -> Agg {
+        match self.below(4) {
+            0 => count(),
+            1 => sum(&self.string()),
+            2 => mmdb::min(&self.string()),
+            _ => max(&self.string()),
+        }
+    }
+
+    fn agg_fn(&mut self) -> AggFn {
+        [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max][self.below(4) as usize]
+    }
+
+    fn side(&mut self) -> Side {
+        if self.below(2) == 0 {
+            Side::Outer
+        } else {
+            Side::Inner
+        }
+    }
+
+    fn spec(&mut self) -> Spec {
+        let filters = (0..self.below(3))
+            .map(|_| {
+                if self.below(2) == 0 {
+                    eq(&self.string(), self.value())
+                } else {
+                    between(&self.string(), self.value(), self.value())
+                }
+            })
+            .collect();
+        Spec {
+            table: self.string(),
+            filters,
+            join: if self.below(2) == 0 {
+                Some((self.string(), on(&self.string(), &self.string())))
+            } else {
+                None
+            },
+            group: if self.below(2) == 0 {
+                Some((self.string(), self.agg()))
+            } else {
+                None
+            },
+            forced_kind: if self.below(2) == 0 {
+                Some(self.kind())
+            } else {
+                None
+            },
+            exec: if self.below(2) == 0 {
+                Some(self.exec())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn opt_rids(&mut self) -> Option<Vec<u32>> {
+        if self.below(2) == 0 {
+            Some(self.rids())
+        } else {
+            None
+        }
+    }
+
+    fn one_request(&mut self) -> OneRequest {
+        match self.below(3) {
+            0 => OneRequest::Point {
+                table: self.string(),
+                column: self.string(),
+                value: self.value(),
+            },
+            1 => OneRequest::Range {
+                table: self.string(),
+                column: self.string(),
+                lo: self.value(),
+                hi: self.value(),
+            },
+            _ => OneRequest::Query(self.spec()),
+        }
+    }
+
+    fn error(&mut self) -> MmdbError {
+        match self.below(13) {
+            0 => MmdbError::UnknownTable {
+                table: self.string(),
+            },
+            1 => MmdbError::DuplicateTable {
+                table: self.string(),
+            },
+            2 => MmdbError::UnknownColumn {
+                table: self.string(),
+                column: self.string(),
+            },
+            3 => MmdbError::NoIndex {
+                table: self.string(),
+                column: self.string(),
+            },
+            4 => MmdbError::IndexNotBuilt {
+                table: self.string(),
+                column: self.string(),
+                kind: self.kind(),
+            },
+            5 => MmdbError::NoOrderedIndex {
+                table: self.string(),
+                column: self.string(),
+            },
+            6 => MmdbError::RaggedColumn {
+                table: self.string(),
+                column: self.string(),
+                expected: self.below(100) as usize,
+                got: self.below(100) as usize,
+            },
+            7 => MmdbError::NonIntegerMeasure {
+                table: self.string(),
+                column: self.string(),
+            },
+            8 => MmdbError::ShardKeyOutOfRange {
+                key: self.string(),
+                shards: self.below(16) as usize,
+            },
+            9 => MmdbError::InvalidPartitioner {
+                reason: self.string(),
+            },
+            10 => MmdbError::InvalidExecOption {
+                name: self.string(),
+                value: self.string(),
+            },
+            11 => MmdbError::Unsupported {
+                what: self.string(),
+            },
+            _ => MmdbError::Transport {
+                endpoint: self.string(),
+                fault: [
+                    TransportFault::Connect,
+                    TransportFault::Io,
+                    TransportFault::Decode,
+                    TransportFault::Checksum,
+                    TransportFault::Version,
+                    TransportFault::Protocol,
+                ][self.below(6) as usize],
+                detail: self.string(),
+            },
+        }
+    }
+
+    fn result_rows(&mut self) -> ResultRows {
+        match self.below(3) {
+            0 => ResultRows::Rids(self.rids()),
+            1 => ResultRows::Joined(
+                (0..self.below(8))
+                    .map(|_| JoinRow {
+                        outer_rid: self.next() as u32,
+                        inner_rid: self.next() as u32,
+                    })
+                    .collect(),
+            ),
+            _ => ResultRows::Groups(
+                (0..self.below(8))
+                    .map(|_| GroupRow {
+                        group: self.value(),
+                        value: self.next() as i64,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn plan(&mut self) -> Plan {
+        Plan {
+            table: self.string(),
+            probes: (0..self.below(3))
+                .map(|_| ProbeStep {
+                    column: self.string(),
+                    kind: self.kind(),
+                    probe: self.probe(),
+                    threads: 1 + self.below(8) as usize,
+                })
+                .collect(),
+            join: if self.below(2) == 0 {
+                Some(JoinStep {
+                    inner_table: self.string(),
+                    outer_column: self.string(),
+                    inner_column: self.string(),
+                    kind: self.kind(),
+                    threads: 1 + self.below(8) as usize,
+                    rows_hint: self.below(1 << 20) as usize,
+                })
+            } else {
+                None
+            },
+            group: if self.below(2) == 0 {
+                Some(GroupStep {
+                    column: self.string(),
+                    side: self.side(),
+                    agg: self.agg_fn(),
+                    measure: if self.below(2) == 0 {
+                        Some((self.string(), self.side()))
+                    } else {
+                        None
+                    },
+                    threads: 1 + self.below(8) as usize,
+                    rows_hint: self.below(1 << 20) as usize,
+                })
+            } else {
+                None
+            },
+            exec: self.exec(),
+        }
+    }
+
+    /// One request of each variant, every field randomized.
+    fn all_requests(&mut self) -> Vec<ShardRequest> {
+        vec![
+            ShardRequest::Hello,
+            ShardRequest::PointProbeBatch {
+                table: self.string(),
+                column: self.string(),
+                values: self.values(),
+            },
+            ShardRequest::RangeProbeBatch {
+                table: self.string(),
+                column: self.string(),
+                ranges: (0..self.below(6))
+                    .map(|_| (self.value(), self.value()))
+                    .collect(),
+            },
+            ShardRequest::Select {
+                table: self.string(),
+                probes: (0..self.below(4))
+                    .map(|_| (self.string(), self.kind(), self.probe()))
+                    .collect(),
+                exec: self.exec(),
+            },
+            ShardRequest::JoinProbeBatch {
+                table: self.string(),
+                column: self.string(),
+                kind: self.kind(),
+                values: self.values(),
+                lanes: 1 + self.below(8) as usize,
+                threads: 1 + self.below(8) as usize,
+            },
+            ShardRequest::GroupPartial {
+                table: self.string(),
+                group_column: self.string(),
+                measure: if self.below(2) == 0 {
+                    Some(self.string())
+                } else {
+                    None
+                },
+                agg: self.agg_fn(),
+                rids: self.opt_rids(),
+            },
+            ShardRequest::ColumnValues {
+                table: self.string(),
+                column: self.string(),
+                rids: self.opt_rids(),
+            },
+            ShardRequest::Columns {
+                table: self.string(),
+            },
+            ShardRequest::Rows {
+                table: self.string(),
+            },
+            ShardRequest::Compile { spec: self.spec() },
+            ShardRequest::RunSpec { spec: self.spec() },
+            ShardRequest::ExecuteBatch {
+                requests: (0..self.below(4)).map(|_| self.one_request()).collect(),
+            },
+            ShardRequest::Register {
+                table: self.string(),
+                columns: (0..self.below(4))
+                    .map(|_| (self.string(), self.values()))
+                    .collect(),
+            },
+            ShardRequest::DropTable {
+                table: self.string(),
+            },
+            ShardRequest::CreateIndex {
+                table: self.string(),
+                column: self.string(),
+                kind: self.kind(),
+            },
+            ShardRequest::DropIndex {
+                table: self.string(),
+                column: self.string(),
+                kind: self.kind(),
+            },
+            ShardRequest::ReplaceColumn {
+                table: self.string(),
+                column: self.string(),
+                values: self.values(),
+            },
+            ShardRequest::RebuildColumn {
+                table: self.string(),
+                column: self.string(),
+            },
+            ShardRequest::SetExecOptions { exec: self.exec() },
+            ShardRequest::Shutdown,
+        ]
+    }
+
+    /// One response of each variant, every field randomized.
+    fn all_responses(&mut self) -> Vec<ShardResponse> {
+        vec![
+            ShardResponse::RidSets((0..self.below(4)).map(|_| self.rids()).collect()),
+            ShardResponse::Rids(self.rids()),
+            ShardResponse::Values(self.values()),
+            ShardResponse::Groups(
+                (0..self.below(6))
+                    .map(|_| GroupRow {
+                        group: self.value(),
+                        value: self.next() as i64,
+                    })
+                    .collect(),
+            ),
+            ShardResponse::Rows(self.result_rows()),
+            ShardResponse::Batch(
+                (0..self.below(4))
+                    .map(|_| {
+                        if self.below(2) == 0 {
+                            Ok(self.result_rows())
+                        } else {
+                            Err(self.error())
+                        }
+                    })
+                    .collect(),
+            ),
+            ShardResponse::Plan(self.plan()),
+            ShardResponse::Names((0..self.below(5)).map(|_| self.string()).collect()),
+            ShardResponse::Count(self.next()),
+            ShardResponse::Rebuilt {
+                sort_ns: self.next(),
+                rebuilds: (0..self.below(4))
+                    .map(|_| (self.kind(), self.next()))
+                    .collect(),
+            },
+            ShardResponse::Info {
+                generation: self.next(),
+                swaps: self.next(),
+                pinned: self.below(8),
+                exec: self.exec(),
+            },
+            ShardResponse::Unit,
+            ShardResponse::Err(self.error()),
+        ]
+    }
+}
+
+proptest! {
+    /// Every request variant survives encode→decode byte-exactly.
+    #[test]
+    fn requests_roundtrip(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        for req in g.all_requests() {
+            let bytes = req.encode();
+            let back = ShardRequest::decode(&bytes, "peer");
+            prop_assert_eq!(back.as_ref().ok(), Some(&req), "variant {:?}", req);
+        }
+    }
+
+    /// Every response variant survives encode→decode byte-exactly.
+    #[test]
+    fn responses_roundtrip(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        for resp in g.all_responses() {
+            let bytes = resp.encode();
+            let back = ShardResponse::decode(&bytes, "peer");
+            prop_assert_eq!(back.as_ref().ok(), Some(&resp), "variant {:?}", resp);
+        }
+    }
+
+    /// Messages survive the frame layer too (header + checksum).
+    #[test]
+    fn frames_roundtrip(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        for req in g.all_requests() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, "peer", &req.encode()).expect("vec write");
+            let payload = read_frame(&mut &buf[..], "peer").expect("frame intact");
+            prop_assert_eq!(ShardRequest::decode(&payload, "peer").ok(), Some(req));
+        }
+    }
+
+    /// Flipping any single byte of a frame yields a typed transport
+    /// error — never a panic, never a silently-wrong message.
+    #[test]
+    fn corrupted_frames_error(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let reqs = g.all_requests();
+        let req = &reqs[g.below(reqs.len() as u64) as usize];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "peer", &req.encode()).expect("vec write");
+        let pos = g.below(buf.len() as u64) as usize;
+        buf[pos] ^= 1 + g.below(255) as u8;
+        let decoded = read_frame(&mut &buf[..], "peer")
+            .and_then(|payload| ShardRequest::decode(&payload, "peer"));
+        match decoded {
+            Err(MmdbError::Transport { .. }) => {}
+            Err(other) => prop_assert!(false, "non-transport error: {other:?}"),
+            Ok(got) => prop_assert!(false, "corrupt frame decoded to {got:?}"),
+        }
+    }
+
+    /// Truncating a frame anywhere yields a typed transport error.
+    #[test]
+    fn truncated_frames_error(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let reqs = g.all_requests();
+        let req = &reqs[g.below(reqs.len() as u64) as usize];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "peer", &req.encode()).expect("vec write");
+        buf.truncate(g.below(buf.len() as u64) as usize);
+        let err = read_frame(&mut &buf[..], "peer").expect_err("truncated frame must error");
+        prop_assert!(matches!(err, MmdbError::Transport { .. }), "{err:?}");
+    }
+
+    /// A frame stamped with any other protocol version is rejected
+    /// with a Version fault before its payload is even read.
+    #[test]
+    fn wrong_version_errors(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "peer", b"payload").expect("vec write");
+        let mut bogus = 1 + g.below(u16::MAX as u64 - 1) as u16;
+        if bogus == VERSION {
+            bogus += 1;
+        }
+        buf[4..6].copy_from_slice(&bogus.to_le_bytes());
+        let err = read_frame(&mut &buf[..], "peer").expect_err("wrong version must error");
+        prop_assert!(
+            matches!(
+                err,
+                MmdbError::Transport {
+                    fault: TransportFault::Version,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    /// Arbitrary garbage payloads never panic the decoders.
+    #[test]
+    fn garbage_payloads_never_panic(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let len = g.below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
+        // Either outcome is fine — the property is "returns", not "errs":
+        // a short garbage buffer can spell a valid tag-only message.
+        let _ = ShardRequest::decode(&bytes, "peer");
+        let _ = ShardResponse::decode(&bytes, "peer");
+        let _ = read_frame(&mut &bytes[..], "peer");
+    }
+}

@@ -40,8 +40,9 @@
 //! | [`sim`] | `cachesim` | Cache simulator + 1998 machine models |
 //! | [`model`] | `analysis` | §5 analytical time/space models |
 //! | [`db`] | `mmdb` | Main-memory OLAP database substrate |
-//! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution |
-//! | [`serve`] | `ccindex-serve` | Batch-formation serving front-end |
+//! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution (local or remote shards) |
+//! | [`serve`] | `ccindex-serve` | Batch-formation serving front-end + TCP shard server |
+//! | [`wire`] | `ccindex-wire` | Versioned, checksummed shard wire protocol |
 //! | [`gen`] | `workload` | Key/lookup/update generators |
 //! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
@@ -55,6 +56,7 @@ pub use ccindex_common as common;
 pub use ccindex_parallel as parallel;
 pub use ccindex_serve as serve;
 pub use ccindex_shard as shard;
+pub use ccindex_wire as wire;
 pub use css_tree as css;
 pub use hashindex as hash;
 pub use mmdb as db;
@@ -80,9 +82,13 @@ pub mod prelude {
     pub use crate::model::Params;
     pub use crate::parallel::{BlockingQueue, WorkerPool};
     pub use crate::serve::{
-        BatchServer, QuerySpec, Request, ServeEngine, ServeOptions, ServeSource, SnapshotInfo,
+        BatchServer, QuerySpec, Request, ServeEngine, ServeOptions, ServeSource, ShardServer,
+        SnapshotInfo,
     };
-    pub use crate::shard::{HashPartitioner, Partitioner, RangePartitioner, ShardedDatabase};
+    pub use crate::shard::{
+        HashPartitioner, LocalShard, Partitioner, RangePartitioner, RemoteShard, ShardBackend,
+        ShardedDatabase,
+    };
     pub use crate::sim::{CacheHierarchy, Machine, SimTracer};
     pub use crate::sorted::{BinarySearch, InterpolationSearch};
     pub use bplus::BPlusTree;

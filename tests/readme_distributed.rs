@@ -1,0 +1,55 @@
+//! Mirror of README.md's "Distributed shards" example — kept as a real
+//! test so the README cannot silently rot. Update both together.
+
+use ccindex::db::Value;
+use ccindex::prelude::*;
+
+fn demo() -> Result<(), MmdbError> {
+    // One ShardServer per shard, each fronting its own catalog.
+    let servers: Vec<ShardServer> = (0..2)
+        .map(|_| ShardServer::spawn(Database::new()))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<String> = servers.iter().map(ShardServer::addr).collect();
+
+    // The coordinator speaks the wire protocol; the surface is the
+    // same as the in-process ShardedDatabase.
+    let mut db = ShardedDatabase::connect(HashPartitioner::new(2)?, &addrs)?;
+    db.register(
+        TableBuilder::new("sales")
+            .int_column("cust", [1, 2, 1, 3])
+            .int_column("amount", [10, 40, 25, 99])
+            .build()?,
+        "cust", // shard key
+    )?;
+    db.create_index("sales", "cust", IndexKind::Hash)?;
+    db.create_index("sales", "amount", IndexKind::FullCss)?;
+
+    // Scatter-gather over TCP: same routing, same global row ids.
+    let plan = db.query("sales").filter(eq("cust", 1)).plan()?;
+    assert!(plan.explain().contains("(pruned)"));
+    assert_eq!(plan.execute(&db)?.rids(), &[0, 2]);
+
+    // Updates travel the wire too, splitting by owning shard.
+    db.replace_column(
+        "sales",
+        "amount",
+        vec![11, 41, 26, 100].into_iter().map(Value::Int).collect(),
+    )?;
+    let hits = db.query("sales").filter(between("amount", 20, 50)).run()?;
+    assert_eq!(hits.values("amount")?, vec![Value::Int(41), Value::Int(26)]);
+
+    // A downed shard is a typed transport error, never a hang.
+    for server in servers {
+        server.shutdown();
+    }
+    match db.query("sales").filter(eq("cust", 1)).run() {
+        Err(MmdbError::Transport { .. }) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    Ok(())
+}
+
+#[test]
+fn readme_distributed_example_runs() {
+    demo().expect("the README example must keep working");
+}

@@ -254,7 +254,7 @@ fn plans_record_routing_and_exec_overrides_flow_through() {
     let sequential = pipeline_battery(&|w| run_sharded(&db, w));
     assert_eq!(sequential, pipeline_battery(&|w| run_unsharded(&un, w)));
     for threads in [0usize, 2, 8] {
-        db.set_exec_options(ExecOptions::threads(threads));
+        db.set_exec_options(ExecOptions::threads(threads)).unwrap();
         assert_eq!(
             pipeline_battery(&|w| run_sharded(&db, w)),
             sequential,
