@@ -173,6 +173,9 @@ fn main() {
     if want("ablations") {
         ablations(&opts);
     }
+    if want("slo") {
+        slo(&opts);
+    }
 }
 
 /// Flush one subcommand's measurements as `BENCH_<figure>.json` next to
@@ -1812,4 +1815,191 @@ fn interp(opts: &Options) {
             format_num(tb.total_seconds)
         );
     }
+}
+
+/// Beyond-paper: the observability layer under saturation. Sixteen
+/// clients drive point probes through a `BatchServer` faster than each
+/// batch window drains, so queueing is visible; every measurement
+/// window reports its own p50/p99 end-to-end latency straight from the
+/// server's `serve.latency.ns` histogram — the numbers an operator
+/// would scrape, not an external timer. The cost of recording is then
+/// asserted away against a `Registry::disabled` control (best-of-3
+/// each, throughput within 5%), and one remote query renders the
+/// cross-process latency tree the wire's trace field carried back from
+/// the server.
+fn slo(opts: &Options) {
+    use ccindex_obs::{format_ns, Registry, Span};
+    use ccindex_serve::{BatchServer, Request, ServeOptions, ServeStats, ShardServer};
+    use ccindex_shard::RemoteShard;
+    use ccindex_wire::Spec;
+    use mmdb::{eq, Database, IndexKind, TableBuilder};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n = opts.scaled(500_000);
+    let per_client = (opts.lookups / 50).clamp(64, 2_000);
+    let clients = 16usize;
+    let batch_max = 8usize;
+    let orders = || {
+        TableBuilder::new("orders")
+            .int_column(
+                "amount",
+                (0..n).map(|i| ((i as u64).wrapping_mul(48_271) % (n as u64 / 2)) as i64),
+            )
+            .build()
+            .expect("equal columns")
+    };
+    let mut db = Database::new();
+    db.register(orders()).expect("fresh catalog");
+    db.create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+
+    // One saturated serving session against the supplied registry; the
+    // tight window bound keeps the queue ahead of the drain so the
+    // latency histogram sees real waiting, not just execute time.
+    let session = |registry: Arc<Registry>| -> (f64, ServeStats) {
+        let server = BatchServer::with_metrics(
+            &db,
+            ServeOptions {
+                batch_max,
+                batch_wait: Duration::from_micros(100),
+            },
+            Arc::clone(&registry),
+        );
+        let t0 = Instant::now();
+        let (_, stats) = server.serve_concurrent(clients, |c, client| {
+            let pending: Vec<_> = (0..per_client)
+                .map(|k| {
+                    let v = ((c * 2_654_435_761 + k * 48_271) % n) as i64;
+                    client.submit(Request::point("orders", "amount", v))
+                })
+                .collect();
+            for p in pending {
+                p.wait().expect("served");
+            }
+            per_client
+        });
+        (t0.elapsed().as_secs_f64(), stats)
+    };
+
+    println!(
+        "\n== SLO windows: {} rows, {} clients x {} probes, batch_max {} ==",
+        format_num(n as f64),
+        clients,
+        per_client,
+        batch_max
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12} {:>12} {:>9}",
+        "window", "requests", "seconds", "requests/s", "p50", "p99", "depth hw"
+    );
+    let mut records = Vec::new();
+    let requests = (clients * per_client) as f64;
+    for window in 0..4usize {
+        // A fresh registry per window makes each percentile pair that
+        // window's own, not a lifetime blend.
+        let registry = Arc::new(Registry::new());
+        let (secs, stats) = session(Arc::clone(&registry));
+        let latency = registry
+            .find_histogram("serve.latency.ns")
+            .expect("the server registers serve.latency.ns")
+            .snapshot();
+        let (p50, p99) = (latency.percentile(50.0), latency.percentile(99.0));
+        println!(
+            "{:>8} {:>10} {:>12} {:>14} {:>12} {:>12} {:>9}",
+            window,
+            requests as u64,
+            format_num(secs),
+            format_num(requests / secs),
+            format_ns(p50),
+            format_ns(p99),
+            stats.queue_depth_high_water
+        );
+        records.push(
+            BenchRecord::new("slo window")
+                .param("window", window)
+                .param("clients", clients)
+                .param("batch_max", batch_max)
+                .param("p50_ns", p50)
+                .param("p99_ns", p99)
+                .param("queue_depth_high_water", stats.queue_depth_high_water)
+                .timed(requests, secs),
+        );
+    }
+
+    // The overhead gate: the same session with recording on versus a
+    // disabled registry (every record() call an early-out). The runs
+    // interleave and each side keeps its best of five, so warmup drift
+    // cannot masquerade as recording cost.
+    session(Arc::new(Registry::disabled()));
+    let mut on_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    for _ in 0..5 {
+        on_secs = on_secs.min(session(Arc::new(Registry::new())).0);
+        off_secs = off_secs.min(session(Arc::new(Registry::disabled())).0);
+    }
+    let (on, off) = (requests / on_secs, requests / off_secs);
+    println!(
+        "  recording overhead: metrics-on {} req/s vs metrics-off {} req/s ({:.1}% of control)",
+        format_num(on),
+        format_num(off),
+        100.0 * on / off
+    );
+    assert!(
+        on >= 0.95 * off,
+        "metric recording must stay within 5% of the metrics-off control \
+         (on {on:.0} req/s, off {off:.0} req/s)"
+    );
+    records.push(
+        BenchRecord::new("slo control")
+            .param("metrics", "on")
+            .timed(requests, on_secs),
+    );
+    records.push(
+        BenchRecord::new("slo control")
+            .param("metrics", "off")
+            .timed(requests, off_secs),
+    );
+
+    // One traced query across loopback TCP: the request frame carries
+    // the client's span id, the response frame carries the server's
+    // decode/execute breakdown, and the client renders one tree.
+    let mut server_db = Database::new();
+    server_db.register(orders()).expect("fresh catalog");
+    server_db
+        .create_index("orders", "amount", IndexKind::FullCss)
+        .expect("column");
+    let server = ShardServer::spawn(server_db).expect("loopback bind");
+    let shard = RemoteShard::connect(server.addr());
+    let shard = shard.expect("handshake");
+    let spec = Spec {
+        table: "orders".into(),
+        filters: vec![eq("amount", 42)],
+        ..Spec::default()
+    };
+    let mut span = Span::root("client");
+    let rows = shard
+        .run_spec_traced(&spec, &mut span)
+        .expect("remote query");
+    let matched = match &rows {
+        mmdb::ResultRows::Rids(r) => r.len(),
+        mmdb::ResultRows::Joined(r) => r.len(),
+        mmdb::ResultRows::Groups(r) => r.len(),
+    };
+    let tree = span.finish();
+    println!("  cross-process latency tree ({matched} matching row(s)):");
+    for line in tree.render().lines() {
+        println!("    {line}");
+    }
+    assert!(
+        tree.find("decode").is_some() && tree.find("execute").is_some(),
+        "the server's span children must propagate back over the wire:\n{}",
+        tree.render()
+    );
+    records.push(
+        BenchRecord::new("slo traced query")
+            .param("transport", "loopback tcp")
+            .timed(1.0, tree.elapsed_ns as f64 / 1e9),
+    );
+    flush_bench("slo", &records);
 }

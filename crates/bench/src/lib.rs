@@ -20,4 +20,6 @@ pub use protocol::{
     simulate_lookup_protocol, simulate_lookup_protocol_with, BatchComparison, Measurement,
     ProbeMode,
 };
-pub use report::{print_series, Series};
+pub use report::{
+    print_series, render_bench_json, validate_bench_json, write_bench_json, BenchRecord, Series,
+};

@@ -10,6 +10,7 @@
 //! | F1   | no `static mut`, no `transmute` |
 //! | H1   | every `lib.rs` opens with `//!` docs and declares `#![deny(unsafe_op_in_unsafe_fn)]` |
 //! | W1   | no `.unwrap()` / `.expect(` on socket-I/O lines — transport faults must map to typed errors |
+//! | M1   | metric names at registration sites (`.counter("…")` / `.gauge("…")` / `.histogram("…")`) are `dot.separated` lowercase, and each name is registered at exactly one source site workspace-wide |
 //!
 //! O1 exists because of exactly the bug class PR 7 is about: a
 //! lifetime-guarding counter (a pin count, a refcount) downgraded to
@@ -19,6 +20,16 @@
 //! choice was made explicitly, and the model checker then tests the
 //! argument. `SeqCst` needs no justification (it is the conservative
 //! default), and `#[cfg(test)]` code is exempt.
+//!
+//! M1 exists because metric names are an interface shared with
+//! dashboards and scrape configs: a name that drifts in casing or
+//! punctuation, or a second registration site that silently shares (or
+//! at a different type, panics on) another site's series, breaks
+//! consumers with no compiler involved. Registration is the one place a
+//! name is minted — `Registry::counter("…")` et al. — so the lint pins
+//! the convention there and demands every other use go through a shared
+//! handle or the `find_*` read accessors (which deliberately don't
+//! match the registration patterns).
 //!
 //! W1 exists because the distributed layer's whole contract is that a
 //! dead or misbehaving peer surfaces as a typed
@@ -46,7 +57,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`S1`, `O1`, `F1`, `H1`, `W1`).
+    /// Rule id (`S1`, `O1`, `F1`, `H1`, `W1`, `M1`).
     pub rule: &'static str,
     /// What to fix.
     pub message: String,
@@ -83,11 +94,45 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     }
     files.sort();
     let mut violations = Vec::new();
+    let mut registrations = Vec::new();
     for file in files {
         let text = std::fs::read_to_string(&file)?;
         violations.extend(lint_source(&file, &text));
+        for (name, line) in metric_registrations(&text) {
+            registrations.push((file.clone(), line, name));
+        }
     }
+    violations.extend(metric_uniqueness(&registrations));
     Ok(violations)
+}
+
+/// The workspace half of rule M1: every metric name is minted at
+/// exactly one registration site. `registrations` is every
+/// `(file, line, name)` site found by [`metric_registrations`]; each
+/// site past a name's first is a violation pointing back at the
+/// original, so the fix — share the handle — is on the screen.
+pub fn metric_uniqueness(registrations: &[(PathBuf, usize, String)]) -> Vec<Violation> {
+    let mut first: std::collections::BTreeMap<&str, (&PathBuf, usize)> =
+        std::collections::BTreeMap::new();
+    let mut out = Vec::new();
+    for (file, line, name) in registrations {
+        match first.get(name.as_str()) {
+            None => {
+                first.insert(name, (file, *line));
+            }
+            Some((f0, l0)) => out.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: "M1",
+                message: format!(
+                    "metric `{name}` is already registered at {}:{l0}; register once and \
+                     share the handle (reads go through `find_*`)",
+                    f0.display()
+                ),
+            }),
+        }
+    }
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -181,6 +226,23 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
         }
     }
 
+    // M1 (per-file half): registration-site metric names follow the
+    // naming convention. Uniqueness across files is checked by
+    // `lint_workspace` via `metric_uniqueness`.
+    for (name, line) in metric_registrations(text) {
+        if !valid_metric_name(&name) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line,
+                rule: "M1",
+                message: format!(
+                    "metric name `{name}` must be dot.separated lowercase \
+                     (`[a-z0-9]` segments joined by `.`)"
+                ),
+            });
+        }
+    }
+
     // H1: lib.rs hygiene.
     if file.file_name().is_some_and(|n| n == "lib.rs") {
         if !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
@@ -203,6 +265,58 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
     }
 
     out
+}
+
+/// Metric-registration sites in one file: `(name, line)` for every
+/// `.counter("…")` / `.gauge("…")` / `.histogram("…")` call with a
+/// literal name, outside `#[cfg(test)]` code. The read accessors
+/// (`find_counter`, `find_gauge`, `find_histogram`) deliberately don't
+/// match — only registration sites mint a name. Detection runs on the
+/// stripped line (so a comment or string merely *mentioning* a
+/// registration doesn't count); the name itself is read back from the
+/// raw line, taking the first as many matches as the stripped line
+/// proved are code.
+pub fn metric_registrations(text: &str) -> Vec<(String, usize)> {
+    const PATTERNS: [&str; 3] = [".counter(\"", ".gauge(\"", ".histogram(\""];
+    let raw: Vec<&str> = text.lines().collect();
+    let code = strip(text);
+    let in_test = test_regions(&code);
+    let mut out = Vec::new();
+    for (i, code_line) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        for pat in PATTERNS {
+            let in_code = code_line.matches(pat).count();
+            let mut offset = 0;
+            for _ in 0..in_code {
+                let Some(pos) = raw[i][offset..].find(pat) else {
+                    break;
+                };
+                let start = offset + pos + pat.len();
+                offset = start;
+                if let Some(len) = raw[i][start..].find('"') {
+                    out.push((raw[i][start..start + len].to_owned(), i + 1));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(_, line)| *line);
+    out
+}
+
+/// The naming convention rule M1 enforces on registration literals —
+/// the same predicate `ccindex-obs` asserts at runtime
+/// (`valid_metric_name`): lowercase `dot.separated` segments of
+/// `[a-z0-9]`.
+fn valid_metric_name(name: &str) -> bool {
+    name.contains('.')
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+        })
 }
 
 /// Whether a stripped line introduces an unsafe block/impl/fn.
@@ -609,6 +723,53 @@ mod tests {
     fn socket_unwrap_in_tests_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let s = TcpStream::connect(\"a:1\").unwrap(); }\n}\n";
         assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn metric_registrations_extracted_from_code_only() {
+        let src = "fn m(r: &Registry) {\n\
+                   \x20   let c = r.counter(\"serve.requests\");\n\
+                   \x20   let g = r.gauge(\"serve.queue.depth\"); // or .counter(\"not.me\")\n\
+                   \x20   let h = r.histogram(\"serve.latency.ns\");\n\
+                   \x20   let f = r.find_counter(\"serve.requests\");\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t(r: &Registry) { r.counter(\"test.only\"); }\n}\n";
+        let regs = metric_registrations(src);
+        assert_eq!(
+            regs,
+            vec![
+                ("serve.requests".to_owned(), 2),
+                ("serve.queue.depth".to_owned(), 3),
+                ("serve.latency.ns".to_owned(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_metric_names_flagged() {
+        let v = lint("fn m(r: &Registry) { r.counter(\"BadName\"); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "M1");
+        let v = lint("fn m(r: &Registry) { r.histogram(\"nodots\"); }\n");
+        assert_eq!(v[0].rule, "M1");
+        assert!(lint("fn m(r: &Registry) { r.gauge(\"serve.queue.depth\"); }\n").is_empty());
+        // Dynamic names aren't literals; the runtime assert owns those.
+        assert!(lint("fn m(r: &Registry, n: &str) { r.counter(n); }\n").is_empty());
+    }
+
+    #[test]
+    fn duplicate_metric_registrations_flagged_at_the_second_site() {
+        let a = PathBuf::from("a.rs");
+        let b = PathBuf::from("b.rs");
+        let regs = vec![
+            (a.clone(), 10, "serve.requests".to_owned()),
+            (b.clone(), 5, "serve.latency.ns".to_owned()),
+            (b.clone(), 20, "serve.requests".to_owned()),
+        ];
+        let v = metric_uniqueness(&regs);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, &v[0].file, v[0].line), ("M1", &b, 20));
+        assert!(v[0].message.contains("a.rs:10"), "{}", v[0].message);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Model-check suite for the real [`ccindex_obs`] instruments — the
+//! counters, gauges, and histograms every serving layer records into
+//! concurrently. Compiled only under `RUSTFLAGS="--cfg ccindex_check"`,
+//! where the registry's mutex and the instruments' atomics resolve to
+//! the checker's shims: every interleaving of racing `record()` calls
+//! is explored and every access is race-checked against the declared
+//! orderings. The property under test is the one dashboards rely on:
+//! concurrent recording never loses a sample.
+#![cfg(ccindex_check)]
+
+use ccindex_obs::Registry;
+use check::Checker;
+
+fn quick() -> Checker {
+    Checker::new().max_iterations(50_000)
+}
+
+/// Two threads race `Histogram::record()` on a shared handle; after
+/// both join, the snapshot holds **every** sample — the bucket tallies
+/// and the running sum account for all four values on every schedule.
+/// A lost update (e.g. a read-modify-write that wasn't atomic) would
+/// surface as a short count on some interleaving.
+#[test]
+fn concurrent_histogram_records_lose_no_counts() {
+    let stats = quick().check(|| {
+        let registry = Registry::new();
+        let hist = registry.histogram("model.hist.ns");
+        let (h1, h2) = (hist.clone(), hist.clone());
+        let t1 = check::thread::spawn(move || {
+            h1.record(3);
+            h1.record(1_000);
+        });
+        let t2 = check::thread::spawn(move || {
+            h2.record(3);
+            h2.record(70);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 4, "a racing record() dropped a sample");
+        assert_eq!(snap.sum(), 3 + 1_000 + 3 + 70);
+        assert!(
+            snap.percentile(100.0) >= 1_000,
+            "the max sample fell out of the distribution"
+        );
+    });
+    assert!(stats.complete, "exploration was cut off");
+    assert!(stats.iterations >= 2);
+}
+
+/// Racing `Counter::add()` calls merge like the atomic they are: the
+/// final value is the sum of both threads' contributions regardless of
+/// interleaving.
+#[test]
+fn concurrent_counter_adds_all_land() {
+    let stats = quick().check(|| {
+        let registry = Registry::new();
+        let counter = registry.counter("model.hits");
+        let (c1, c2) = (counter.clone(), counter.clone());
+        let t1 = check::thread::spawn(move || {
+            c1.inc();
+            c1.add(2);
+        });
+        let t2 = check::thread::spawn(move || c2.add(4));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(counter.get(), 7, "a racing add() was lost");
+    });
+    assert!(stats.complete);
+    assert!(stats.iterations >= 2);
+}
+
+/// The gauge's high-water mark is a CAS loop (the shim atomics have no
+/// `fetch_max`); under racing `set()` calls it must converge on the
+/// true maximum on every schedule, while the last-writer-wins value is
+/// one of the racing sets.
+#[test]
+fn gauge_high_water_survives_racing_sets() {
+    let stats = quick().check(|| {
+        let registry = Registry::new();
+        let gauge = registry.gauge("model.depth");
+        let (g1, g2) = (gauge.clone(), gauge.clone());
+        let t1 = check::thread::spawn(move || g1.set(3));
+        let t2 = check::thread::spawn(move || g2.set(5));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(gauge.high_water(), 5, "the CAS loop missed the max");
+        let v = gauge.get();
+        assert!(v == 3 || v == 5, "gauge holds a value nobody set: {v}");
+    });
+    assert!(stats.complete);
+    assert!(stats.iterations >= 2);
+}

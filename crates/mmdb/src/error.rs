@@ -112,6 +112,12 @@ pub enum MmdbError {
         /// Human-readable detail (the underlying I/O error, the bad
         /// frame field, ...).
         detail: String,
+        /// How many attempts the bounded-retry loop burned before
+        /// giving up (0 when the operation is not retried).
+        attempts: u32,
+        /// Wall-clock time spent across those attempts, in
+        /// milliseconds (0 when the operation is not retried).
+        elapsed_ms: u64,
     },
 }
 
@@ -210,6 +216,8 @@ impl std::fmt::Display for MmdbError {
                 endpoint,
                 fault,
                 detail,
+                attempts,
+                elapsed_ms,
             } => {
                 let stage = match fault {
                     TransportFault::Connect => "connect failed",
@@ -219,7 +227,11 @@ impl std::fmt::Display for MmdbError {
                     TransportFault::Version => "protocol version mismatch",
                     TransportFault::Protocol => "unexpected response shape",
                 };
-                write!(f, "shard `{endpoint}`: {stage}: {detail}")
+                write!(f, "shard `{endpoint}`: {stage}: {detail}")?;
+                if *attempts > 0 {
+                    write!(f, " (after {attempts} attempt(s) in {elapsed_ms} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -283,10 +295,16 @@ mod tests {
             endpoint: "127.0.0.1:7070".into(),
             fault: TransportFault::Connect,
             detail: "connection refused".into(),
+            attempts: 5,
+            elapsed_ms: 150,
         };
         let msg = e.to_string();
         assert!(
             msg.contains("127.0.0.1:7070") && msg.contains("connection refused"),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("5 attempt(s)") && msg.contains("150 ms"),
             "{msg}"
         );
 
@@ -294,8 +312,13 @@ mod tests {
             endpoint: "peer".into(),
             fault: TransportFault::Version,
             detail: "peer speaks v9, this build speaks v1".into(),
+            attempts: 0,
+            elapsed_ms: 0,
         };
-        assert!(e.to_string().contains("version"), "{e}");
+        let msg = e.to_string();
+        assert!(msg.contains("version"), "{msg}");
+        // A non-retried failure does not claim any attempts.
+        assert!(!msg.contains("attempt"), "{msg}");
     }
 
     #[test]

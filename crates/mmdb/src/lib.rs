@@ -60,8 +60,8 @@ pub mod update;
 pub use engine::{Database, RebuildReport};
 pub use error::{MmdbError, Result, TransportFault};
 pub use plan::{
-    between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, Predicate,
-    PredicateOp, Query, ResultRows, ResultSet,
+    between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, PlanTimings,
+    Predicate, PredicateOp, Query, ResultRows, ResultSet,
 };
 pub use snapshot::{CatalogState, DatabaseHandle, Pinned, Snapshot, SwapSlot};
 

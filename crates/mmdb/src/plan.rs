@@ -690,6 +690,28 @@ pub struct GroupStep {
     pub rows_hint: usize,
 }
 
+/// Wall-clock nanoseconds per executed plan node, stamped by
+/// [`Plan::execute`] / [`Plan::execute_on`] and carried on the
+/// [`ResultSet`] ([`ResultSet::timings`]). Render next to the plan text
+/// with [`Plan::explain_timed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanTimings {
+    /// One entry per [`ProbeStep`], in plan order. Each includes the
+    /// intersection of that probe's RID set with the running selection.
+    pub probe_ns: Vec<u64>,
+    /// The join node, when the plan has one.
+    pub join_ns: Option<u64>,
+    /// The grouped-aggregation node, when the plan has one.
+    pub group_ns: Option<u64>,
+    /// End-to-end execution, including result assembly.
+    pub total_ns: u64,
+}
+
+/// Nanoseconds since `since`, saturating at `u64::MAX`.
+fn node_ns(since: &std::time::Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl Plan {
     /// A human-readable rendering of the plan, one step per line
     /// (parallel stages carry a `[xN threads]` suffix so the chosen
@@ -699,6 +721,23 @@ impl Plan {
     /// raw `x0` — via [`ccindex_parallel::adaptive_threads`], the same
     /// function the executor applies to the actual counts.
     pub fn explain(&self) -> String {
+        self.render(None)
+    }
+
+    /// [`Plan::explain`] with each executed node's wall-clock time
+    /// appended (`.. 12.3µs`), from the [`PlanTimings`] a
+    /// [`ResultSet`] carries, plus a trailing `total:` line. Nodes the
+    /// timings don't cover (e.g. a stale `PlanTimings::default()`)
+    /// render untimed, exactly as in `explain()`.
+    pub fn explain_timed(&self, timings: &PlanTimings) -> String {
+        self.render(Some(timings))
+    }
+
+    fn render(&self, timings: Option<&PlanTimings>) -> String {
+        let stamp = |ns: Option<u64>| match ns {
+            Some(n) => format!(" .. {}", ccindex_obs::format_ns(n)),
+            None => String::new(),
+        };
         let par = |threads: usize, rows_hint: usize| match threads {
             1 => String::new(),
             0 => format!(
@@ -711,11 +750,12 @@ impl Plan {
         if self.probes.is_empty() {
             out.push_str(" (all rows)");
         }
-        for p in &self.probes {
+        for (i, p) in self.probes.iter().enumerate() {
+            let timed = stamp(timings.and_then(|t| t.probe_ns.get(i).copied()));
             match &p.probe {
                 Probe::Point(v) => {
                     out.push_str(&format!(
-                        "\n  probe {} = {} via {:?}{}",
+                        "\n  probe {} = {} via {:?}{}{timed}",
                         p.column,
                         v,
                         p.kind,
@@ -724,7 +764,7 @@ impl Plan {
                 }
                 Probe::Range(lo, hi) => {
                     out.push_str(&format!(
-                        "\n  probe {} in [{}, {}] via {:?}{}",
+                        "\n  probe {} in [{}, {}] via {:?}{}{timed}",
                         p.column,
                         lo,
                         hi,
@@ -742,12 +782,13 @@ impl Plan {
         }
         if let Some(j) = &self.join {
             out.push_str(&format!(
-                "\n  join {} on {} = {} via {:?}{}",
+                "\n  join {} on {} = {} via {:?}{}{}",
                 j.inner_table,
                 j.outer_column,
                 j.inner_column,
                 j.kind,
-                par(j.threads, j.rows_hint)
+                par(j.threads, j.rows_hint),
+                stamp(timings.and_then(|t| t.join_ns))
             ));
         }
         if let Some(g) = &self.group {
@@ -756,11 +797,12 @@ impl Plan {
                 .as_ref()
                 .map_or_else(|| "*".to_owned(), |(m, _)| m.clone());
             out.push_str(&format!(
-                "\n  group by {} ({:?} over {}){}",
+                "\n  group by {} ({:?} over {}){}{}",
                 g.column,
                 g.agg,
                 measure,
-                par(g.threads, g.rows_hint)
+                par(g.threads, g.rows_hint),
+                stamp(timings.and_then(|t| t.group_ns))
             ));
         }
         if self.exec.is_parallel() {
@@ -772,6 +814,12 @@ impl Plan {
             out.push_str(&format!(
                 "\n  exec: {workers}, {} interleave lane(s)",
                 self.exec.lanes
+            ));
+        }
+        if let Some(t) = timings {
+            out.push_str(&format!(
+                "\n  total: {}",
+                ccindex_obs::format_ns(t.total_ns)
             ));
         }
         out
@@ -790,21 +838,27 @@ impl Plan {
     /// [`CatalogState`]) serves without locks. Same re-resolution
     /// semantics as [`Plan::execute`].
     pub fn execute_on<'c>(&self, cat: &'c CatalogState) -> Result<ResultSet<'c>> {
+        let started = std::time::Instant::now();
+        let mut timings = PlanTimings::default();
+
         // 1. Selection: evaluate each probe to a sorted RID set and
         //    intersect. `None` means "all rows" (no filters), kept
         //    symbolic so group-only queries iterate 0..n without an
         //    allocation; a join or a bare selection materialises it once.
         let mut selected: Option<Vec<u32>> = None;
         for step in &self.probes {
+            let probing = std::time::Instant::now();
             let rids = self.eval_probe(cat, step)?;
             selected = Some(match selected {
                 None => rids,
                 Some(prev) => intersect_sorted(&prev, &rids),
             });
+            timings.probe_ns.push(node_ns(&probing));
         }
 
         // 2. Join: stream the selected outer rows through the inner
         //    column's index in probe blocks.
+        let joining = std::time::Instant::now();
         let joined: Option<Vec<JoinRow>> = match &self.join {
             None => None,
             Some(j) => {
@@ -839,8 +893,12 @@ impl Plan {
                 ))
             }
         };
+        if joined.is_some() {
+            timings.join_ns = Some(node_ns(&joining));
+        }
 
         // 3. Grouped aggregation over whichever rows survived.
+        let grouping = std::time::Instant::now();
         if let Some(g) = &self.group {
             let inner = self.join.as_ref().map(|j| j.inner_table.as_str());
             let group_col = side_column(cat, &self.table, inner, &g.column, g.side)?;
@@ -917,11 +975,14 @@ impl Plan {
                     }
                 },
             };
+            timings.group_ns = Some(node_ns(&grouping));
+            timings.total_ns = node_ns(&started);
             return Ok(ResultSet {
                 cat,
                 outer_table: self.table.clone(),
                 inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
                 rows: ResultRows::Groups(groups),
+                timings,
             });
         }
 
@@ -932,11 +993,13 @@ impl Plan {
                 None => (0..cat.table(&self.table)?.rows() as u32).collect(),
             }),
         };
+        timings.total_ns = node_ns(&started);
         Ok(ResultSet {
             cat,
             outer_table: self.table.clone(),
             inner_table: self.join.as_ref().map(|j| j.inner_table.clone()),
             rows,
+            timings,
         })
     }
 
@@ -1180,12 +1243,19 @@ pub struct ResultSet<'db> {
     outer_table: String,
     inner_table: Option<String>,
     rows: ResultRows,
+    timings: PlanTimings,
 }
 
 impl ResultSet<'_> {
     /// The rows, whatever their shape.
     pub fn rows(&self) -> &ResultRows {
         &self.rows
+    }
+
+    /// Wall-clock time per executed plan node — feed back into
+    /// [`Plan::explain_timed`] to see where the query spent its time.
+    pub fn timings(&self) -> &PlanTimings {
+        &self.timings
     }
 
     /// Number of result rows (of whichever shape).
@@ -1486,6 +1556,40 @@ mod tests {
                 column: "amount".into()
             }
         );
+    }
+
+    #[test]
+    fn executed_plans_stamp_per_node_timings() {
+        let db = db();
+        let plan = db
+            .query("sales")
+            .filter(eq("day", "mon"))
+            .filter(between("amount", 20, 50))
+            .join("customers", on("cust", "id"))
+            .group_by("region", count())
+            .plan()
+            .unwrap();
+        let result = plan.execute(&db).unwrap();
+        let timings = result.timings();
+        assert_eq!(timings.probe_ns.len(), plan.probes.len());
+        assert!(timings.join_ns.is_some());
+        assert!(timings.group_ns.is_some());
+        assert!(timings.total_ns > 0);
+
+        // The timed rendering carries one ` .. <duration>` suffix per
+        // executed node plus a trailing total; the untimed rendering is
+        // unchanged.
+        let timed = plan.explain_timed(timings);
+        assert_eq!(timed.matches(" .. ").count(), 4, "{timed}");
+        assert!(timed.contains("\n  total: "), "{timed}");
+        assert!(!plan.explain().contains(" .. "));
+
+        // A selection-only query times its probes but no join/group.
+        let plan = db.query("sales").filter(eq("day", "mon")).plan().unwrap();
+        let timings = plan.execute(&db).unwrap().timings().clone();
+        assert_eq!(timings.probe_ns.len(), 1);
+        assert_eq!(timings.join_ns, None);
+        assert_eq!(timings.group_ns, None);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Property coverage for the log-bucketed histogram: percentiles
+//! against an exact sorted-sample oracle, and bucket-wise merge
+//! algebra (associativity/commutativity across shards).
+
+use ccindex_obs::{bucket_of, HistogramSnapshot, Registry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram approximates: the
+/// `ceil(p/100 * n)`-th smallest sample (1-based), clamped to [1, n].
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((p / 100.0) * n as f64).ceil() as u64;
+    sorted[(rank.clamp(1, n) - 1) as usize]
+}
+
+fn record_all(reg: &Registry, name: &str, samples: &[u64]) -> HistogramSnapshot {
+    let h = reg.histogram(name);
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// For every percentile, the histogram reports the ceiling of the
+    /// bucket holding the exact order statistic: never below the true
+    /// sample, and never from a different bucket (so the relative
+    /// overstatement is bounded by the 12.5% bucket width).
+    #[test]
+    fn percentiles_bound_the_exact_oracle(
+        shifted in vec((0u32..64, 0u64..u64::MAX), 1..100),
+        p_raw in 1u64..=100,
+    ) {
+        // Spread sample magnitudes across the full u64 range.
+        let samples: Vec<u64> = shifted.iter().map(|&(s, v)| v >> s).collect();
+        let reg = Registry::new();
+        let snap = record_all(&reg, "test.lat.ns", &samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [50.0, 90.0, 99.0, p_raw as f64] {
+            let exact = exact_percentile(&sorted, p);
+            let reported = snap.percentile(p);
+            prop_assert!(reported >= exact, "p{p}: reported {reported} < exact {exact}");
+            prop_assert_eq!(
+                bucket_of(reported), bucket_of(exact),
+                "p{}: reported {} left the exact sample's bucket", p, exact
+            );
+        }
+    }
+
+    /// Merging is bucket-wise addition: associative, commutative, and
+    /// equal to recording every sample into one histogram.
+    #[test]
+    fn merge_is_associative_and_order_free(
+        a in vec((0u32..64, 0u64..u64::MAX), 0..50),
+        b in vec((0u32..64, 0u64..u64::MAX), 0..50),
+        c in vec((0u32..64, 0u64..u64::MAX), 0..50),
+    ) {
+        let lower = |v: &[(u32, u64)]| v.iter().map(|&(s, x)| x >> s).collect::<Vec<u64>>();
+        let (a, b, c) = (lower(&a), lower(&b), lower(&c));
+        let reg = Registry::new();
+        let (sa, sb, sc) = (
+            record_all(&reg, "test.a.ns", &a),
+            record_all(&reg, "test.b.ns", &b),
+            record_all(&reg, "test.c.ns", &c),
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        // c ⊕ b ⊕ a (commuted) and one flat histogram of everything.
+        let mut commuted = sc.clone();
+        commuted.merge(&sb);
+        commuted.merge(&sa);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let flat = record_all(&reg, "test.all.ns", &all);
+        prop_assert_eq!(&left, &commuted);
+        prop_assert_eq!(&left, &flat);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+
+        // The identity element leaves the distribution untouched.
+        let mut with_empty = left.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &left);
+    }
+}

@@ -26,7 +26,9 @@
 //! in-process, carried in [`ShardResponse::Err`].
 
 use crate::request::{QuerySpec, Request};
-use crate::server::BatchServer;
+use crate::server::{BatchServer, ServeOptions};
+use ccindex_obs as obs;
+use ccindex_parallel::sync::Arc as MetricArc;
 use ccindex_shard::{
     catalog_column_values, catalog_columns, catalog_compile, catalog_group_partial,
     catalog_join_probe_batch, catalog_select,
@@ -56,6 +58,14 @@ struct Shared {
     conns: Mutex<Vec<TcpStream>>,
     /// Connection threads, joined on shutdown.
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The server's metric registry — scraped over the wire by
+    /// [`ShardRequest::Stats`], shared with the `BatchServer` that
+    /// executes [`ShardRequest::ExecuteBatch`] windows.
+    registry: MetricArc<obs::Registry>,
+    /// `server.requests` — framed requests answered.
+    requests: MetricArc<obs::Counter>,
+    /// `server.execute.ns` — per-request engine execution time.
+    execute_ns: MetricArc<obs::Histogram>,
 }
 
 impl Shared {
@@ -134,12 +144,17 @@ impl ShardServer {
             endpoint: bind_addr.to_owned(),
             fault: mmdb::TransportFault::Connect,
             detail: format!("bind: {e}"),
+            attempts: 0,
+            elapsed_ms: 0,
         })?;
         let addr = listener.local_addr().map_err(|e| MmdbError::Transport {
             endpoint: bind_addr.to_owned(),
             fault: mmdb::TransportFault::Connect,
             detail: format!("local_addr: {e}"),
+            attempts: 0,
+            elapsed_ms: 0,
         })?;
+        let registry = MetricArc::new(obs::Registry::new());
         let shared = Arc::new(Shared {
             handle: db.handle(),
             db: Mutex::new(db),
@@ -147,6 +162,9 @@ impl ShardServer {
             addr,
             conns: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
+            requests: registry.counter("server.requests"),
+            execute_ns: registry.histogram("server.execute.ns"),
+            registry,
         });
         let accept = std::thread::spawn({
             let shared = Arc::clone(&shared);
@@ -167,6 +185,13 @@ impl ShardServer {
     /// The served socket address.
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The server's metric registry (`server.*` names, plus the
+    /// `serve.*` window metrics of remote `ExecuteBatch` windows) —
+    /// what a [`ShardRequest::Stats`] scrape renders to JSON.
+    pub fn registry(&self) -> &MetricArc<obs::Registry> {
+        &self.shared.registry
     }
 
     /// Stop serving: no new connections, existing connections severed,
@@ -267,19 +292,51 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// the connection carries no state a coordinator could lose. A write
 /// error likewise ends the connection: the client's own read fails
 /// typed on its side.
+///
+/// When a request frame carries a span id (protocol v2 trace field),
+/// the server opens a span under that id, times decode and execute as
+/// children, and ships the finished tree back in the response frame —
+/// the client grafts it under its own span for one cross-process
+/// latency tree.
 fn serve_conn(stream: &TcpStream, shared: &Arc<Shared>) {
     let endpoint = match stream.peer_addr() {
         Ok(peer) => peer.to_string(),
         Err(_) => "peer".to_owned(),
     };
     loop {
-        let request = match wire::read_request(&mut &*stream, &endpoint) {
+        let (trace, payload) = match wire::read_frame_traced(&mut &*stream, &endpoint) {
+            Ok(frame) => frame,
+            Err(_) => return,
+        };
+        let span_id = match trace.len() {
+            0 => 0,
+            8 => u64::from_le_bytes(trace[..8].try_into().unwrap_or_default()),
+            // A malformed trace is a protocol error; hang up like any
+            // other unreadable request.
+            _ => return,
+        };
+        shared.requests.inc();
+        let mut span = (span_id != 0).then(|| obs::Span::with_id("server", span_id));
+        let decoded = match &mut span {
+            Some(span) => span.time("decode", || ShardRequest::decode(&payload, &endpoint)),
+            None => ShardRequest::decode(&payload, &endpoint),
+        };
+        let request = match decoded {
             Ok(request) => request,
             Err(_) => return,
         };
         let stopping = matches!(request, ShardRequest::Shutdown);
-        let response = respond(shared, request);
-        if wire::write_response(&mut &*stream, &endpoint, &response).is_err() {
+        let executing = std::time::Instant::now();
+        let response = match &mut span {
+            Some(span) => span.time("execute", || respond(shared, request)),
+            None => respond(shared, request),
+        };
+        shared
+            .execute_ns
+            .record(u64::try_from(executing.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let node = span.map(obs::Span::finish);
+        if wire::write_response_traced(&mut &*stream, &endpoint, &response, node.as_ref()).is_err()
+        {
             return;
         }
         if stopping {
@@ -421,7 +478,12 @@ fn respond(shared: &Arc<Shared>, request: ShardRequest) -> ShardResponse {
         }
         ShardRequest::ExecuteBatch { requests } => {
             let requests: Vec<Request> = requests.into_iter().map(owned_request).collect();
-            A::Batch(BatchServer::new(&shared.handle).run_batch(&requests))
+            let server = BatchServer::with_metrics(
+                &shared.handle,
+                ServeOptions::from_env(),
+                MetricArc::clone(&shared.registry),
+            );
+            A::Batch(server.run_batch(&requests))
         }
         ShardRequest::Register { table, columns } => {
             let mut builder = TableBuilder::new(&table);
@@ -467,6 +529,9 @@ fn respond(shared: &Arc<Shared>, request: ShardRequest) -> ShardResponse {
             lock_db(shared).set_exec_options(exec);
             A::Unit
         }
+        ShardRequest::Stats => A::Stats {
+            json: shared.registry.to_json(),
+        },
         // The connection loop raises the stop flag after this response
         // is on the wire.
         ShardRequest::Shutdown => A::Unit,

@@ -5,6 +5,7 @@
 
 use crate::engine::{ServeEngine, ServeSource, SnapshotInfo};
 use crate::request::{QuerySpec, Request};
+use ccindex_obs as obs;
 use ccindex_parallel::sync::atomic::{AtomicUsize, Ordering};
 use ccindex_parallel::sync::{thread, Arc, Condvar, Instant, Mutex};
 use ccindex_parallel::{BlockingQueue, WorkerPool};
@@ -121,6 +122,73 @@ fn env_knob_lenient(name: &'static str) -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// The serving layer's pre-registered metric handles — resolved once at
+/// server construction so the hot loop records through plain atomics
+/// and never touches the registry lock.
+#[derive(Debug, Clone)]
+struct ServeMetrics {
+    registry: Arc<obs::Registry>,
+    /// `serve.window.wait.ns` — how long each window stayed open
+    /// forming (first arrival to close).
+    window_wait_ns: Arc<obs::Histogram>,
+    /// `serve.window.size` — requests coalesced per window.
+    window_size: Arc<obs::Histogram>,
+    /// `serve.window.exec.ns` — execution time per window.
+    window_exec_ns: Arc<obs::Histogram>,
+    /// `serve.latency.ns` — per-request end-to-end latency, submit to
+    /// answer.
+    latency_ns: Arc<obs::Histogram>,
+    /// `serve.queue.depth` — backlog at window close (the high-water
+    /// mark is the gauge's own).
+    queue_depth: Arc<obs::Gauge>,
+    /// `serve.windows` — windows executed.
+    windows: Arc<obs::Counter>,
+    /// `serve.requests` — requests answered.
+    requests: Arc<obs::Counter>,
+    /// `catalog.generation` — the source's committed generation at last
+    /// observation.
+    catalog_generation: Arc<obs::Gauge>,
+    /// `catalog.swaps` — generations committed so far.
+    catalog_swaps: Arc<obs::Gauge>,
+    /// `catalog.pinned` — snapshots pinned right now.
+    catalog_pinned: Arc<obs::Gauge>,
+}
+
+impl ServeMetrics {
+    /// Register (or re-resolve) every serving metric on `registry`.
+    fn install(registry: Arc<obs::Registry>) -> Self {
+        Self {
+            window_wait_ns: registry.histogram("serve.window.wait.ns"),
+            window_size: registry.histogram("serve.window.size"),
+            window_exec_ns: registry.histogram("serve.window.exec.ns"),
+            latency_ns: registry.histogram("serve.latency.ns"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            windows: registry.counter("serve.windows"),
+            requests: registry.counter("serve.requests"),
+            catalog_generation: registry.gauge("catalog.generation"),
+            catalog_swaps: registry.gauge("catalog.swaps"),
+            catalog_pinned: registry.gauge("catalog.pinned"),
+            registry,
+        }
+    }
+
+    /// Mirror the source's commit-slot counters onto the catalog
+    /// gauges.
+    fn observe_catalog(&self, info: &SnapshotInfo) {
+        self.catalog_generation.set(info.generation);
+        self.catalog_swaps.set(info.swaps);
+        self.catalog_pinned.set(info.pinned as u64);
+    }
+}
+
+fn elapsed_ns(since: &Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------
 // Client handles
 // ---------------------------------------------------------------------
 
@@ -128,6 +196,9 @@ fn env_knob_lenient(name: &'static str) -> Option<usize> {
 struct Submission {
     request: Request,
     slot: Arc<Slot>,
+    /// When the client enqueued it — the start of the end-to-end
+    /// latency the server records when the answer is filled.
+    submitted: Instant,
 }
 
 /// A one-shot response cell: the server fills it once, the client's
@@ -185,7 +256,12 @@ impl Client<'_> {
     pub fn submit(&self, request: Request) -> Pending {
         let slot = Arc::new(Slot::default());
         let pending = Pending { slot: slot.clone() };
-        if self.queue.push(Submission { request, slot }).is_err() {
+        let submission = Submission {
+            request,
+            slot,
+            submitted: Instant::now(),
+        };
+        if self.queue.push(submission).is_err() {
             // The session is shutting down; fail the ticket rather than
             // leaving its owner blocked forever.
             pending.slot.fill(Err(MmdbError::Unsupported {
@@ -277,26 +353,48 @@ impl ServeStats {
 pub struct BatchServer<'e, S: ServeSource + ?Sized> {
     source: &'e S,
     options: ServeOptions,
+    metrics: ServeMetrics,
 }
 
 impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
     /// A server over `source` with window bounds from the environment
-    /// ([`ServeOptions::from_env`]).
+    /// ([`ServeOptions::from_env`]) and its own fresh metric registry.
     pub fn new(source: &'e S) -> Self {
         Self::with_options(source, ServeOptions::from_env())
     }
 
-    /// A server over `source` with explicit window bounds.
+    /// A server over `source` with explicit window bounds and its own
+    /// fresh metric registry.
     pub fn with_options(source: &'e S, options: ServeOptions) -> Self {
+        Self::with_metrics(source, options, Arc::new(obs::Registry::new()))
+    }
+
+    /// A server recording onto a shared registry — pass
+    /// [`Registry::disabled`](obs::Registry::disabled) for a
+    /// metrics-off control, or a process-wide registry to aggregate
+    /// several servers into one scrape.
+    pub fn with_metrics(
+        source: &'e S,
+        options: ServeOptions,
+        registry: Arc<obs::Registry>,
+    ) -> Self {
         Self {
             source,
             options: options.normalized(),
+            metrics: ServeMetrics::install(registry),
         }
     }
 
     /// The window bounds this server forms batches under.
     pub fn options(&self) -> ServeOptions {
         self.options
+    }
+
+    /// The metric registry this server records onto
+    /// (`serve.*`/`catalog.*` names; see the README's Observability
+    /// section).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.metrics.registry
     }
 
     /// Execute one already-formed batch synchronously: pin the current
@@ -362,6 +460,7 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
                 .collect();
             let mut stats = self.serve_loop(&queue);
             stats.snapshot = self.source.observe();
+            self.metrics.observe_catalog(&stats.snapshot);
             let results = handles
                 .into_iter()
                 .map(|h| h.join().expect("client thread panicked"))
@@ -379,7 +478,8 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
         // The first request opens a window; the window then stays open
         // until the size bound fills it or the time bound expires.
         while let Some(first) = queue.pop() {
-            let deadline = Instant::now() + self.options.batch_wait;
+            let opened = Instant::now();
+            let deadline = opened + self.options.batch_wait;
             let mut batch = vec![first];
             while batch.len() < self.options.batch_max {
                 match queue.pop_deadline(deadline) {
@@ -387,21 +487,42 @@ impl<'e, S: ServeSource + ?Sized> BatchServer<'e, S> {
                     None => break,
                 }
             }
+            self.metrics.window_wait_ns.record(elapsed_ns(&opened));
             // The backlog gauge reads at window close: everything queued
-            // here waited a full window without being admitted.
-            stats.queue_depth = queue.len();
-            stats.queue_depth_high_water = stats.queue_depth_high_water.max(stats.queue_depth);
+            // here waited a full window without being admitted. The
+            // registry gauge is the one source; `ServeStats` reads it
+            // back below.
+            let depth = queue.len();
+            self.metrics.queue_depth.set(depth as u64);
             // One pinned generation per window: the whole window answers
             // from it, lock-free, whatever a writer commits meanwhile.
             let snapshot = self.source.pin();
             let refs: Vec<&Request> = batch.iter().map(|s| &s.request).collect();
+            let executing = Instant::now();
             let results = self.execute(&snapshot, &refs);
+            self.metrics.window_exec_ns.record(elapsed_ns(&executing));
+            self.metrics.window_size.record(batch.len() as u64);
+            self.metrics.windows.inc();
+            self.metrics.requests.add(batch.len() as u64);
             stats.windows += 1;
             stats.requests += batch.len();
             stats.largest_window = stats.largest_window.max(batch.len());
+            stats.queue_depth = depth;
+            stats.queue_depth_high_water = stats.queue_depth_high_water.max(depth);
             for (submission, result) in batch.into_iter().zip(results) {
+                self.metrics
+                    .latency_ns
+                    .record(elapsed_ns(&submission.submitted));
                 submission.slot.fill(result);
             }
+        }
+        // The queue-depth fields migrated onto the registry gauge; read
+        // them back from it so the gauge is the single source (the
+        // local fields remain authoritative only when this server runs
+        // with a disabled registry, e.g. a metrics-off control).
+        if self.metrics.registry.is_enabled() {
+            stats.queue_depth = self.metrics.queue_depth.get() as usize;
+            stats.queue_depth_high_water = self.metrics.queue_depth.high_water() as usize;
         }
         stats
     }

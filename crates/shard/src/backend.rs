@@ -159,6 +159,13 @@ pub trait ShardBackend: std::fmt::Debug + Send + Sync {
     fn as_database(&self) -> Option<&Database> {
         None
     }
+
+    /// Hand this backend pre-registered handles from the coordinator's
+    /// metric registry. The default is a no-op; `RemoteShard` installs
+    /// its `transport.retries` counter here.
+    fn install_metrics(&mut self, registry: &ccindex_obs::Registry) {
+        let _ = registry;
+    }
 }
 
 // ---------------------------------------------------------------------

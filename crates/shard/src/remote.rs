@@ -26,6 +26,8 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use ccindex_obs as obs;
+use ccindex_parallel::sync::Arc as ObsArc;
 use ccindex_wire::{self as wire, OneRequest, ShardRequest, ShardResponse, Spec};
 use mmdb::plan::{parse_knob, Plan};
 use mmdb::{
@@ -52,6 +54,8 @@ fn transport(endpoint: &str, fault: TransportFault, detail: String) -> MmdbError
         endpoint: endpoint.to_owned(),
         fault,
         detail,
+        attempts: 0,
+        elapsed_ms: 0,
     }
 }
 
@@ -64,6 +68,10 @@ pub struct RemoteShard {
     addr: String,
     timeout: Option<Duration>,
     conn: Mutex<Option<TcpStream>>,
+    /// `transport.retries` from the coordinator's registry, installed
+    /// by [`ShardBackend::install_metrics`]; counts redial attempts
+    /// beyond the first, per dial.
+    retries: Option<ObsArc<obs::Counter>>,
 }
 
 impl Clone for RemoteShard {
@@ -72,6 +80,7 @@ impl Clone for RemoteShard {
             addr: self.addr.clone(),
             timeout: self.timeout,
             conn: Mutex::new(None),
+            retries: self.retries.clone(),
         }
     }
 }
@@ -92,6 +101,7 @@ impl RemoteShard {
             addr: addr.into(),
             timeout,
             conn: Mutex::new(None),
+            retries: None,
         };
         // Validate liveness and protocol version up front: a skewed
         // server answers with a different frame version, which
@@ -106,23 +116,35 @@ impl RemoteShard {
         &self.addr
     }
 
+    /// Count redials (attempts beyond the first) against the installed
+    /// `transport.retries` counter, if any.
+    fn note_retries(&self, attempts: u32) {
+        if attempts > 1 {
+            if let Some(retries) = &self.retries {
+                retries.add(u64::from(attempts - 1));
+            }
+        }
+    }
+
     fn dial(&self) -> Result<TcpStream> {
+        let started = std::time::Instant::now();
         let mut delay = INITIAL_BACKOFF;
         let mut last = String::from("no attempt made");
         for attempt in 1..=CONNECT_ATTEMPTS {
             match TcpStream::connect(&self.addr) {
                 Ok(stream) => {
+                    self.note_retries(attempt);
                     // Latency over throughput: frames are small.
                     let _ = stream.set_nodelay(true);
                     stream
                         .set_read_timeout(self.timeout)
                         .and_then(|()| stream.set_write_timeout(self.timeout))
-                        .map_err(|e| {
-                            transport(
-                                &self.addr,
-                                TransportFault::Connect,
-                                format!("configuring deadline: {e}"),
-                            )
+                        .map_err(|e| MmdbError::Transport {
+                            endpoint: self.addr.clone(),
+                            fault: TransportFault::Connect,
+                            detail: format!("configuring deadline: {e}"),
+                            attempts: attempt,
+                            elapsed_ms: elapsed_ms(&started),
                         })?;
                     return Ok(stream);
                 }
@@ -135,14 +157,27 @@ impl RemoteShard {
                 }
             }
         }
-        Err(transport(
-            &self.addr,
-            TransportFault::Connect,
-            format!("after {CONNECT_ATTEMPTS} attempts: {last}"),
-        ))
+        self.note_retries(CONNECT_ATTEMPTS);
+        Err(MmdbError::Transport {
+            endpoint: self.addr.clone(),
+            fault: TransportFault::Connect,
+            detail: format!("after {CONNECT_ATTEMPTS} attempts: {last}"),
+            attempts: CONNECT_ATTEMPTS,
+            elapsed_ms: elapsed_ms(&started),
+        })
     }
 
     fn call(&self, req: &ShardRequest) -> Result<ShardResponse> {
+        self.call_traced(req, 0).map(|(resp, _)| resp)
+    }
+
+    /// One request/response exchange; `span_id` ≠ 0 stamps the trace
+    /// field so the server answers with its timing breakdown.
+    fn call_traced(
+        &self,
+        req: &ShardRequest,
+        span_id: u64,
+    ) -> Result<(ShardResponse, Option<obs::SpanNode>)> {
         let mut guard = match self.conn.lock() {
             Ok(g) => g,
             // A poisoned lock means a panic elsewhere; the connection
@@ -163,13 +198,13 @@ impl RemoteShard {
                 ))
             }
         };
-        let outcome = wire::write_request(stream, &self.addr, req)
-            .and_then(|()| wire::read_response(stream, &self.addr));
+        let outcome = wire::write_request_traced(stream, &self.addr, req, span_id)
+            .and_then(|()| wire::read_response_traced(stream, &self.addr));
         match outcome {
             // A typed server-side error is a *successful* exchange —
             // keep the connection.
-            Ok(ShardResponse::Err(e)) => Err(e),
-            Ok(resp) => Ok(resp),
+            Ok((ShardResponse::Err(e), _)) => Err(e),
+            Ok((resp, node)) => Ok((resp, node)),
             Err(e) => {
                 // The stream may hold a half-written request or a
                 // half-read reply; drop it so the next call redials
@@ -195,6 +230,33 @@ impl RemoteShard {
     pub fn run_spec(&self, spec: &Spec) -> Result<ResultRows> {
         match self.call(&ShardRequest::RunSpec { spec: spec.clone() })? {
             ShardResponse::Rows(rows) => Ok(rows),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    /// [`RemoteShard::run_spec`] under a trace: the request carries
+    /// `span`'s id, and the server's timing breakdown comes back in the
+    /// response frame and is grafted under `span` — one cross-process
+    /// latency tree, no clock synchronisation needed.
+    pub fn run_spec_traced(&self, spec: &Spec, span: &mut obs::Span) -> Result<ResultRows> {
+        let req = ShardRequest::RunSpec { spec: spec.clone() };
+        let mut rpc = span.child(format!("rpc:{}", self.addr));
+        let (resp, node) = self.call_traced(&req, span.id())?;
+        if let Some(node) = node {
+            rpc.adopt(node);
+        }
+        span.adopt(rpc.finish());
+        match resp {
+            ShardResponse::Rows(rows) => Ok(rows),
+            other => Err(self.bad_reply(&other)),
+        }
+    }
+
+    /// Scrape the server's metric registry: the JSON dump
+    /// `Registry::to_json` produces on the server side.
+    pub fn stats(&self) -> Result<String> {
+        match self.call(&ShardRequest::Stats)? {
+            ShardResponse::Stats { json } => Ok(json),
             other => Err(self.bad_reply(&other)),
         }
     }
@@ -235,6 +297,7 @@ fn variant_name(resp: &ShardResponse) -> &'static str {
         ShardResponse::Rebuilt { .. } => "Rebuilt",
         ShardResponse::Info { .. } => "Info",
         ShardResponse::Unit => "Unit",
+        ShardResponse::Stats { .. } => "Stats",
         ShardResponse::Err(_) => "Err",
     }
 }
@@ -473,6 +536,14 @@ impl ShardBackend for RemoteShard {
     fn describe(&self) -> String {
         format!("remote {}", self.addr)
     }
+
+    fn install_metrics(&mut self, registry: &obs::Registry) {
+        self.retries = Some(registry.counter("transport.retries"));
+    }
+}
+
+fn elapsed_ms(started: &std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
 fn rebuild_report(sort_ns: u64, rebuilds: Vec<(IndexKind, u64)>) -> RebuildReport {

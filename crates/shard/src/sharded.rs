@@ -31,6 +31,8 @@
 use crate::backend::{LocalShard, ShardBackend, ShardPin};
 use crate::partition::Partitioner;
 use crate::remote::RemoteShard;
+use ccindex_obs as obs;
+use ccindex_parallel::sync::Arc as MetricArc;
 use ccindex_parallel::WorkerPool;
 use ccindex_wire::Spec;
 use mmdb::domain::Value;
@@ -64,6 +66,9 @@ pub struct ShardedDatabase {
     generation: u64,
     /// The commit point shared with every reader handle and snapshot.
     slot: Arc<SwapSlot<ShardedState>>,
+    /// Scatter-gather observability handles (shared with every
+    /// committed [`ShardedState`], so pinned snapshots record too).
+    metrics: ShardMetrics,
 }
 
 /// Per-table placement metadata: where every global row lives.
@@ -79,6 +84,43 @@ struct ShardedTable {
     /// Indexes created through this catalog, so a re-partition can
     /// rebuild them: column -> kinds.
     indexes: BTreeMap<String, BTreeSet<IndexKind>>,
+}
+
+/// Pre-registered scatter-gather metric handles, resolved once at
+/// catalog construction so the probe hot path records through plain
+/// atomics instead of taking the registry lock per batch.
+#[derive(Debug, Clone)]
+struct ShardMetrics {
+    registry: MetricArc<obs::Registry>,
+    /// `shard.route.pruned`: probe batches whose column was the shard
+    /// key, so routing pruned each probe to its owning shard(s).
+    route_pruned: MetricArc<obs::Counter>,
+    /// `shard.route.fanned`: probe batches on a non-key column, fanned
+    /// to every shard.
+    route_fanned: MetricArc<obs::Counter>,
+    /// `shard.scatter.ns`: per-batch time answering the routed probe
+    /// subsets across the shards (the worker-pool scatter).
+    scatter_ns: MetricArc<obs::Histogram>,
+    /// `shard.gather.ns`: per-batch time translating local RIDs to
+    /// global and merging answers back into submission order.
+    gather_ns: MetricArc<obs::Histogram>,
+}
+
+impl ShardMetrics {
+    fn install(registry: MetricArc<obs::Registry>) -> Self {
+        Self {
+            route_pruned: registry.counter("shard.route.pruned"),
+            route_fanned: registry.counter("shard.route.fanned"),
+            scatter_ns: registry.histogram("shard.scatter.ns"),
+            gather_ns: registry.histogram("shard.gather.ns"),
+            registry,
+        }
+    }
+}
+
+/// Nanoseconds since `since`, saturating at `u64::MAX`.
+fn elapsed_ns(since: &std::time::Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One immutable generation of the *composed* sharded catalog: a
@@ -99,6 +141,7 @@ pub struct ShardedState {
     tables: BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
     generation: u64,
+    metrics: ShardMetrics,
 }
 
 /// The sharded catalog's pinned-generation guard:
@@ -150,6 +193,7 @@ struct ShardView<'a> {
     shards: Vec<&'a dyn ShardBackend>,
     tables: &'a BTreeMap<String, Arc<ShardedTable>>,
     exec: ExecOptions,
+    metrics: &'a ShardMetrics,
 }
 
 /// What one sharded [`ShardedDatabase::replace_column`] cycle did.
@@ -203,9 +247,11 @@ impl ShardedDatabase {
             });
         }
         let exec = ExecOptions::from_env();
+        let metrics = ShardMetrics::install(MetricArc::new(obs::Registry::new()));
         let mut shards = backends;
         for shard in &mut shards {
             shard.set_exec_options(exec)?;
+            shard.install_metrics(&metrics.registry);
         }
         let partitioner: Arc<dyn Partitioner> = Arc::new(partitioner);
         let initial = ShardedState {
@@ -214,6 +260,7 @@ impl ShardedDatabase {
             tables: BTreeMap::new(),
             exec,
             generation: 0,
+            metrics: metrics.clone(),
         };
         Ok(Self {
             partitioner,
@@ -222,6 +269,7 @@ impl ShardedDatabase {
             exec,
             generation: 0,
             slot: SwapSlot::new(initial, 0),
+            metrics,
         })
     }
 
@@ -244,6 +292,16 @@ impl ShardedDatabase {
     /// Hash-partitioned catalog over `shards` shards.
     pub fn hash(shards: usize) -> Result<Self> {
         Self::new(crate::partition::HashPartitioner::new(shards)?)
+    }
+
+    /// The catalog's metric registry: `shard.route.pruned` /
+    /// `shard.route.fanned` batch routing counts, `shard.scatter.ns` /
+    /// `shard.gather.ns` per-batch timing histograms, plus
+    /// `transport.retries` when any shard is remote. Shared with every
+    /// committed generation, so probes through pinned snapshots and
+    /// reader handles record into the same series.
+    pub fn registry(&self) -> &MetricArc<obs::Registry> {
+        &self.metrics.registry
     }
 
     /// Hash-partitioned catalog sized by the environment:
@@ -548,6 +606,7 @@ impl ShardedDatabase {
             shards: self.shards.iter().map(|b| &**b).collect(),
             tables: &self.tables,
             exec: self.exec,
+            metrics: &self.metrics,
         }
     }
 
@@ -565,6 +624,7 @@ impl ShardedDatabase {
                 tables: self.tables.clone(),
                 exec: self.exec,
                 generation: self.generation,
+                metrics: self.metrics.clone(),
             },
             self.generation,
         );
@@ -666,6 +726,13 @@ impl ShardedState {
         self.shards.len()
     }
 
+    /// The metric registry shared with the owning catalog — probes
+    /// through a pinned snapshot record into the same `shard.*` series
+    /// as probes through the live [`ShardedDatabase`].
+    pub fn registry(&self) -> &MetricArc<obs::Registry> {
+        &self.metrics.registry
+    }
+
     /// One shard's pinned backend, for inspection: a frozen
     /// [`mmdb::CatalogState`] for local shards, a client onto the
     /// server's committed tip for remote ones.
@@ -728,6 +795,7 @@ impl ShardedState {
             shards: self.shards.iter().map(|p| p as &dyn ShardBackend).collect(),
             tables: &self.tables,
             exec: self.exec,
+            metrics: &self.metrics,
         }
     }
 }
@@ -756,6 +824,7 @@ impl<'a> ShardView<'a> {
         // must match it byte for byte.
         self.shards[0].point_probe_batch(table, column, &[])?;
         if column == meta.shard_key {
+            self.metrics.route_pruned.inc();
             let routed = scatter_pruned(self.shards.len(), values, |v| {
                 self.partitioner.probe_shards(v)
             });
@@ -763,6 +832,7 @@ impl<'a> ShardView<'a> {
                 shard.point_probe_batch(table, column, vals)
             })
         } else {
+            self.metrics.route_fanned.inc();
             self.gather_fanned(meta, values.len(), |shard| {
                 shard.point_probe_batch(table, column, values)
             })
@@ -781,6 +851,7 @@ impl<'a> ShardView<'a> {
         // nowhere.
         self.shards[0].range_probe_batch(table, column, &[])?;
         if column == meta.shard_key {
+            self.metrics.route_pruned.inc();
             let routed = scatter_pruned(self.shards.len(), ranges, |(lo, hi)| {
                 self.partitioner.range_shards(lo, hi)
             });
@@ -788,6 +859,7 @@ impl<'a> ShardView<'a> {
                 shard.range_probe_batch(table, column, rs)
             })
         } else {
+            self.metrics.route_fanned.inc();
             self.gather_fanned(meta, ranges.len(), |shard| {
                 shard.range_probe_batch(table, column, ranges)
             })
@@ -810,9 +882,12 @@ impl<'a> ShardView<'a> {
         let jobs: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !routed[s].0.is_empty())
             .collect();
+        let scattering = std::time::Instant::now();
         let results = ccindex_parallel::WorkerPool::new(self.exec.threads).run(jobs.len(), |i| {
             answer(self.shards[jobs[i]], &routed[jobs[i]].0)
         });
+        self.metrics.scatter_ns.record(elapsed_ns(&scattering));
+        let gathering = std::time::Instant::now();
         let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
         for (&s, per_probe) in jobs.iter().zip(results) {
             let locals = &meta.locals[s];
@@ -823,6 +898,7 @@ impl<'a> ShardView<'a> {
         for rids in &mut out {
             rids.sort_unstable();
         }
+        self.metrics.gather_ns.record(elapsed_ns(&gathering));
         Ok(out)
     }
 
@@ -835,8 +911,11 @@ impl<'a> ShardView<'a> {
         slots: usize,
         answer: impl Fn(&dyn ShardBackend) -> Result<Vec<Vec<u32>>> + Sync,
     ) -> Result<Vec<Vec<u32>>> {
+        let scattering = std::time::Instant::now();
         let results = ccindex_parallel::WorkerPool::new(self.exec.threads)
             .run(self.shards.len(), |s| answer(self.shards[s]));
+        self.metrics.scatter_ns.record(elapsed_ns(&scattering));
+        let gathering = std::time::Instant::now();
         let mut out: Vec<Vec<u32>> = (0..slots).map(|_| Vec::new()).collect();
         for (s, per_probe) in results.into_iter().enumerate() {
             let locals = &meta.locals[s];
@@ -847,6 +926,7 @@ impl<'a> ShardView<'a> {
         for rids in &mut out {
             rids.sort_unstable();
         }
+        self.metrics.gather_ns.record(elapsed_ns(&gathering));
         Ok(out)
     }
 

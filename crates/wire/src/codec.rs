@@ -8,6 +8,7 @@
 //! length-prefixed UTF-8; sequences are length-prefixed; enums are
 //! one-byte tags.
 
+use ccindex_obs::SpanNode;
 use mmdb::plan::{GroupStep, JoinStep, Plan, Probe, ProbeStep, Side};
 use mmdb::{
     between, eq, on, Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinRow, MmdbError, Predicate,
@@ -113,6 +114,8 @@ impl<'a> Reader<'a> {
             endpoint: self.endpoint.to_owned(),
             fault: TransportFault::Decode,
             detail: detail.into(),
+            attempts: 0,
+            elapsed_ms: 0,
         }
     }
 
@@ -529,6 +532,8 @@ pub fn put_error(w: &mut Writer, e: &MmdbError) {
             endpoint,
             fault,
             detail,
+            attempts,
+            elapsed_ms,
         } => {
             w.u8(12);
             w.str(endpoint);
@@ -541,6 +546,8 @@ pub fn put_error(w: &mut Writer, e: &MmdbError) {
                 TransportFault::Protocol => 5,
             });
             w.str(detail);
+            w.u32(*attempts);
+            w.u64(*elapsed_ms);
         }
     }
 }
@@ -599,8 +606,42 @@ pub fn get_error(r: &mut Reader<'_>) -> Result<MmdbError> {
                 other => return Err(r.fail(format!("bad TransportFault tag {other}"))),
             },
             detail: r.str()?,
+            attempts: r.u32()?,
+            elapsed_ms: r.u64()?,
         },
         other => return Err(r.fail(format!("bad MmdbError tag {other}"))),
+    })
+}
+
+/// Deepest [`SpanNode`] tree the decoder will accept — real traces are
+/// a handful of levels; anything deeper is corrupted or hostile input.
+const MAX_SPAN_DEPTH: u32 = 64;
+
+/// Encode a [`SpanNode`] timing tree (the response half of a
+/// propagated trace).
+pub fn put_span_node(w: &mut Writer, node: &SpanNode) {
+    w.str(&node.name);
+    w.u64(node.elapsed_ns);
+    w.seq(&node.children, put_span_node);
+}
+
+/// Decode a [`SpanNode`] timing tree, rejecting trees deeper than
+/// `MAX_SPAN_DEPTH` (64 levels — real traces are a handful).
+pub fn get_span_node(r: &mut Reader<'_>) -> Result<SpanNode> {
+    get_span_node_at(r, 0)
+}
+
+fn get_span_node_at(r: &mut Reader<'_>, depth: u32) -> Result<SpanNode> {
+    if depth >= MAX_SPAN_DEPTH {
+        return Err(r.fail(format!("span tree deeper than {MAX_SPAN_DEPTH} levels")));
+    }
+    let name = r.str()?;
+    let elapsed_ns = r.u64()?;
+    let children = r.seq(|r| get_span_node_at(r, depth + 1))?;
+    Ok(SpanNode {
+        name,
+        elapsed_ns,
+        children,
     })
 }
 

@@ -1,17 +1,25 @@
-//! Frame layer: magic, version, length prefix, CRC-32 checksum.
+//! Frame layer: magic, version, trace + payload length prefixes,
+//! CRC-32 checksum.
 //!
 //! Every message travels as one frame:
 //!
 //! ```text
-//! +------+---------+---------+--------+-----------------+
-//! | CCWX | version | length  | crc32  | payload ...     |
-//! | 4 B  | u16 LE  | u32 LE  | u32 LE | `length` bytes  |
-//! +------+---------+---------+--------+-----------------+
+//! +------+---------+-----------+---------+--------+---------+---------+
+//! | CCWX | version | trace len | length  | crc32  | trace   | payload |
+//! | 4 B  | u16 LE  | u32 LE    | u32 LE  | u32 LE | t bytes | l bytes |
+//! +------+---------+-----------+---------+--------+---------+---------+
 //! ```
 //!
-//! The reader validates magic, version, a length cap, and the payload
-//! checksum before handing bytes to the codec — so a corrupted,
-//! truncated, or foreign-protocol stream surfaces as a typed
+//! The **trace** field (protocol v2) is an optional out-of-band
+//! context blob riding ahead of the message payload: a request carries
+//! the client's span id, a response carries the server's encoded
+//! timing breakdown (see `message.rs`). It is empty on untraced
+//! conversations, costing four header bytes. The checksum covers
+//! trace and payload together.
+//!
+//! The reader validates magic, version, length caps, and the checksum
+//! before handing bytes to the codec — so a corrupted, truncated, or
+//! foreign-protocol stream surfaces as a typed
 //! [`MmdbError::Transport`], never a panic or a wild allocation.
 
 use std::io::{Read, Write};
@@ -21,14 +29,14 @@ use mmdb::{MmdbError, Result, TransportFault};
 /// Frame magic — identifies a ccindex wire peer.
 pub const MAGIC: [u8; 4] = *b"CCWX";
 
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks (v2 added the trace field).
+pub const VERSION: u16 = 2;
 
-/// Upper bound on one frame's payload (guards allocation against a
-/// corrupted or hostile length field).
+/// Upper bound on one frame's trace + payload bytes (guards allocation
+/// against a corrupted or hostile length field).
 pub const MAX_FRAME_LEN: usize = 1 << 28; // 256 MiB
 
-const HEADER_LEN: usize = 14;
+const HEADER_LEN: usize = 18;
 
 /// IEEE CRC-32 lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = build_crc_table();
@@ -67,28 +75,56 @@ fn io_err(endpoint: &str, what: &str, e: &std::io::Error) -> MmdbError {
         endpoint: endpoint.to_owned(),
         fault: TransportFault::Io,
         detail: format!("{what}: {e}"),
+        attempts: 0,
+        elapsed_ms: 0,
     }
 }
 
-/// Write one frame (header + payload) and flush it.
+/// Write one untraced frame (header + empty trace + payload) and
+/// flush it.
 pub fn write_frame(w: &mut impl Write, endpoint: &str, payload: &[u8]) -> Result<()> {
+    write_frame_traced(w, endpoint, &[], payload)
+}
+
+/// Write one frame carrying an out-of-band `trace` blob ahead of the
+/// payload, and flush it. An empty `trace` is byte-identical to
+/// [`write_frame`].
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    endpoint: &str,
+    trace: &[u8],
+    payload: &[u8],
+) -> Result<()> {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in trace.iter().chain(payload) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
     let mut header = [0u8; HEADER_LEN];
     header[..4].copy_from_slice(&MAGIC);
     header[4..6].copy_from_slice(&VERSION.to_le_bytes());
-    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[10..14].copy_from_slice(&crc32(payload).to_le_bytes());
+    header[6..10].copy_from_slice(&(trace.len() as u32).to_le_bytes());
+    header[10..14].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[14..18].copy_from_slice(&(!crc).to_le_bytes());
     w.write_all(&header)
         .map_err(|e| io_err(endpoint, "writing frame header", &e))?;
+    w.write_all(trace)
+        .map_err(|e| io_err(endpoint, "writing frame trace", &e))?;
     w.write_all(payload)
         .map_err(|e| io_err(endpoint, "writing frame payload", &e))?;
     w.flush()
         .map_err(|e| io_err(endpoint, "flushing frame", &e))
 }
 
-/// Read one frame, validating magic, version, length, and checksum.
-/// Returns the payload bytes; every failure is a typed
-/// [`MmdbError::Transport`] naming `endpoint`.
+/// Read one frame, validating magic, version, lengths, and checksum;
+/// discards any trace blob. Returns the payload bytes; every failure
+/// is a typed [`MmdbError::Transport`] naming `endpoint`.
 pub fn read_frame(r: &mut impl Read, endpoint: &str) -> Result<Vec<u8>> {
+    read_frame_traced(r, endpoint).map(|(_, payload)| payload)
+}
+
+/// Read one frame, returning `(trace, payload)` — the trace is empty
+/// on untraced conversations.
+pub fn read_frame_traced(r: &mut impl Read, endpoint: &str) -> Result<(Vec<u8>, Vec<u8>)> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)
         .map_err(|e| io_err(endpoint, "reading frame header", &e))?;
@@ -100,6 +136,8 @@ pub fn read_frame(r: &mut impl Read, endpoint: &str) -> Result<Vec<u8>> {
                 "bad magic {:02x}{:02x}{:02x}{:02x} (peer is not a ccindex shard server)",
                 header[0], header[1], header[2], header[3]
             ),
+            attempts: 0,
+            elapsed_ms: 0,
         });
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
@@ -108,29 +146,43 @@ pub fn read_frame(r: &mut impl Read, endpoint: &str) -> Result<Vec<u8>> {
             endpoint: endpoint.to_owned(),
             fault: TransportFault::Version,
             detail: format!("peer speaks protocol v{version}, this build speaks v{VERSION}"),
+            attempts: 0,
+            elapsed_ms: 0,
         });
     }
-    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
-    if len > MAX_FRAME_LEN {
+    let trace_len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    let len = u32::from_le_bytes([header[10], header[11], header[12], header[13]]) as usize;
+    if trace_len.saturating_add(len) > MAX_FRAME_LEN {
         return Err(MmdbError::Transport {
             endpoint: endpoint.to_owned(),
             fault: TransportFault::Decode,
-            detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+            detail: format!("frame length {trace_len}+{len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+            attempts: 0,
+            elapsed_ms: 0,
         });
     }
-    let expected_crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    let expected_crc = u32::from_le_bytes([header[14], header[15], header[16], header[17]]);
+    let mut trace = vec![0u8; trace_len];
+    r.read_exact(&mut trace)
+        .map_err(|e| io_err(endpoint, "reading frame trace", &e))?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)
         .map_err(|e| io_err(endpoint, "reading frame payload", &e))?;
-    let got_crc = crc32(&payload);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in trace.iter().chain(&payload) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    let got_crc = !crc;
     if got_crc != expected_crc {
         return Err(MmdbError::Transport {
             endpoint: endpoint.to_owned(),
             fault: TransportFault::Checksum,
-            detail: format!("payload crc {got_crc:08x}, header says {expected_crc:08x}"),
+            detail: format!("frame crc {got_crc:08x}, header says {expected_crc:08x}"),
+            attempts: 0,
+            elapsed_ms: 0,
         });
     }
-    Ok(payload)
+    Ok((trace, payload))
 }
 
 #[cfg(test)]
@@ -155,6 +207,33 @@ mod tests {
         let mut cursor = &buf[..];
         let payload = read_frame(&mut cursor, "test").expect("roundtrip");
         assert_eq!(payload, b"hello shard");
+    }
+
+    #[test]
+    fn traced_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, "test", b"span", b"hello shard").expect("vec write");
+        let (trace, payload) = read_frame_traced(&mut &buf[..], "test").expect("roundtrip");
+        assert_eq!(trace, b"span");
+        assert_eq!(payload, b"hello shard");
+        // The untraced reader accepts the frame and discards the trace.
+        let payload = read_frame(&mut &buf[..], "test").expect("untraced read");
+        assert_eq!(payload, b"hello shard");
+    }
+
+    #[test]
+    fn corrupted_trace_is_a_checksum_error() {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, "test", b"span", b"hello shard").expect("vec write");
+        buf[HEADER_LEN] ^= 0xFF; // first trace byte
+        let err = read_frame_traced(&mut &buf[..], "test").expect_err("corruption must fail");
+        assert!(matches!(
+            err,
+            MmdbError::Transport {
+                fault: TransportFault::Checksum,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! Three layers:
 //!
-//! * [`frame`] — magic + version + length + CRC-32 framing; corrupt,
+//! * [`frame`] — magic + version + trace/payload lengths + CRC-32
+//!   framing (the v2 trace field carries span ids and timing trees
+//!   for cross-wire query tracing); corrupt,
 //!   truncated, or foreign-protocol bytes surface as typed
 //!   [`MmdbError::Transport`](mmdb::MmdbError) errors, never panics;
 //! * [`codec`] — hand-rolled little-endian codecs for the `mmdb` types
@@ -39,8 +41,12 @@ pub mod codec;
 pub mod frame;
 pub mod message;
 
-pub use frame::{crc32, read_frame, write_frame, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use frame::{
+    crc32, read_frame, read_frame_traced, write_frame, write_frame_traced, MAGIC, MAX_FRAME_LEN,
+    VERSION,
+};
 pub use message::{
-    read_request, read_response, write_request, write_response, OneRequest, ShardRequest,
+    read_request, read_request_traced, read_response, read_response_traced, write_request,
+    write_request_traced, write_response, write_response_traced, OneRequest, ShardRequest,
     ShardResponse, Spec,
 };

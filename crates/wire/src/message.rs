@@ -12,6 +12,7 @@
 
 use std::io::{Read, Write};
 
+use ccindex_obs::SpanNode;
 use mmdb::plan::{Plan, Probe};
 use mmdb::{
     Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinOn, MmdbError, Predicate, Result, ResultRows,
@@ -20,11 +21,11 @@ use mmdb::{
 
 use crate::codec::{
     get_agg, get_agg_fn, get_error, get_exec, get_group_row, get_join_on, get_kind, get_plan,
-    get_predicate, get_probe, get_result_rows, get_value, put_agg, put_agg_fn, put_error, put_exec,
-    put_group_row, put_join_on, put_kind, put_plan, put_predicate, put_probe, put_result_rows,
-    put_value, Reader, Writer,
+    get_predicate, get_probe, get_result_rows, get_span_node, get_value, put_agg, put_agg_fn,
+    put_error, put_exec, put_group_row, put_join_on, put_kind, put_plan, put_predicate, put_probe,
+    put_result_rows, put_span_node, put_value, Reader, Writer,
 };
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, read_frame_traced, write_frame, write_frame_traced};
 
 /// A query description in wire form: what `ccindex-serve`'s
 /// `QuerySpec` captures, owned and encodable. A shard server replays
@@ -228,6 +229,9 @@ pub enum ShardRequest {
     /// Ask the server to finish in-flight work and exit its accept
     /// loop.
     Shutdown,
+    /// Scrape the server's metric registry; answered with
+    /// [`ShardResponse::Stats`].
+    Stats,
 }
 
 /// Everything a shard server can answer.
@@ -272,6 +276,12 @@ pub enum ShardResponse {
     },
     /// Success with nothing to return.
     Unit,
+    /// The server's metric registry, rendered as the same JSON shape
+    /// `Registry::to_json` produces locally.
+    Stats {
+        /// The JSON dump.
+        json: String,
+    },
     /// The request failed; the same typed error the operation would
     /// have raised in-process.
     Err(MmdbError),
@@ -317,6 +327,7 @@ impl PartialEq for ShardResponse {
                 },
             ) => g1 == g2 && s1 == s2 && p1 == p2 && e1 == e2,
             (Unit, Unit) => true,
+            (Stats { json: a }, Stats { json: b }) => a == b,
             (Err(a), Err(b)) => a == b,
             _ => false,
         }
@@ -569,6 +580,7 @@ impl ShardRequest {
                 put_exec(&mut w, *exec);
             }
             ShardRequest::Shutdown => w.u8(19),
+            ShardRequest::Stats => w.u8(20),
         }
         w.into_bytes()
     }
@@ -652,6 +664,7 @@ impl ShardRequest {
                 exec: get_exec(&mut r)?,
             },
             19 => ShardRequest::Shutdown,
+            20 => ShardRequest::Stats,
             other => return Err(r.fail(format!("bad ShardRequest tag {other}"))),
         };
         r.expect_end()?;
@@ -734,6 +747,10 @@ impl ShardResponse {
                 w.u8(12);
                 put_error(&mut w, e);
             }
+            ShardResponse::Stats { json } => {
+                w.u8(13);
+                w.str(json);
+            }
         }
         w.into_bytes()
     }
@@ -769,6 +786,7 @@ impl ShardResponse {
             },
             11 => ShardResponse::Unit,
             12 => ShardResponse::Err(get_error(&mut r)?),
+            13 => ShardResponse::Stats { json: r.str()? },
             other => return Err(r.fail(format!("bad ShardResponse tag {other}"))),
         };
         r.expect_end()?;
@@ -800,4 +818,79 @@ pub fn write_response(w: &mut impl Write, endpoint: &str, resp: &ShardResponse) 
 pub fn read_response(r: &mut impl Read, endpoint: &str) -> Result<ShardResponse> {
     let payload = read_frame(r, endpoint)?;
     ShardResponse::decode(&payload, endpoint)
+}
+
+// ---------------------------------------------------------------------
+// Traced stream helpers (protocol v2 trace field)
+// ---------------------------------------------------------------------
+
+/// Frame and send one request, stamping the client's `span_id` into
+/// the trace field. `span_id` 0 means "no trace requested" and sends
+/// an empty trace — byte-identical to [`write_request`].
+pub fn write_request_traced(
+    w: &mut impl Write,
+    endpoint: &str,
+    req: &ShardRequest,
+    span_id: u64,
+) -> Result<()> {
+    if span_id == 0 {
+        return write_request(w, endpoint, req);
+    }
+    write_frame_traced(w, endpoint, &span_id.to_le_bytes(), &req.encode())
+}
+
+/// Receive and decode one request plus the client's span id (0 when
+/// the request carried no trace).
+pub fn read_request_traced(r: &mut impl Read, endpoint: &str) -> Result<(ShardRequest, u64)> {
+    let (trace, payload) = read_frame_traced(r, endpoint)?;
+    let span_id = match trace.len() {
+        0 => 0,
+        8 => u64::from_le_bytes(trace[..8].try_into().expect("length checked")),
+        n => {
+            return Err(MmdbError::Transport {
+                endpoint: endpoint.to_owned(),
+                fault: mmdb::TransportFault::Decode,
+                detail: format!("request trace is {n} bytes, expected 0 or 8 (a span id)"),
+                attempts: 0,
+                elapsed_ms: 0,
+            })
+        }
+    };
+    Ok((ShardRequest::decode(&payload, endpoint)?, span_id))
+}
+
+/// Frame and send one response, attaching the server-side timing
+/// breakdown when the request carried a trace.
+pub fn write_response_traced(
+    w: &mut impl Write,
+    endpoint: &str,
+    resp: &ShardResponse,
+    trace: Option<&SpanNode>,
+) -> Result<()> {
+    match trace {
+        None => write_response(w, endpoint, resp),
+        Some(node) => {
+            let mut tw = Writer::new();
+            put_span_node(&mut tw, node);
+            write_frame_traced(w, endpoint, &tw.into_bytes(), &resp.encode())
+        }
+    }
+}
+
+/// Receive and decode one response plus the server's timing breakdown
+/// (`None` when the response carried no trace).
+pub fn read_response_traced(
+    r: &mut impl Read,
+    endpoint: &str,
+) -> Result<(ShardResponse, Option<SpanNode>)> {
+    let (trace, payload) = read_frame_traced(r, endpoint)?;
+    let node = if trace.is_empty() {
+        None
+    } else {
+        let mut tr = Reader::new(&trace, endpoint);
+        let node = get_span_node(&mut tr)?;
+        tr.expect_end()?;
+        Some(node)
+    };
+    Ok((ShardResponse::decode(&payload, endpoint)?, node))
 }

@@ -2,8 +2,10 @@
 //! message type, and corrupted / truncated / wrong-version frames
 //! decode to typed errors — never panics.
 
+use ccindex_obs::SpanNode;
 use ccindex_wire::{
-    read_frame, write_frame, OneRequest, ShardRequest, ShardResponse, Spec, VERSION,
+    read_frame, read_request_traced, read_response_traced, write_frame, write_request_traced,
+    write_response_traced, OneRequest, ShardRequest, ShardResponse, Spec, VERSION,
 };
 use mmdb::plan::{GroupStep, JoinStep, Plan, Probe, ProbeStep, Side};
 use mmdb::{
@@ -216,6 +218,8 @@ impl Gen {
                     TransportFault::Protocol,
                 ][self.below(6) as usize],
                 detail: self.string(),
+                attempts: self.next() as u32,
+                elapsed_ms: self.next(),
             },
         }
     }
@@ -282,6 +286,22 @@ impl Gen {
                 None
             },
             exec: self.exec(),
+        }
+    }
+
+    /// A random timing tree, at most `depth` levels deep.
+    fn span_node(&mut self, depth: u64) -> SpanNode {
+        let children = if depth == 0 {
+            Vec::new()
+        } else {
+            (0..self.below(3))
+                .map(|_| self.span_node(depth - 1))
+                .collect()
+        };
+        SpanNode {
+            name: self.string(),
+            elapsed_ns: self.next(),
+            children,
         }
     }
 
@@ -373,6 +393,7 @@ impl Gen {
             },
             ShardRequest::SetExecOptions { exec: self.exec() },
             ShardRequest::Shutdown,
+            ShardRequest::Stats,
         ]
     }
 
@@ -418,6 +439,9 @@ impl Gen {
                 exec: self.exec(),
             },
             ShardResponse::Unit,
+            ShardResponse::Stats {
+                json: self.string(),
+            },
             ShardResponse::Err(self.error()),
         ]
     }
@@ -514,6 +538,42 @@ proptest! {
             ),
             "{err:?}"
         );
+    }
+
+    /// A traced request carries its span id across the wire, a traced
+    /// response carries its timing tree — and untraced calls stay
+    /// byte-identical to the v2 untraced helpers.
+    #[test]
+    fn traced_messages_roundtrip(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let span_id = 1 + g.below(u64::MAX - 1);
+        let reqs = g.all_requests();
+        let req = &reqs[g.below(reqs.len() as u64) as usize];
+        let mut buf = Vec::new();
+        write_request_traced(&mut buf, "peer", req, span_id).expect("vec write");
+        let (back, id) = read_request_traced(&mut &buf[..], "peer").expect("traced request");
+        prop_assert_eq!(&back, req);
+        prop_assert_eq!(id, span_id);
+
+        // Span id 0 means untraced and reads back as 0.
+        let mut buf = Vec::new();
+        write_request_traced(&mut buf, "peer", req, 0).expect("vec write");
+        let (_, id) = read_request_traced(&mut &buf[..], "peer").expect("untraced request");
+        prop_assert_eq!(id, 0);
+
+        let tree = g.span_node(3);
+        let resps = g.all_responses();
+        let resp = &resps[g.below(resps.len() as u64) as usize];
+        let mut buf = Vec::new();
+        write_response_traced(&mut buf, "peer", resp, Some(&tree)).expect("vec write");
+        let (back, node) = read_response_traced(&mut &buf[..], "peer").expect("traced response");
+        prop_assert_eq!(&back, resp);
+        prop_assert_eq!(node.as_ref(), Some(&tree));
+
+        let mut buf = Vec::new();
+        write_response_traced(&mut buf, "peer", resp, None).expect("vec write");
+        let (_, node) = read_response_traced(&mut &buf[..], "peer").expect("untraced response");
+        prop_assert_eq!(node, None);
     }
 
     /// Arbitrary garbage payloads never panic the decoders.

@@ -43,6 +43,7 @@
 //! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution (local or remote shards) |
 //! | [`serve`] | `ccindex-serve` | Batch-formation serving front-end + TCP shard server |
 //! | [`wire`] | `ccindex-wire` | Versioned, checksummed shard wire protocol |
+//! | [`obs`] | `ccindex-obs` | Metrics registry, latency histograms, query tracing |
 //! | [`gen`] | `workload` | Key/lookup/update generators |
 //! | [`parallel`] | `ccindex-parallel` | Scoped worker pool for partitioned execution |
 //! | [`common`] | `ccindex-common` | Shared traits |
@@ -53,6 +54,7 @@ pub use analysis as model;
 pub use bst_index as bst;
 pub use cachesim as sim;
 pub use ccindex_common as common;
+pub use ccindex_obs as obs;
 pub use ccindex_parallel as parallel;
 pub use ccindex_serve as serve;
 pub use ccindex_shard as shard;
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;
     pub use crate::model::Params;
+    pub use crate::obs::{Counter, Gauge, Histogram, Registry, Span, SpanNode};
     pub use crate::parallel::{BlockingQueue, WorkerPool};
     pub use crate::serve::{
         BatchServer, QuerySpec, Request, ServeEngine, ServeOptions, ServeSource, ShardServer,
