@@ -9,7 +9,7 @@
 //! | O1   | every explicit non-`SeqCst` atomic ordering at an atomic call site carries a `// ORDERING:` justification |
 //! | F1   | no `static mut`, no `transmute` |
 //! | H1   | every `lib.rs` opens with `//!` docs and declares `#![deny(unsafe_op_in_unsafe_fn)]` |
-//! | W1   | no `.unwrap()` / `.expect(` on socket-I/O lines — transport faults must map to typed errors |
+//! | W1   | no `.unwrap()` / `.expect(` on socket- or file-I/O lines — transport and storage faults must map to typed errors |
 //! | M1   | metric names at registration sites (`.counter("…")` / `.gauge("…")` / `.histogram("…")`) are `dot.separated` lowercase, and each name is registered at exactly one source site workspace-wide |
 //!
 //! O1 exists because of exactly the bug class PR 7 is about: a
@@ -35,8 +35,11 @@
 //! dead or misbehaving peer surfaces as a typed
 //! `MmdbError::Transport`, never a panic: one stray `.unwrap()` on a
 //! socket read turns a killed shard into a crashed coordinator. The
-//! lint recognizes socket-I/O lines by token (`TcpStream`,
-//! `read_frame`, `.accept()`, …) so unrelated `unwrap`s on the same
+//! storage layer makes the same promise for files — a truncated or
+//! bit-flipped store surfaces as a typed `MmdbError::Storage`, so the
+//! rule covers file-I/O lines (`File::open`, `fs::write`, …) too. The
+//! lint recognizes I/O lines by token (`TcpStream`, `read_frame`,
+//! `.accept()`, `File::open`, …) so unrelated `unwrap`s on the same
 //! code path — a `Mutex::lock` poison recovery, a thread join — don't
 //! false-positive.
 //!
@@ -210,17 +213,18 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
             });
         }
 
-        // W1: socket I/O never panics — a dead peer must become a
-        // typed transport error, not a crash.
-        if socket_io_line(code_line)
+        // W1: socket and file I/O never panic — a dead peer must become
+        // a typed transport error and a bad file a typed storage error,
+        // not a crash.
+        if (socket_io_line(code_line) || file_io_line(code_line))
             && (code_line.contains(".unwrap()") || code_line.contains(".expect("))
         {
             out.push(Violation {
                 file: file.to_owned(),
                 line: lineno,
                 rule: "W1",
-                message: "`.unwrap()`/`.expect()` on a socket-I/O line; map the failure to a \
-                          typed transport error instead"
+                message: "`.unwrap()`/`.expect()` on a socket- or file-I/O line; map the \
+                          failure to a typed transport/storage error instead"
                     .to_owned(),
             });
         }
@@ -386,6 +390,29 @@ fn socket_io_line(code_line: &str) -> bool {
         "set_write_timeout",
         "set_nodelay",
         "peer_addr",
+    ];
+    TOKENS.iter().any(|t| code_line.contains(t))
+}
+
+/// Whether a stripped line performs file I/O — the storage twin of
+/// [`socket_io_line`]. Same token-based discipline: these name the
+/// operations that can fail because the *filesystem* misbehaved
+/// (missing file, short read, full disk), which is exactly the failure
+/// class `MmdbError::Storage` types.
+fn file_io_line(code_line: &str) -> bool {
+    const TOKENS: [&str; 12] = [
+        "File::open",
+        "File::create",
+        "OpenOptions",
+        "fs::read",
+        "fs::write",
+        "fs::metadata",
+        "fs::copy",
+        "fs::rename",
+        "fs::remove_file",
+        "fs::remove_dir",
+        "fs::create_dir",
+        ".sync_all(",
     ];
     TOKENS.iter().any(|t| code_line.contains(t))
 }
@@ -722,6 +749,37 @@ mod tests {
     #[test]
     fn socket_unwrap_in_tests_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let s = TcpStream::connect(\"a:1\").unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn file_io_unwrap_flagged() {
+        let v = lint("fn f() { let b = std::fs::read(\"x.ccsp\").unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+        let v = lint("fn f() { let file = File::open(path).expect(\"store\"); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+        let v = lint("fn f(p: &Path, b: &[u8]) { std::fs::write(p, b).unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "W1");
+    }
+
+    #[test]
+    fn file_io_mapped_to_typed_errors_passes() {
+        assert!(lint(
+            "fn f(p: &Path) -> Result<Vec<u8>> { std::fs::read(p).map_err(open_fault) }\n"
+        )
+        .is_empty());
+        assert!(
+            lint("fn f(p: &Path, b: &[u8]) -> Result<()> { std::fs::write(p, b)?; Ok(()) }\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn file_io_unwrap_in_tests_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"t\", b\"x\").unwrap(); }\n}\n";
         assert!(lint(src).is_empty());
     }
 

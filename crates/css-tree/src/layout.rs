@@ -181,6 +181,36 @@ impl CssLayout {
         self.internal_nodes * self.m
     }
 
+    /// Number of directory levels actually holding internal nodes
+    /// (the leaf level is not part of the directory). Every probe
+    /// descent touches exactly these levels, root first.
+    pub fn directory_levels(&self) -> u32 {
+        if self.internal_nodes == 0 {
+            0
+        } else {
+            self.depth
+        }
+    }
+
+    /// Internal node numbers of directory level `level` (0 = the
+    /// root). Breadth-first numbering makes each level contiguous —
+    /// level `L` starts at `(f^L − 1)/(f − 1)` — which is what lets a
+    /// serialized tree be written and reopened one level page at a
+    /// time (geomedea's `node_ranges_by_level`, transposed to CSS).
+    pub fn level_nodes(&self, level: u32) -> std::ops::Range<usize> {
+        let f = self.branching;
+        let start = (pow_saturating(f, level) - 1) / (f - 1);
+        let end = (pow_saturating(f, level + 1) - 1) / (f - 1);
+        start.min(self.internal_nodes)..end.min(self.internal_nodes)
+    }
+
+    /// Directory key-slot range of level `level` — the page a
+    /// serialized tree stores (and a cold start reads) per level.
+    pub fn level_slots(&self, level: u32) -> std::ops::Range<usize> {
+        let nodes = self.level_nodes(level);
+        nodes.start * self.m..nodes.end * self.m
+    }
+
     /// Directory size in bytes for `key_width`-byte keys — the CSS-tree's
     /// entire space cost (Fig. 7: identical in both accounting modes).
     pub fn space_bytes(&self, key_width: usize) -> usize {
@@ -392,6 +422,57 @@ mod tests {
         let lmb = ll.space_bytes(4) as f64 / 1e6;
         assert!(lmb > mb, "level {lmb} vs full {mb}");
         assert!((2.4..3.1).contains(&lmb), "level space = {lmb} MB");
+    }
+
+    #[test]
+    fn level_ranges_tile_the_directory() {
+        // Concatenating every level's node (and slot) range must
+        // reproduce 0..T (and 0..T·m) exactly, in order — the
+        // invariant the per-level page serialization rests on.
+        for &(n, m) in &[
+            (260usize, 4usize),
+            (97, 4),
+            (1_000, 8),
+            (4_097, 16),
+            (100, 5),
+            (12_345, 7),
+            (3, 4),
+            (0, 4),
+        ] {
+            let layouts = if m.is_power_of_two() && m >= 2 {
+                vec![CssLayout::full(n, m), CssLayout::level(n, m)]
+            } else {
+                vec![CssLayout::full(n, m)]
+            };
+            for l in layouts {
+                let mut next_node = 0usize;
+                let mut next_slot = 0usize;
+                for level in 0..l.directory_levels() {
+                    let nodes = l.level_nodes(level);
+                    let slots = l.level_slots(level);
+                    assert_eq!(nodes.start, next_node, "n={n} m={m} level={level}");
+                    assert!(!nodes.is_empty(), "n={n} m={m} level={level}");
+                    assert_eq!(slots, nodes.start * l.m..nodes.end * l.m);
+                    next_node = nodes.end;
+                    next_slot = slots.end;
+                }
+                assert_eq!(next_node, l.internal_nodes, "n={n} m={m}");
+                assert_eq!(next_slot, l.directory_slots(), "n={n} m={m}");
+                // One level past the directory is empty, not a panic.
+                assert!(l.level_nodes(l.directory_levels()).is_empty() || l.internal_nodes == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_level_ranges() {
+        // Fig. 3 geometry: 16 internal nodes over 3 directory levels.
+        let l = CssLayout::full(260, 4);
+        assert_eq!(l.directory_levels(), 3);
+        assert_eq!(l.level_nodes(0), 0..1);
+        assert_eq!(l.level_nodes(1), 1..6);
+        assert_eq!(l.level_nodes(2), 6..16); // clamped from 6..31
+        assert_eq!(l.level_slots(2), 24..64);
     }
 
     #[test]

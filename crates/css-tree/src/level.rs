@@ -83,9 +83,50 @@ impl<K: Key, const M: usize> LevelCssTree<K, M> {
         }
     }
 
+    /// Reassemble a tree from its shared array plus pre-built
+    /// directory slots (a serialized tree's level pages, concatenated
+    /// root level first, auxiliary slots included) without re-running
+    /// the bottom-up fill. The slot count must match the geometry
+    /// recomputed from `(n, M)`; a mismatch is an `Err` (never a
+    /// panic) so a damaged file surfaces as a typed storage error
+    /// upstream.
+    pub fn from_shared_with_directory(array: SortedArray<K>, slots: &[K]) -> Result<Self, String> {
+        assert!(
+            M >= 2 && M.is_power_of_two(),
+            "level CSS-trees require a power-of-two node size >= 2"
+        );
+        let layout = CssLayout::level(array.len(), M);
+        if slots.len() != layout.directory_slots() {
+            return Err(format!(
+                "level CSS directory has {} slots, geometry for n={} m={M} needs {}",
+                slots.len(),
+                array.len(),
+                layout.directory_slots()
+            ));
+        }
+        Ok(Self {
+            array,
+            directory: AlignedBuf::from_slice(slots),
+            layout,
+        })
+    }
+
     /// The directory geometry.
     pub fn layout(&self) -> &CssLayout {
         &self.layout
+    }
+
+    /// One directory level's key slots (level 0 = the root) — the
+    /// page a level-addressable serialization writes per level.
+    pub fn directory_level(&self, level: u32) -> &[K] {
+        &self.directory.as_slice()[self.layout.level_slots(level)]
+    }
+
+    /// The whole directory, root level first; the per-level pages of
+    /// [`directory_level`](Self::directory_level) concatenate to
+    /// exactly this slice.
+    pub fn directory(&self) -> &[K] {
+        self.directory.as_slice()
     }
 
     /// The underlying shared array.
@@ -347,5 +388,39 @@ mod tests {
             assert_eq!(t.search(k), Some(i));
             assert_eq!(t.search(k + 1), None);
         }
+    }
+
+    #[test]
+    fn level_pages_reassemble_the_tree() {
+        for n in [0usize, 3, 97, 260, 4_097] {
+            let keys: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
+            let built = LevelCssTree::<u32, 8>::build(&keys);
+            let mut slots = Vec::new();
+            for level in 0..built.layout().directory_levels() {
+                slots.extend_from_slice(built.directory_level(level));
+            }
+            assert_eq!(&slots[..], built.directory(), "n={n}");
+            let reopened =
+                LevelCssTree::<u32, 8>::from_shared_with_directory(built.array().clone(), &slots)
+                    .expect("geometry matches");
+            for probe in (0..n as u32 * 3 + 4).step_by(7) {
+                assert_eq!(
+                    reopened.lower_bound(probe),
+                    built.lower_bound(probe),
+                    "n={n} probe={probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_slot_count_is_an_error_not_a_panic() {
+        let keys: Vec<u32> = (0..300).collect();
+        let built = LevelCssTree::<u32, 8>::build(&keys);
+        let mut slots = built.directory().to_vec();
+        slots.extend_from_slice(&[0, 0]);
+        let err = LevelCssTree::<u32, 8>::from_shared_with_directory(built.array().clone(), &slots)
+            .expect_err("oversized directory must fail");
+        assert!(err.contains("slots"), "{err}");
     }
 }

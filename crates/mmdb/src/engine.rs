@@ -416,6 +416,16 @@ impl Database {
         self.slot.pinned()
     }
 
+    /// Replace the whole table map and commit — the storage restore
+    /// path ([`persist`](crate::persist)): the decoded tables land as
+    /// one new generation through the same commit cycle every other
+    /// mutator uses, so pinned readers keep their old generation and
+    /// the row-rebuild path is never involved.
+    pub(crate) fn replace_tables(&mut self, tables: BTreeMap<String, Arc<TableEntry>>) {
+        self.tip.tables = tables;
+        self.publish();
+    }
+
     /// Commit the tip as the next generation. Every mutator calls this
     /// exactly once, after *all* of its mutations succeeded — the
     /// invariant that makes each generation internally consistent.

@@ -101,6 +101,19 @@ pub enum MmdbError {
         /// Human-readable description of what was attempted.
         what: String,
     },
+    /// A storage file could not be opened, read, written, or trusted.
+    /// Every file-I/O fault on the save/open path surfaces as this
+    /// error — a missing, truncated, or bit-flipped catalog file is a
+    /// message naming the path, never a panic.
+    Storage {
+        /// The file (or in-memory snapshot label) at fault.
+        path: String,
+        /// Which stage of the storage conversation failed.
+        fault: StorageFault,
+        /// Human-readable detail (the underlying I/O error, the bad
+        /// page, ...).
+        detail: String,
+    },
     /// A remote shard could not be reached, or the wire conversation
     /// with it failed. A dropped shard surfaces as this error on the
     /// affected requests — never a panic or an indefinite hang.
@@ -119,6 +132,27 @@ pub enum MmdbError {
         /// milliseconds (0 when the operation is not retried).
         elapsed_ms: u64,
     },
+}
+
+/// Which stage of a storage conversation a [`MmdbError::Storage`]
+/// failure happened in. Mirrors `ccindex-store`'s `StoreFault` 1:1 so
+/// the engine can surface store-crate errors without flattening them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The file could not be opened or created.
+    Open,
+    /// A read syscall failed or came up short.
+    Read,
+    /// A write syscall failed.
+    Write,
+    /// The bytes are not a ccindex store (bad magic, impossible
+    /// offsets, truncated structure).
+    Format,
+    /// The structure parsed but a checksum or catalog invariant
+    /// failed — the file was damaged after it was written.
+    Corrupt,
+    /// The file speaks a storage format version this build does not.
+    Version,
 }
 
 /// Which stage of a wire conversation a [`MmdbError::Transport`] failure
@@ -212,6 +246,21 @@ impl std::fmt::Display for MmdbError {
                 )
             }
             MmdbError::Unsupported { what } => write!(f, "{what}"),
+            MmdbError::Storage {
+                path,
+                fault,
+                detail,
+            } => {
+                let stage = match fault {
+                    StorageFault::Open => "opening",
+                    StorageFault::Read => "reading",
+                    StorageFault::Write => "writing",
+                    StorageFault::Format => "not a ccindex store",
+                    StorageFault::Corrupt => "corrupted store",
+                    StorageFault::Version => "store format version mismatch",
+                };
+                write!(f, "storage fault on `{path}` ({stage}): {detail}")
+            }
             MmdbError::Transport {
                 endpoint,
                 fault,
@@ -319,6 +368,30 @@ mod tests {
         assert!(msg.contains("version"), "{msg}");
         // A non-retried failure does not claim any attempts.
         assert!(!msg.contains("attempt"), "{msg}");
+
+        let e = MmdbError::Storage {
+            path: "/data/catalog.ccs".into(),
+            fault: StorageFault::Corrupt,
+            detail: "page 7 crc 1234abcd, page table says deadbeef".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("/data/catalog.ccs")
+                && msg.contains("corrupted")
+                && msg.contains("page 7"),
+            "{msg}"
+        );
+
+        let e = MmdbError::Storage {
+            path: "missing.ccs".into(),
+            fault: StorageFault::Open,
+            detail: "No such file or directory".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("opening") && msg.contains("missing.ccs"),
+            "{msg}"
+        );
     }
 
     #[test]

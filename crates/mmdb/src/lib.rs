@@ -49,6 +49,7 @@ pub mod domain;
 pub mod engine;
 pub mod error;
 pub mod index_choice;
+pub mod persist;
 pub mod plan;
 pub mod query;
 pub mod rid;
@@ -58,7 +59,8 @@ pub mod update;
 
 // The engine surface.
 pub use engine::{Database, RebuildReport};
-pub use error::{MmdbError, Result, TransportFault};
+pub use error::{MmdbError, Result, StorageFault, TransportFault};
+pub use persist::{catalog_from_bytes, catalog_to_bytes};
 pub use plan::{
     between, count, eq, max, min, on, parse_knob, sum, Agg, ExecOptions, JoinOn, Plan, PlanTimings,
     Predicate, PredicateOp, Query, ResultRows, ResultSet,

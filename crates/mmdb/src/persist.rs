@@ -1,0 +1,849 @@
+//! Catalog persistence: save a committed generation as a paged
+//! `ccindex-store` image, reopen it cold without touching the
+//! row-rebuild path.
+//!
+//! The paper's structures are all *bulk-built* (§2.3), which makes them
+//! naturally serializable: a CSS-tree is its sorted array plus a
+//! deterministic directory, so the on-disk format stores exactly the
+//! arrays — domain dictionaries, in-place ID columns, sorted RID lists,
+//! and one page per CSS directory **level** — and the open path
+//! reassembles the catalog from validated parts instead of re-encoding
+//! rows, re-sorting RID lists, or rebuilding directories. That is the
+//! cold-start win the `figures coldstart` benchmark measures.
+//!
+//! Layout inside the store container (see `ccindex_store` for the
+//! container format — header, checksummed pages, page table, manifest,
+//! trailer):
+//!
+//! * per column: one [`PageKind::DomainValues`] page (the sorted
+//!   dictionary) and one [`PageKind::ColumnIds`] page (4 bytes/row);
+//! * per indexed column: one [`PageKind::RidKeys`] and one
+//!   [`PageKind::RidValues`] page (the sorted RID list);
+//! * per CSS index: one [`PageKind::CssLevel`] page per directory
+//!   level, written root-first — a reopen reads exactly the levels a
+//!   descent touches (all of them, but each is one contiguous page);
+//!   non-CSS kinds store no pages and are rebuilt from the loaded RID
+//!   keys at open;
+//! * the manifest maps table/column/index names to page IDs.
+//!
+//! Everything read back is **validated before construction**: domain
+//! sortedness, ID ranges, RID permutations, the RID-keys/column-IDs
+//! correspondence, and CSS directory geometry. A bit-flipped,
+//! truncated, or hostile file surfaces as a typed
+//! [`MmdbError::Storage`] — the panicking `from_parts` constructors of
+//! the physical layer are only reached with proven-good parts.
+//!
+//! Restoring into a live [`Database`] goes through the same
+//! [`SwapSlot`](crate::snapshot::SwapSlot) commit cycle as every other
+//! mutator: pinned readers keep their generation, and the restored
+//! catalog becomes the next one atomically. The byte image is also the
+//! shard snapshot-transfer format — [`catalog_to_bytes`] is what a
+//! shard server streams to a bootstrapping peer.
+
+use crate::column::Column;
+use crate::domain::{Domain, Value};
+use crate::engine::{ColumnEntry, Database, TableEntry};
+use crate::error::{MmdbError, Result, StorageFault};
+use crate::index_choice::{IndexHandle, IndexKind};
+use crate::rid::RidList;
+use crate::snapshot::CatalogState;
+use crate::table::Table;
+use ccindex_common::SortedArray;
+use ccindex_store::{PageKind, StoreError, StoreFault, StoreReader, StoreWriter};
+use css_tree::{FullCssTree, LevelCssTree};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Version of the *manifest* layout (the container has its own format
+/// version underneath). Bumped when the page/manifest schema changes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// CSS node width the catalog builds with (`index_choice` uses 16
+/// four-byte slots = one 64-byte cache line, the §5.1/§6.3 optimum);
+/// the on-disk levels are only valid for the same width.
+const CSS_M: usize = 16;
+
+impl From<StoreError> for MmdbError {
+    fn from(e: StoreError) -> Self {
+        let fault = match e.fault {
+            StoreFault::Open => StorageFault::Open,
+            StoreFault::Read => StorageFault::Read,
+            StoreFault::Write => StorageFault::Write,
+            StoreFault::Format => StorageFault::Format,
+            StoreFault::Corrupt => StorageFault::Corrupt,
+            StoreFault::Version => StorageFault::Version,
+        };
+        MmdbError::Storage {
+            path: e.path,
+            fault,
+            detail: e.detail,
+        }
+    }
+}
+
+fn corrupt(label: &str, detail: impl Into<String>) -> MmdbError {
+    MmdbError::Storage {
+        path: label.to_owned(),
+        fault: StorageFault::Corrupt,
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------
+
+/// Serialize one committed catalog generation into a store image —
+/// the same bytes [`Database::save_to`] writes to disk and a shard
+/// server streams to a bootstrapping peer.
+pub fn catalog_to_bytes(state: &CatalogState) -> Vec<u8> {
+    let mut w = StoreWriter::new();
+    let mut m = MWriter::default();
+    m.u32(MANIFEST_VERSION);
+    m.u32(state.tables.len() as u32);
+    for (name, entry) in &state.tables {
+        m.str(name);
+        m.u64(entry.table.rows() as u64);
+        m.u32(entry.table.columns().count() as u32);
+        for (col_name, col) in entry.table.columns() {
+            m.str(col_name);
+            m.u32(w.page(PageKind::DomainValues, &encode_domain(col.domain())));
+            m.u32(w.page(PageKind::ColumnIds, &encode_u32s(col.ids())));
+        }
+        m.u32(entry.columns.len() as u32);
+        for (col_name, col_entry) in &entry.columns {
+            m.str(col_name);
+            let keys = col_entry.rids.keys();
+            m.u32(w.page(PageKind::RidKeys, &encode_u32s(keys.as_slice())));
+            m.u32(w.page(PageKind::RidValues, &encode_u32s(col_entry.rids.rids())));
+            m.u32(col_entry.indexes.len() as u32);
+            for kind in col_entry.indexes.keys() {
+                m.u8(kind_code(*kind));
+                // CSS directories are deterministic functions of the
+                // sorted keys, so the save path builds a fresh tree and
+                // writes its levels root-first; the open path loads
+                // them back without rebuilding. Other kinds carry no
+                // pages and rebuild from the RID keys at open.
+                match kind {
+                    IndexKind::FullCss => {
+                        let t = FullCssTree::<u32, CSS_M>::from_shared(keys.clone());
+                        let levels = t.layout().directory_levels();
+                        m.u32(levels);
+                        for level in 0..levels {
+                            m.u32(w.page(
+                                PageKind::CssLevel,
+                                &encode_u32s_raw(t.directory_level(level)),
+                            ));
+                        }
+                    }
+                    IndexKind::LevelCss => {
+                        let t = LevelCssTree::<u32, CSS_M>::from_shared(keys.clone());
+                        let levels = t.layout().directory_levels();
+                        m.u32(levels);
+                        for level in 0..levels {
+                            m.u32(w.page(
+                                PageKind::CssLevel,
+                                &encode_u32s_raw(t.directory_level(level)),
+                            ));
+                        }
+                    }
+                    _ => m.u32(0),
+                }
+            }
+        }
+    }
+    w.finish(&m.buf)
+}
+
+/// Deserialize a catalog image into a fresh [`Database`] (generation
+/// 1, env-derived [`ExecOptions`](crate::plan::ExecOptions)) — the
+/// receive side of a shard snapshot transfer. `label` names the byte
+/// source in any error (a path, an endpoint, ...).
+pub fn catalog_from_bytes(bytes: &[u8], label: &str) -> Result<Database> {
+    Database::open_from_bytes(bytes.to_vec(), label)
+}
+
+// ---------------------------------------------------------------------
+// Open
+// ---------------------------------------------------------------------
+
+impl Database {
+    /// Serialize the current committed catalog into a store image.
+    pub fn save_to_bytes(&self) -> Vec<u8> {
+        catalog_to_bytes(self.catalog())
+    }
+
+    /// Write the current committed catalog to `path` as a paged,
+    /// checksummed store file. Any I/O fault is a typed
+    /// [`MmdbError::Storage`], never a panic.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        ccindex_store::write_file(path.as_ref(), &self.save_to_bytes())?;
+        Ok(())
+    }
+
+    /// Cold-start a database from a store file written by
+    /// [`Database::save_to`]: pages are read and validated, the
+    /// catalog is reassembled from parts — no row re-encoding, no RID
+    /// re-sort, no CSS directory rebuild.
+    pub fn open_from(path: impl AsRef<Path>) -> Result<Self> {
+        let mut reader = StoreReader::open_file(path.as_ref())?;
+        let tables = decode_tables(&mut reader)?;
+        let mut db = Database::new();
+        db.replace_tables(tables);
+        Ok(db)
+    }
+
+    /// [`Database::open_from`] over an in-memory image; `label` names
+    /// the byte source in errors.
+    pub fn open_from_bytes(bytes: Vec<u8>, label: &str) -> Result<Self> {
+        let mut reader = StoreReader::open_bytes(bytes, label)?;
+        let tables = decode_tables(&mut reader)?;
+        let mut db = Database::new();
+        db.replace_tables(tables);
+        Ok(db)
+    }
+
+    /// Replace this database's catalog with a decoded image, committed
+    /// through the normal [`SwapSlot`](crate::snapshot::SwapSlot)
+    /// cycle: readers pinned to older generations are unaffected, the
+    /// restored catalog is the next generation, and the database's
+    /// [`ExecOptions`](crate::plan::ExecOptions) are kept. Nothing is
+    /// replaced if the image fails validation.
+    pub fn restore_from_bytes(&mut self, bytes: &[u8], label: &str) -> Result<()> {
+        let mut reader = StoreReader::open_bytes(bytes.to_vec(), label)?;
+        let tables = decode_tables(&mut reader)?;
+        self.replace_tables(tables);
+        Ok(())
+    }
+}
+
+fn decode_tables(r: &mut StoreReader) -> Result<BTreeMap<String, Arc<TableEntry>>> {
+    let label = r.path().to_owned();
+    let manifest = r.manifest().to_vec();
+    let mut m = MReader::new(&manifest, &label);
+    let version = m.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(MmdbError::Storage {
+            path: label,
+            fault: StorageFault::Version,
+            detail: format!(
+                "catalog manifest version {version}, this build reads {MANIFEST_VERSION}"
+            ),
+        });
+    }
+    let mut tables = BTreeMap::new();
+    let table_count = m.u32()?;
+    for _ in 0..table_count {
+        let name = m.str()?;
+        let rows = usize::try_from(m.u64()?)
+            .map_err(|_| corrupt(&label, format!("table `{name}`: impossible row count")))?;
+        let column_count = m.u32()?;
+        let mut columns: Vec<(String, Column)> = Vec::with_capacity(column_count as usize);
+        for _ in 0..column_count {
+            let col_name = m.str()?;
+            if columns.iter().any(|(n, _)| *n == col_name) {
+                return Err(corrupt(
+                    &label,
+                    format!("table `{name}`: duplicate column `{col_name}`"),
+                ));
+            }
+            let values_page = m.u32()?;
+            let ids_page = m.u32()?;
+            let domain = decode_domain(r, values_page, &label, &name, &col_name)?;
+            let ids = decode_u32s(r, ids_page, PageKind::ColumnIds, &label)?;
+            if ids.len() != rows {
+                return Err(corrupt(
+                    &label,
+                    format!(
+                        "column `{name}.{col_name}`: {} in-place IDs for {rows} rows",
+                        ids.len()
+                    ),
+                ));
+            }
+            if let Some(&bad) = ids.iter().find(|&&id| id as usize >= domain.len()) {
+                return Err(corrupt(
+                    &label,
+                    format!(
+                        "column `{name}.{col_name}`: ID {bad} outside its {}-value domain",
+                        domain.len()
+                    ),
+                ));
+            }
+            // Proven: every ID is in range, so the asserting
+            // constructor cannot fire.
+            columns.push((col_name, Column::from_parts(domain, ids)));
+        }
+        let table = Table::from_parts(name.clone(), columns, rows);
+
+        let indexed_count = m.u32()?;
+        let mut col_entries: BTreeMap<String, ColumnEntry> = BTreeMap::new();
+        for _ in 0..indexed_count {
+            let col_name = m.str()?;
+            let col = table.column(&col_name).ok_or_else(|| {
+                corrupt(
+                    &label,
+                    format!("RID list for `{name}.{col_name}`, which is not a column"),
+                )
+            })?;
+            let keys_page = m.u32()?;
+            let rids_page = m.u32()?;
+            let keys = decode_u32s(r, keys_page, PageKind::RidKeys, &label)?;
+            let rids = decode_u32s(r, rids_page, PageKind::RidValues, &label)?;
+            let rid_list = validate_rid_list(&label, &name, &col_name, col, keys, rids)?;
+            let shared_keys = rid_list.keys().clone();
+
+            let index_count = m.u32()?;
+            let mut indexes: BTreeMap<IndexKind, Arc<IndexHandle>> = BTreeMap::new();
+            for _ in 0..index_count {
+                let code = m.u8()?;
+                let kind = kind_from_code(code).ok_or_else(|| {
+                    corrupt(
+                        &label,
+                        format!("`{name}.{col_name}`: unknown index kind code {code}"),
+                    )
+                })?;
+                let level_count = m.u32()?;
+                let handle = if level_count == 0 {
+                    // Non-CSS kinds carry no pages; rebuild over the
+                    // validated shared keys.
+                    IndexHandle::build(kind, &shared_keys)
+                } else {
+                    let mut slots: Vec<u32> = Vec::new();
+                    for _ in 0..level_count {
+                        let page = m.u32()?;
+                        slots.extend(decode_u32s_raw(r, page, &label)?);
+                    }
+                    css_handle_from_levels(&label, &name, &col_name, kind, &shared_keys, &slots)?
+                };
+                indexes.insert(kind, Arc::new(handle));
+            }
+            col_entries.insert(
+                col_name,
+                ColumnEntry {
+                    rids: rid_list,
+                    indexes,
+                },
+            );
+        }
+        if tables.contains_key(&name) {
+            return Err(corrupt(&label, format!("duplicate table `{name}`")));
+        }
+        tables.insert(
+            name,
+            Arc::new(TableEntry {
+                table,
+                columns: col_entries,
+            }),
+        );
+    }
+    m.expect_end()?;
+    Ok(tables)
+}
+
+/// Prove `keys`/`rids` are exactly `RidList::for_column(col)` — value
+/// order with RID-stable ties over a permutation of the rows — before
+/// handing them to the asserting constructors. Anything less is
+/// corruption, reported, never a panic.
+fn validate_rid_list(
+    label: &str,
+    table: &str,
+    column: &str,
+    col: &Column,
+    keys: Vec<u32>,
+    rids: Vec<u32>,
+) -> Result<RidList> {
+    let at = |detail: String| corrupt(label, format!("RID list for `{table}.{column}`: {detail}"));
+    let rows = col.len();
+    if keys.len() != rows || rids.len() != rows {
+        return Err(at(format!(
+            "{} keys / {} RIDs for {rows} rows",
+            keys.len(),
+            rids.len()
+        )));
+    }
+    let mut seen = vec![false; rows];
+    for (pos, (&key, &rid)) in keys.iter().zip(&rids).enumerate() {
+        if rid as usize >= rows {
+            return Err(at(format!("RID {rid} out of range at position {pos}")));
+        }
+        if seen[rid as usize] {
+            return Err(at(format!("RID {rid} appears twice")));
+        }
+        seen[rid as usize] = true;
+        if col.id(rid) != key {
+            return Err(at(format!(
+                "key {key} at position {pos} disagrees with the column's ID for row {rid}"
+            )));
+        }
+        if pos > 0 && (key, rid) < (keys[pos - 1], rids[pos - 1]) {
+            return Err(at(format!("unsorted at position {pos}")));
+        }
+    }
+    // Sorted (checked above), parallel (length-checked): neither
+    // asserting constructor can fire.
+    Ok(RidList::from_parts(SortedArray::from_vec(keys), rids))
+}
+
+/// Reassemble a CSS tree from its concatenated level pages; a
+/// slot-count/geometry mismatch is a typed corruption error.
+fn css_handle_from_levels(
+    label: &str,
+    table: &str,
+    column: &str,
+    kind: IndexKind,
+    keys: &SortedArray<u32>,
+    slots: &[u32],
+) -> Result<IndexHandle> {
+    let wrap = |e: String| corrupt(label, format!("{kind:?} index on `{table}.{column}`: {e}"));
+    match kind {
+        IndexKind::FullCss => {
+            FullCssTree::<u32, CSS_M>::from_shared_with_directory(keys.clone(), slots)
+                .map(|t| IndexHandle::Ordered(Box::new(t)))
+                .map_err(wrap)
+        }
+        IndexKind::LevelCss => {
+            LevelCssTree::<u32, CSS_M>::from_shared_with_directory(keys.clone(), slots)
+                .map(|t| IndexHandle::Ordered(Box::new(t)))
+                .map_err(wrap)
+        }
+        other => Err(wrap(format!("{other:?} indexes carry no directory pages"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page payload codecs
+// ---------------------------------------------------------------------
+
+fn encode_domain(domain: &Domain) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(domain.len() as u32).to_le_bytes());
+    for v in domain.values() {
+        match v {
+            Value::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_domain(
+    r: &mut StoreReader,
+    page: u32,
+    label: &str,
+    table: &str,
+    column: &str,
+) -> Result<Domain> {
+    let bytes = r.read_page_expect(page, PageKind::DomainValues)?;
+    let mut c = MReader::new(&bytes, label);
+    let count = c.u32()?;
+    let mut values = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let v = match c.u8()? {
+            0 => Value::Int(i64::from_le_bytes(
+                c.bytes(8)?.try_into().expect("8 bytes requested"),
+            )),
+            1 => {
+                let len = c.u32()? as usize;
+                let raw = c.bytes(len)?.to_vec();
+                Value::Str(String::from_utf8(raw).map_err(|_| {
+                    corrupt(
+                        label,
+                        format!("domain of `{table}.{column}`: invalid UTF-8"),
+                    )
+                })?)
+            }
+            tag => {
+                return Err(corrupt(
+                    label,
+                    format!("domain of `{table}.{column}`: unknown value tag {tag}"),
+                ))
+            }
+        };
+        if let Some(prev) = values.last() {
+            if *prev >= v {
+                return Err(corrupt(
+                    label,
+                    format!("domain of `{table}.{column}`: values not strictly increasing"),
+                ));
+            }
+        }
+        values.push(v);
+    }
+    c.expect_end()?;
+    // Sorted and deduplicated (proven above), so `from_values` is a
+    // no-op pass over already-ordered input.
+    Ok(Domain::from_values(values))
+}
+
+fn encode_u32s(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + vals.len() * 4);
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    out.extend_from_slice(&encode_u32s_raw(vals));
+    out
+}
+
+fn encode_u32s_raw(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u32s(r: &mut StoreReader, page: u32, kind: PageKind, label: &str) -> Result<Vec<u32>> {
+    let bytes = r.read_page_expect(page, kind)?;
+    let mut c = MReader::new(&bytes, label);
+    let count = c.u32()? as usize;
+    if bytes.len() != 4 + count * 4 {
+        return Err(corrupt(
+            label,
+            format!(
+                "page {page}: {count}-entry array in a {}-byte page",
+                bytes.len()
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(c.u32()?);
+    }
+    Ok(out)
+}
+
+fn decode_u32s_raw(r: &mut StoreReader, page: u32, label: &str) -> Result<Vec<u32>> {
+    let bytes = r.read_page_expect(page, PageKind::CssLevel)?;
+    if bytes.len() % 4 != 0 {
+        return Err(corrupt(
+            label,
+            format!("page {page}: CSS level page of {} bytes", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunks")))
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Manifest codec + index-kind codes
+// ---------------------------------------------------------------------
+
+/// Stable on-disk code per [`IndexKind`] (declaration order — do not
+/// renumber; the manifest version covers schema changes instead).
+fn kind_code(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::BinarySearch => 0,
+        IndexKind::InterpolationSearch => 1,
+        IndexKind::BinaryTree => 2,
+        IndexKind::TTree => 3,
+        IndexKind::BPlusTree => 4,
+        IndexKind::FullCss => 5,
+        IndexKind::LevelCss => 6,
+        IndexKind::Hash => 7,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<IndexKind> {
+    IndexKind::ALL.into_iter().find(|&k| kind_code(k) == code)
+}
+
+/// Little-endian manifest writer.
+#[derive(Default)]
+struct MWriter {
+    buf: Vec<u8>,
+}
+
+impl MWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over manifest or page bytes;
+/// every short read is a typed corruption error naming `label`.
+struct MReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    label: &'a str,
+}
+
+impl<'a> MReader<'a> {
+    fn new(buf: &'a [u8], label: &'a str) -> Self {
+        Self { buf, pos: 0, label }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(corrupt(
+                self.label,
+                format!(
+                    "truncated: {n} bytes wanted at offset {}, {} remain",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes requested"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes requested"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?.to_vec();
+        String::from_utf8(raw).map_err(|_| corrupt(self.label, "manifest string is invalid UTF-8"))
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt(
+                self.label,
+                format!(
+                    "{} trailing bytes after the manifest",
+                    self.buf.len() - self.pos
+                ),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{between, eq};
+    use crate::table::TableBuilder;
+
+    fn seeded_db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            TableBuilder::new("sales")
+                .int_column("amount", [30, 10, 20, 10, 30, 40, 10])
+                .str_column("region", ["e", "w", "e", "n", "w", "e", "s"])
+                .build()
+                .expect("equal columns"),
+        )
+        .expect("fresh name");
+        db.create_index("sales", "amount", IndexKind::FullCss)
+            .expect("index");
+        db.create_index("sales", "amount", IndexKind::LevelCss)
+            .expect("index");
+        db.create_index("sales", "amount", IndexKind::Hash)
+            .expect("index");
+        db.create_index("sales", "region", IndexKind::BPlusTree)
+            .expect("index");
+        db.register(
+            TableBuilder::new("unindexed")
+                .int_column("x", [1, 2, 3])
+                .build()
+                .expect("equal columns"),
+        )
+        .expect("fresh name");
+        db
+    }
+
+    fn answers(db: &Database) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let a = db
+            .query("sales")
+            .filter(eq("amount", 10))
+            .run()
+            .expect("query")
+            .rids()
+            .to_vec();
+        let b = db
+            .query("sales")
+            .filter(between("amount", 15, 35))
+            .run()
+            .expect("query")
+            .rids()
+            .to_vec();
+        let c = db
+            .query("sales")
+            .filter(eq("region", "e"))
+            .run()
+            .expect("query")
+            .rids()
+            .to_vec();
+        (a, b, c)
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_catalog_and_answers() {
+        let db = seeded_db();
+        let image = db.save_to_bytes();
+        let back = Database::open_from_bytes(image, "mem").expect("reopen");
+        assert_eq!(
+            back.tables().collect::<Vec<_>>(),
+            db.tables().collect::<Vec<_>>()
+        );
+        assert_eq!(back.table("sales").unwrap().rows(), 7);
+        assert_eq!(
+            back.indexed_kinds("sales", "amount").unwrap(),
+            vec![IndexKind::FullCss, IndexKind::LevelCss, IndexKind::Hash]
+        );
+        assert_eq!(
+            back.indexed_kinds("sales", "region").unwrap(),
+            vec![IndexKind::BPlusTree]
+        );
+        assert_eq!(answers(&back), answers(&db));
+        // The unindexed table survives with its values.
+        assert_eq!(
+            back.table("unindexed").unwrap().value("x", 2),
+            Some(&Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file_are_typed() {
+        let dir = std::env::temp_dir().join(format!("ccindex-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("catalog.ccs");
+        let db = seeded_db();
+        db.save_to(&path).expect("save");
+        let back = Database::open_from(&path).expect("open");
+        assert_eq!(answers(&back), answers(&db));
+
+        let missing = dir.join("missing.ccs");
+        let err = Database::open_from(&missing).expect_err("missing file");
+        assert!(matches!(
+            err,
+            MmdbError::Storage {
+                fault: StorageFault::Open,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("missing.ccs"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_commits_a_generation_and_keeps_pinned_readers() {
+        let db = seeded_db();
+        let image = db.save_to_bytes();
+
+        let mut other = Database::new();
+        other
+            .register(
+                TableBuilder::new("old")
+                    .int_column("v", [9])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let pinned = other.snapshot();
+        let g = other.generation();
+        other
+            .restore_from_bytes(&image, "transfer")
+            .expect("restore");
+        assert_eq!(other.generation(), g + 1, "one commit");
+        // The pinned reader still sees the pre-restore catalog.
+        assert_eq!(pinned.tables().collect::<Vec<_>>(), ["old"]);
+        // The restored tip answers identically to the source.
+        assert_eq!(answers(&other), answers(&db));
+        assert!(other.table("old").is_err(), "restore replaces the catalog");
+    }
+
+    #[test]
+    fn corrupt_manifest_version_is_a_typed_version_error() {
+        let db = seeded_db();
+        let mut m = MWriter::default();
+        m.u32(MANIFEST_VERSION + 9);
+        let image = StoreWriter::new().finish(&m.buf);
+        let err = Database::open_from_bytes(image, "mem").expect_err("future manifest");
+        assert!(matches!(
+            err,
+            MmdbError::Storage {
+                fault: StorageFault::Version,
+                ..
+            }
+        ));
+        drop(db);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_surface_as_typed_errors_never_panics() {
+        let db = seeded_db();
+        let image = db.save_to_bytes();
+        // Flip one bit in every byte position; opening must either
+        // fail typed or (reserved header padding) still answer right.
+        for at in 0..image.len() {
+            let mut bad = image.clone();
+            bad[at] ^= 0x10;
+            match Database::open_from_bytes(bad, "flip") {
+                Ok(back) => assert_eq!(answers(&back), answers(&db), "flip at {at}"),
+                Err(MmdbError::Storage { .. }) => {}
+                Err(other) => panic!("flip at {at}: non-storage error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_surface_as_typed_errors_never_panics() {
+        let image = seeded_db().save_to_bytes();
+        for keep in [0, 1, 7, 8, 20, image.len() / 2, image.len() - 1] {
+            let err = Database::open_from_bytes(image[..keep].to_vec(), "trunc")
+                .expect_err("truncated image");
+            assert!(
+                matches!(err, MmdbError::Storage { .. }),
+                "keep {keep}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_codes_are_stable_and_total() {
+        for kind in IndexKind::ALL {
+            assert_eq!(kind_from_code(kind_code(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_code(200), None);
+        // On-disk stability: codes are declaration order today; a
+        // renumbering must bump MANIFEST_VERSION instead.
+        assert_eq!(kind_code(IndexKind::FullCss), 5);
+        assert_eq!(kind_code(IndexKind::Hash), 7);
+    }
+
+    #[test]
+    fn empty_catalog_roundtrips() {
+        let db = Database::new();
+        let back = Database::open_from_bytes(db.save_to_bytes(), "mem").expect("reopen");
+        assert_eq!(back.tables().count(), 0);
+    }
+}

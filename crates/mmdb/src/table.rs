@@ -83,6 +83,19 @@ impl TableBuilder {
 }
 
 impl Table {
+    /// Reassemble a table from already-encoded columns (the storage
+    /// open path). The caller — [`persist`](crate::persist) — has
+    /// already validated that every column holds exactly `rows` rows;
+    /// this constructor only restates that invariant.
+    pub(crate) fn from_parts(name: String, columns: Vec<(String, Column)>, rows: usize) -> Self {
+        debug_assert!(columns.iter().all(|(_, c)| c.len() == rows));
+        Self {
+            name,
+            columns,
+            rows,
+        }
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name

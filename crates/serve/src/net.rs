@@ -66,6 +66,23 @@ struct Shared {
     requests: MetricArc<obs::Counter>,
     /// `server.execute.ns` — per-request engine execution time.
     execute_ns: MetricArc<obs::Histogram>,
+    /// The committed tip serialized once per generation for snapshot
+    /// transfer: `(generation, store bytes)`. Chunked `FetchSnapshot`
+    /// requests stream off this cache, so a multi-chunk transfer stays
+    /// internally consistent even when mutations commit mid-stream, and
+    /// queries never contend with it (reads pin through the lock-free
+    /// handle, not this mutex).
+    snapshot_cache: Mutex<Option<(u64, Arc<Vec<u8>>)>>,
+    /// Reassembly state of an inbound `InstallSnapshotChunk` sequence.
+    install_buf: Mutex<Option<InstallBuf>>,
+}
+
+/// An in-progress inbound snapshot transfer: chunks must arrive in
+/// order on one connection; the final chunk installs the catalog.
+struct InstallBuf {
+    total_chunks: u32,
+    next: u32,
+    bytes: Vec<u8>,
 }
 
 impl Shared {
@@ -165,6 +182,8 @@ impl ShardServer {
             requests: registry.counter("server.requests"),
             execute_ns: registry.histogram("server.execute.ns"),
             registry,
+            snapshot_cache: Mutex::new(None),
+            install_buf: Mutex::new(None),
         });
         let accept = std::thread::spawn({
             let shared = Arc::clone(&shared);
@@ -306,6 +325,25 @@ fn serve_conn(stream: &TcpStream, shared: &Arc<Shared>) {
     loop {
         let (trace, payload) = match wire::read_frame_traced(&mut &*stream, &endpoint) {
             Ok(frame) => frame,
+            Err(
+                e @ MmdbError::Transport {
+                    fault: mmdb::TransportFault::Version,
+                    ..
+                },
+            ) => {
+                // Version negotiation is explicit refusal: best-effort
+                // ship the typed error (naming both versions) back
+                // before hanging up. A peer too old to parse this frame
+                // still raises its own Version error from our frame
+                // header, so the skew is named on both sides.
+                drop(wire::write_response_traced(
+                    &mut &*stream,
+                    &endpoint,
+                    &ShardResponse::Err(e),
+                    None,
+                ));
+                return;
+            }
             Err(_) => return,
         };
         let span_id = match trace.len() {
@@ -532,6 +570,13 @@ fn respond(shared: &Arc<Shared>, request: ShardRequest) -> ShardResponse {
         ShardRequest::Stats => A::Stats {
             json: shared.registry.to_json(),
         },
+        ShardRequest::FetchSnapshot { chunk } => fetch_snapshot_chunk(shared, chunk),
+        ShardRequest::InstallSnapshotChunk {
+            chunk,
+            total_chunks,
+            crc,
+            bytes,
+        } => install_snapshot_chunk(shared, chunk, total_chunks, crc, &bytes),
         // The connection loop raises the stop flag after this response
         // is on the wire.
         ShardRequest::Shutdown => A::Unit,
@@ -540,6 +585,146 @@ fn respond(shared: &Arc<Shared>, request: ShardRequest) -> ShardResponse {
 
 fn lock_db(shared: &Shared) -> std::sync::MutexGuard<'_, Database> {
     shared.db.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Snapshot transfer chunk size; matches the client side
+/// (`ccindex_shard::SNAPSHOT_CHUNK`).
+const SNAPSHOT_CHUNK: usize = 4 << 20;
+
+/// A snapshot-transfer protocol violation, typed.
+fn transfer_error(fault: mmdb::TransportFault, detail: String) -> ShardResponse {
+    ShardResponse::Err(MmdbError::Transport {
+        endpoint: "snapshot transfer".to_owned(),
+        fault,
+        detail,
+        attempts: 0,
+        elapsed_ms: 0,
+    })
+}
+
+/// The committed tip as store bytes, serialized at most once per
+/// generation. Chunk 0 refreshes the cache against the current tip;
+/// later chunks keep streaming the cached generation so one transfer
+/// never splices two generations together.
+fn snapshot_payload(shared: &Shared, chunk: u32) -> Arc<Vec<u8>> {
+    let mut cache = shared
+        .snapshot_cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let refresh = match &*cache {
+        None => true,
+        Some((generation, _)) => chunk == 0 && *generation != shared.handle.generation(),
+    };
+    if refresh {
+        let snapshot = shared.handle.snapshot();
+        *cache = Some((
+            snapshot.generation(),
+            Arc::new(mmdb::catalog_to_bytes(&snapshot)),
+        ));
+    }
+    match &*cache {
+        Some((_, bytes)) => Arc::clone(bytes),
+        // `refresh` above guarantees the cache is populated.
+        None => Arc::new(Vec::new()),
+    }
+}
+
+/// Answer one `FetchSnapshot` chunk off the serialized committed tip.
+fn fetch_snapshot_chunk(shared: &Shared, chunk: u32) -> ShardResponse {
+    let bytes = snapshot_payload(shared, chunk);
+    let total_chunks = bytes.len().div_ceil(SNAPSHOT_CHUNK).max(1) as u32;
+    if chunk >= total_chunks {
+        return transfer_error(
+            mmdb::TransportFault::Protocol,
+            format!("snapshot chunk {chunk} requested; snapshot has {total_chunks} chunk(s)"),
+        );
+    }
+    let start = chunk as usize * SNAPSHOT_CHUNK;
+    let end = (start + SNAPSHOT_CHUNK).min(bytes.len());
+    let part = bytes[start..end].to_vec();
+    ShardResponse::SnapshotChunk {
+        chunk,
+        total_chunks,
+        total_len: bytes.len() as u64,
+        crc: wire::crc32(&part),
+        bytes: part,
+    }
+}
+
+/// Accept one `InstallSnapshotChunk`: validate its checksum and
+/// sequence position, reassemble, and on the final chunk install the
+/// catalog through the engine's ordinary commit cycle. Any violation
+/// discards the partial transfer and answers typed.
+fn install_snapshot_chunk(
+    shared: &Shared,
+    chunk: u32,
+    total_chunks: u32,
+    crc: u32,
+    bytes: &[u8],
+) -> ShardResponse {
+    use ShardResponse as A;
+    if total_chunks == 0 || chunk >= total_chunks {
+        return transfer_error(
+            mmdb::TransportFault::Protocol,
+            format!("install chunk {chunk}/{total_chunks} is out of range"),
+        );
+    }
+    if wire::crc32(bytes) != crc {
+        return transfer_error(
+            mmdb::TransportFault::Checksum,
+            format!("install chunk {chunk} failed its payload checksum"),
+        );
+    }
+    let mut buf = shared
+        .install_buf
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if chunk == 0 {
+        // Chunk 0 begins a transfer, superseding any abandoned one.
+        *buf = Some(InstallBuf {
+            total_chunks,
+            next: 0,
+            bytes: Vec::new(),
+        });
+    }
+    let in_sequence = matches!(
+        &*buf,
+        Some(state) if state.next == chunk && state.total_chunks == total_chunks
+    );
+    if !in_sequence {
+        let detail = match buf.take() {
+            Some(state) => format!(
+                "install chunk {chunk}/{total_chunks} arrived while expecting chunk {}/{}",
+                state.next, state.total_chunks
+            ),
+            None => format!("install chunk {chunk}/{total_chunks} arrived with no transfer open"),
+        };
+        return transfer_error(mmdb::TransportFault::Protocol, detail);
+    }
+    let finished = {
+        // `in_sequence` proved the buffer holds an open transfer.
+        let Some(state) = buf.as_mut() else {
+            return transfer_error(
+                mmdb::TransportFault::Protocol,
+                "install buffer vanished mid-transfer".to_owned(),
+            );
+        };
+        state.bytes.extend_from_slice(bytes);
+        state.next += 1;
+        state.next == state.total_chunks
+    };
+    if !finished {
+        return A::Unit;
+    }
+    let assembled = match buf.take() {
+        Some(state) => state.bytes,
+        None => Vec::new(),
+    };
+    drop(buf);
+    reply(
+        lock_db(shared).restore_from_bytes(&assembled, "snapshot transfer"),
+        |()| A::Unit,
+    )
 }
 
 fn rebuilt(report: &mmdb::RebuildReport) -> ShardResponse {

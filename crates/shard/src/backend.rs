@@ -145,6 +145,23 @@ pub trait ShardBackend: std::fmt::Debug + Send + Sync {
     /// Install new execution options on this shard.
     fn set_exec_options(&mut self, exec: ExecOptions) -> Result<()>;
 
+    /// Serialize this shard's committed catalog tip into the paged
+    /// `ccindex-store` container (the same bytes
+    /// [`Database::save_to`] writes to disk). Local shards serialize
+    /// their pinned tip directly; remote shards stream the server's
+    /// pinned snapshot across the wire in CRC-checked chunks. Queries
+    /// keep serving throughout — the source side works off a pinned
+    /// generation, never a lock.
+    fn fetch_snapshot(&self) -> Result<Vec<u8>>;
+
+    /// Replace this shard's entire catalog with a serialized snapshot
+    /// (the bytes a peer's [`ShardBackend::fetch_snapshot`] produced).
+    /// Installs through the engine's ordinary commit cycle, so readers
+    /// pinned to the old generation finish undisturbed. This is how a
+    /// rebalanced or freshly-connected shard bootstraps from a peer
+    /// without replaying row-by-row registration.
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<()>;
+
     /// Pin this shard's committed tip for a composed snapshot.
     fn pin(&self) -> ShardPin;
 
@@ -472,6 +489,14 @@ impl ShardBackend for LocalShard {
         Ok(())
     }
 
+    fn fetch_snapshot(&self) -> Result<Vec<u8>> {
+        Ok(self.db.save_to_bytes())
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+        self.db.restore_from_bytes(bytes, "snapshot transfer")
+    }
+
     fn pin(&self) -> ShardPin {
         ShardPin::Local(self.db.catalog().clone())
     }
@@ -647,6 +672,19 @@ impl ShardBackend for ShardPin {
 
     fn set_exec_options(&mut self, _exec: ExecOptions) -> Result<()> {
         Err(self.immutable("set_exec_options"))
+    }
+
+    fn fetch_snapshot(&self) -> Result<Vec<u8>> {
+        match self {
+            // A pinned local state serializes *its* generation — the
+            // frozen one — not whatever the engine has committed since.
+            ShardPin::Local(cat) => Ok(mmdb::catalog_to_bytes(cat)),
+            ShardPin::Remote(r) => r.fetch_snapshot(),
+        }
+    }
+
+    fn install_snapshot(&mut self, _bytes: &[u8]) -> Result<()> {
+        Err(self.immutable("install_snapshot"))
     }
 
     fn pin(&self) -> ShardPin {

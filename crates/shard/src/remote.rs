@@ -49,6 +49,11 @@ const CONNECT_ATTEMPTS: u32 = 5;
 /// Backoff before the second connect attempt; doubles per retry.
 const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
 
+/// Snapshot transfer chunk size. Each chunk rides its own frame (with
+/// its own payload CRC) *and* carries a per-chunk CRC over the snapshot
+/// bytes, so a reassembly bug on either side is caught before install.
+pub const SNAPSHOT_CHUNK: usize = 4 << 20;
+
 fn transport(endpoint: &str, fault: TransportFault, detail: String) -> MmdbError {
     MmdbError::Transport {
         endpoint: endpoint.to_owned(),
@@ -298,6 +303,7 @@ fn variant_name(resp: &ShardResponse) -> &'static str {
         ShardResponse::Info { .. } => "Info",
         ShardResponse::Unit => "Unit",
         ShardResponse::Stats { .. } => "Stats",
+        ShardResponse::SnapshotChunk { .. } => "SnapshotChunk",
         ShardResponse::Err(_) => "Err",
     }
 }
@@ -510,6 +516,90 @@ impl ShardBackend for RemoteShard {
             ShardResponse::Unit => Ok(()),
             other => Err(self.bad_reply(&other)),
         }
+    }
+
+    fn fetch_snapshot(&self) -> Result<Vec<u8>> {
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut next = 0u32;
+        loop {
+            match self.call(&ShardRequest::FetchSnapshot { chunk: next })? {
+                ShardResponse::SnapshotChunk {
+                    chunk,
+                    total_chunks,
+                    total_len,
+                    crc,
+                    bytes: part,
+                } => {
+                    if chunk != next || total_chunks == 0 || chunk >= total_chunks {
+                        return Err(transport(
+                            &self.addr,
+                            TransportFault::Protocol,
+                            format!(
+                                "snapshot chunk {chunk}/{total_chunks} arrived while \
+                                 expecting chunk {next}"
+                            ),
+                        ));
+                    }
+                    if wire::crc32(&part) != crc {
+                        return Err(transport(
+                            &self.addr,
+                            TransportFault::Checksum,
+                            format!("snapshot chunk {chunk} failed its payload checksum"),
+                        ));
+                    }
+                    bytes.extend_from_slice(&part);
+                    next += 1;
+                    if next == total_chunks {
+                        if bytes.len() as u64 != total_len {
+                            return Err(transport(
+                                &self.addr,
+                                TransportFault::Protocol,
+                                format!(
+                                    "snapshot reassembled to {} bytes, server declared {total_len}",
+                                    bytes.len()
+                                ),
+                            ));
+                        }
+                        return Ok(bytes);
+                    }
+                }
+                other => return Err(self.bad_reply(&other)),
+            }
+        }
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+        // At least one chunk, even for an empty catalog, so the server
+        // always sees a final chunk and installs.
+        let total_chunks =
+            u32::try_from(bytes.len().div_ceil(SNAPSHOT_CHUNK).max(1)).map_err(|_| {
+                transport(
+                    &self.addr,
+                    TransportFault::Protocol,
+                    format!(
+                        "snapshot of {} bytes exceeds the chunk count limit",
+                        bytes.len()
+                    ),
+                )
+            })?;
+        let parts: Vec<&[u8]> = if bytes.is_empty() {
+            vec![bytes]
+        } else {
+            bytes.chunks(SNAPSHOT_CHUNK).collect()
+        };
+        for (chunk, part) in parts.into_iter().enumerate() {
+            let req = ShardRequest::InstallSnapshotChunk {
+                chunk: chunk as u32,
+                total_chunks,
+                crc: wire::crc32(part),
+                bytes: part.to_vec(),
+            };
+            match self.call(&req)? {
+                ShardResponse::Unit => {}
+                other => return Err(self.bad_reply(&other)),
+            }
+        }
+        Ok(())
     }
 
     fn pin(&self) -> ShardPin {

@@ -354,6 +354,41 @@ impl ShardedDatabase {
         Ok(())
     }
 
+    /// Replace shard `shard`'s backend with `backend`, bootstrapping the
+    /// newcomer from the outgoing backend's serialized snapshot: fetch
+    /// the paged `ccindex-store` bytes off the old backend's committed
+    /// tip ([`ShardBackend::fetch_snapshot`]), install them on the
+    /// newcomer through its ordinary commit cycle
+    /// ([`ShardBackend::install_snapshot`]), then swap it in and commit
+    /// a composed generation. The newcomer inherits the catalog-wide
+    /// [`ExecOptions`] and metric registry, exactly as
+    /// [`ShardedDatabase::with_backends`] installs them. Queries against
+    /// snapshots pinned before the swap keep answering from the old
+    /// backend's pinned state; the catalog itself is untouched when any
+    /// step fails (the typed error surfaces and the old backend stays).
+    pub fn replace_shard_backend(
+        &mut self,
+        shard: usize,
+        mut backend: Box<dyn ShardBackend>,
+    ) -> Result<()> {
+        let outgoing = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| MmdbError::Unsupported {
+                what: format!(
+                    "replace_shard_backend on shard {shard}; catalog has {} shard(s)",
+                    self.shards.len()
+                ),
+            })?;
+        let snapshot = outgoing.fetch_snapshot()?;
+        backend.install_snapshot(&snapshot)?;
+        backend.set_exec_options(self.exec)?;
+        backend.install_metrics(&self.metrics.registry);
+        self.shards[shard] = backend;
+        self.publish();
+        Ok(())
+    }
+
     /// Pin the current composed generation: the returned snapshot serves
     /// the full read surface ([`ShardedState::query`], the probe
     /// batches) lock-free, and concurrent commits never move data out

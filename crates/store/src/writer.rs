@@ -1,0 +1,116 @@
+//! Streaming store writer: pages are appended as they are produced
+//! (a CSS-tree writes one page per directory level, geomedea-style),
+//! the footer and trailer land last.
+
+use std::path::Path;
+
+use crate::error::{StoreError, StoreFault};
+use crate::{crc32, PageEntry, PageKind, FOOT_MAGIC, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_PAGES};
+
+/// Builds a store image in memory: header, then pages in append
+/// order, then [`finish`](StoreWriter::finish) seals the footer and
+/// trailer. The image is a plain `Vec<u8>` so the identical bytes can
+/// be written to a file *or* streamed over the wire as a snapshot.
+#[derive(Debug)]
+pub struct StoreWriter {
+    buf: Vec<u8>,
+    pages: Vec<PageEntry>,
+}
+
+impl Default for StoreWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreWriter {
+    /// Start a new image (writes the header).
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        Self {
+            buf,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Append one page and return its id (its index in the page
+    /// table). Panics if the writer exceeds [`MAX_PAGES`] — a builder
+    /// bug, not an input fault.
+    pub fn page(&mut self, kind: PageKind, bytes: &[u8]) -> u32 {
+        assert!(
+            (self.pages.len() as u32) < MAX_PAGES,
+            "store image exceeds {MAX_PAGES} pages"
+        );
+        let id = self.pages.len() as u32;
+        self.pages.push(PageEntry {
+            kind,
+            offset: self.buf.len() as u64,
+            len: bytes.len() as u64,
+            crc: crc32(bytes),
+        });
+        self.buf.extend_from_slice(bytes);
+        id
+    }
+
+    /// Number of pages appended so far.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Seal the image: write the page table, the caller's `manifest`
+    /// blob, and the trailer. Returns the complete store bytes.
+    pub fn finish(mut self, manifest: &[u8]) -> Vec<u8> {
+        let footer_off = self.buf.len() as u64;
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        for page in &self.pages {
+            footer.push(page.kind.code());
+            footer.extend_from_slice(&page.offset.to_le_bytes());
+            footer.extend_from_slice(&page.len.to_le_bytes());
+            footer.extend_from_slice(&page.crc.to_le_bytes());
+        }
+        footer.extend_from_slice(&(manifest.len() as u32).to_le_bytes());
+        footer.extend_from_slice(manifest);
+        let footer_crc = crc32(&footer);
+        self.buf.extend_from_slice(&footer);
+        self.buf.extend_from_slice(&footer_off.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(footer.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&footer_crc.to_le_bytes());
+        self.buf.extend_from_slice(&FOOT_MAGIC);
+        self.buf
+    }
+}
+
+/// Write a finished store image to `path`, mapping every I/O failure
+/// to a typed [`StoreError`].
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let label = path.display().to_string();
+    std::fs::write(path, bytes)
+        .map_err(|e| StoreError::new(&label, StoreFault::Write, format!("writing store: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_image_is_header_footer_trailer() {
+        let bytes = StoreWriter::new().finish(b"");
+        // header + count(4) + manifest_len(4) + trailer
+        assert_eq!(bytes.len(), HEADER_LEN + 4 + 4 + crate::TRAILER_LEN);
+        assert_eq!(&bytes[..4], &MAGIC);
+        assert_eq!(&bytes[bytes.len() - 4..], &FOOT_MAGIC);
+    }
+
+    #[test]
+    fn write_to_unwritable_path_is_a_typed_error() {
+        let err = write_file(Path::new("/nonexistent-dir/x/y.ccs"), b"abc")
+            .expect_err("unwritable path must fail");
+        assert_eq!(err.fault, StoreFault::Write);
+        assert!(err.path.contains("nonexistent-dir"), "{err}");
+    }
+}

@@ -12,7 +12,7 @@ use ccindex_obs::SpanNode;
 use mmdb::plan::{GroupStep, JoinStep, Plan, Probe, ProbeStep, Side};
 use mmdb::{
     between, eq, on, Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinRow, MmdbError, Predicate,
-    PredicateOp, Result, ResultRows, TransportFault, Value,
+    PredicateOp, Result, ResultRows, StorageFault, TransportFault, Value,
 };
 
 /// Append-only encode buffer.
@@ -66,6 +66,12 @@ impl Writer {
     pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed raw bytes (snapshot-page payloads).
+    pub fn blob(&mut self, bytes: &[u8]) {
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Option tag (0 = None, 1 = Some) followed by the value via `f`.
@@ -189,6 +195,12 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| self.fail(format!("string is not UTF-8: {e}")))
+    }
+
+    /// Length-prefixed raw bytes (snapshot-page payloads).
+    pub fn blob(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Option tag (0 = None, 1 = Some) followed by the value via `f`.
@@ -549,6 +561,23 @@ pub fn put_error(w: &mut Writer, e: &MmdbError) {
             w.u32(*attempts);
             w.u64(*elapsed_ms);
         }
+        MmdbError::Storage {
+            path,
+            fault,
+            detail,
+        } => {
+            w.u8(13);
+            w.str(path);
+            w.u8(match fault {
+                StorageFault::Open => 0,
+                StorageFault::Read => 1,
+                StorageFault::Write => 2,
+                StorageFault::Format => 3,
+                StorageFault::Corrupt => 4,
+                StorageFault::Version => 5,
+            });
+            w.str(detail);
+        }
     }
 }
 
@@ -608,6 +637,19 @@ pub fn get_error(r: &mut Reader<'_>) -> Result<MmdbError> {
             detail: r.str()?,
             attempts: r.u32()?,
             elapsed_ms: r.u64()?,
+        },
+        13 => MmdbError::Storage {
+            path: r.str()?,
+            fault: match r.u8()? {
+                0 => StorageFault::Open,
+                1 => StorageFault::Read,
+                2 => StorageFault::Write,
+                3 => StorageFault::Format,
+                4 => StorageFault::Corrupt,
+                5 => StorageFault::Version,
+                other => return Err(r.fail(format!("bad StorageFault tag {other}"))),
+            },
+            detail: r.str()?,
         },
         other => return Err(r.fail(format!("bad MmdbError tag {other}"))),
     })

@@ -29,8 +29,11 @@ use mmdb::{MmdbError, Result, TransportFault};
 /// Frame magic — identifies a ccindex wire peer.
 pub const MAGIC: [u8; 4] = *b"CCWX";
 
-/// Protocol version this build speaks (v2 added the trace field).
-pub const VERSION: u16 = 2;
+/// Protocol version this build speaks (v2 added the trace field, v3
+/// the snapshot-transfer messages). A peer speaking any other version
+/// gets a typed [`TransportFault::Version`] naming both versions —
+/// negotiation is explicit refusal, never a checksum coincidence.
+pub const VERSION: u16 = 3;
 
 /// Upper bound on one frame's trace + payload bytes (guards allocation
 /// against a corrupted or hostile length field).
@@ -264,6 +267,47 @@ mod tests {
                 detail,
                 ..
             } => assert!(detail.contains("v99"), "{detail}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_names_both_versions_in_both_directions() {
+        // An old (v2) peer talking to this build: rewrite the version
+        // field to 2, exactly the bytes a v2 build emits.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"hello").expect("vec write");
+        buf[4..6].copy_from_slice(&2u16.to_le_bytes());
+        // The CRC does not cover the header, so the failure must be the
+        // *version* check, reached before any payload validation.
+        match read_frame(&mut &buf[..], "test").expect_err("skew must fail") {
+            MmdbError::Transport {
+                fault: TransportFault::Version,
+                detail,
+                ..
+            } => {
+                assert!(detail.contains("v2"), "{detail}");
+                assert!(detail.contains(&format!("v{VERSION}")), "{detail}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // This build talking to an old peer: a v2 reader applies the
+        // same `version != VERSION` check to our v3 header, so the
+        // refusal is symmetric — modelled here by a future version
+        // arriving at this build.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "test", b"hello").expect("vec write");
+        buf[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        match read_frame(&mut &buf[..], "test").expect_err("skew must fail") {
+            MmdbError::Transport {
+                fault: TransportFault::Version,
+                detail,
+                ..
+            } => assert!(
+                detail.contains(&format!("v{}", VERSION + 1))
+                    && detail.contains(&format!("v{VERSION}")),
+                "{detail}"
+            ),
             other => panic!("wrong error: {other:?}"),
         }
     }

@@ -232,6 +232,30 @@ pub enum ShardRequest {
     /// Scrape the server's metric registry; answered with
     /// [`ShardResponse::Stats`].
     Stats,
+    /// Fetch chunk `chunk` of the server's serialized catalog
+    /// snapshot (protocol v3). The server pins its current generation,
+    /// serializes it once, and streams it back one
+    /// [`ShardResponse::SnapshotChunk`] per request — queries keep
+    /// being served lock-free off the same pinned snapshot in between.
+    FetchSnapshot {
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// Deliver chunk `chunk` of a serialized catalog snapshot for the
+    /// server to install (protocol v3). The final chunk
+    /// (`chunk == total_chunks - 1`) triggers the install, committed
+    /// through the server's normal generation cycle.
+    InstallSnapshotChunk {
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total chunks in this transfer.
+        total_chunks: u32,
+        /// CRC-32 of this chunk's bytes (defense in depth on top of
+        /// the frame checksum: the reassembled image spans frames).
+        crc: u32,
+        /// The chunk payload.
+        bytes: Vec<u8>,
+    },
 }
 
 /// Everything a shard server can answer.
@@ -285,6 +309,20 @@ pub enum ShardResponse {
     /// The request failed; the same typed error the operation would
     /// have raised in-process.
     Err(MmdbError),
+    /// One chunk of a serialized catalog snapshot (protocol v3),
+    /// answering [`ShardRequest::FetchSnapshot`].
+    SnapshotChunk {
+        /// Zero-based chunk index (echoes the request).
+        chunk: u32,
+        /// Total chunks in the snapshot.
+        total_chunks: u32,
+        /// Total bytes of the whole serialized snapshot.
+        total_len: u64,
+        /// CRC-32 of this chunk's bytes.
+        crc: u32,
+        /// The chunk payload.
+        bytes: Vec<u8>,
+    },
 }
 
 impl PartialEq for ShardResponse {
@@ -329,6 +367,22 @@ impl PartialEq for ShardResponse {
             (Unit, Unit) => true,
             (Stats { json: a }, Stats { json: b }) => a == b,
             (Err(a), Err(b)) => a == b,
+            (
+                SnapshotChunk {
+                    chunk: c1,
+                    total_chunks: t1,
+                    total_len: l1,
+                    crc: x1,
+                    bytes: b1,
+                },
+                SnapshotChunk {
+                    chunk: c2,
+                    total_chunks: t2,
+                    total_len: l2,
+                    crc: x2,
+                    bytes: b2,
+                },
+            ) => c1 == c2 && t1 == t2 && l1 == l2 && x1 == x2 && b1 == b2,
             _ => false,
         }
     }
@@ -581,6 +635,22 @@ impl ShardRequest {
             }
             ShardRequest::Shutdown => w.u8(19),
             ShardRequest::Stats => w.u8(20),
+            ShardRequest::FetchSnapshot { chunk } => {
+                w.u8(21);
+                w.u32(*chunk);
+            }
+            ShardRequest::InstallSnapshotChunk {
+                chunk,
+                total_chunks,
+                crc,
+                bytes,
+            } => {
+                w.u8(22);
+                w.u32(*chunk);
+                w.u32(*total_chunks);
+                w.u32(*crc);
+                w.blob(bytes);
+            }
         }
         w.into_bytes()
     }
@@ -665,6 +735,13 @@ impl ShardRequest {
             },
             19 => ShardRequest::Shutdown,
             20 => ShardRequest::Stats,
+            21 => ShardRequest::FetchSnapshot { chunk: r.u32()? },
+            22 => ShardRequest::InstallSnapshotChunk {
+                chunk: r.u32()?,
+                total_chunks: r.u32()?,
+                crc: r.u32()?,
+                bytes: r.blob()?,
+            },
             other => return Err(r.fail(format!("bad ShardRequest tag {other}"))),
         };
         r.expect_end()?;
@@ -751,6 +828,20 @@ impl ShardResponse {
                 w.u8(13);
                 w.str(json);
             }
+            ShardResponse::SnapshotChunk {
+                chunk,
+                total_chunks,
+                total_len,
+                crc,
+                bytes,
+            } => {
+                w.u8(14);
+                w.u32(*chunk);
+                w.u32(*total_chunks);
+                w.u64(*total_len);
+                w.u32(*crc);
+                w.blob(bytes);
+            }
         }
         w.into_bytes()
     }
@@ -787,6 +878,13 @@ impl ShardResponse {
             11 => ShardResponse::Unit,
             12 => ShardResponse::Err(get_error(&mut r)?),
             13 => ShardResponse::Stats { json: r.str()? },
+            14 => ShardResponse::SnapshotChunk {
+                chunk: r.u32()?,
+                total_chunks: r.u32()?,
+                total_len: r.u64()?,
+                crc: r.u32()?,
+                bytes: r.blob()?,
+            },
             other => return Err(r.fail(format!("bad ShardResponse tag {other}"))),
         };
         r.expect_end()?;

@@ -10,7 +10,7 @@ use ccindex_wire::{
 use mmdb::plan::{GroupStep, JoinStep, Plan, Probe, ProbeStep, Side};
 use mmdb::{
     between, count, eq, max, on, sum, Agg, AggFn, ExecOptions, GroupRow, IndexKind, JoinRow,
-    MmdbError, ResultRows, TransportFault, Value,
+    MmdbError, ResultRows, StorageFault, TransportFault, Value,
 };
 use proptest::prelude::*;
 
@@ -54,6 +54,11 @@ impl Gen {
     fn rids(&mut self) -> Vec<u32> {
         let len = self.below(16) as usize;
         (0..len).map(|_| self.next() as u32).collect()
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len + 1) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
     }
 
     fn kind(&mut self) -> IndexKind {
@@ -159,7 +164,7 @@ impl Gen {
     }
 
     fn error(&mut self) -> MmdbError {
-        match self.below(13) {
+        match self.below(14) {
             0 => MmdbError::UnknownTable {
                 table: self.string(),
             },
@@ -207,7 +212,7 @@ impl Gen {
             11 => MmdbError::Unsupported {
                 what: self.string(),
             },
-            _ => MmdbError::Transport {
+            12 => MmdbError::Transport {
                 endpoint: self.string(),
                 fault: [
                     TransportFault::Connect,
@@ -220,6 +225,18 @@ impl Gen {
                 detail: self.string(),
                 attempts: self.next() as u32,
                 elapsed_ms: self.next(),
+            },
+            _ => MmdbError::Storage {
+                path: self.string(),
+                fault: [
+                    StorageFault::Open,
+                    StorageFault::Read,
+                    StorageFault::Write,
+                    StorageFault::Format,
+                    StorageFault::Corrupt,
+                    StorageFault::Version,
+                ][self.below(6) as usize],
+                detail: self.string(),
             },
         }
     }
@@ -394,6 +411,15 @@ impl Gen {
             ShardRequest::SetExecOptions { exec: self.exec() },
             ShardRequest::Shutdown,
             ShardRequest::Stats,
+            ShardRequest::FetchSnapshot {
+                chunk: self.next() as u32,
+            },
+            ShardRequest::InstallSnapshotChunk {
+                chunk: self.next() as u32,
+                total_chunks: self.next() as u32,
+                crc: self.next() as u32,
+                bytes: self.bytes(64),
+            },
         ]
     }
 
@@ -443,6 +469,13 @@ impl Gen {
                 json: self.string(),
             },
             ShardResponse::Err(self.error()),
+            ShardResponse::SnapshotChunk {
+                chunk: self.next() as u32,
+                total_chunks: self.next() as u32,
+                total_len: self.next(),
+                crc: self.next() as u32,
+                bytes: self.bytes(64),
+            },
         ]
     }
 }

@@ -1,0 +1,88 @@
+//! Persistence and cold start: save a catalog to the paged on-disk
+//! container, reopen it, and get byte-identical answers — without
+//! re-sorting a single RID list or rebuilding a single index.
+//!
+//! The container stores each column's sorted RID list and each
+//! CSS-tree's directory levels as validated, CRC-checksummed pages, so
+//! `Database::open_from` is a decode, not a rebuild. A corrupted or
+//! truncated file surfaces as a typed `MmdbError::Storage` — never a
+//! panic.
+//!
+//! ```sh
+//! cargo run --release --example cold_start
+//! ```
+
+use ccindex::db::StorageFault;
+use ccindex::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), MmdbError> {
+    let n = 1_000_000usize;
+
+    // Build a catalog the expensive way: register rows, sort RID lists,
+    // build indexes.
+    let t0 = Instant::now();
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("orders")
+            .int_column(
+                "amount",
+                (0..n).map(|i| ((i as u64).wrapping_mul(48_271) % (n as u64)) as i64),
+            )
+            .str_column("day", (0..n).map(|i| ["mon", "tue", "wed", "thu"][i % 4]))
+            .build()?,
+    )?;
+    db.create_index("orders", "amount", IndexKind::FullCss)?;
+    db.create_index("orders", "amount", IndexKind::Hash)?;
+    db.create_index("orders", "day", IndexKind::Hash)?;
+    let built = t0.elapsed();
+
+    // Save the whole catalog — tables, columns, RID lists, CSS
+    // directory levels — as one paged, checksummed container.
+    let dir = std::env::temp_dir().join(format!("ccindex-cold-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| MmdbError::Storage {
+        path: dir.display().to_string(),
+        fault: StorageFault::Write,
+        detail: e.to_string(),
+    })?;
+    let path = dir.join("orders.ccsp");
+    db.save_to(&path)?;
+
+    // Cold start: reopen from disk. No sorting, no index builds — the
+    // pages decode straight into the serving structures.
+    let t0 = Instant::now();
+    let reopened = Database::open_from(&path)?;
+    let opened = t0.elapsed();
+
+    // Byte-identical answers, live vs reopened.
+    let query = |db: &Database| -> Result<ResultRows, MmdbError> {
+        Ok(db
+            .query("orders")
+            .filter(between("amount", 1_000, 50_000))
+            .group_by("day", sum("amount"))
+            .run()?
+            .rows()
+            .clone())
+    };
+    let live_rows = query(&db)?;
+    let cold_rows = query(&reopened)?;
+    assert_eq!(live_rows, cold_rows, "cold start changed answers");
+
+    println!("build from rows: {built:.2?}");
+    println!("open from disk:  {opened:.2?}");
+    println!("answers match:   {live_rows:?}");
+
+    // Storage faults are typed, never panics: opening a missing file
+    // names the path and the failing stage.
+    let missing = Database::open_from(dir.join("nope.ccsp"));
+    match missing {
+        Err(MmdbError::Storage { fault, .. }) => {
+            assert_eq!(fault, StorageFault::Open);
+            println!("missing file:    typed Storage({fault:?}) error, as promised");
+        }
+        other => panic!("expected a typed storage error, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

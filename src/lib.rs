@@ -40,6 +40,7 @@
 //! | [`sim`] | `cachesim` | Cache simulator + 1998 machine models |
 //! | [`model`] | `analysis` | §5 analytical time/space models |
 //! | [`db`] | `mmdb` | Main-memory OLAP database substrate |
+//! | [`store`] | `ccindex-store` | Versioned, checksummed paged on-disk container |
 //! | [`shard`] | `ccindex-shard` | Sharded catalog with scatter-gather execution (local or remote shards) |
 //! | [`serve`] | `ccindex-serve` | Batch-formation serving front-end + TCP shard server |
 //! | [`wire`] | `ccindex-wire` | Versioned, checksummed shard wire protocol |
@@ -58,6 +59,7 @@ pub use ccindex_obs as obs;
 pub use ccindex_parallel as parallel;
 pub use ccindex_serve as serve;
 pub use ccindex_shard as shard;
+pub use ccindex_store as store;
 pub use ccindex_wire as wire;
 pub use css_tree as css;
 pub use hashindex as hash;
@@ -77,7 +79,7 @@ pub mod prelude {
         between, build_index, build_ordered_index, count, eq, indexed_nested_loop_join, max, min,
         on, point_select, point_select_many, range_select, range_select_many, sum, Agg, Database,
         DatabaseHandle, Domain, ExecOptions, IndexKind, MmdbError, ResultRows, RidList, Snapshot,
-        Table, TableBuilder, Value,
+        StorageFault, Table, TableBuilder, Value,
     };
     pub use crate::gen::{KeyDistribution, KeySetBuilder, LookupStream};
     pub use crate::hash::HashIndex;

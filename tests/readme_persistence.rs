@@ -1,0 +1,47 @@
+//! Mirror of README.md's "Persistence & cold start" example — kept as a
+//! real test so the README cannot silently rot. Update both together.
+
+use ccindex::prelude::*;
+
+fn demo() -> Result<(), MmdbError> {
+    // Build a catalog the expensive way: sort RID lists, build trees.
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("sales")
+            .int_column("amount", [10, 40, 25, 40])
+            .str_column("region", ["e", "w", "e", "n"])
+            .build()?,
+    )?;
+    db.create_index("sales", "amount", IndexKind::FullCss)?;
+
+    // One paged, checksummed container. (`save_to`/`open_from` are the
+    // file-backed twins of these byte-level calls.)
+    let bytes = db.save_to_bytes();
+
+    // Cold start: pages decode straight into serving structures.
+    let reopened = Database::open_from_bytes(bytes.clone(), "readme")?;
+    let live = db.query("sales").filter(between("amount", 20, 40)).run()?;
+    let cold = reopened
+        .query("sales")
+        .filter(between("amount", 20, 40))
+        .run()?;
+    assert_eq!(live.rows(), cold.rows()); // byte-identical
+    assert_eq!(reopened.save_to_bytes(), bytes); // idempotent
+
+    // Corruption never panics: flip a byte, get a typed error.
+    let mut evil = bytes;
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0x10;
+    match Database::open_from_bytes(evil, "readme") {
+        Err(MmdbError::Storage { fault, .. }) => {
+            assert_ne!(fault, StorageFault::Open); // decode-side fault
+        }
+        other => panic!("expected a typed storage error, got {other:?}"),
+    }
+    Ok(())
+}
+
+#[test]
+fn readme_persistence_example() {
+    demo().expect("the README example must pass as written");
+}
